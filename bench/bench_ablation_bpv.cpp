@@ -1,0 +1,87 @@
+// Ablation study of the BPV design choices the paper motivates:
+//   (a) alpha2 == alpha3 LER tie vs free Leff/Weff,
+//   (b) Cinv measured directly vs extracted by BPV (the paper argues BPV
+//       overestimates tightly-controlled parameters),
+//   (c) MC-measured vs analytic golden variances (extraction noise).
+#include <iostream>
+
+#include "common.hpp"
+#include "extract/bpv.hpp"
+#include "util/table.hpp"
+
+using namespace vsstat;
+
+namespace {
+
+void printAlphaRow(util::Table& t, const std::string& label,
+                   const models::PelgromAlphas& a, double residual) {
+  t.addRow({label, util::formatValue(a.aVt0, 2), util::formatValue(a.aLeff, 2),
+            util::formatValue(a.aWeff, 2), util::formatValue(a.aMu, 0),
+            a.aCinv >= 0.0 ? util::formatValue(a.aCinv, 2) : "n/a",
+            util::formatValue(residual, 3)});
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader("bench_ablation_bpv",
+                     "Ablation - BPV design choices (Sec. III)");
+
+  const auto& kit = bench::calibratedKit();
+  const models::VsParams card = kit.nominal(models::DeviceType::Nmos);
+
+  extract::GoldenMeterOptions gm;
+  gm.samples = bench::scaledSamples(1000, 300);
+  const auto geoms = extract::extractionGeometries();
+  const auto measMc = extract::measureGoldenVariances(
+      bench::goldenKit(), models::DeviceType::Nmos, geoms, gm);
+  std::vector<extract::GeometryMeasurement> measAnalytic;
+  for (const auto& g : geoms) {
+    measAnalytic.push_back(extract::analyticGoldenVariance(
+        bench::goldenKit(), models::DeviceType::Nmos, g));
+  }
+
+  util::Table table({"variant", "a1 VT0", "a2 Leff", "a3 Weff", "a4 mu",
+                     "a5 Cinv", "NNLS residual"});
+
+  extract::BpvOptions base;
+  base.aCinvDirect = bench::goldenKit().nmosMismatch.aCox;
+
+  {
+    const auto r = extract::solveBpv(card, measMc, base);
+    printAlphaRow(table, "baseline (tie, Cinv direct, MC meas)", r.alphas,
+                  r.residualNorm);
+  }
+  {
+    extract::BpvOptions o = base;
+    o.tieLengthWidth = false;
+    const auto r = extract::solveBpv(card, measMc, o);
+    printAlphaRow(table, "no alpha2==alpha3 tie", r.alphas, r.residualNorm);
+  }
+  {
+    extract::BpvOptions o = base;
+    o.solveCinvByBpv = true;
+    const auto r = extract::solveBpv(card, measMc, o);
+    printAlphaRow(table, "Cinv extracted by BPV", r.alphas, r.residualNorm);
+  }
+  {
+    const auto r = extract::solveBpv(card, measAnalytic, base);
+    printAlphaRow(table, "noise-free (analytic) variances", r.alphas,
+                  r.residualNorm);
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nReadings:\n"
+         "* Untying alpha2/alpha3 adds a degree of freedom the data cannot\n"
+         "  constrain well -> the two split apart without improving the fit\n"
+         "  much (the paper's measured split was only 1-5%).\n"
+         "* Extracting Cinv by BPV inflates alpha5 well above the directly\n"
+         "  measured value (golden truth "
+      << util::formatValue(bench::goldenKit().nmosMismatch.aCox, 2)
+      << " nm uF/cm^2), reproducing the paper's warning that BPV\n"
+         "  overestimates tightly-controlled parameters.\n"
+         "* MC-vs-analytic variance deltas show the extraction noise floor\n"
+         "  at ~1000 samples/geometry.\n";
+  return 0;
+}

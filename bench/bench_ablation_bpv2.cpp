@@ -1,0 +1,126 @@
+// Ablation: the two simplifications the paper makes going from the full
+// Eq. (8) to the production Eq. (9):
+//
+//   (1) "the linear approximation is sufficiently accurate" -- quantified
+//       here as the second-order Gaussian variance term relative to the
+//       first-order one per target and geometry;
+//   (2) "assume p_j and p_k independent" -- quantified by planting a
+//       VT0-mu correlation in the synthetic truth and comparing the
+//       independence-assuming extraction against the correlation-aware
+//       fixed-point solve (extract/bpv2).
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "extract/bpv2.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace vsstat;
+
+namespace {
+
+models::PelgromAlphas paperAlphas() {
+  models::PelgromAlphas a;
+  a.aVt0 = 2.3;
+  a.aLeff = 3.71;
+  a.aWeff = 3.71;
+  a.aMu = 944.0;
+  a.aCinv = 0.30;
+  return a;
+}
+
+linalg::Matrix vt0MuCorrelation(double rho) {
+  linalg::Matrix m = extract::independentCorrelation();
+  const auto vt0 = static_cast<std::size_t>(extract::Parameter::Vt0);
+  const auto mu = static_cast<std::size_t>(extract::Parameter::Mu);
+  m(vt0, mu) = rho;
+  m(mu, vt0) = rho;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader("bench_ablation_bpv2",
+                     "Eq. (8) vs Eq. (9) - second order and correlation");
+
+  const models::VsParams card =
+      bench::calibratedKit().nominal(models::DeviceType::Nmos);
+  const models::PelgromAlphas alphas = paperAlphas();
+
+  // --- Part 1: second-order term magnitude --------------------------------
+  std::cout << "\nPart 1: second-order variance term (Gaussian moment\n"
+               "propagation, 0.5 tr((H S)^2)) relative to first order.\n";
+  util::Table t1({"W/L [nm]", "target", "first order", "second order",
+                  "2nd/1st", "mean shift / sigma"});
+  std::vector<double> widths, ratios;
+  for (const double w : {1500.0, 600.0, 300.0, 120.0}) {
+    const models::DeviceGeometry geom = models::geometryNm(w, 40.0);
+    const auto v = extract::propagateVarianceSecondOrder(
+        card, geom, alphas, extract::independentCorrelation(), 0.9);
+    for (std::size_t i = 0; i < extract::kTargetCount; ++i) {
+      const double ratio = v[i].secondOrder / v[i].firstOrder;
+      t1.addRow({util::formatValue(w, 0) + "/40",
+                 extract::toString(static_cast<extract::Target>(i)),
+                 util::formatValue(v[i].firstOrder, 3),
+                 util::formatValue(v[i].secondOrder, 3),
+                 util::formatValue(100.0 * ratio, 2) + "%",
+                 util::formatValue(
+                     v[i].meanShift / std::sqrt(v[i].total()), 3)});
+      if (i == 0) {
+        widths.push_back(w);
+        ratios.push_back(ratio);
+      }
+    }
+  }
+  t1.print(std::cout);
+  util::writeCsv(bench::outPath("ablation_bpv2_second_order.csv"),
+                 {"width_nm", "idsat_2nd_over_1st"}, {widths, ratios});
+
+  // --- Part 2: extraction under a planted correlation ---------------------
+  std::cout << "\nPart 2: plant rho(VT0, mu) in the synthetic truth, extract\n"
+               "with and without the Eq. (8) cross terms.\n";
+  util::Table t2({"rho", "solve", "aVT0 err", "aLeff err", "aMu err"});
+  for (const double rho : {0.0, 0.2, 0.4, 0.6}) {
+    const linalg::Matrix r = vt0MuCorrelation(rho);
+
+    std::vector<extract::GeometryMeasurement> meas;
+    for (const double w : {1500.0, 600.0, 300.0, 120.0}) {
+      extract::GeometryMeasurement m;
+      m.geom = models::geometryNm(w, 40.0);
+      const auto v =
+          extract::propagateVarianceSecondOrder(card, m.geom, alphas, r, 0.9);
+      m.varIdsat = v[0].firstOrder;
+      m.varLog10Ioff = v[1].firstOrder;
+      m.varCgg = v[2].firstOrder;
+      meas.push_back(m);
+    }
+
+    const auto pct = [&](double got, double truth) {
+      return util::formatValue(100.0 * (got / truth - 1.0), 1) + "%";
+    };
+    const extract::BpvResult indep = extract::solveBpv(card, meas);
+    t2.addRow({util::formatValue(rho, 1), "independent (Eq. 9)",
+               pct(indep.alphas.aVt0, alphas.aVt0),
+               pct(indep.alphas.aLeff, alphas.aLeff),
+               pct(indep.alphas.aMu, alphas.aMu)});
+    const extract::CorrelatedBpvResult corr =
+        extract::solveBpvCorrelated(card, meas, r);
+    t2.addRow({util::formatValue(rho, 1),
+               "correlated (Eq. 8), " +
+                   std::to_string(corr.outerIterations) + " iters",
+               pct(corr.alphas.aVt0, alphas.aVt0),
+               pct(corr.alphas.aLeff, alphas.aLeff),
+               pct(corr.alphas.aMu, alphas.aMu)});
+  }
+  t2.print(std::cout);
+
+  std::cout << "\nAcceptance shape: the second-order term stays in the\n"
+               "few-percent range at paper-scale sigmas (the paper's 'linear\n"
+               "approximation is sufficiently accurate'), and the\n"
+               "independence assumption is benign at rho = 0 but biases the\n"
+               "extracted coefficients as rho grows, which the correlated\n"
+               "fixed-point solve removes.\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Ablation: sampling designs for the paper's Monte Carlo campaigns.
+//
+// The paper runs 1000-5000 plain MC samples per experiment.  This bench
+// quantifies what stratified (Latin hypercube) and low-discrepancy
+// (randomized Halton) designs buy on a real response surface: the Idsat
+// sigma estimate of a 600/40 nm NMOS over its 5-dimensional standardized
+// mismatch space.  Error is RMS over replications against a 200k-sample
+// reference.
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "mc/samplers.hpp"
+#include "models/process_variation.hpp"
+#include "models/vs_model.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace vsstat;
+
+namespace {
+
+constexpr double kVdd = 0.9;
+
+/// Idsat at a standardized mismatch point.
+double idsatAt(const models::VsParams& card,
+               const models::DeviceGeometry& geom,
+               const models::ParameterSigmas& s,
+               const std::vector<double>& z) {
+  models::VariationDelta d;
+  d.dVt0 = z[0] * s.sVt0;
+  d.dLeff = z[1] * s.sLeff;
+  d.dWeff = z[2] * s.sWeff;
+  d.dMu = z[3] * s.sMu;
+  d.dCinv = z[4] * s.sCinv;
+  const models::VsModel m(models::applyToVs(card, d));
+  return m.drainCurrent(models::applyGeometry(geom, d), kVdd, kVdd);
+}
+
+double sigmaOf(const mc::SampleGenerator& gen, const models::VsParams& card,
+               const models::DeviceGeometry& geom,
+               const models::ParameterSigmas& s) {
+  double sum = 0.0;
+  double sumSq = 0.0;
+  const std::size_t n = gen.samples();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double id = idsatAt(card, geom, s, gen.standardNormals(i));
+    sum += id;
+    sumSq += id * id;
+  }
+  const double mean = sum / static_cast<double>(n);
+  return std::sqrt(std::max(sumSq / static_cast<double>(n) - mean * mean,
+                            0.0));
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader("bench_ablation_sampling",
+                     "MC vs LHS vs randomized Halton on sigma(Idsat)");
+
+  const models::VsParams card =
+      bench::calibratedKit().nominal(models::DeviceType::Nmos);
+  const models::DeviceGeometry geom = models::geometryNm(600, 40);
+  const models::ParameterSigmas sigmas = models::sigmasFor(
+      bench::calibratedKit().alphas(models::DeviceType::Nmos), geom);
+
+  // Reference sigma from a large iid run.
+  const mc::IidSampler reference(5, 200000, 777);
+  const double sigmaRef = sigmaOf(reference, card, geom, sigmas);
+  std::cout << "reference sigma(Idsat) = " << sigmaRef * 1e6
+            << " uA (200k iid samples)\n\n";
+
+  constexpr int kReps = 12;
+  util::Table table({"N", "iid RMS err", "LHS RMS err", "Halton RMS err",
+                     "LHS gain", "Halton gain"});
+  std::vector<double> ns, errIid, errLhs, errHalton;
+  for (const std::size_t n : {32UL, 64UL, 128UL, 256UL, 512UL}) {
+    const auto rmsError = [&](auto makeSampler) {
+      double acc = 0.0;
+      for (int r = 0; r < kReps; ++r) {
+        const auto gen = makeSampler(static_cast<std::uint64_t>(1000 + r));
+        const double e = sigmaOf(gen, card, geom, sigmas) / sigmaRef - 1.0;
+        acc += e * e;
+      }
+      return std::sqrt(acc / kReps);
+    };
+    const double iid = rmsError(
+        [&](std::uint64_t s) { return mc::IidSampler(5, n, s); });
+    const double lhs = rmsError([&](std::uint64_t s) {
+      return mc::LatinHypercubeSampler(5, n, s);
+    });
+    const double halton = rmsError(
+        [&](std::uint64_t s) { return mc::HaltonSampler(5, n, s); });
+
+    table.addRow({std::to_string(n),
+                  util::formatValue(100.0 * iid, 2) + "%",
+                  util::formatValue(100.0 * lhs, 2) + "%",
+                  util::formatValue(100.0 * halton, 2) + "%",
+                  util::formatValue(iid / lhs, 2) + "x",
+                  util::formatValue(iid / halton, 2) + "x"});
+    ns.push_back(static_cast<double>(n));
+    errIid.push_back(iid);
+    errLhs.push_back(lhs);
+    errHalton.push_back(halton);
+  }
+  table.print(std::cout);
+  util::writeCsv(bench::outPath("ablation_sampling.csv"),
+                 {"n", "rms_err_iid", "rms_err_lhs", "rms_err_halton"},
+                 {ns, errIid, errLhs, errHalton});
+
+  std::cout << "\nAcceptance shape: all three designs converge to the same\n"
+               "sigma; the stratified/low-discrepancy designs reach a given\n"
+               "accuracy with materially fewer samples, which matters for\n"
+               "the DFF-class campaigns where each sample costs dozens of\n"
+               "transient solves (paper Sec. IV-B).\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig. 1: VS model fitting for NMOS (and PMOS) against the golden 40-nm
+// kit at W/L = 300/40 nm -- Id-Vg (log) and Id-Vd (linear) characteristics.
+#include <iostream>
+
+#include "common.hpp"
+#include "extract/fit.hpp"
+#include "models/bsim_lite.hpp"
+#include "models/vs_model.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace vsstat;
+
+namespace {
+
+void fitOne(models::DeviceType type) {
+  const bool isN = type == models::DeviceType::Nmos;
+  const models::BsimLite golden(isN ? bench::goldenKit().nmos
+                                    : bench::goldenKit().pmos);
+  const models::VsParams seed =
+      isN ? models::defaultVsNmos() : models::defaultVsPmos();
+  const models::DeviceGeometry geom = models::geometryNm(300, 40);
+
+  const extract::IvFitResult fit = extract::fitVsToGolden(seed, golden, geom);
+  const models::VsModel vs(fit.card);
+
+  std::cout << "\n--- " << models::toString(type) << " fit (W/L = 300/40 nm) ---\n";
+  util::Table summary({"metric", "value"});
+  summary.addRow({"RMS log-space error, Id-Vg", util::formatValue(fit.rmsLogIdVg, 4)});
+  summary.addRow({"RMS relative error, Id-Vd", util::formatValue(fit.rmsRelIdVd, 4)});
+  summary.addRow({"Cgg relative error", util::formatValue(fit.relCggError, 4)});
+  summary.addRow({"LM iterations", std::to_string(fit.iterations)});
+  summary.addRow({"converged", fit.converged ? "yes" : "no"});
+  summary.addRow({"fitted VT0 [V]", util::formatValue(fit.card.vt0, 4)});
+  summary.addRow({"fitted vxo [1e7 cm/s]", util::formatValue(fit.card.vxo / 1e5, 3)});
+  summary.addRow({"fitted mu [cm^2/Vs]", util::formatValue(fit.card.mu * 1e4, 1)});
+  summary.addRow({"fitted n0", util::formatValue(fit.card.n0, 3)});
+  summary.addRow({"fitted beta", util::formatValue(fit.card.beta, 3)});
+  summary.print(std::cout);
+
+  // Id-Vg series (vds = 0.05 and 0.9 V), Id-Vd series (vgs = 0.5/0.7/0.9).
+  const std::string tag = isN ? "nmos" : "pmos";
+  std::vector<double> vg, idVsLin, idGoldLin, idVsSat, idGoldSat;
+  for (double v = 0.0; v <= 0.9 + 1e-9; v += 0.025) {
+    vg.push_back(v);
+    idVsLin.push_back(vs.drainCurrent(geom, v, 0.05));
+    idGoldLin.push_back(golden.drainCurrent(geom, v, 0.05));
+    idVsSat.push_back(vs.drainCurrent(geom, v, 0.9));
+    idGoldSat.push_back(golden.drainCurrent(geom, v, 0.9));
+  }
+  util::writeCsv(bench::outPath("fig1_idvg_" + tag + ".csv"),
+                 {"vgs", "id_vs_lin", "id_golden_lin", "id_vs_sat",
+                  "id_golden_sat"},
+                 {vg, idVsLin, idGoldLin, idVsSat, idGoldSat});
+
+  std::vector<double> vd, id05, id05g, id07, id07g, id09, id09g;
+  for (double v = 0.0; v <= 0.9 + 1e-9; v += 0.025) {
+    vd.push_back(v);
+    id05.push_back(vs.drainCurrent(geom, 0.5, v));
+    id05g.push_back(golden.drainCurrent(geom, 0.5, v));
+    id07.push_back(vs.drainCurrent(geom, 0.7, v));
+    id07g.push_back(golden.drainCurrent(geom, 0.7, v));
+    id09.push_back(vs.drainCurrent(geom, 0.9, v));
+    id09g.push_back(golden.drainCurrent(geom, 0.9, v));
+  }
+  util::writeCsv(bench::outPath("fig1_idvd_" + tag + ".csv"),
+                 {"vds", "vs_vg0.5", "golden_vg0.5", "vs_vg0.7",
+                  "golden_vg0.7", "vs_vg0.9", "golden_vg0.9"},
+                 {vd, id05, id05g, id07, id07g, id09, id09g});
+
+  // ASCII view of the output characteristics (VS = '*', golden = 'o').
+  util::Series sVs{vd, id09, '*'};
+  util::Series sGold{vd, id09g, 'o'};
+  std::cout << "Id-Vd at Vgs=0.9 V (VS '*', golden 'o'):\n"
+            << util::asciiScatter({sVs, sGold}, 64, 16, "Vds [V]", "Id [A]");
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader("bench_fig1_iv_fit",
+                     "Fig. 1 - VS model fitted to the 40-nm golden kit");
+  fitOne(models::DeviceType::Nmos);
+  fitOne(models::DeviceType::Pmos);
+  std::cout << "\nCSV series written under out/fig1_*.csv\n";
+  return 0;
+}

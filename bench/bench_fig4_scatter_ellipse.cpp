@@ -1,0 +1,115 @@
+// Fig. 4: Ion vs log10(Ioff) bivariate scatter for the medium NMOS device
+// (W/L = 600/40) with 1/2/3-sigma confidence ellipses from both models.
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "measure/device_metrics.hpp"
+#include "mc/runner.hpp"
+#include "models/bsim_lite.hpp"
+#include "models/process_variation.hpp"
+#include "stats/ellipse.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace vsstat;
+
+namespace {
+
+mc::McResult scatter(bool useVs, int samples) {
+  const auto geom = models::geometryNm(600, 40);
+  const auto& kit = bench::calibratedKit();
+  const auto& golden = bench::goldenKit();
+  mc::McOptions opt;
+  opt.samples = samples;
+  opt.seed = 1000;  // same seed stream: same underlying "dies"
+  return mc::runCampaign(
+      opt, 2, [&](std::size_t, stats::Rng& rng, std::vector<double>& out) {
+        if (useVs) {
+          const auto inst =
+              kit.makeInstance(models::DeviceType::Nmos, geom, rng);
+          out[0] = measure::idsat(*inst.model, inst.geometry, kit.vdd());
+          out[1] = measure::log10Ioff(*inst.model, inst.geometry, kit.vdd());
+        } else {
+          const auto alphas = models::toPelgromAlphas(golden.nmosMismatch);
+          const auto delta =
+              models::sampleDelta(models::sigmasFor(alphas, geom), rng);
+          const models::BsimLite model(
+              models::applyToBsim(golden.nmos, delta));
+          const auto g = models::applyGeometry(geom, delta);
+          out[0] = measure::idsat(model, g, golden.vdd);
+          out[1] = measure::log10Ioff(model, g, golden.vdd);
+        }
+      });
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader(
+      "bench_fig4_scatter_ellipse",
+      "Fig. 4 - Ion/log10(Ioff) scatter + 1/2/3-sigma ellipses (600/40 NMOS)");
+
+  const int samples = bench::scaledSamples(1000, 300);
+  const mc::McResult goldenMc = scatter(false, samples);
+  const mc::McResult vsMc = scatter(true, samples);
+
+  const stats::Bivariate mGolden =
+      stats::bivariateMoments(goldenMc.metrics[0], goldenMc.metrics[1]);
+  const stats::Bivariate mVs =
+      stats::bivariateMoments(vsMc.metrics[0], vsMc.metrics[1]);
+
+  util::Table table({"model", "mean Ion [uA]", "sigma Ion [uA]",
+                     "mean log10Ioff", "sigma log10Ioff", "corr(Ion,logIoff)"});
+  const auto addRow = [&](const char* name, const stats::Bivariate& m) {
+    table.addRow({name, util::formatValue(m.meanX * 1e6, 1),
+                  util::formatValue(std::sqrt(m.varX) * 1e6, 2),
+                  util::formatValue(m.meanY, 3),
+                  util::formatValue(std::sqrt(m.varY), 3),
+                  util::formatValue(m.correlation(), 3)});
+  };
+  addRow("golden", mGolden);
+  addRow("VS", mVs);
+  table.print(std::cout);
+
+  // Ellipse containment: expected 39.3% / 86.5% / 98.9% for a Gaussian.
+  util::Table cover({"k-sigma", "golden inside [%]", "VS inside [%]",
+                     "Gaussian expectation [%]"});
+  const double expect[] = {39.35, 86.47, 98.89};
+  for (int k = 1; k <= 3; ++k) {
+    cover.addRow(
+        {std::to_string(k),
+         util::formatValue(100.0 * stats::fractionInside(
+                               mGolden, k, goldenMc.metrics[0],
+                               goldenMc.metrics[1]), 1),
+         util::formatValue(100.0 * stats::fractionInside(
+                               mVs, k, vsMc.metrics[0], vsMc.metrics[1]), 1),
+         util::formatValue(expect[k - 1], 1)});
+  }
+  cover.print(std::cout);
+
+  // ASCII scatter with both clouds ('o' golden, '*' VS).
+  util::Series sg{goldenMc.metrics[0], goldenMc.metrics[1], 'o'};
+  util::Series sv{vsMc.metrics[0], vsMc.metrics[1], '*'};
+  std::cout << "Scatter (golden 'o', VS '*'):\n"
+            << util::asciiScatter({sg, sv}, 68, 22, "Ion [A]", "log10 Ioff");
+
+  // CSV: clouds + 3-sigma ellipse traces for both models.
+  util::writeCsv(bench::outPath("fig4_scatter_golden.csv"),
+                 {"ion_A", "log10_ioff"},
+                 {goldenMc.metrics[0], goldenMc.metrics[1]});
+  util::writeCsv(bench::outPath("fig4_scatter_vs.csv"), {"ion_A", "log10_ioff"},
+                 {vsMc.metrics[0], vsMc.metrics[1]});
+  for (int k = 1; k <= 3; ++k) {
+    const auto eg = stats::traceEllipse(stats::sigmaEllipse(mGolden, k));
+    const auto ev = stats::traceEllipse(stats::sigmaEllipse(mVs, k));
+    util::writeCsv(bench::outPath("fig4_ellipse_golden_" + std::to_string(k) +
+                                  "sigma.csv"),
+                   {"x", "y"}, {eg.x, eg.y});
+    util::writeCsv(
+        bench::outPath("fig4_ellipse_vs_" + std::to_string(k) + "sigma.csv"),
+        {"x", "y"}, {ev.x, ev.y});
+  }
+  return 0;
+}

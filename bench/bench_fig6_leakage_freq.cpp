@@ -1,0 +1,62 @@
+// Fig. 6: total leakage vs frequency (1/delay) scatter for the INV FO3
+// fixture -- the paper reports a ~37x leakage spread and ~45-50% frequency
+// spread from within-die variation.
+#include <algorithm>
+#include <iostream>
+
+#include "common.hpp"
+#include "stats/descriptive.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace vsstat;
+
+int main() {
+  bench::printHeader("bench_fig6_leakage_freq",
+                     "Fig. 6 - leakage vs frequency scatter (INV FO3)");
+
+  const int samples = bench::scaledSamples(5000, 400);
+  std::cout << "MC samples per model: " << samples << "\n";
+
+  util::Table table({"model", "leakage spread max/min", "freq spread [%]",
+                     "mean freq [GHz]", "corr(leak, freq)"});
+
+  for (const bool useVs : {false, true}) {
+    const auto r = bench::runGateDelayCampaign(
+        useVs, /*nand2=*/false, circuits::CellSizing{}, circuits::StimulusSpec{},
+        samples, useVs ? 61 : 62, /*withLeakage=*/true);
+
+    std::vector<double> freq(r.delays.size());
+    for (std::size_t i = 0; i < freq.size(); ++i) freq[i] = 1.0 / r.delays[i];
+
+    const auto [minLeak, maxLeak] =
+        std::minmax_element(r.leakage.begin(), r.leakage.end());
+    const auto fs = stats::summarize(freq);
+    const double freqSpread =
+        100.0 * (fs.max - fs.min) / fs.mean;
+
+    table.addRow({useVs ? "VS" : "golden",
+                  util::formatValue(*maxLeak / *minLeak, 1) + "x",
+                  util::formatValue(freqSpread, 1),
+                  util::formatValue(fs.mean / 1e9, 2),
+                  util::formatValue(stats::correlation(r.leakage, freq), 3)});
+
+    util::writeCsv(bench::outPath(std::string("fig6_leak_freq_") +
+                                  (useVs ? "vs" : "golden") + ".csv"),
+                   {"leakage_A", "frequency_Hz"}, {r.leakage, freq});
+
+    util::Series cloud{r.leakage, freq, useVs ? '*' : 'o'};
+    std::cout << "\n" << (useVs ? "VS" : "golden")
+              << " scatter (leakage -> frequency):\n"
+              << util::asciiScatter({cloud}, 64, 18, "leakage [A]",
+                                    "frequency [Hz]");
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper Fig. 6 shape: leakage spreads by tens of x (37x at\n"
+               "5000 samples), frequency by ~45-50% of its mean; fast dies\n"
+               "leak more (positive correlation).  Spread metrics grow with\n"
+               "sample count, so the paper numbers need VSSTAT_MC_SCALE=1.\n";
+  return 0;
+}

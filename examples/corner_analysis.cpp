@@ -1,0 +1,147 @@
+// Statistical corner extraction and validation against Monte Carlo.
+//
+// Derives 3-sigma FF/SS/FS/SF cards from the calibrated statistical VS
+// kit (most-probable Idsat excursion points) and runs the INV FO3 delay
+// at every corner.  Validation follows the corners' own semantics: they
+// model a GLOBAL (die-level) skew, so the FF..SS window must bracket the
+// +/-3 sigma spread of a die-level Monte Carlo where every device on the
+// die shares one draw along the corner axes.  The per-instance mismatch
+// population is also shown for contrast: it is wider, because the corner
+// axes only carry the Idsat-aligned component of variation -- which is
+// exactly why mismatch cannot be signed off with corners alone.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "circuits/benchmarks.hpp"
+#include "core/corners.hpp"
+#include "core/statistical_vs.hpp"
+#include "measure/delay.hpp"
+#include "mc/runner.hpp"
+#include "models/vs_model.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace vsstat;
+
+namespace {
+
+/// Scales a corner delta: z = +3 reproduces the fast corner, z = -3 the
+/// slow one, intermediate z the die's position along that axis.
+models::VariationDelta scaled(const models::VariationDelta& fast, double z) {
+  models::VariationDelta d;
+  const double f = z / 3.0;
+  d.dVt0 = f * fast.dVt0;
+  d.dLeff = f * fast.dLeff;
+  d.dWeff = f * fast.dWeff;
+  d.dMu = f * fast.dMu;
+  d.dCinv = f * fast.dCinv;
+  return d;
+}
+
+/// Die-level provider: one shared (zN, zP) draw for all instances.
+class GlobalSkewProvider final : public circuits::DeviceProvider {
+ public:
+  GlobalSkewProvider(const core::StatisticalVsKit& kit,
+                     const core::StatisticalCorners& corners, double zN,
+                     double zP)
+      : kit_(kit),
+        nmos_(scaled(corners.delta(core::Corner::FF, models::DeviceType::Nmos),
+                     zN)),
+        pmos_(scaled(corners.delta(core::Corner::FF, models::DeviceType::Pmos),
+                     zP)) {}
+
+  [[nodiscard]] circuits::DeviceInstance make(
+      models::DeviceType type, const std::string&,
+      const models::DeviceGeometry& nominal) override {
+    const models::VariationDelta& d =
+        type == models::DeviceType::Nmos ? nmos_ : pmos_;
+    return {std::make_unique<models::VsModel>(
+                models::applyToVs(kit_.nominal(type), d)),
+            models::applyGeometry(nominal, d)};
+  }
+
+ private:
+  const core::StatisticalVsKit& kit_;
+  models::VariationDelta nmos_;
+  models::VariationDelta pmos_;
+};
+
+}  // namespace
+
+int main() {
+  core::CharacterizeOptions opt;
+  opt.analyticGoldenVariance = true;
+  const core::StatisticalVsKit kit = core::StatisticalVsKit::characterize(
+      extract::GoldenKit::default40nm(), opt);
+
+  const core::StatisticalCorners corners(kit);
+  std::printf("%s\n", corners.summary().c_str());
+
+  // Corner delays.
+  std::printf("INV FO3 delay per corner:\n");
+  double ffDelay = 0.0;
+  double ssDelay = 0.0;
+  for (const core::Corner c : core::kAllCorners) {
+    auto provider = corners.makeProvider(c);
+    circuits::GateFo3Bench bench = circuits::buildInvFo3(
+        *provider, circuits::CellSizing{}, circuits::StimulusSpec{});
+    const measure::GateDelays d = measure::measureGateDelays(bench);
+    std::printf("  %s: tpHL = %.2f ps, tpLH = %.2f ps, avg = %.2f ps\n",
+                core::toString(c), d.tphl * 1e12, d.tplh * 1e12,
+                d.average() * 1e12);
+    if (c == core::Corner::FF) ffDelay = d.average();
+    if (c == core::Corner::SS) ssDelay = d.average();
+  }
+
+  // Die-level Monte Carlo along the corner axes: each sample is one die
+  // with shared (zN, zP).  This is the population the corner methodology
+  // claims to bound.
+  constexpr int kSamples = 500;
+  mc::McOptions globalOpt;
+  globalOpt.samples = kSamples;
+  globalOpt.seed = 4242;
+  const mc::McResult globalMc = mc::runCampaign(
+      globalOpt, 1,
+      [&](std::size_t, stats::Rng& rng, std::vector<double>& out) {
+        GlobalSkewProvider provider(kit, corners, rng.normal(), rng.normal());
+        circuits::GateFo3Bench bench = circuits::buildInvFo3(
+            provider, circuits::CellSizing{}, circuits::StimulusSpec{});
+        out[0] = measure::measureGateDelays(bench).average();
+      });
+
+  const stats::Summary g = stats::summarize(globalMc.metrics[0]);
+  const double lo3 = g.mean - 3.0 * g.stddev;
+  const double hi3 = g.mean + 3.0 * g.stddev;
+  std::printf("\nDie-level MC (%d dies): mean = %.2f ps, sigma = %.2f ps\n",
+              kSamples, g.mean * 1e12, g.stddev * 1e12);
+  std::printf("  +/-3 sigma window: [%.2f, %.2f] ps\n", lo3 * 1e12,
+              hi3 * 1e12);
+  std::printf("  corner window:     [%.2f, %.2f] ps\n", ffDelay * 1e12,
+              ssDelay * 1e12);
+  const bool brackets = ffDelay <= lo3 + 0.02e-12 && ssDelay >= hi3 - 0.02e-12;
+  std::printf("  corners bracket the die-level population: %s\n",
+              brackets ? "yes" : "NO");
+
+  // Per-instance mismatch population, for contrast.
+  mc::McOptions localOpt;
+  localOpt.samples = kSamples;
+  localOpt.seed = 4243;
+  const mc::McResult localMc = mc::runCampaign(
+      localOpt, 1,
+      [&](std::size_t, stats::Rng& rng, std::vector<double>& out) {
+        auto provider = kit.makeProvider(rng);
+        circuits::GateFo3Bench bench = circuits::buildInvFo3(
+            *provider, circuits::CellSizing{}, circuits::StimulusSpec{});
+        out[0] = measure::measureGateDelays(bench).average();
+      });
+  const stats::Summary l = stats::summarize(localMc.metrics[0]);
+  std::printf("\nPer-instance mismatch MC, for contrast: sigma = %.2f ps vs\n"
+              "  the die-level %.2f ps.  The corner axes carry only the\n"
+              "  Idsat-aligned component of variation; independent full\n"
+              "  5-parameter draws per device also move what Idsat does not\n"
+              "  see (e.g. gate capacitance loading), so the mismatch spread\n"
+              "  is wider and must be signed off statistically -- corners\n"
+              "  only bound the global component they were built from.\n",
+              l.stddev * 1e12, g.stddev * 1e12);
+  return brackets ? 0 : 1;
+}

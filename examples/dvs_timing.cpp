@@ -1,0 +1,60 @@
+// Dynamic-voltage-scaling timing analysis -- the paper's low-power result
+// (Fig. 7): a single statistical VS model, extracted once at nominal Vdd,
+// predicts the delay distribution at scaled supplies including the
+// non-Gaussian skew that breaks Gaussian SSTA assumptions.
+#include <cstdio>
+
+#include "circuits/benchmarks.hpp"
+#include "core/statistical_vs.hpp"
+#include "measure/delay.hpp"
+#include "mc/runner.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/normality.hpp"
+#include "stats/qq.hpp"
+
+using namespace vsstat;
+
+int main() {
+  core::CharacterizeOptions opt;
+  opt.analyticGoldenVariance = true;
+  const core::StatisticalVsKit kit = core::StatisticalVsKit::characterize(
+      extract::GoldenKit::default40nm(), opt);
+
+  constexpr int kSamples = 500;
+  std::printf("NAND2 FO3 delay under dynamic voltage scaling (%d MC runs, "
+              "statistical VS model)\n\n", kSamples);
+  std::printf("%-8s %-12s %-14s %-10s %-12s %-10s\n", "Vdd [V]", "mean [ps]",
+              "sigma/mean [%]", "skewness", "QQ r^2", "Gaussian?");
+
+  for (const double vdd : {0.9, 0.7, 0.55}) {
+    circuits::StimulusSpec stim;
+    stim.vdd = vdd;
+    stim.slew = vdd >= 0.9 ? 12e-12 : (vdd >= 0.7 ? 18e-12 : 30e-12);
+    stim.width = vdd >= 0.9 ? 80e-12 : (vdd >= 0.7 ? 140e-12 : 280e-12);
+    const double dt = vdd >= 0.7 ? 0.3e-12 : 0.6e-12;
+
+    mc::McOptions mcOpt;
+    mcOpt.samples = kSamples;
+    mcOpt.seed = 4242;
+    const mc::McResult r = mc::runCampaign(
+        mcOpt, 1, [&](std::size_t, stats::Rng& rng, std::vector<double>& out) {
+          auto provider = kit.makeProvider(rng);
+          auto bench =
+              circuits::buildNand2Fo3(*provider, circuits::CellSizing{}, stim);
+          out[0] = measure::measureGateDelays(bench, dt).average();
+        });
+
+    const auto s = stats::summarize(r.metrics[0]);
+    const auto qq = stats::qqAgainstNormal(r.metrics[0]);
+    const auto jb = stats::jarqueBera(r.metrics[0]);
+    std::printf("%-8.2f %-12.2f %-14.2f %-10.3f %-12.4f %-10s\n", vdd,
+                s.mean * 1e12, 100.0 * s.stddev / s.mean, s.skewness,
+                qq.linearity, jb.rejectAt5Percent ? "no" : "yes");
+  }
+
+  std::printf("\nNo re-extraction was performed per supply: the BPV-extracted\n"
+              "parameter statistics are bias-independent, so one statistical\n"
+              "model covers the whole DVS range (unlike electrically-fitted\n"
+              "approaches, cf. the paper's PSP comparison).\n");
+  return 0;
+}

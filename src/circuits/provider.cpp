@@ -1,0 +1,26 @@
+#include "circuits/provider.hpp"
+
+#include "util/error.hpp"
+
+namespace vsstat::circuits {
+
+NominalProvider::NominalProvider(const models::MosfetModel& nmosPrototype,
+                                 const models::MosfetModel& pmosPrototype)
+    : nmos_(nmosPrototype.clone()), pmos_(pmosPrototype.clone()) {
+  require(nmos_->deviceType() == models::DeviceType::Nmos,
+          "NominalProvider: first prototype must be NMOS");
+  require(pmos_->deviceType() == models::DeviceType::Pmos,
+          "NominalProvider: second prototype must be PMOS");
+}
+
+DeviceInstance NominalProvider::make(models::DeviceType type,
+                                     const std::string& /*instanceName*/,
+                                     const models::DeviceGeometry& nominal) {
+  DeviceInstance inst;
+  inst.model =
+      type == models::DeviceType::Nmos ? nmos_->clone() : pmos_->clone();
+  inst.geometry = nominal;
+  return inst;
+}
+
+}  // namespace vsstat::circuits

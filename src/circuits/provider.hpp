@@ -1,0 +1,58 @@
+// DeviceProvider: the seam between circuit topology and device statistics.
+//
+// Cell builders ask the provider for each transistor instance; a nominal
+// provider clones prototype cards, while the Monte Carlo providers
+// (src/mc/providers.hpp) sample fresh mismatch deltas per instance.  This
+// keeps every benchmark circuit topology-identical between the nominal,
+// VS-statistical and golden-statistical runs -- only the provider changes.
+#ifndef VSSTAT_CIRCUITS_PROVIDER_HPP
+#define VSSTAT_CIRCUITS_PROVIDER_HPP
+
+#include <memory>
+#include <string>
+
+#include "models/device.hpp"
+
+namespace vsstat::circuits {
+
+/// One concrete transistor: per-instance card + per-instance geometry.
+struct DeviceInstance {
+  std::unique_ptr<models::MosfetModel> model;
+  models::DeviceGeometry geometry;
+};
+
+/// Pure-abstract factory for transistor instances.
+class DeviceProvider {
+ public:
+  virtual ~DeviceProvider() = default;
+
+  DeviceProvider() = default;
+  DeviceProvider(const DeviceProvider&) = delete;
+  DeviceProvider& operator=(const DeviceProvider&) = delete;
+
+  /// Produces the instance for a named transistor of the given type and
+  /// nominal geometry.  Statistical providers draw mismatch here, so the
+  /// call order must be deterministic (builders guarantee it).
+  [[nodiscard]] virtual DeviceInstance make(
+      models::DeviceType type, const std::string& instanceName,
+      const models::DeviceGeometry& nominal) = 0;
+};
+
+/// Clones fixed prototype cards; geometry passes through unchanged.
+class NominalProvider final : public DeviceProvider {
+ public:
+  NominalProvider(const models::MosfetModel& nmosPrototype,
+                  const models::MosfetModel& pmosPrototype);
+
+  [[nodiscard]] DeviceInstance make(
+      models::DeviceType type, const std::string& instanceName,
+      const models::DeviceGeometry& nominal) override;
+
+ private:
+  std::unique_ptr<models::MosfetModel> nmos_;
+  std::unique_ptr<models::MosfetModel> pmos_;
+};
+
+}  // namespace vsstat::circuits
+
+#endif  // VSSTAT_CIRCUITS_PROVIDER_HPP

@@ -1,0 +1,52 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vsstat::linalg {
+
+Matrix choleskyFactor(const Matrix& a) {
+  require(a.rows() == a.cols(), "Cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (d <= 0.0) {
+      throw ConvergenceError("Cholesky: matrix not positive definite",
+                             static_cast<int>(j));
+    }
+    l(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  return l;
+}
+
+Vector choleskySolve(const Matrix& a, const Vector& b) {
+  const Matrix l = choleskyFactor(a);
+  const std::size_t n = l.rows();
+  require(b.size() == n, "choleskySolve: rhs size mismatch");
+
+  // Forward: L y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  // Backward: L^T x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace vsstat::linalg

@@ -1,0 +1,19 @@
+// Cholesky factorization of symmetric positive definite matrices.
+// Used for covariance handling (confidence ellipses, correlated sampling).
+#ifndef VSSTAT_LINALG_CHOLESKY_HPP
+#define VSSTAT_LINALG_CHOLESKY_HPP
+
+#include "linalg/matrix.hpp"
+
+namespace vsstat::linalg {
+
+/// Lower-triangular Cholesky factor L with A = L L^T.
+/// Throws ConvergenceError when A is not positive definite.
+[[nodiscard]] Matrix choleskyFactor(const Matrix& a);
+
+/// Solves A x = b given A SPD (factors internally).
+[[nodiscard]] Vector choleskySolve(const Matrix& a, const Vector& b);
+
+}  // namespace vsstat::linalg
+
+#endif  // VSSTAT_LINALG_CHOLESKY_HPP

@@ -1,0 +1,139 @@
+#include "linalg/levmar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::linalg {
+
+namespace {
+
+void clampToBounds(Vector& x, const Vector& lo, const Vector& hi) {
+  if (!lo.empty()) {
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::max(x[i], lo[i]);
+  }
+  if (!hi.empty()) {
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::min(x[i], hi[i]);
+  }
+}
+
+double costOf(const Vector& r) {
+  double s = 0.0;
+  for (double v : r) s += v * v;
+  return 0.5 * s;
+}
+
+}  // namespace
+
+LevMarResult levenbergMarquardt(const ResidualFn& fn, const Vector& x0,
+                                std::size_t residualSize,
+                                const LevMarOptions& options) {
+  const std::size_t n = x0.size();
+  const std::size_t m = residualSize;
+  require(n > 0 && m >= n, "levmar: need residualSize >= #parameters >= 1");
+  require(options.lowerBounds.empty() || options.lowerBounds.size() == n,
+          "levmar: lower bounds size mismatch");
+  require(options.upperBounds.empty() || options.upperBounds.size() == n,
+          "levmar: upper bounds size mismatch");
+
+  Vector x = x0;
+  clampToBounds(x, options.lowerBounds, options.upperBounds);
+
+  Vector r(m), rTrial(m), rPerturbed(m);
+  fn(x, r);
+  double cost = costOf(r);
+  const double initialCost = cost;
+
+  double lambda = options.initialLambda;
+  Matrix jacobian(m, n);
+  bool converged = false;
+  int iter = 0;
+
+  for (; iter < options.maxIterations; ++iter) {
+    // Numeric Jacobian (forward differences, bound-aware direction).
+    for (std::size_t j = 0; j < n; ++j) {
+      double h = options.fdRelStep * std::max(std::fabs(x[j]), 1e-12);
+      Vector xp = x;
+      xp[j] += h;
+      if (!options.upperBounds.empty() && xp[j] > options.upperBounds[j]) {
+        xp[j] = x[j] - h;  // step backwards at the upper bound
+        h = -h;
+      }
+      fn(xp, rPerturbed);
+      for (std::size_t i = 0; i < m; ++i)
+        jacobian(i, j) = (rPerturbed[i] - r[i]) / h;
+    }
+
+    // Normal equations pieces: g = J^T r, H = J^T J.
+    Vector g(n, 0.0);
+    Matrix h(n, n, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        g[j] += jacobian(i, j) * r[i];
+        for (std::size_t k = j; k < n; ++k)
+          h(j, k) += jacobian(i, j) * jacobian(i, k);
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < j; ++k) h(j, k) = h(k, j);
+
+    if (normInf(g) < options.gradientTolerance) {
+      converged = true;
+      break;
+    }
+
+    // Try damped steps, growing lambda until the cost decreases.
+    bool accepted = false;
+    for (int attempt = 0; attempt < 30; ++attempt) {
+      Matrix hDamped = h;
+      for (std::size_t j = 0; j < n; ++j)
+        hDamped(j, j) += lambda * std::max(h(j, j), 1e-12);
+
+      Vector step;
+      try {
+        step = luSolve(hDamped, g);
+      } catch (const ConvergenceError&) {
+        lambda *= options.lambdaUp;
+        continue;
+      }
+
+      Vector xTrial(n);
+      for (std::size_t j = 0; j < n; ++j) xTrial[j] = x[j] - step[j];
+      clampToBounds(xTrial, options.lowerBounds, options.upperBounds);
+
+      fn(xTrial, rTrial);
+      const double costTrial = costOf(rTrial);
+      if (costTrial < cost) {
+        const double relStep = norm2(sub(xTrial, x)) /
+                               std::max(norm2(x), 1e-12);
+        x = xTrial;
+        r = rTrial;
+        const double improvement = (cost - costTrial) / std::max(cost, 1e-300);
+        cost = costTrial;
+        lambda = std::max(lambda * options.lambdaDown, 1e-12);
+        accepted = true;
+        if (relStep < options.stepTolerance || improvement < 1e-12) {
+          converged = true;
+        }
+        break;
+      }
+      lambda *= options.lambdaUp;
+    }
+    if (!accepted || converged) {
+      converged = converged || !accepted;  // stall == local optimum for us
+      break;
+    }
+  }
+
+  LevMarResult result;
+  result.x = std::move(x);
+  result.cost = cost;
+  result.initialCost = initialCost;
+  result.iterations = iter;
+  result.converged = converged;
+  return result;
+}
+
+}  // namespace vsstat::linalg

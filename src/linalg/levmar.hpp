@@ -1,0 +1,48 @@
+// Levenberg–Marquardt nonlinear least squares with numeric Jacobian and
+// optional box constraints.
+//
+// Used to fit the nominal VS model card to the golden kit's I-V data, the
+// step the paper shows in Fig. 1 ("VS model fitting for NMOS with data from
+// a 40-nm BSIM4 industrial design kit").
+#ifndef VSSTAT_LINALG_LEVMAR_HPP
+#define VSSTAT_LINALG_LEVMAR_HPP
+
+#include <functional>
+
+#include "linalg/matrix.hpp"
+
+namespace vsstat::linalg {
+
+/// Residual callback: fills r (fixed size) from parameters x.
+using ResidualFn = std::function<void(const Vector& x, Vector& r)>;
+
+struct LevMarOptions {
+  int maxIterations = 200;
+  double initialLambda = 1e-3;
+  double lambdaUp = 10.0;
+  double lambdaDown = 0.3;
+  double gradientTolerance = 1e-10;  ///< stop when ||J^T r||_inf below this
+  double stepTolerance = 1e-12;      ///< stop when relative step below this
+  double fdRelStep = 1e-6;           ///< relative finite-difference step
+  Vector lowerBounds;                ///< optional, empty == unbounded
+  Vector upperBounds;                ///< optional, empty == unbounded
+};
+
+struct LevMarResult {
+  Vector x;             ///< optimized parameters
+  double cost;          ///< 0.5 * ||r||^2 at solution
+  double initialCost;   ///< 0.5 * ||r||^2 at start
+  int iterations;
+  bool converged;
+};
+
+/// Minimizes 0.5*||r(x)||^2 starting from x0.  `residualSize` is the fixed
+/// length of r.  Throws InvalidArgumentError on inconsistent bounds.
+[[nodiscard]] LevMarResult levenbergMarquardt(const ResidualFn& fn,
+                                              const Vector& x0,
+                                              std::size_t residualSize,
+                                              const LevMarOptions& options = {});
+
+}  // namespace vsstat::linalg
+
+#endif  // VSSTAT_LINALG_LEVMAR_HPP

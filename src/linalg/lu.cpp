@@ -1,0 +1,84 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace vsstat::linalg {
+
+LuFactorization::LuFactorization(Matrix a, double pivotTolerance)
+    : lu_(std::move(a)) {
+  require(lu_.rows() == lu_.cols(), "LU: matrix must be square");
+  const std::size_t n = lu_.rows();
+  pivots_.resize(n);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at/below the diagonal.
+    std::size_t p = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best < pivotTolerance) {
+      throw ConvergenceError("LU: matrix is singular to working precision",
+                             static_cast<int>(k));
+    }
+    pivots_[k] = p;
+    if (p != k) {
+      pivotSign_ = -pivotSign_;
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
+    }
+    const double diag = lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu_(i, k) / diag;
+      lu_(i, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= m * lu_(k, j);
+    }
+  }
+}
+
+Vector LuFactorization::solve(const Vector& b) const {
+  Vector x = b;
+  solveInPlace(x);
+  return x;
+}
+
+void LuFactorization::solveInPlace(Vector& x) const {
+  const std::size_t n = lu_.rows();
+  require(x.size() == n, "LU solve: rhs size mismatch");
+
+  // Apply row permutation.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (pivots_[k] != k) std::swap(x[k], x[pivots_[k]]);
+  }
+  // Forward substitution (L has unit diagonal).
+  for (std::size_t i = 1; i < n; ++i) {
+    double s = x[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+}
+
+double LuFactorization::determinant() const noexcept {
+  double d = pivotSign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+Vector luSolve(const Matrix& a, const Vector& b) {
+  return LuFactorization(a).solve(b);
+}
+
+}  // namespace vsstat::linalg

@@ -1,0 +1,39 @@
+// LU factorization with partial pivoting.  Workhorse solver for the MNA
+// Newton iterations in the circuit engine (systems of a few dozen nodes).
+#ifndef VSSTAT_LINALG_LU_HPP
+#define VSSTAT_LINALG_LU_HPP
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace vsstat::linalg {
+
+/// Factorization object; reusable for multiple right-hand sides.
+class LuFactorization {
+ public:
+  /// Factors a square matrix.  Throws ConvergenceError on (numerical)
+  /// singularity, i.e. a pivot below `pivotTolerance`.
+  explicit LuFactorization(Matrix a, double pivotTolerance = 1e-14);
+
+  /// Solves A x = b.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solves in place: x is the right-hand side on entry, solution on exit.
+  void solveInPlace(Vector& x) const;
+
+  [[nodiscard]] double determinant() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return lu_.rows(); }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> pivots_;
+  int pivotSign_ = 1;
+};
+
+/// One-shot convenience solve of A x = b.
+[[nodiscard]] Vector luSolve(const Matrix& a, const Vector& b);
+
+}  // namespace vsstat::linalg
+
+#endif  // VSSTAT_LINALG_LU_HPP

@@ -1,0 +1,173 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vsstat::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    require(r.size() == cols_, "Matrix: ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  require(r < rows_ && c < cols_, "Matrix::at out of range");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  require(r < rows_ && c < cols_, "Matrix::at out of range");
+  return (*this)(r, c);
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::selectColumns(const std::vector<std::size_t>& idx) const {
+  Matrix s(rows_, idx.size());
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    require(idx[j] < cols_, "Matrix::selectColumns index out of range");
+    for (std::size_t r = 0; r < rows_; ++r) s(r, j) = (*this)(r, idx[j]);
+  }
+  return s;
+}
+
+void Matrix::fill(double value) noexcept {
+  for (auto& v : data_) v = value;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  require(rows_ == rhs.rows_ && cols_ == rhs.cols_, "Matrix += shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  require(rows_ == rhs.rows_ && cols_ == rhs.cols_, "Matrix -= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) noexcept {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+std::string Matrix::toString(int precision) const {
+  std::ostringstream ss;
+  ss.precision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    ss << '[';
+    for (std::size_t c = 0; c < cols_; ++c) {
+      ss << (*this)(r, c) << (c + 1 == cols_ ? "" : ", ");
+    }
+    ss << "]\n";
+  }
+  return ss.str();
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.rows(), "Matrix * shape mismatch");
+  Matrix c(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  require(a.cols() == x.size(), "Matrix * vector shape mismatch");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  require(a.size() == b.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& v) noexcept {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double normInf(const Vector& v) noexcept {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+Vector add(const Vector& a, const Vector& b) {
+  require(a.size() == b.size(), "add: size mismatch");
+  Vector r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+Vector sub(const Vector& a, const Vector& b) {
+  require(a.size() == b.size(), "sub: size mismatch");
+  Vector r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+Vector scale(const Vector& v, double s) {
+  Vector r(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) r[i] = v[i] * s;
+  return r;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  require(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double maxAbsDiff(const Matrix& a, const Matrix& b) noexcept {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    return std::numeric_limits<double>::infinity();
+  double m = 0.0;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      m = std::max(m, std::fabs(a(r, c) - b(r, c)));
+  return m;
+}
+
+}  // namespace vsstat::linalg

@@ -1,0 +1,88 @@
+// Dense row-major matrix and vector helpers.
+//
+// The library's numerical core (BPV stacked systems, LM fitting, MNA) deals
+// with small dense systems (tens of unknowns), so a straightforward
+// value-semantic matrix with O(n^3) direct solvers is the right tool; no
+// sparse machinery is needed.
+#ifndef VSSTAT_LINALG_MATRIX_HPP
+#define VSSTAT_LINALG_MATRIX_HPP
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace vsstat::linalg {
+
+using Vector = std::vector<double>;
+
+/// Value-semantic dense matrix, row-major storage.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  /// Builds from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws InvalidArgumentError when out of range.
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Extracts the given columns (in order) into a new matrix.
+  [[nodiscard]] Matrix selectColumns(const std::vector<std::size_t>& idx) const;
+
+  void fill(double value) noexcept;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s) noexcept;
+
+  [[nodiscard]] std::string toString(int precision = 4) const;
+
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Matrix operator+(Matrix lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator-(Matrix lhs, const Matrix& rhs);
+[[nodiscard]] Matrix operator*(Matrix lhs, double s);
+[[nodiscard]] Matrix operator*(double s, Matrix rhs);
+[[nodiscard]] Matrix operator*(const Matrix& a, const Matrix& b);
+[[nodiscard]] Vector operator*(const Matrix& a, const Vector& x);
+
+// --- vector helpers ---------------------------------------------------------
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+[[nodiscard]] double norm2(const Vector& v) noexcept;
+[[nodiscard]] double normInf(const Vector& v) noexcept;
+[[nodiscard]] Vector add(const Vector& a, const Vector& b);
+[[nodiscard]] Vector sub(const Vector& a, const Vector& b);
+[[nodiscard]] Vector scale(const Vector& v, double s);
+/// y += alpha * x
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// Maximum absolute elementwise difference; infinity on shape mismatch.
+[[nodiscard]] double maxAbsDiff(const Matrix& a, const Matrix& b) noexcept;
+
+}  // namespace vsstat::linalg
+
+#endif  // VSSTAT_LINALG_MATRIX_HPP

@@ -1,0 +1,106 @@
+#include "linalg/nnls.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "linalg/qr.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::linalg {
+
+namespace {
+
+/// Least-squares solve restricted to the passive set P; returns the full-size
+/// vector with zeros outside P.
+Vector solveOnPassiveSet(const Matrix& a, const Vector& b,
+                         const std::vector<std::size_t>& passive) {
+  const Matrix ap = a.selectColumns(passive);
+  const Vector zp = QrFactorization(ap).solveLeastSquares(b);
+  Vector z(a.cols(), 0.0);
+  for (std::size_t j = 0; j < passive.size(); ++j) z[passive[j]] = zp[j];
+  return z;
+}
+
+}  // namespace
+
+NnlsResult nnls(const Matrix& a, const Vector& b, int maxIterations) {
+  const std::size_t n = a.cols();
+  require(a.rows() == b.size(), "nnls: shape mismatch");
+  require(n > 0, "nnls: empty system");
+
+  std::vector<bool> inPassive(n, false);
+  Vector x(n, 0.0);
+
+  const Matrix at = a.transposed();
+  const double tolerance = 1e-12 * normInf(at * b);
+
+  int outer = 0;
+  for (; outer < maxIterations; ++outer) {
+    // Gradient w = A^T (b - A x).
+    const Vector w = at * sub(b, a * x);
+
+    // Pick the most violated coordinate in the active (zero) set.
+    std::size_t best = n;
+    double bestW = tolerance > 0 ? tolerance : 1e-300;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!inPassive[j] && w[j] > bestW) {
+        bestW = w[j];
+        best = j;
+      }
+    }
+    if (best == n) break;  // KKT satisfied
+    inPassive[best] = true;
+
+    // Inner loop: solve on the passive set; move variables that go negative
+    // back to the boundary.
+    for (;;) {
+      std::vector<std::size_t> passive;
+      for (std::size_t j = 0; j < n; ++j)
+        if (inPassive[j]) passive.push_back(j);
+
+      const Vector z = solveOnPassiveSet(a, b, passive);
+
+      bool allPositive = true;
+      for (std::size_t j : passive) {
+        if (z[j] <= 0.0) {
+          allPositive = false;
+          break;
+        }
+      }
+      if (allPositive) {
+        x = z;
+        break;
+      }
+
+      // Step from x toward z, stopping at the first variable hitting zero.
+      double alpha = std::numeric_limits<double>::infinity();
+      for (std::size_t j : passive) {
+        if (z[j] <= 0.0) {
+          const double denom = x[j] - z[j];
+          if (denom > 0.0) alpha = std::min(alpha, x[j] / denom);
+        }
+      }
+      require(std::isfinite(alpha), "nnls: degenerate inner step");
+      for (std::size_t j = 0; j < n; ++j) x[j] += alpha * (z[j] - x[j]);
+      for (std::size_t j : passive) {
+        if (x[j] <= 1e-14) {
+          x[j] = 0.0;
+          inPassive[j] = false;
+        }
+      }
+    }
+  }
+  if (outer >= maxIterations) {
+    throw ConvergenceError("nnls: active-set loop did not converge", outer);
+  }
+
+  NnlsResult result;
+  result.x = x;
+  result.residualNorm = norm2(sub(a * x, b));
+  result.iterations = outer;
+  return result;
+}
+
+}  // namespace vsstat::linalg

@@ -1,0 +1,27 @@
+// Non-negative least squares (Lawson–Hanson active set algorithm).
+//
+// BPV solves the stacked variance system (paper Eq. 10) for the *squared*
+// Pelgrom coefficients alpha_j^2, which are physically non-negative; plain
+// least squares can return negative variances when measurement noise is
+// large, so the extraction uses NNLS.
+#ifndef VSSTAT_LINALG_NNLS_HPP
+#define VSSTAT_LINALG_NNLS_HPP
+
+#include "linalg/matrix.hpp"
+
+namespace vsstat::linalg {
+
+struct NnlsResult {
+  Vector x;             ///< solution with x[i] >= 0
+  double residualNorm;  ///< ||A x - b||_2
+  int iterations;       ///< outer-loop iterations used
+};
+
+/// Minimizes ||A x - b||_2 subject to x >= 0.
+/// Throws ConvergenceError if the active-set loop exceeds `maxIterations`.
+[[nodiscard]] NnlsResult nnls(const Matrix& a, const Vector& b,
+                              int maxIterations = 300);
+
+}  // namespace vsstat::linalg
+
+#endif  // VSSTAT_LINALG_NNLS_HPP

@@ -1,0 +1,38 @@
+// Householder QR factorization and linear least squares.
+// Used by the BPV extraction (stacked over-determined system, Eq. 10 of the
+// paper) and as the subproblem solver inside NNLS.
+#ifndef VSSTAT_LINALG_QR_HPP
+#define VSSTAT_LINALG_QR_HPP
+
+#include "linalg/matrix.hpp"
+
+namespace vsstat::linalg {
+
+/// QR of an m x n matrix with m >= n via Householder reflections.
+class QrFactorization {
+ public:
+  explicit QrFactorization(Matrix a);
+
+  /// Minimizes ||A x - b||_2.  Throws ConvergenceError when A is rank
+  /// deficient to working precision.
+  [[nodiscard]] Vector solveLeastSquares(const Vector& b) const;
+
+  /// Residual norm ||A x - b||_2 for the least-squares solution of b.
+  [[nodiscard]] double residualNorm(const Vector& b) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return qr_.rows(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return qr_.cols(); }
+
+ private:
+  void applyQt(Vector& v) const;
+
+  Matrix qr_;       // Householder vectors below diagonal, R on/above
+  Vector betas_;    // Householder scalars
+};
+
+/// One-shot least squares min ||A x - b||.
+[[nodiscard]] Vector leastSquares(const Matrix& a, const Vector& b);
+
+}  // namespace vsstat::linalg
+
+#endif  // VSSTAT_LINALG_QR_HPP

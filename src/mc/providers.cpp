@@ -1,0 +1,57 @@
+#include "mc/providers.hpp"
+
+#include "models/bsim_lite.hpp"
+#include "models/vs_model.hpp"
+
+namespace vsstat::mc {
+
+VsStatisticalProvider::VsStatisticalProvider(models::VsParams nmos,
+                                             models::VsParams pmos,
+                                             models::PelgromAlphas nmosAlphas,
+                                             models::PelgromAlphas pmosAlphas,
+                                             stats::Rng rng)
+    : nmos_(nmos), pmos_(pmos), nmosAlphas_(nmosAlphas),
+      pmosAlphas_(pmosAlphas), rng_(rng) {}
+
+circuits::DeviceInstance VsStatisticalProvider::make(
+    models::DeviceType type, const std::string& /*instanceName*/,
+    const models::DeviceGeometry& nominal) {
+  const bool isN = type == models::DeviceType::Nmos;
+  const models::VsParams& card = isN ? nmos_ : pmos_;
+  const models::PelgromAlphas& alphas = isN ? nmosAlphas_ : pmosAlphas_;
+
+  const models::ParameterSigmas sigmas = models::sigmasFor(alphas, nominal);
+  const models::VariationDelta delta = models::sampleDelta(sigmas, rng_);
+
+  circuits::DeviceInstance inst;
+  inst.model = std::make_unique<models::VsModel>(models::applyToVs(card, delta));
+  inst.geometry = models::applyGeometry(nominal, delta);
+  return inst;
+}
+
+BsimStatisticalProvider::BsimStatisticalProvider(
+    models::BsimParams nmos, models::BsimParams pmos,
+    models::BsimMismatch nmosMismatch, models::BsimMismatch pmosMismatch,
+    stats::Rng rng)
+    : nmos_(nmos), pmos_(pmos), nmosMismatch_(nmosMismatch),
+      pmosMismatch_(pmosMismatch), rng_(rng) {}
+
+circuits::DeviceInstance BsimStatisticalProvider::make(
+    models::DeviceType type, const std::string& /*instanceName*/,
+    const models::DeviceGeometry& nominal) {
+  const bool isN = type == models::DeviceType::Nmos;
+  const models::BsimParams& card = isN ? nmos_ : pmos_;
+  const models::PelgromAlphas alphas =
+      models::toPelgromAlphas(isN ? nmosMismatch_ : pmosMismatch_);
+
+  const models::ParameterSigmas sigmas = models::sigmasFor(alphas, nominal);
+  const models::VariationDelta delta = models::sampleDelta(sigmas, rng_);
+
+  circuits::DeviceInstance inst;
+  inst.model =
+      std::make_unique<models::BsimLite>(models::applyToBsim(card, delta));
+  inst.geometry = models::applyGeometry(nominal, delta);
+  return inst;
+}
+
+}  // namespace vsstat::mc

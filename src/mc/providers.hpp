@@ -1,0 +1,57 @@
+// Statistical DeviceProviders: per-instance mismatch sampling for the two
+// kits.  Both draw from *independent Gaussian* parameter distributions with
+// Pelgrom geometry scaling; each transistor the circuit builder requests
+// consumes one mismatch draw, so circuits built in a fixed order are
+// reproducible for a given sample seed.
+#ifndef VSSTAT_MC_PROVIDERS_HPP
+#define VSSTAT_MC_PROVIDERS_HPP
+
+#include "circuits/provider.hpp"
+#include "models/bsim_params.hpp"
+#include "models/process_variation.hpp"
+#include "models/vs_params.hpp"
+#include "stats/rng.hpp"
+
+namespace vsstat::mc {
+
+/// Statistical VS model provider (the paper's contribution under test).
+class VsStatisticalProvider final : public circuits::DeviceProvider {
+ public:
+  VsStatisticalProvider(models::VsParams nmos, models::VsParams pmos,
+                        models::PelgromAlphas nmosAlphas,
+                        models::PelgromAlphas pmosAlphas, stats::Rng rng);
+
+  [[nodiscard]] circuits::DeviceInstance make(
+      models::DeviceType type, const std::string& instanceName,
+      const models::DeviceGeometry& nominal) override;
+
+ private:
+  models::VsParams nmos_;
+  models::VsParams pmos_;
+  models::PelgromAlphas nmosAlphas_;
+  models::PelgromAlphas pmosAlphas_;
+  stats::Rng rng_;
+};
+
+/// Statistical golden-kit provider (the paper's "golden" BSIM reference).
+class BsimStatisticalProvider final : public circuits::DeviceProvider {
+ public:
+  BsimStatisticalProvider(models::BsimParams nmos, models::BsimParams pmos,
+                          models::BsimMismatch nmosMismatch,
+                          models::BsimMismatch pmosMismatch, stats::Rng rng);
+
+  [[nodiscard]] circuits::DeviceInstance make(
+      models::DeviceType type, const std::string& instanceName,
+      const models::DeviceGeometry& nominal) override;
+
+ private:
+  models::BsimParams nmos_;
+  models::BsimParams pmos_;
+  models::BsimMismatch nmosMismatch_;
+  models::BsimMismatch pmosMismatch_;
+  stats::Rng rng_;
+};
+
+}  // namespace vsstat::mc
+
+#endif  // VSSTAT_MC_PROVIDERS_HPP

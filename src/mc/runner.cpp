@@ -1,0 +1,49 @@
+#include "mc/runner.hpp"
+
+#include <exception>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace vsstat::mc {
+
+McResult runCampaign(const McOptions& options, std::size_t metricCount,
+                     const SampleFn& fn) {
+  require(options.samples > 0, "runCampaign: samples must be > 0");
+  require(metricCount > 0, "runCampaign: metricCount must be > 0");
+
+  const auto n = static_cast<std::size_t>(options.samples);
+  std::vector<std::vector<double>> slots(n);
+  std::vector<char> ok(n, 0);
+  const stats::Rng campaign(options.seed);
+
+  util::parallelFor(
+      n,
+      [&](std::size_t i) {
+        stats::Rng rng = campaign.fork(i);
+        std::vector<double> out(metricCount, 0.0);
+        try {
+          fn(i, rng, out);
+          slots[i] = std::move(out);
+          ok[i] = 1;
+        } catch (const std::exception&) {
+          ok[i] = 0;  // dropped sample (non-convergence / functional failure)
+        }
+      },
+      options.threads);
+
+  McResult result;
+  result.metrics.assign(metricCount, {});
+  for (auto& m : result.metrics) m.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!ok[i]) {
+      ++result.failures;
+      continue;
+    }
+    for (std::size_t m = 0; m < metricCount; ++m)
+      result.metrics[m].push_back(slots[i][m]);
+  }
+  return result;
+}
+
+}  // namespace vsstat::mc

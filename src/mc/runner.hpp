@@ -1,0 +1,45 @@
+// Generic Monte Carlo campaign runner.
+//
+// A campaign evaluates a user function once per sample; each sample gets a
+// decorrelated child RNG derived from (campaign seed, sample index), so
+// results are bit-identical regardless of thread count.  Samples that throw
+// (non-convergent circuits under extreme mismatch) are dropped and counted,
+// mirroring how a production MC flow flags failing corners.
+#ifndef VSSTAT_MC_RUNNER_HPP
+#define VSSTAT_MC_RUNNER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace vsstat::mc {
+
+struct McOptions {
+  int samples = 1000;
+  std::uint64_t seed = 42;
+  unsigned threads = 0;  ///< 0 == hardware concurrency
+};
+
+struct McResult {
+  /// metrics[m][k]: metric m of the k-th *successful* sample.
+  std::vector<std::vector<double>> metrics;
+  int failures = 0;
+
+  [[nodiscard]] std::size_t sampleCount() const {
+    return metrics.empty() ? 0 : metrics.front().size();
+  }
+};
+
+/// Sample function: fills `out` (size metricCount) for the given sample.
+using SampleFn =
+    std::function<void(std::size_t index, stats::Rng& rng, std::vector<double>& out)>;
+
+[[nodiscard]] McResult runCampaign(const McOptions& options,
+                                   std::size_t metricCount,
+                                   const SampleFn& fn);
+
+}  // namespace vsstat::mc
+
+#endif  // VSSTAT_MC_RUNNER_HPP

@@ -1,0 +1,126 @@
+#include "mc/samplers.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "stats/qq.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::mc {
+
+SampleGenerator::SampleGenerator(std::size_t dim, std::size_t samples)
+    : dim_(dim), samples_(samples) {
+  require(dim_ > 0, "SampleGenerator: dimension must be positive");
+  require(samples_ > 0, "SampleGenerator: sample count must be positive");
+}
+
+void SampleGenerator::checkIndex(std::size_t sampleIndex) const {
+  require(sampleIndex < samples_,
+          "SampleGenerator: sample index out of range");
+}
+
+// --- iid -----------------------------------------------------------------------
+
+IidSampler::IidSampler(std::size_t dim, std::size_t samples,
+                       std::uint64_t seed)
+    : SampleGenerator(dim, samples), root_(seed) {}
+
+std::vector<double> IidSampler::standardNormals(
+    std::size_t sampleIndex) const {
+  checkIndex(sampleIndex);
+  stats::Rng rng = root_.fork(sampleIndex);
+  std::vector<double> z(dimension());
+  for (double& v : z) v = rng.normal();
+  return z;
+}
+
+// --- Latin hypercube ---------------------------------------------------------
+
+LatinHypercubeSampler::LatinHypercubeSampler(std::size_t dim,
+                                             std::size_t samples,
+                                             std::uint64_t seed)
+    : SampleGenerator(dim, samples), root_(seed) {
+  permutations_.resize(dim);
+  stats::Rng rng(seed);
+  for (std::size_t d = 0; d < dim; ++d) {
+    auto& perm = permutations_[d];
+    perm.resize(samples);
+    for (std::size_t i = 0; i < samples; ++i)
+      perm[i] = static_cast<std::uint32_t>(i);
+    // Fisher-Yates with the library RNG.
+    for (std::size_t i = samples; i-- > 1;) {
+      const std::size_t j = static_cast<std::size_t>(rng.below(i + 1));
+      std::swap(perm[i], perm[j]);
+    }
+  }
+}
+
+std::vector<double> LatinHypercubeSampler::standardNormals(
+    std::size_t sampleIndex) const {
+  checkIndex(sampleIndex);
+  // Per-sample jitter stream, independent of the permutation stream.
+  stats::Rng jitter = root_.fork(0x10C5 + sampleIndex);
+  const double n = static_cast<double>(samples());
+  std::vector<double> z(dimension());
+  for (std::size_t d = 0; d < dimension(); ++d) {
+    const double stratum = permutations_[d][sampleIndex];
+    const double u = (stratum + jitter.uniform()) / n;
+    z[d] = stats::normalQuantile(u);
+  }
+  return z;
+}
+
+// --- randomized Halton ---------------------------------------------------------
+
+namespace {
+
+constexpr std::array<std::uint32_t, 64> kPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,
+    43,  47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101,
+    103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167,
+    173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239,
+    241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307, 311};
+
+}  // namespace
+
+HaltonSampler::HaltonSampler(std::size_t dim, std::size_t samples,
+                             std::uint64_t seed)
+    : SampleGenerator(dim, samples) {
+  require(dim <= kPrimes.size(),
+          "HaltonSampler: supports at most 64 dimensions");
+  bases_.assign(kPrimes.begin(),
+                kPrimes.begin() + static_cast<std::ptrdiff_t>(dim));
+  shifts_.resize(dim);
+  stats::Rng rng(seed);
+  for (double& s : shifts_) s = rng.uniform();
+}
+
+double HaltonSampler::radicalInverse(std::uint64_t index,
+                                     std::uint32_t base) {
+  double result = 0.0;
+  double digitWeight = 1.0 / base;
+  while (index > 0) {
+    result += static_cast<double>(index % base) * digitWeight;
+    index /= base;
+    digitWeight /= base;
+  }
+  return result;
+}
+
+std::vector<double> HaltonSampler::standardNormals(
+    std::size_t sampleIndex) const {
+  checkIndex(sampleIndex);
+  std::vector<double> z(dimension());
+  for (std::size_t d = 0; d < dimension(); ++d) {
+    // Skip index 0 (the all-zeros point) and apply the rotation.
+    double u = radicalInverse(sampleIndex + 1, bases_[d]) + shifts_[d];
+    u -= std::floor(u);
+    // Clamp away from {0,1} so the quantile stays finite.
+    u = std::min(std::max(u, 1e-12), 1.0 - 1e-12);
+    z[d] = stats::normalQuantile(u);
+  }
+  return z;
+}
+
+}  // namespace vsstat::mc

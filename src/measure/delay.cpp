@@ -1,0 +1,108 @@
+#include "measure/delay.hpp"
+
+#include <cmath>
+
+#include "spice/elements.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::measure {
+
+using spice::SourceWaveform;
+
+GateDelays measureGateDelays(circuits::GateFo3Bench& bench, double dt) {
+  spice::TransientOptions options;
+  options.tStop = bench.tStop;
+  options.dt = dt;
+
+  const spice::Waveform wave = spice::transient(bench.circuit, options);
+  const double mid = 0.5 * bench.supply;
+
+  const auto inRise = wave.crossing(bench.in, mid, /*rising=*/true);
+  require(inRise.has_value(), "measureGateDelays: no input rising edge");
+  const auto outFall = wave.crossing(bench.out, mid, /*rising=*/false, *inRise);
+  if (!outFall) {
+    throw ConvergenceError("measureGateDelays: output never fell", 0);
+  }
+
+  const auto inFall = wave.crossing(bench.in, mid, /*rising=*/false, *inRise);
+  require(inFall.has_value(), "measureGateDelays: no input falling edge");
+  const auto outRise = wave.crossing(bench.out, mid, /*rising=*/true, *inFall);
+  if (!outRise) {
+    throw ConvergenceError("measureGateDelays: output never rose", 0);
+  }
+
+  GateDelays d;
+  d.tphl = *outFall - *inRise;
+  d.tplh = *outRise - *inFall;
+  require(d.tphl > 0.0 && d.tplh > 0.0, "measureGateDelays: negative delay");
+  return d;
+}
+
+OscillationResult measureOscillation(circuits::RingOscillatorBench& bench,
+                                     int settleCycles, int measureCycles) {
+  require(settleCycles >= 0 && measureCycles >= 1,
+          "measureOscillation: bad cycle counts");
+
+  spice::TransientOptions opt;
+  opt.dt = bench.suggestedDt;
+  opt.tStop = bench.suggestedTStop;
+  const spice::Waveform wave = spice::transient(bench.circuit, opt);
+
+  // Successive rising mid-rail crossings at tap 0.
+  const spice::NodeId tap = bench.taps.front();
+  const double mid = 0.5 * bench.supply;
+  std::vector<double> edges;
+  double after = 0.0;
+  while (true) {
+    const auto t = wave.crossing(tap, mid, /*rising=*/true, after);
+    if (!t) break;
+    edges.push_back(*t);
+    after = *t + 1e-15;
+  }
+  const int needed = settleCycles + measureCycles + 1;
+  if (static_cast<int>(edges.size()) < needed) {
+    throw ConvergenceError(
+        "measureOscillation: ring produced " +
+            std::to_string(edges.size()) + " edges, need " +
+            std::to_string(needed),
+        static_cast<int>(edges.size()));
+  }
+
+  const double tStart = edges[static_cast<std::size_t>(settleCycles)];
+  const double tEnd =
+      edges[static_cast<std::size_t>(settleCycles + measureCycles)];
+
+  OscillationResult r;
+  r.cyclesMeasured = measureCycles;
+  r.period = (tEnd - tStart) / measureCycles;
+  r.frequency = 1.0 / r.period;
+
+  // Peak-to-peak swing over the measured window.
+  double lo = bench.supply;
+  double hi = 0.0;
+  for (std::size_t i = 0; i < wave.sampleCount(); ++i) {
+    if (wave.time(i) < tStart || wave.time(i) > tEnd) continue;
+    const double v = wave.value(tap, i);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  r.swing = hi - lo;
+  return r;
+}
+
+double measureLeakage(circuits::GateFo3Bench& bench) {
+  auto& input = bench.circuit.voltageSource(bench.inSource);
+  const SourceWaveform original = input.waveform();
+
+  double total = 0.0;
+  for (const double level : {0.0, bench.supply}) {
+    input.setDcLevel(level);
+    const spice::OperatingPoint op = spice::dcOperatingPoint(bench.circuit);
+    total += std::fabs(
+        spice::sourceCurrent(bench.circuit, bench.vddSource, op));
+  }
+  input.setWaveform(original);
+  return 0.5 * total;
+}
+
+}  // namespace vsstat::measure

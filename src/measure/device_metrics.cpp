@@ -1,0 +1,41 @@
+#include "measure/device_metrics.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vsstat::measure {
+
+double idsat(const models::MosfetModel& model,
+             const models::DeviceGeometry& geom, double vdd) {
+  return model.drainCurrent(geom, vdd, vdd);
+}
+
+double ioff(const models::MosfetModel& model,
+            const models::DeviceGeometry& geom, double vdd) {
+  return model.drainCurrent(geom, 0.0, vdd);
+}
+
+double log10Ioff(const models::MosfetModel& model,
+                 const models::DeviceGeometry& geom, double vdd) {
+  const double i = ioff(model, geom, vdd);
+  require(i > 0.0, "log10Ioff: off current must be positive");
+  return std::log10(i);
+}
+
+double cggAtVdd(const models::MosfetModel& model,
+                const models::DeviceGeometry& geom, double vdd) {
+  return models::gateCapacitance(model, geom, vdd, 0.0);
+}
+
+ElectricalTargets measureTargets(const models::MosfetModel& model,
+                                 const models::DeviceGeometry& geom,
+                                 double vdd) {
+  ElectricalTargets t;
+  t.idsat = idsat(model, geom, vdd);
+  t.log10Ioff = log10Ioff(model, geom, vdd);
+  t.cgg = cggAtVdd(model, geom, vdd);
+  return t;
+}
+
+}  // namespace vsstat::measure

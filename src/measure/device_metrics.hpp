@@ -1,0 +1,44 @@
+// Device-level electrical targets used throughout the paper:
+//   Idsat      = Id at Vgs = Vds = Vdd              (drive strength)
+//   Ioff       = Id at Vgs = 0,  Vds = Vdd          (leakage)
+//   Cgg@Vdd    = dQg/dVgs at Vgs = Vdd, Vds = 0     (gate capacitance)
+//
+// These are exactly the e_i of the BPV extraction (Sec. III): chosen
+// because their distributions stay Gaussian under mismatch.  Cgg is
+// measured directly on the model (the paper measures it LCR-style rather
+// than through a transient), and log10(Ioff) is used instead of Ioff since
+// Ioff itself is log-normal.
+#ifndef VSSTAT_MEASURE_DEVICE_METRICS_HPP
+#define VSSTAT_MEASURE_DEVICE_METRICS_HPP
+
+#include "models/device.hpp"
+
+namespace vsstat::measure {
+
+[[nodiscard]] double idsat(const models::MosfetModel& model,
+                           const models::DeviceGeometry& geom, double vdd);
+
+[[nodiscard]] double ioff(const models::MosfetModel& model,
+                          const models::DeviceGeometry& geom, double vdd);
+
+[[nodiscard]] double log10Ioff(const models::MosfetModel& model,
+                               const models::DeviceGeometry& geom, double vdd);
+
+/// Gate capacitance in strong inversion (Vgs = Vdd, Vds = 0).
+[[nodiscard]] double cggAtVdd(const models::MosfetModel& model,
+                              const models::DeviceGeometry& geom, double vdd);
+
+/// The BPV electrical target vector at one geometry.
+struct ElectricalTargets {
+  double idsat = 0.0;      ///< A
+  double log10Ioff = 0.0;  ///< log10(A)
+  double cgg = 0.0;        ///< F
+};
+
+[[nodiscard]] ElectricalTargets measureTargets(
+    const models::MosfetModel& model, const models::DeviceGeometry& geom,
+    double vdd);
+
+}  // namespace vsstat::measure
+
+#endif  // VSSTAT_MEASURE_DEVICE_METRICS_HPP

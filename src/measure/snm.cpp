@@ -1,0 +1,216 @@
+#include "measure/snm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <optional>
+
+#include "spice/analysis.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::measure {
+
+ButterflyCurves measureButterfly(circuits::SramButterflyBench& bench,
+                                 int points) {
+  require(points >= 3, "measureButterfly: need >= 3 sweep points");
+  std::vector<double> levels(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    levels[static_cast<std::size_t>(i)] =
+        bench.supply * static_cast<double>(i) / static_cast<double>(points - 1);
+  }
+
+  ButterflyCurves curves;
+
+  const auto sweepHalf = [&](const std::string& source, spice::NodeId out,
+                             bool mirrored) {
+    const std::vector<spice::OperatingPoint> ops =
+        spice::dcSweep(bench.circuit, source, levels);
+    VtcCurve c;
+    c.x.reserve(levels.size());
+    c.y.reserve(levels.size());
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      const double in = levels[i];
+      const double response = ops[i].v(out);
+      if (mirrored) {
+        c.x.push_back(response);
+        c.y.push_back(in);
+      } else {
+        c.x.push_back(in);
+        c.y.push_back(response);
+      }
+    }
+    return c;
+  };
+
+  curves.curve1 = sweepHalf(bench.sweep1, bench.out1, /*mirrored=*/false);
+  curves.curve2 = sweepHalf(bench.sweep2, bench.out2, /*mirrored=*/true);
+  return curves;
+}
+
+namespace {
+
+/// Intersection point of two segments, if any (parametric clipping).
+std::optional<std::pair<double, double>> segmentIntersection(
+    double ax, double ay, double bx, double by, double cx, double cy,
+    double dx, double dy) {
+  const double rX = bx - ax;
+  const double rY = by - ay;
+  const double sX = dx - cx;
+  const double sY = dy - cy;
+  const double denom = rX * sY - rY * sX;
+  const double qpX = cx - ax;
+  const double qpY = cy - ay;
+  if (std::fabs(denom) < 1e-18) return std::nullopt;  // parallel
+  const double t = (qpX * sY - qpY * sX) / denom;
+  const double u = (qpX * rY - qpY * rX) / denom;
+  if (t < -1e-12 || t > 1.0 + 1e-12 || u < -1e-12 || u > 1.0 + 1e-12)
+    return std::nullopt;
+  return std::make_pair(ax + t * rX, ay + t * rY);
+}
+
+/// Geometrically distinct intersection points of two polylines.
+std::vector<std::pair<double, double>> intersectionPoints(
+    const VtcCurve& a, const VtcCurve& b, double mergeTolerance) {
+  std::vector<std::pair<double, double>> hits;
+  for (std::size_t i = 1; i < a.x.size(); ++i) {
+    for (std::size_t j = 1; j < b.x.size(); ++j) {
+      const auto hit =
+          segmentIntersection(a.x[i - 1], a.y[i - 1], a.x[i], a.y[i],
+                              b.x[j - 1], b.y[j - 1], b.x[j], b.y[j]);
+      if (!hit) continue;
+      bool duplicate = false;
+      for (const auto& h : hits) {
+        if (std::fabs(h.first - hit->first) < mergeTolerance &&
+            std::fabs(h.second - hit->second) < mergeTolerance) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) hits.push_back(*hit);
+    }
+  }
+  return hits;
+}
+
+/// Linear interpolation of value(key) on a polyline with ascending keys;
+/// clamps beyond the swept range (VTC rails saturate).
+double interpolate(const std::vector<double>& keys,
+                   const std::vector<double>& values, double key) {
+  if (key <= keys.front()) return values.front();
+  if (key >= keys.back()) return values.back();
+  const auto it = std::upper_bound(keys.begin(), keys.end(), key);
+  const std::size_t hi = static_cast<std::size_t>(it - keys.begin());
+  const std::size_t lo = hi - 1;
+  const double span = keys[hi] - keys[lo];
+  if (span <= 0.0) return values[hi];
+  const double f = (key - keys[lo]) / span;
+  return values[lo] * (1.0 - f) + values[hi] * f;
+}
+
+}  // namespace
+
+bool polylinesIntersect(const VtcCurve& a, const VtcCurve& b) {
+  return !intersectionPoints(a, b, 1e-12).empty();
+}
+
+SnmResult staticNoiseMargin(const ButterflyCurves& curves, double vdd) {
+  require(curves.curve1.x.size() >= 2 && curves.curve2.x.size() >= 2,
+          "staticNoiseMargin: degenerate curves");
+
+  // A butterfly exists only when the two VTCs cross three times (two
+  // stable states + the metastable point).  A monostable (flipped) cell
+  // has no eyes and zero noise margin.
+  const std::vector<std::pair<double, double>> crossings =
+      intersectionPoints(curves.curve1, curves.curve2, vdd * 2e-3);
+  if (crossings.size() < 3) return SnmResult{};
+
+  // Identify the stable corners and the metastable point: A = upper-left,
+  // B = lower-right, M = the remaining crossing nearest the middle.  The
+  // eyes live strictly between the stable points and M; the square scans
+  // below are restricted to those ranges so the saturated VTC tails beyond
+  // the butterfly cannot fake a square (a READ cell's elevated "low" floor
+  // would otherwise do exactly that).
+  std::size_t iA = 0, iB = 0;
+  for (std::size_t i = 1; i < crossings.size(); ++i) {
+    if (crossings[i].second > crossings[iA].second) iA = i;
+    if (crossings[i].first > crossings[iB].first) iB = i;
+  }
+  std::size_t iM = crossings.size();
+  double bestMid = 0.0;
+  for (std::size_t i = 0; i < crossings.size(); ++i) {
+    if (i == iA || i == iB) continue;
+    const double mid = std::fabs(crossings[i].first - 0.5 * vdd) +
+                       std::fabs(crossings[i].second - 0.5 * vdd);
+    if (iM == crossings.size() || mid < bestMid) {
+      bestMid = mid;
+      iM = i;
+    }
+  }
+  if (iM == crossings.size()) return SnmResult{};  // degenerate butterfly
+  const double yA = crossings[iA].second;
+  const double xB = crossings[iB].first;
+  const double xM = crossings[iM].first;
+  const double yM = crossings[iM].second;
+
+  // Express both curves as functions: f1(x) = curve 1 output, and
+  // f2(u) = curve 2's x at sweep level u (curve 2 is stored mirrored, so
+  // its sweep variable is y).  Both are monotone-decreasing inverter VTCs;
+  // interpolation clamps to the rails outside the swept range.
+  const auto f1 = [&](double x) {
+    return interpolate(curves.curve1.x, curves.curve1.y, x);
+  };
+  const auto f2 = [&](double u) {
+    return interpolate(curves.curve2.y, curves.curve2.x, u);
+  };
+
+  // Largest axis-aligned square of side t inside the upper-left eye:
+  // corners (xl, yb)..(xl+t, yb+t).  The square must stay below curve 1
+  // (f1 decreasing: binding at the top-right corner, yb + t <= f1(xl + t))
+  // and right of curve 2 (f2 decreasing in its sweep variable: binding at
+  // the bottom-left corner, xl >= f2(yb)).  Substituting the tightest
+  // xl = f2(yb):
+  //   fits(t)  <=>  exists yb : f1(f2(yb) + t) - t >= yb.
+  const int gridPoints = 360;
+  const auto fitsUpper = [&](double t) {
+    for (int i = 0; i <= gridPoints; ++i) {
+      const double yb = yM + (yA - yM) * static_cast<double>(i) / gridPoints;
+      if (f1(f2(yb) + t) - t >= yb) return true;
+    }
+    return false;
+  };
+  // Lower-right eye by symmetry (square above curve 1, binding at the
+  // bottom-left corner yb >= f1(xl); left of curve 2, binding at the
+  // top-right corner xl + t <= f2(yb + t)).  With the tightest yb = f1(xl):
+  //   fits(t)  <=>  exists xl : f2(f1(xl) + t) - t >= xl.
+  const auto fitsLower = [&](double t) {
+    for (int i = 0; i <= gridPoints; ++i) {
+      const double xl = xM + (xB - xM) * static_cast<double>(i) / gridPoints;
+      if (f2(f1(xl) + t) - t >= xl) return true;
+    }
+    return false;
+  };
+
+  const auto largestSide = [&](const std::function<bool(double)>& fits) {
+    if (!fits(0.0)) return 0.0;
+    double lo = 0.0;
+    double hi = vdd;
+    if (fits(hi)) return hi;
+    for (int iter = 0; iter < 30; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      (fits(mid) ? lo : hi) = mid;
+    }
+    return 0.5 * (lo + hi);
+  };
+
+  SnmResult r;
+  r.lobe1 = largestSide(fitsUpper);
+  r.lobe2 = largestSide(fitsLower);
+  return r;
+}
+
+SnmResult measureSnm(circuits::SramButterflyBench& bench, int points) {
+  const ButterflyCurves curves = measureButterfly(bench, points);
+  return staticNoiseMargin(curves, bench.supply);
+}
+
+}  // namespace vsstat::measure

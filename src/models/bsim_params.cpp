@@ -1,0 +1,69 @@
+#include "models/bsim_params.hpp"
+
+#include <cmath>
+
+namespace vsstat::models {
+
+double BsimParams::diblAt(double leff) const noexcept {
+  return dibl0 * std::exp(-(leff - lNom) / lDibl);
+}
+
+BsimParams defaultBsimNmos() {
+  BsimParams p;
+  p.type = DeviceType::Nmos;
+  p.vth0 = 0.37;
+  p.dibl0 = 0.118;
+  p.lDibl = 32e-9;
+  p.lNom = 40e-9;
+  p.nfactor = 1.38;
+  p.cox = 1.8e-2;
+  p.u0 = 2.8e-2;      // 280 cm^2/Vs low-field
+  p.ua = 0.25;
+  p.ub = 0.015;
+  p.vsat = 1.05e5;
+  p.pclm = 8.0;
+  p.rdsw = 160e-6;
+  p.cgo = 1.5e-10;
+  return p;
+}
+
+BsimParams defaultBsimPmos() {
+  BsimParams p;
+  p.type = DeviceType::Pmos;
+  p.vth0 = 0.39;
+  p.dibl0 = 0.128;
+  p.lDibl = 32e-9;
+  p.lNom = 40e-9;
+  p.nfactor = 1.45;
+  p.cox = 1.75e-2;
+  p.u0 = 1.8e-2;      // 180 cm^2/Vs
+  p.ua = 0.25;
+  p.ub = 0.015;
+  p.vsat = 0.80e5;
+  p.pclm = 8.5;
+  p.rdsw = 190e-6;
+  p.cgo = 1.5e-10;
+  return p;
+}
+
+BsimMismatch defaultBsimMismatchNmos() {
+  BsimMismatch m;
+  m.aVth = 2.4;
+  m.aLeff = 3.8;
+  m.aWeff = 3.8;
+  m.aMu = 2400.0;
+  m.aCox = 0.30;
+  return m;
+}
+
+BsimMismatch defaultBsimMismatchPmos() {
+  BsimMismatch m;
+  m.aVth = 2.95;
+  m.aLeff = 3.75;
+  m.aWeff = 3.75;
+  m.aMu = 1900.0;
+  m.aCox = 0.82;
+  return m;
+}
+
+}  // namespace vsstat::models

@@ -1,0 +1,75 @@
+// Parameter card for BsimLite, the drift-diffusion / velocity-saturation
+// baseline standing in for the paper's 40-nm industrial BSIM4 kit.
+//
+// BsimLite keeps the BSIM4 formulation skeleton (unified Vgsteff, mobility
+// degradation, Esat velocity saturation, smooth Vdseff, channel-length
+// modulation, DIBL) with a compact parameter set.  Alongside the electrical
+// card it carries its *own* statistical truth (Pelgrom-style mismatch
+// coefficients) -- this plays the role of the foundry's statistical model
+// that the paper treats as "golden".
+#ifndef VSSTAT_MODELS_BSIM_PARAMS_HPP
+#define VSSTAT_MODELS_BSIM_PARAMS_HPP
+
+#include "models/device.hpp"
+
+namespace vsstat::models {
+
+struct BsimParams {
+  DeviceType type = DeviceType::Nmos;
+
+  // --- DC card ---------------------------------------------------------------
+  double vth0 = 0.45;        ///< long-channel threshold [V]
+  double dibl0 = 0.115;      ///< DIBL coefficient at lNom [V/V]
+  double lDibl = 32e-9;      ///< DIBL roll-off length [m]
+  double lNom = 40e-9;       ///< reference effective length [m]
+  double nfactor = 1.40;     ///< subthreshold ideality
+  double cox = 1.8e-2;       ///< gate oxide capacitance [F/m^2]
+  double u0 = 3.0e-2;        ///< low-field mobility [m^2/(V s)]
+  double ua = 0.5;           ///< 1st-order mobility degradation [1/V]
+  double ub = 0.05;          ///< 2nd-order mobility degradation [1/V^2]
+  double vsat = 1.0e5;       ///< saturation velocity [m/s]
+  double pclm = 8.0;         ///< channel-length modulation coefficient
+  double rdsw = 160e-6;      ///< total S+D series resistance * W [Ohm m]
+
+  // --- parasitics -------------------------------------------------------------
+  double cgo = 1.5e-10;      ///< overlap+fringe cap per gate edge [F/m]
+
+  // --- statistical coupling ----------------------------------------------------
+  /// Stress-induced mobility fluctuation drags the saturation velocity
+  /// along: d(vsat)/vsat = muVsatCoupling * d(u0)/u0.  This is the golden
+  /// kit's counterpart of the VS model's Eq. (5) -- without it a deeply
+  /// velocity-saturated 40-nm device would be blind to mobility mismatch,
+  /// which contradicts measured silicon (Zhao et al., ESSDERC'07).
+  double muVsatCoupling = 0.5;
+
+  // --- environment -------------------------------------------------------------
+  double temperatureK = 300.0;
+
+  /// delta(Leff), same roll-off form as the VS card.
+  [[nodiscard]] double diblAt(double leff) const noexcept;
+};
+
+/// Statistical truth of the golden kit: independent Gaussian mismatch on the
+/// BsimLite card with Pelgrom geometry scaling.  Units follow the paper's
+/// Table II convention so the two kits are directly comparable:
+///   sigma_Vth  = aVth  / sqrt(W L)        [aVth in V nm, W/L in nm]
+///   sigma_L    = aLeff * sqrt(L / W)      [nm]
+///   sigma_W    = aWeff * sqrt(W / L)      [nm]
+///   sigma_u0   = aMu   / sqrt(W L)        [cm^2/(V s)]
+///   sigma_Cox  = aCox  / sqrt(W L)        [uF/cm^2]
+struct BsimMismatch {
+  double aVth = 2.4;    ///< V nm
+  double aLeff = 3.8;   ///< nm
+  double aWeff = 3.8;   ///< nm
+  double aMu = 2400.0;  ///< nm cm^2/(V s)
+  double aCox = 0.30;   ///< nm uF/cm^2
+};
+
+[[nodiscard]] BsimParams defaultBsimNmos();
+[[nodiscard]] BsimParams defaultBsimPmos();
+[[nodiscard]] BsimMismatch defaultBsimMismatchNmos();
+[[nodiscard]] BsimMismatch defaultBsimMismatchPmos();
+
+}  // namespace vsstat::models
+
+#endif  // VSSTAT_MODELS_BSIM_PARAMS_HPP

@@ -1,0 +1,31 @@
+#include "models/device.hpp"
+
+#include <cmath>
+
+namespace vsstat::models {
+
+double MosfetModel::drainCurrent(const DeviceGeometry& geom, double vgs,
+                                 double vds) const {
+  return evaluate(geom, vgs, vds).id;
+}
+
+double gateCapacitance(const MosfetModel& model, const DeviceGeometry& geom,
+                       double vgs, double vds, double step) {
+  const MosfetEvaluation hi = model.evaluate(geom, vgs + step, vds);
+  const MosfetEvaluation lo = model.evaluate(geom, vgs - step, vds);
+  return (hi.qg - lo.qg) / (2.0 * step);
+}
+
+double softplus(double x) noexcept {
+  if (x > 34.0) return x;           // exp(-x) below double epsilon
+  if (x < -34.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+double logistic(double x) noexcept {
+  if (x > 34.0) return 0.0;
+  if (x < -34.0) return 1.0;
+  return 1.0 / (1.0 + std::exp(x));
+}
+
+}  // namespace vsstat::models

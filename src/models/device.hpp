@@ -1,0 +1,79 @@
+// Abstract compact-model interface shared by the Virtual Source model and
+// the BsimLite "golden kit" baseline.
+//
+// Convention: models are written in N-canonical form.  `vgs` and `vds` are
+// the *canonical* (polarity-normalized) gate-source and drain-source
+// voltages; for a PMOS instance the circuit element negates terminal
+// voltages before calling in and negates current/charges on the way out.
+// Negative canonical vds (source/drain role reversal) is handled inside
+// evaluate() by the symmetry relation Id(vgs, vds) = -Id(vgs - vds, -vds)
+// with source/drain charges swapped.
+#ifndef VSSTAT_MODELS_DEVICE_HPP
+#define VSSTAT_MODELS_DEVICE_HPP
+
+#include <memory>
+#include <string>
+
+#include "models/geometry.hpp"
+
+namespace vsstat::models {
+
+enum class DeviceType { Nmos, Pmos };
+
+[[nodiscard]] inline const char* toString(DeviceType t) noexcept {
+  return t == DeviceType::Nmos ? "NMOS" : "PMOS";
+}
+
+/// Full evaluation at one bias point.
+struct MosfetEvaluation {
+  double id = 0.0;  ///< drain terminal current [A], positive into the drain
+  double qg = 0.0;  ///< gate terminal charge [C]
+  double qd = 0.0;  ///< drain terminal charge [C]
+  double qs = 0.0;  ///< source terminal charge [C]
+};
+
+/// Pure-abstract compact model.  Implementations must be smooth (C1) in the
+/// bias voltages across all operating regions; the circuit engine
+/// differentiates them numerically inside Newton iterations.
+class MosfetModel {
+ public:
+  virtual ~MosfetModel() = default;
+
+  MosfetModel() = default;
+  MosfetModel(const MosfetModel&) = default;
+  MosfetModel& operator=(const MosfetModel&) = default;
+  MosfetModel(MosfetModel&&) = default;
+  MosfetModel& operator=(MosfetModel&&) = default;
+
+  [[nodiscard]] virtual DeviceType deviceType() const noexcept = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Current + terminal charges at (vgs, vds), canonical polarity.
+  [[nodiscard]] virtual MosfetEvaluation evaluate(const DeviceGeometry& geom,
+                                                  double vgs,
+                                                  double vds) const = 0;
+
+  /// Drain current only (hot path for DC analyses); default goes through
+  /// evaluate().
+  [[nodiscard]] virtual double drainCurrent(const DeviceGeometry& geom,
+                                            double vgs, double vds) const;
+
+  /// Deep copy (used to give each Monte Carlo instance its own varied card).
+  [[nodiscard]] virtual std::unique_ptr<MosfetModel> clone() const = 0;
+};
+
+/// Total gate capacitance Cgg = dQg/dVgs at the bias point, by central
+/// finite difference on the model's gate charge.
+[[nodiscard]] double gateCapacitance(const MosfetModel& model,
+                                     const DeviceGeometry& geom, double vgs,
+                                     double vds, double step = 1e-3);
+
+/// Numerically-stable softplus ln(1 + exp(x)); linear tail for large x.
+[[nodiscard]] double softplus(double x) noexcept;
+
+/// Logistic function 1 / (1 + exp(x)) with overflow guards.
+[[nodiscard]] double logistic(double x) noexcept;
+
+}  // namespace vsstat::models
+
+#endif  // VSSTAT_MODELS_DEVICE_HPP

@@ -1,0 +1,84 @@
+#include "models/process_variation.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace vsstat::models {
+
+ParameterSigmas sigmasFor(const PelgromAlphas& alphas,
+                          const DeviceGeometry& geom) {
+  const double wNm = geom.widthNm();
+  const double lNm = geom.lengthNm();
+  require(wNm > 0.0 && lNm > 0.0, "sigmasFor: geometry must be positive");
+
+  const double invSqrtWL = 1.0 / std::sqrt(wNm * lNm);
+
+  ParameterSigmas s;
+  s.sVt0 = alphas.aVt0 * invSqrtWL;                                    // V
+  s.sLeff = units::nmToM(alphas.aLeff * std::sqrt(lNm / wNm));         // m
+  s.sWeff = units::nmToM(alphas.aWeff * std::sqrt(wNm / lNm));         // m
+  s.sMu = units::cm2PerVsToSI(alphas.aMu * invSqrtWL);                 // m^2/Vs
+  s.sCinv = units::uFPerCm2ToSI(alphas.aCinv * invSqrtWL);             // F/m^2
+  return s;
+}
+
+VariationDelta sampleDelta(const ParameterSigmas& sigmas, stats::Rng& rng) {
+  VariationDelta d;
+  d.dVt0 = rng.normal(0.0, sigmas.sVt0);
+  d.dLeff = rng.normal(0.0, sigmas.sLeff);
+  d.dWeff = rng.normal(0.0, sigmas.sWeff);
+  d.dMu = rng.normal(0.0, sigmas.sMu);
+  d.dCinv = rng.normal(0.0, sigmas.sCinv);
+  return d;
+}
+
+DeviceGeometry applyGeometry(const DeviceGeometry& geom,
+                             const VariationDelta& delta) {
+  DeviceGeometry g = geom;
+  g.length += delta.dLeff;
+  g.width += delta.dWeff;
+  // Mismatch sigma is a small fraction of the geometry for every realistic
+  // card; the clamps only guard absurd synthetic inputs in tests.
+  g.length = std::max(g.length, 0.2 * geom.length);
+  g.width = std::max(g.width, 0.2 * geom.width);
+  return g;
+}
+
+VsParams applyToVs(const VsParams& card, const VariationDelta& delta) {
+  VsParams varied = card;
+  varied.vt0 += delta.dVt0;
+  const double muRel = delta.dMu / card.mu;
+  varied.mu = card.mu * (1.0 + muRel);
+  varied.cinv += delta.dCinv;
+  // Eq. (5), first term: vxo tracks mobility with the ballistic-efficiency
+  // weighted sensitivity.  The second (DIBL) term is realized through the
+  // instance's varied Leff at evaluation time via VsParams::vxoAt().
+  varied.vxo = card.vxo * (1.0 + card.vxoMobilitySensitivity() * muRel);
+  return varied;
+}
+
+BsimParams applyToBsim(const BsimParams& card, const VariationDelta& delta) {
+  BsimParams varied = card;
+  varied.vth0 += delta.dVt0;
+  varied.u0 += delta.dMu;
+  varied.cox += delta.dCinv;
+  // Stress moves mobility and saturation velocity together (the golden
+  // kit's analogue of the VS model's Eq. 5 coupling).
+  varied.vsat =
+      card.vsat * (1.0 + card.muVsatCoupling * delta.dMu / card.u0);
+  return varied;
+}
+
+PelgromAlphas toPelgromAlphas(const BsimMismatch& m) {
+  PelgromAlphas a;
+  a.aVt0 = m.aVth;
+  a.aLeff = m.aLeff;
+  a.aWeff = m.aWeff;
+  a.aMu = m.aMu;
+  a.aCinv = m.aCox;
+  return a;
+}
+
+}  // namespace vsstat::models

@@ -1,0 +1,88 @@
+// Within-die (mismatch) variation model -- the statistical half of the
+// paper's contribution.
+//
+// Variability is carried by five *independent Gaussian* VS parameters
+// (paper Table I): VT0 (RDF), Leff & Weff (LER), mu (stress), Cinv (OTF),
+// with Pelgrom geometry scaling (paper Eq. 7/8):
+//
+//   sigma_VT0  = alpha1 / sqrt(W L)      [alpha1 in V nm]
+//   sigma_Leff = alpha2 * sqrt(L / W)    [alpha2 in nm]
+//   sigma_Weff = alpha3 * sqrt(W / L)    [alpha3 in nm]
+//   sigma_mu   = alpha4 / sqrt(W L)      [alpha4 in nm cm^2/(V s)]
+//   sigma_Cinv = alpha5 / sqrt(W L)      [alpha5 in nm uF/cm^2]
+//
+// (W, L in nanometres inside these formulas, exactly as printed in the
+// paper; conversions to SI happen here and nowhere else.)
+//
+// vxo is NOT an independent statistical parameter: per paper Eq. (5) its
+// variation follows mobility (ballistic-efficiency weighted) and
+// delta(Leff).  The Leff-induced part is reproduced automatically because
+// the VS model evaluates delta() and vxo() at the instance's effective
+// length; the mobility-induced part is applied here when building the
+// instance card.
+#ifndef VSSTAT_MODELS_PROCESS_VARIATION_HPP
+#define VSSTAT_MODELS_PROCESS_VARIATION_HPP
+
+#include "models/bsim_params.hpp"
+#include "models/geometry.hpp"
+#include "models/vs_params.hpp"
+#include "stats/rng.hpp"
+
+namespace vsstat::models {
+
+/// Pelgrom coefficients in the paper's Table II units.
+struct PelgromAlphas {
+  double aVt0 = 0.0;   ///< V nm
+  double aLeff = 0.0;  ///< nm
+  double aWeff = 0.0;  ///< nm
+  double aMu = 0.0;    ///< nm cm^2/(V s)
+  double aCinv = 0.0;  ///< nm uF/cm^2
+};
+
+/// Per-geometry standard deviations in SI units.
+struct ParameterSigmas {
+  double sVt0 = 0.0;   ///< V
+  double sLeff = 0.0;  ///< m
+  double sWeff = 0.0;  ///< m
+  double sMu = 0.0;    ///< m^2/(V s)
+  double sCinv = 0.0;  ///< F/m^2
+};
+
+/// One sampled mismatch realization (absolute SI deltas).
+struct VariationDelta {
+  double dVt0 = 0.0;   ///< V
+  double dLeff = 0.0;  ///< m
+  double dWeff = 0.0;  ///< m
+  double dMu = 0.0;    ///< m^2/(V s)
+  double dCinv = 0.0;  ///< F/m^2
+};
+
+/// Evaluates the Pelgrom scaling laws at a geometry.
+[[nodiscard]] ParameterSigmas sigmasFor(const PelgromAlphas& alphas,
+                                        const DeviceGeometry& geom);
+
+/// Draws one independent-Gaussian mismatch realization.
+[[nodiscard]] VariationDelta sampleDelta(const ParameterSigmas& sigmas,
+                                         stats::Rng& rng);
+
+/// Instance geometry after applying the sampled Leff/Weff deltas.
+[[nodiscard]] DeviceGeometry applyGeometry(const DeviceGeometry& geom,
+                                           const VariationDelta& delta);
+
+/// Instance VS card after applying the sampled deltas.  Applies the
+/// mobility part of the vxo coupling (Eq. 5 first term); the delta(Leff)
+/// part enters through the varied geometry at evaluation time.
+[[nodiscard]] VsParams applyToVs(const VsParams& card,
+                                 const VariationDelta& delta);
+
+/// Instance BsimLite card after applying the sampled deltas (Vth, u0, Cox).
+[[nodiscard]] BsimParams applyToBsim(const BsimParams& card,
+                                     const VariationDelta& delta);
+
+/// Adapter: the golden kit's mismatch truth expressed as PelgromAlphas so
+/// both kits share the same sampling machinery.
+[[nodiscard]] PelgromAlphas toPelgromAlphas(const BsimMismatch& m);
+
+}  // namespace vsstat::models
+
+#endif  // VSSTAT_MODELS_PROCESS_VARIATION_HPP

@@ -1,0 +1,168 @@
+#include "models/vs_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace vsstat::models {
+
+VsModel::VsModel(VsParams params) : params_(params) {
+  require(params_.cinv > 0.0 && params_.vxo > 0.0 && params_.mu > 0.0,
+          "VsModel: cinv, vxo, mu must be positive");
+  require(params_.beta > 0.0 && params_.n0 >= 1.0,
+          "VsModel: beta > 0 and n0 >= 1 required");
+}
+
+std::unique_ptr<MosfetModel> VsModel::clone() const {
+  return std::make_unique<VsModel>(*this);
+}
+
+VsModel::Intrinsic VsModel::intrinsic(const DeviceGeometry& geom, double vgs,
+                                      double vds) const {
+  const VsParams& p = params_;
+  const double phit = units::thermalVoltage(p.temperatureK);
+  const double leff = geom.length;
+
+  const double delta = p.diblAt(leff);
+  const double vxo = p.vxoAt(leff);
+  const double nphit = p.n0 * phit;
+
+  // Threshold with DIBL (paper Eq. 4).
+  const double vt = p.vt0 - delta * vds;
+
+  // Weak/strong inversion transition function FF and the blended Vt shift
+  // (MVS formulation): in weak inversion the effective threshold lowers by
+  // alpha*phit.
+  const double ff = logistic((vgs - (vt - p.alpha * phit / 2.0)) /
+                             (p.alpha * phit));
+  const double eta = (vgs - (vt - p.alpha * phit * ff)) / nphit;
+
+  // Virtual-source inversion charge (paper's Qixo).
+  const double qref = p.cinv * nphit;
+  const double qix = qref * softplus(eta);
+
+  // Saturation voltage: strong-inversion value vxo*L/mu blended toward phit
+  // in weak inversion.
+  const double vdsatStrong = vxo * leff / p.mu;
+  const double vdsat = vdsatStrong * (1.0 - ff) + phit * ff;
+
+  // Fsat (paper Eq. 3).
+  const double ratio = vds / vdsat;
+  const double fsat = ratio / std::pow(1.0 + std::pow(ratio, p.beta),
+                                       1.0 / p.beta);
+
+  Intrinsic out;
+  out.idPerWidth = qix * vxo * fsat;
+  out.qSrcAreal = qix;
+
+  // Drain-end charge at the smoothed internal drain voltage
+  // Vdseff = Vdsat * Fsat (equals Vds in the linear region, clamps to ~Vdsat
+  // in saturation), keeping the charge model continuous everywhere.
+  const double vdseff = vdsat * fsat;
+  const double ffd = logistic((vgs - vdseff - (vt - p.alpha * phit / 2.0)) /
+                              (p.alpha * phit));
+  const double etaD = (vgs - vdseff - (vt - p.alpha * phit * ffd)) / nphit;
+  out.qDrnAreal = qref * softplus(etaD);
+  return out;
+}
+
+VsModel::Intrinsic VsModel::solveWithSeriesR(const DeviceGeometry& geom,
+                                             double vgs, double vds) const {
+  const VsParams& p = params_;
+  if (p.rs <= 0.0 && p.rd <= 0.0) return intrinsic(geom, vgs, vds);
+
+  // Per-instance resistances: cards carry R*W [Ohm m].
+  const double rsOhm = p.rs / geom.width;
+  const double rdOhm = p.rd / geom.width;
+
+  // Solve h(i) = f(i) - i = 0, where f maps a trial current to the model
+  // current at the post-IR internal voltages.  The IR drop is a small
+  // fraction of the bias (|f'| ~ gm*Rs ~ 0.1), so a secant iteration
+  // converges in two or three evaluations -- this is the evaluation hot
+  // path for every Newton load in circuit simulation.
+  const auto evalAt = [&](double i) {
+    const double vgsInt = vgs - i * rsOhm;
+    const double vdsInt = vds - i * (rsOhm + rdOhm);
+    return intrinsic(geom, std::max(vgsInt, -1.0), std::max(vdsInt, 0.0));
+  };
+
+  double i0 = 0.0;
+  Intrinsic result = evalAt(i0);
+  double h0 = result.idPerWidth * geom.width - i0;  // = f(0)
+  double i1 = h0;                                   // start at f(0)
+  for (int it = 0; it < 6; ++it) {
+    result = evalAt(i1);
+    const double h1 = result.idPerWidth * geom.width - i1;
+    if (std::fabs(h1) < 1e-13 + 1e-6 * std::fabs(i1)) {
+      i0 = i1;
+      break;
+    }
+    const double denom = h1 - h0;
+    double iNext;
+    if (std::fabs(denom) > 1e-300) {
+      iNext = i1 - h1 * (i1 - i0) / denom;
+    } else {
+      iNext = i1 + h1;  // degenerate secant: plain fixed-point step
+    }
+    i0 = i1;
+    h0 = h1;
+    i1 = iNext;
+  }
+  result.idPerWidth = i1 / geom.width;
+  return result;
+}
+
+double VsModel::inversionCharge(const DeviceGeometry& geom, double vgs,
+                                double vds) const {
+  if (vds < 0.0) return intrinsic(geom, vgs - vds, -vds).qSrcAreal;
+  return intrinsic(geom, vgs, vds).qSrcAreal;
+}
+
+double VsModel::drainCurrent(const DeviceGeometry& geom, double vgs,
+                             double vds) const {
+  if (vds < 0.0) {
+    // Source/drain role reversal (device is symmetric).
+    return -solveWithSeriesR(geom, vgs - vds, -vds).idPerWidth * geom.width;
+  }
+  return solveWithSeriesR(geom, vgs, vds).idPerWidth * geom.width;
+}
+
+MosfetEvaluation VsModel::evaluate(const DeviceGeometry& geom, double vgs,
+                                   double vds) const {
+  const bool reversed = vds < 0.0;
+  const double cvgs = reversed ? vgs - vds : vgs;
+  const double cvds = reversed ? -vds : vds;
+
+  const Intrinsic in = solveWithSeriesR(geom, cvgs, cvds);
+
+  const double w = geom.width;
+  const double l = geom.length;
+
+  // Ward-Dutton partition of a linear charge profile between the source-end
+  // and drain-end densities.  Channel charge is electrons (negative) mirrored
+  // by positive gate charge.
+  const double qChanSrc = w * l * (2.0 * in.qSrcAreal + in.qDrnAreal) / 6.0;
+  const double qChanDrn = w * l * (in.qSrcAreal + 2.0 * in.qDrnAreal) / 6.0;
+
+  // Overlap/fringe parasitics (linear, per gate edge).
+  const double cov = params_.cof * w;
+  const double vgd = cvgs - cvds;
+  const double qOvS = cov * cvgs;
+  const double qOvD = cov * vgd;
+
+  MosfetEvaluation eval;
+  eval.id = in.idPerWidth * w;
+  eval.qg = qChanSrc + qChanDrn + qOvS + qOvD;
+  eval.qs = -qChanSrc - qOvS;
+  eval.qd = -qChanDrn - qOvD;
+
+  if (reversed) {
+    eval.id = -eval.id;
+    std::swap(eval.qs, eval.qd);
+  }
+  return eval;
+}
+
+}  // namespace vsstat::models

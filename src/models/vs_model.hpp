@@ -1,0 +1,71 @@
+// The Virtual Source (VS / MVS) ultra-compact MOSFET model.
+//
+// DC transport per Khakifirooz/Antoniadis (TED 2009): the saturation drain
+// current is Qixo * vxo, where Qixo is the virtual-source inversion charge
+// from a unified softplus expression and vxo the ballistic injection
+// velocity; the Fsat function blends linear and saturation regions
+// (paper Eq. 2/3).  Threshold shifts with DIBL, delta(Leff)*Vds (Eq. 4).
+//
+// C-V: the same inversion-charge expression evaluated at both channel ends
+// (drain end at the smoothed Vdseff) with a trapezoidal Ward-Dutton
+// partition plus overlap/fringe capacitance.  This is a documented
+// simplification of the MVS 1.0.1 ballistic charge partition -- see
+// DESIGN.md, system S1.
+//
+// Series resistance: Rs/Rd produce internal-node IR drop, resolved by a
+// damped fixed-point loop inside evaluate() so the external terminal
+// behaviour stays smooth for the Newton solver.
+#ifndef VSSTAT_MODELS_VS_MODEL_HPP
+#define VSSTAT_MODELS_VS_MODEL_HPP
+
+#include "models/device.hpp"
+#include "models/vs_params.hpp"
+
+namespace vsstat::models {
+
+class VsModel final : public MosfetModel {
+ public:
+  explicit VsModel(VsParams params);
+
+  [[nodiscard]] DeviceType deviceType() const noexcept override {
+    return params_.type;
+  }
+  [[nodiscard]] std::string name() const override { return "VS"; }
+
+  [[nodiscard]] MosfetEvaluation evaluate(const DeviceGeometry& geom,
+                                          double vgs,
+                                          double vds) const override;
+
+  [[nodiscard]] double drainCurrent(const DeviceGeometry& geom, double vgs,
+                                    double vds) const override;
+
+  [[nodiscard]] std::unique_ptr<MosfetModel> clone() const override;
+
+  [[nodiscard]] const VsParams& params() const noexcept { return params_; }
+  [[nodiscard]] VsParams& mutableParams() noexcept { return params_; }
+
+  /// Virtual-source inversion charge density [C/m^2] at the given internal
+  /// bias (exposed for tests and for the extraction sensitivities).
+  [[nodiscard]] double inversionCharge(const DeviceGeometry& geom, double vgs,
+                                       double vds) const;
+
+ private:
+  /// Core intrinsic solution at internal (post-Rs/Rd) voltages.
+  struct Intrinsic {
+    double idPerWidth = 0.0;  ///< A/m, positive for canonical vds >= 0
+    double qSrcAreal = 0.0;   ///< source-end channel charge [C/m^2]
+    double qDrnAreal = 0.0;   ///< drain-end channel charge [C/m^2]
+  };
+  [[nodiscard]] Intrinsic intrinsic(const DeviceGeometry& geom, double vgs,
+                                    double vds) const;
+
+  /// Resolves the Rs/Rd IR drop; returns internal (vgsInt, vdsInt).
+  [[nodiscard]] Intrinsic solveWithSeriesR(const DeviceGeometry& geom,
+                                           double vgs, double vds) const;
+
+  VsParams params_;
+};
+
+}  // namespace vsstat::models
+
+#endif  // VSSTAT_MODELS_VS_MODEL_HPP

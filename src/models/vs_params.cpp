@@ -1,0 +1,73 @@
+#include "models/vs_params.hpp"
+
+#include <cmath>
+
+namespace vsstat::models {
+
+double VsParams::diblAt(double leff) const noexcept {
+  return delta0 * std::exp(-(leff - lNom) / lDibl);
+}
+
+double VsParams::diblSlopeAt(double leff) const noexcept {
+  return -diblAt(leff) / lDibl;
+}
+
+double VsParams::ballisticEfficiency() const noexcept {
+  return lambdaMfp / (lambdaMfp + 2.0 * lCritical);
+}
+
+double VsParams::vxoMobilitySensitivity() const noexcept {
+  const double b = ballisticEfficiency();
+  return alphaFit + (1.0 - b) * (1.0 - alphaFit + gammaFit);
+}
+
+double VsParams::vxoAt(double leff) const noexcept {
+  // Relative vxo shift from the DIBL change between lNom and leff
+  // (Eq. 5 second term integrated for a pure geometry change).
+  const double dDelta = diblAt(leff) - delta0;
+  return vxo * (1.0 + dVxoDDelta * dDelta);
+}
+
+VsParams defaultVsNmos() {
+  VsParams p;
+  p.type = DeviceType::Nmos;
+  p.vt0 = 0.40;
+  p.delta0 = 0.115;
+  p.lDibl = 32e-9;
+  p.lNom = 40e-9;
+  p.n0 = 1.42;
+  p.cinv = 1.80e-2;      // 1.8 uF/cm^2
+  p.vxo = 1.0e5;         // 1.0e7 cm/s
+  p.mu = 2.0e-2;         // 200 cm^2/Vs
+  p.beta = 1.8;
+  p.alpha = 3.5;
+  p.rs = 80e-6;          // 80 Ohm um
+  p.rd = 80e-6;
+  p.cof = 1.5e-10;       // 0.15 fF/um per edge
+  p.lambdaMfp = 9e-9;
+  p.lCritical = 5e-9;
+  return p;
+}
+
+VsParams defaultVsPmos() {
+  VsParams p;
+  p.type = DeviceType::Pmos;
+  p.vt0 = 0.42;
+  p.delta0 = 0.125;
+  p.lDibl = 32e-9;
+  p.lNom = 40e-9;
+  p.n0 = 1.48;
+  p.cinv = 1.75e-2;
+  p.vxo = 0.75e5;        // 0.75e7 cm/s
+  p.mu = 1.4e-2;         // 140 cm^2/Vs
+  p.beta = 1.6;
+  p.alpha = 3.5;
+  p.rs = 95e-6;
+  p.rd = 95e-6;
+  p.cof = 1.5e-10;
+  p.lambdaMfp = 7e-9;
+  p.lCritical = 6e-9;
+  return p;
+}
+
+}  // namespace vsstat::models

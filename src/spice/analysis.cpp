@@ -1,0 +1,292 @@
+#include "spice/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "spice/assembler.hpp"
+#include "spice/elements.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::spice {
+
+// --- LoadContext forwarding ------------------------------------------------------
+
+double LoadContext::v(NodeId node) const noexcept {
+  return assembler_->nodeVoltage(node);
+}
+double LoadContext::branchCurrent(int localBranch) const noexcept {
+  return assembler_->branchValue(branchBase_ + localBranch);
+}
+double LoadContext::time() const noexcept { return assembler_->timeNow(); }
+double LoadContext::sourceScale() const noexcept {
+  return assembler_->scaleNow();
+}
+void LoadContext::addCurrent(NodeId node, double i) noexcept {
+  assembler_->stampCurrent(node, i);
+}
+void LoadContext::addJacobian(NodeId node, NodeId other, double didv) noexcept {
+  assembler_->stampJacobian(node, other, didv);
+}
+void LoadContext::addJacobianBranch(NodeId node, int localBranch,
+                                    double d) noexcept {
+  assembler_->stampJacobianBranch(node, branchBase_ + localBranch, d);
+}
+void LoadContext::addBranchResidual(int localBranch, double f) noexcept {
+  assembler_->stampBranchResidual(branchBase_ + localBranch, f);
+}
+void LoadContext::addBranchJacobianV(int localBranch, NodeId node,
+                                     double d) noexcept {
+  assembler_->stampBranchJacobianV(branchBase_ + localBranch, node, d);
+}
+void LoadContext::addBranchJacobianI(int localBranch, int otherLocalBranch,
+                                     double d) noexcept {
+  assembler_->stampBranchJacobianI(branchBase_ + localBranch,
+                                   branchBase_ + otherLocalBranch, d);
+}
+void LoadContext::setCharge(int localSlot, double q) noexcept {
+  assembler_->recordCharge(chargeBase_ + localSlot, q);
+}
+double LoadContext::chargeCurrent(int localSlot, double q) const noexcept {
+  return assembler_->companionCurrent(chargeBase_ + localSlot, q);
+}
+double LoadContext::chargeGain() const noexcept { return assembler_->c0(); }
+
+// --- Newton core ---------------------------------------------------------------
+
+namespace {
+
+/// One damped Newton solve at fixed assembler settings.  Returns true on
+/// convergence; x holds the final iterate either way.
+bool newtonSolve(detail::Assembler& assembler, linalg::Vector& x,
+                 const NewtonOptions& options) {
+  const std::size_t numNodes = assembler.numNodes();
+  for (int iter = 0; iter < options.maxIterations; ++iter) {
+    assembler.assemble(x);
+
+    double residualNorm = 0.0;
+    for (double f : assembler.residual())
+      residualNorm = std::max(residualNorm, std::fabs(f));
+
+    linalg::Vector dx;
+    try {
+      dx = linalg::LuFactorization(assembler.jacobian())
+               .solve(assembler.residual());
+    } catch (const ConvergenceError&) {
+      return false;  // singular Jacobian: let the homotopy ladder handle it
+    }
+
+    // Newton update is x -= J^{-1} F; clamp by the largest voltage move.
+    double maxVoltageStep = 0.0;
+    for (std::size_t n = 0; n < numNodes; ++n)
+      maxVoltageStep = std::max(maxVoltageStep, std::fabs(dx[n]));
+    double scaleFactor = 1.0;
+    if (maxVoltageStep > options.maxUpdate)
+      scaleFactor = options.maxUpdate / maxVoltageStep;
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] -= scaleFactor * dx[i];
+
+    if (scaleFactor == 1.0 && maxVoltageStep < options.voltageTolerance &&
+        residualNorm < options.residualTolerance) {
+      return true;
+    }
+  }
+  return false;
+}
+
+OperatingPoint packSolution(const Circuit& circuit, const linalg::Vector& x) {
+  OperatingPoint op;
+  const std::size_t numNodes = circuit.nodeCount() - 1;
+  op.nodeVoltages.assign(circuit.nodeCount(), 0.0);
+  for (std::size_t n = 0; n < numNodes; ++n) op.nodeVoltages[n + 1] = x[n];
+  op.branchCurrents.assign(static_cast<std::size_t>(circuit.branchTotal()),
+                           0.0);
+  for (std::size_t b = 0; b < op.branchCurrents.size(); ++b)
+    op.branchCurrents[b] = x[numNodes + b];
+  return op;
+}
+
+linalg::Vector unpackGuess(const Circuit& circuit, const OperatingPoint& op) {
+  linalg::Vector x(circuit.unknownCount(), 0.0);
+  const std::size_t numNodes = circuit.nodeCount() - 1;
+  if (op.nodeVoltages.size() == circuit.nodeCount()) {
+    for (std::size_t n = 0; n < numNodes; ++n) x[n] = op.nodeVoltages[n + 1];
+  }
+  if (op.branchCurrents.size() ==
+      static_cast<std::size_t>(circuit.branchTotal())) {
+    for (std::size_t b = 0; b < op.branchCurrents.size(); ++b)
+      x[numNodes + b] = op.branchCurrents[b];
+  }
+  return x;
+}
+
+/// DC solve ladder: plain Newton, then gmin stepping, then source stepping.
+bool dcSolveLadder(detail::Assembler& assembler, linalg::Vector& x,
+                   const DcOptions& options) {
+  assembler.setDcMode();
+  assembler.setTime(0.0);
+  assembler.setSourceScale(1.0);
+  assembler.setGmin(0.0);
+  if (newtonSolve(assembler, x, options.newton)) return true;
+
+  // Homotopies keep a gmin floor: a truly floating node (capacitor-only,
+  // or isolated by off pass-transistors) leaves the exact-zero-gmin
+  // Jacobian singular, and the 1e-12 S floor perturbs node voltages far
+  // below the solver tolerances.
+  constexpr double kGminFloor = 1e-12;
+
+  if (options.gminStepping) {
+    linalg::Vector xTrial = x;
+    bool ok = true;
+    for (double gmin = 1e-2; gmin >= kGminFloor; gmin *= 0.1) {
+      assembler.setGmin(gmin);
+      if (!newtonSolve(assembler, xTrial, options.newton)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      x = xTrial;
+      return true;
+    }
+  }
+
+  if (options.sourceStepping) {
+    linalg::Vector xTrial(x.size(), 0.0);
+    assembler.setGmin(1e-9);
+    bool ok = true;
+    for (int step = 1; step <= 20; ++step) {
+      assembler.setSourceScale(static_cast<double>(step) / 20.0);
+      if (!newtonSolve(assembler, xTrial, options.newton)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      assembler.setSourceScale(1.0);
+      assembler.setGmin(kGminFloor);
+      if (newtonSolve(assembler, xTrial, options.newton)) {
+        x = xTrial;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+OperatingPoint dcOperatingPoint(const Circuit& circuit,
+                                const DcOptions& options) {
+  OperatingPoint zeroGuess;
+  return dcOperatingPoint(circuit, zeroGuess, options);
+}
+
+OperatingPoint dcOperatingPoint(const Circuit& circuit,
+                                const OperatingPoint& guess,
+                                const DcOptions& options) {
+  detail::Assembler assembler(circuit);
+  linalg::Vector x = unpackGuess(circuit, guess);
+  if (!dcSolveLadder(assembler, x, options)) {
+    throw ConvergenceError("dcOperatingPoint: no convergence",
+                           options.newton.maxIterations);
+  }
+  return packSolution(circuit, x);
+}
+
+double sourceCurrent(Circuit& circuit, const std::string& name,
+                     const OperatingPoint& op) {
+  const VoltageSourceElement& src = circuit.voltageSource(name);
+  return op.branchCurrents[static_cast<std::size_t>(src.branchBase())];
+}
+
+std::vector<OperatingPoint> dcSweep(Circuit& circuit,
+                                    const std::string& sourceName,
+                                    const std::vector<double>& levels,
+                                    const DcOptions& options) {
+  VoltageSourceElement& src = circuit.voltageSource(sourceName);
+  const SourceWaveform original = src.waveform();
+
+  std::vector<OperatingPoint> result;
+  result.reserve(levels.size());
+  OperatingPoint guess;
+  for (double level : levels) {
+    src.setDcLevel(level);
+    guess = result.empty() ? dcOperatingPoint(circuit, options)
+                           : dcOperatingPoint(circuit, guess, options);
+    result.push_back(guess);
+  }
+  src.setWaveform(original);
+  return result;
+}
+
+Waveform transient(const Circuit& circuit, const TransientOptions& options) {
+  require(options.tStop > 0.0 && options.dt > 0.0,
+          "transient: tStop and dt must be positive");
+
+  detail::Assembler assembler(circuit);
+
+  // t = 0 operating point.
+  linalg::Vector x(circuit.unknownCount(), 0.0);
+  if (!dcSolveLadder(assembler, x, options.dcOptions)) {
+    throw ConvergenceError("transient: DC operating point failed",
+                           options.dcOptions.newton.maxIterations);
+  }
+
+  // Prime the charge history at the DC solution.
+  assembler.assemble(x);
+  assembler.commitCharges();
+  std::vector<double> slotCurrents(
+      static_cast<std::size_t>(circuit.chargeSlotTotal()), 0.0);
+
+  Waveform wave(circuit.nodeCount());
+  std::vector<double> sample(circuit.nodeCount(), 0.0);
+  const std::size_t numNodes = circuit.nodeCount() - 1;
+  const auto record = [&](double t) {
+    for (std::size_t n = 0; n < numNodes; ++n) sample[n + 1] = x[n];
+    wave.addSample(t, sample);
+  };
+  record(0.0);
+
+  double t = 0.0;
+  bool firstStep = true;
+  while (t < options.tStop - 1e-18) {
+    double h = std::min(options.dt, options.tStop - t);
+
+    // Step with halving recovery; fall back to BE on retries (sturdier
+    // against the corner where trapezoidal rings on a hard nonlinearity).
+    bool accepted = false;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      const double tNext = t + h;
+      assembler.setTime(tNext);
+      if (firstStep || attempt > 0) {
+        assembler.setBackwardEuler(h);
+      } else {
+        assembler.setTrapezoidal(h, slotCurrents);
+      }
+      linalg::Vector xTrial = x;
+      if (newtonSolve(assembler, xTrial, options.newton)) {
+        x = xTrial;
+        // Re-assemble at the solution so charge state matches x exactly.
+        assembler.assemble(x);
+        slotCurrents = assembler.slotCurrents();
+        assembler.commitCharges();
+        t = tNext;
+        record(t);
+        accepted = true;
+        firstStep = false;
+        break;
+      }
+      h *= 0.5;
+      if (h < options.dtMin) break;
+    }
+    if (!accepted) {
+      throw ConvergenceError("transient: step failed at t = " +
+                                 std::to_string(t),
+                             options.newton.maxIterations);
+    }
+  }
+  return wave;
+}
+
+}  // namespace vsstat::spice

@@ -1,0 +1,73 @@
+// Circuit analyses: Newton DC operating point (with gmin and source
+// stepping homotopies), DC sweeps, and charge-conserving transient
+// simulation (backward Euler startup, trapezoidal thereafter, with
+// step-halving recovery).
+#ifndef VSSTAT_SPICE_ANALYSIS_HPP
+#define VSSTAT_SPICE_ANALYSIS_HPP
+
+#include <vector>
+
+#include "spice/circuit.hpp"
+#include "spice/waveform.hpp"
+
+namespace vsstat::spice {
+
+struct NewtonOptions {
+  int maxIterations = 80;
+  double voltageTolerance = 1e-7;   ///< convergence: max |dV| below this [V]
+  double residualTolerance = 1e-9;  ///< convergence: max |F| below this [A]
+  double maxUpdate = 0.4;           ///< per-iteration voltage-step clamp [V]
+};
+
+struct DcOptions {
+  NewtonOptions newton;
+  bool gminStepping = true;    ///< homotopy 1: decaying shunt conductance
+  bool sourceStepping = true;  ///< homotopy 2: ramp sources from zero
+};
+
+/// Converged DC solution.
+struct OperatingPoint {
+  std::vector<double> nodeVoltages;   ///< indexed by NodeId (ground included)
+  std::vector<double> branchCurrents; ///< indexed by global branch index
+
+  [[nodiscard]] double v(NodeId node) const {
+    return nodeVoltages[static_cast<std::size_t>(node)];
+  }
+};
+
+/// Solves the DC operating point; throws ConvergenceError when every
+/// homotopy fails.
+[[nodiscard]] OperatingPoint dcOperatingPoint(const Circuit& circuit,
+                                              const DcOptions& options = {});
+
+/// Like dcOperatingPoint but warm-started from a previous solution.
+[[nodiscard]] OperatingPoint dcOperatingPoint(const Circuit& circuit,
+                                              const OperatingPoint& guess,
+                                              const DcOptions& options);
+
+/// Branch current through a named voltage source at an operating point.
+[[nodiscard]] double sourceCurrent(Circuit& circuit, const std::string& name,
+                                   const OperatingPoint& op);
+
+/// Sweeps the DC level of a named voltage source; each point warm-starts
+/// from the previous solution.  The source's original waveform is restored
+/// afterwards.
+[[nodiscard]] std::vector<OperatingPoint> dcSweep(
+    Circuit& circuit, const std::string& sourceName,
+    const std::vector<double>& levels, const DcOptions& options = {});
+
+struct TransientOptions {
+  double tStop = 0.0;      ///< end time [s]
+  double dt = 1e-13;       ///< nominal step [s]
+  double dtMin = 1e-16;    ///< recovery floor for step halving [s]
+  NewtonOptions newton;
+  DcOptions dcOptions;     ///< for the t=0 operating point
+};
+
+/// Runs a transient analysis; returns node-voltage waveforms (all nodes).
+[[nodiscard]] Waveform transient(const Circuit& circuit,
+                                 const TransientOptions& options);
+
+}  // namespace vsstat::spice
+
+#endif  // VSSTAT_SPICE_ANALYSIS_HPP

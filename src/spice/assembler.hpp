@@ -1,0 +1,160 @@
+// Internal: Newton assembly state backing LoadContext.
+//
+// Shared by the DC/transient driver (analysis.cpp) and the small-signal AC
+// driver (ac.cpp).  Not part of the public API: element authors only ever
+// see LoadContext, and analysis users only see the free functions in
+// analysis.hpp / ac.hpp.
+#ifndef VSSTAT_SPICE_ASSEMBLER_HPP
+#define VSSTAT_SPICE_ASSEMBLER_HPP
+
+#include <algorithm>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "spice/circuit.hpp"
+
+namespace vsstat::spice::detail {
+
+/// Owns the Newton assembly state and backs LoadContext.
+class Assembler {
+ public:
+  explicit Assembler(const Circuit& circuit)
+      : circuit_(circuit),
+        numNodes_(circuit.nodeCount() - 1),
+        numUnknowns_(circuit.unknownCount()),
+        jacobian_(numUnknowns_, numUnknowns_),
+        residual_(numUnknowns_, 0.0),
+        chargeNow_(static_cast<std::size_t>(circuit.chargeSlotTotal()), 0.0),
+        chargePrev_(chargeNow_.size(), 0.0),
+        histTerm_(chargeNow_.size(), 0.0) {}
+
+  // --- integration control ---------------------------------------------------
+  void setDcMode() noexcept {
+    c0_ = 0.0;
+    std::fill(histTerm_.begin(), histTerm_.end(), 0.0);
+  }
+  /// Backward Euler: i = (q - qPrev)/h.
+  void setBackwardEuler(double h) noexcept {
+    c0_ = 1.0 / h;
+    for (std::size_t s = 0; s < histTerm_.size(); ++s)
+      histTerm_[s] = -c0_ * chargePrev_[s];
+  }
+  /// Trapezoidal: i = (2/h)(q - qPrev) - iPrev.
+  void setTrapezoidal(double h, const std::vector<double>& currentPrev) noexcept {
+    c0_ = 2.0 / h;
+    for (std::size_t s = 0; s < histTerm_.size(); ++s)
+      histTerm_[s] = -c0_ * chargePrev_[s] - currentPrev[s];
+  }
+  /// After a converged step: per-slot companion currents at the solution.
+  [[nodiscard]] std::vector<double> slotCurrents() const {
+    std::vector<double> i(chargeNow_.size());
+    for (std::size_t s = 0; s < i.size(); ++s)
+      i[s] = c0_ * chargeNow_[s] + histTerm_[s];
+    return i;
+  }
+  void commitCharges() noexcept { chargePrev_ = chargeNow_; }
+  [[nodiscard]] const std::vector<double>& charges() const noexcept {
+    return chargeNow_;
+  }
+
+  void setTime(double t) noexcept { time_ = t; }
+  void setSourceScale(double s) noexcept { sourceScale_ = s; }
+  void setGmin(double g) noexcept { gmin_ = g; }
+
+  /// Rebuilds jacobian_ and residual_ at iterate x.
+  void assemble(const linalg::Vector& x) {
+    x_ = &x;
+    jacobian_.fill(0.0);
+    std::fill(residual_.begin(), residual_.end(), 0.0);
+    std::fill(chargeNow_.begin(), chargeNow_.end(), 0.0);
+
+    LoadContext ctx;
+    ctx.assembler_ = this;
+    for (const auto& element : circuit_.elements()) {
+      ctx.branchBase_ = element->branchBase();
+      ctx.chargeBase_ = element->chargeBase();
+      element->load(ctx);
+    }
+
+    if (gmin_ > 0.0) {
+      for (std::size_t n = 0; n < numNodes_; ++n) {
+        residual_[n] += gmin_ * x[n];
+        jacobian_(n, n) += gmin_;
+      }
+    }
+  }
+
+  [[nodiscard]] const linalg::Matrix& jacobian() const noexcept {
+    return jacobian_;
+  }
+  [[nodiscard]] const linalg::Vector& residual() const noexcept {
+    return residual_;
+  }
+  [[nodiscard]] std::size_t numNodes() const noexcept { return numNodes_; }
+  [[nodiscard]] std::size_t numUnknowns() const noexcept { return numUnknowns_; }
+  [[nodiscard]] const Circuit& circuit() const noexcept { return circuit_; }
+
+  // --- LoadContext backends ---------------------------------------------------
+  [[nodiscard]] double nodeVoltage(NodeId node) const noexcept {
+    return node == kGround ? 0.0
+                           : (*x_)[static_cast<std::size_t>(node - 1)];
+  }
+  [[nodiscard]] double branchValue(int globalBranch) const noexcept {
+    return (*x_)[numNodes_ + static_cast<std::size_t>(globalBranch)];
+  }
+  void stampCurrent(NodeId node, double i) noexcept {
+    if (node != kGround) residual_[static_cast<std::size_t>(node - 1)] += i;
+  }
+  void stampJacobian(NodeId node, NodeId other, double d) noexcept {
+    if (node != kGround && other != kGround)
+      jacobian_(static_cast<std::size_t>(node - 1),
+                static_cast<std::size_t>(other - 1)) += d;
+  }
+  void stampJacobianBranch(NodeId node, int globalBranch, double d) noexcept {
+    if (node != kGround)
+      jacobian_(static_cast<std::size_t>(node - 1),
+                numNodes_ + static_cast<std::size_t>(globalBranch)) += d;
+  }
+  void stampBranchResidual(int globalBranch, double f) noexcept {
+    residual_[numNodes_ + static_cast<std::size_t>(globalBranch)] += f;
+  }
+  void stampBranchJacobianV(int globalBranch, NodeId node, double d) noexcept {
+    if (node != kGround)
+      jacobian_(numNodes_ + static_cast<std::size_t>(globalBranch),
+                static_cast<std::size_t>(node - 1)) += d;
+  }
+  void stampBranchJacobianI(int globalBranch, int otherGlobalBranch,
+                            double d) noexcept {
+    jacobian_(numNodes_ + static_cast<std::size_t>(globalBranch),
+              numNodes_ + static_cast<std::size_t>(otherGlobalBranch)) += d;
+  }
+  void recordCharge(int globalSlot, double q) noexcept {
+    chargeNow_[static_cast<std::size_t>(globalSlot)] = q;
+  }
+  [[nodiscard]] double companionCurrent(int globalSlot, double q) const noexcept {
+    if (c0_ == 0.0) return 0.0;
+    return c0_ * q + histTerm_[static_cast<std::size_t>(globalSlot)];
+  }
+  [[nodiscard]] double c0() const noexcept { return c0_; }
+  [[nodiscard]] double timeNow() const noexcept { return time_; }
+  [[nodiscard]] double scaleNow() const noexcept { return sourceScale_; }
+
+ private:
+  const Circuit& circuit_;
+  std::size_t numNodes_;
+  std::size_t numUnknowns_;
+  linalg::Matrix jacobian_;
+  linalg::Vector residual_;
+  std::vector<double> chargeNow_;
+  std::vector<double> chargePrev_;
+  std::vector<double> histTerm_;
+  const linalg::Vector* x_ = nullptr;
+  double c0_ = 0.0;
+  double time_ = 0.0;
+  double sourceScale_ = 1.0;
+  double gmin_ = 0.0;
+};
+
+}  // namespace vsstat::spice::detail
+
+#endif  // VSSTAT_SPICE_ASSEMBLER_HPP

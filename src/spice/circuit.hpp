@@ -1,0 +1,83 @@
+// Circuit container: named nodes plus an ordered list of elements.
+// Benchmark circuits are netlisted programmatically (src/circuits) against
+// this API.
+#ifndef VSSTAT_SPICE_CIRCUIT_HPP
+#define VSSTAT_SPICE_CIRCUIT_HPP
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "models/device.hpp"
+#include "spice/element.hpp"
+#include "spice/source.hpp"
+
+namespace vsstat::spice {
+
+class VoltageSourceElement;
+class MosfetElement;
+
+class Circuit {
+ public:
+  Circuit();
+
+  // Movable (element pointers are stable), not copyable.
+  Circuit(Circuit&&) = default;
+  Circuit& operator=(Circuit&&) = default;
+  Circuit(const Circuit&) = delete;
+  Circuit& operator=(const Circuit&) = delete;
+
+  // --- nodes -----------------------------------------------------------------
+  [[nodiscard]] NodeId ground() const noexcept { return kGround; }
+  /// Returns the node with this name, creating it on first use.
+  /// "0" and "gnd" map to ground.
+  NodeId node(const std::string& name);
+  [[nodiscard]] const std::string& nodeName(NodeId id) const;
+  /// Total node count including ground.
+  [[nodiscard]] std::size_t nodeCount() const noexcept { return names_.size(); }
+
+  // --- element factories -------------------------------------------------------
+  void addResistor(const std::string& name, NodeId a, NodeId b, double ohms);
+  void addCapacitor(const std::string& name, NodeId a, NodeId b, double farads);
+  void addCurrentSource(const std::string& name, NodeId from, NodeId to,
+                        SourceWaveform waveform);
+  /// Voltage source with a branch-current unknown; returns a stable handle
+  /// usable to retune the waveform (DC sweeps, setup/hold searches).
+  VoltageSourceElement& addVoltageSource(const std::string& name, NodeId pos,
+                                         NodeId neg, SourceWaveform waveform);
+  /// MOSFET; the circuit takes ownership of the per-instance model card.
+  MosfetElement& addMosfet(const std::string& name, NodeId drain, NodeId gate,
+                           NodeId source,
+                           std::unique_ptr<models::MosfetModel> model,
+                           const models::DeviceGeometry& geometry);
+
+  // --- lookups -------------------------------------------------------------------
+  [[nodiscard]] const std::vector<std::unique_ptr<Element>>& elements()
+      const noexcept {
+    return elements_;
+  }
+  /// Throws InvalidArgumentError when no voltage source has that name.
+  [[nodiscard]] VoltageSourceElement& voltageSource(const std::string& name);
+  [[nodiscard]] MosfetElement& mosfet(const std::string& name);
+
+  // --- sizing for the solver -------------------------------------------------------
+  /// Unknowns: (nodeCount - 1) node voltages + total branch currents.
+  [[nodiscard]] std::size_t unknownCount() const noexcept;
+  [[nodiscard]] int branchTotal() const noexcept { return branchTotal_; }
+  [[nodiscard]] int chargeSlotTotal() const noexcept { return chargeTotal_; }
+
+ private:
+  void registerElement(std::unique_ptr<Element> e);
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeId> byName_;
+  std::vector<std::unique_ptr<Element>> elements_;
+  std::unordered_map<std::string, Element*> elementByName_;
+  int branchTotal_ = 0;
+  int chargeTotal_ = 0;
+};
+
+}  // namespace vsstat::spice
+
+#endif  // VSSTAT_SPICE_CIRCUIT_HPP

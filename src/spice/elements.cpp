@@ -1,0 +1,186 @@
+#include "spice/elements.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace vsstat::spice {
+
+// --- Resistor -----------------------------------------------------------------
+
+ResistorElement::ResistorElement(std::string name, NodeId a, NodeId b,
+                                 double ohms)
+    : Element(std::move(name)), a_(a), b_(b), conductance_(1.0 / ohms) {
+  require(ohms > 0.0, "Resistor requires positive resistance");
+}
+
+void ResistorElement::load(LoadContext& ctx) const {
+  const double g = conductance_;
+  const double i = g * (ctx.v(a_) - ctx.v(b_));
+  ctx.addCurrent(a_, i);
+  ctx.addCurrent(b_, -i);
+  ctx.addJacobian(a_, a_, g);
+  ctx.addJacobian(a_, b_, -g);
+  ctx.addJacobian(b_, a_, -g);
+  ctx.addJacobian(b_, b_, g);
+}
+
+// --- Capacitor -----------------------------------------------------------------
+
+CapacitorElement::CapacitorElement(std::string name, NodeId a, NodeId b,
+                                   double farads)
+    : Element(std::move(name)), a_(a), b_(b), capacitance_(farads) {
+  require(farads >= 0.0, "Capacitor requires non-negative capacitance");
+}
+
+void CapacitorElement::load(LoadContext& ctx) const {
+  const double q = capacitance_ * (ctx.v(a_) - ctx.v(b_));
+  ctx.setCharge(0, q);
+  const double i = ctx.chargeCurrent(0, q);
+  const double g = ctx.chargeGain() * capacitance_;
+  ctx.addCurrent(a_, i);
+  ctx.addCurrent(b_, -i);
+  ctx.addJacobian(a_, a_, g);
+  ctx.addJacobian(a_, b_, -g);
+  ctx.addJacobian(b_, a_, -g);
+  ctx.addJacobian(b_, b_, g);
+}
+
+// --- Current source ---------------------------------------------------------------
+
+CurrentSourceElement::CurrentSourceElement(std::string name, NodeId from,
+                                           NodeId to, SourceWaveform waveform)
+    : Element(std::move(name)), from_(from), to_(to),
+      waveform_(std::move(waveform)) {}
+
+void CurrentSourceElement::load(LoadContext& ctx) const {
+  const double i = ctx.sourceScale() * waveform_.valueAt(ctx.time());
+  ctx.addCurrent(from_, i);
+  ctx.addCurrent(to_, -i);
+}
+
+// --- Voltage source ---------------------------------------------------------------
+
+VoltageSourceElement::VoltageSourceElement(std::string name, NodeId pos,
+                                           NodeId neg, SourceWaveform waveform)
+    : Element(std::move(name)), pos_(pos), neg_(neg),
+      waveform_(std::move(waveform)) {}
+
+void VoltageSourceElement::load(LoadContext& ctx) const {
+  const double i = ctx.branchCurrent(0);
+  // Branch current flows from pos through the source to neg.
+  ctx.addCurrent(pos_, i);
+  ctx.addCurrent(neg_, -i);
+  ctx.addJacobianBranch(pos_, 0, 1.0);
+  ctx.addJacobianBranch(neg_, 0, -1.0);
+
+  const double target = ctx.sourceScale() * waveform_.valueAt(ctx.time());
+  ctx.addBranchResidual(0, ctx.v(pos_) - ctx.v(neg_) - target);
+  ctx.addBranchJacobianV(0, pos_, 1.0);
+  ctx.addBranchJacobianV(0, neg_, -1.0);
+}
+
+// --- MOSFET -----------------------------------------------------------------------
+
+MosfetElement::MosfetElement(std::string name, NodeId drain, NodeId gate,
+                             NodeId source,
+                             std::unique_ptr<models::MosfetModel> model,
+                             const models::DeviceGeometry& geometry)
+    : Element(std::move(name)), drain_(drain), gate_(gate), source_(source),
+      model_(std::move(model)), geometry_(geometry) {
+  require(model_ != nullptr, "MosfetElement requires a model");
+  require(geometry_.width > 0.0 && geometry_.length > 0.0,
+          "MosfetElement requires positive geometry");
+}
+
+void MosfetElement::setInstance(std::unique_ptr<models::MosfetModel> model,
+                                const models::DeviceGeometry& geometry) {
+  require(model != nullptr, "setInstance requires a model");
+  model_ = std::move(model);
+  geometry_ = geometry;
+}
+
+double MosfetElement::terminalDrainCurrent(double vd, double vg,
+                                           double vs) const {
+  const double sign =
+      model_->deviceType() == models::DeviceType::Nmos ? 1.0 : -1.0;
+  const double vgs = sign * (vg - vs);
+  const double vds = sign * (vd - vs);
+  return sign * model_->drainCurrent(geometry_, vgs, vds);
+}
+
+void MosfetElement::load(LoadContext& ctx) const {
+  const double sign =
+      model_->deviceType() == models::DeviceType::Nmos ? 1.0 : -1.0;
+  const double vg = ctx.v(gate_);
+  const double vd = ctx.v(drain_);
+  const double vs = ctx.v(source_);
+  const double vgs = sign * (vg - vs);
+  const double vds = sign * (vd - vs);
+
+  // Forward-difference derivatives in the canonical bias plane.  The step
+  // must stay well above the compact model's internal smoothness scale but
+  // below circuit-level resolution; 1 mV fits both.
+  constexpr double kStep = 1e-3;
+  const models::MosfetEvaluation e0 = model_->evaluate(geometry_, vgs, vds);
+  const models::MosfetEvaluation eg =
+      model_->evaluate(geometry_, vgs + kStep, vds);
+  const models::MosfetEvaluation ed =
+      model_->evaluate(geometry_, vgs, vds + kStep);
+
+  const double didvgs = (eg.id - e0.id) / kStep;
+  const double didvds = (ed.id - e0.id) / kStep;
+
+  // DC current: canonical id flows into the canonical drain; the sign maps
+  // it back to the terminal orientation.  d(current leaving drain)/dVg is
+  // sign*did/dvgs*sign = did/dvgs, etc.
+  const double idTerm = sign * e0.id;
+  ctx.addCurrent(drain_, idTerm);
+  ctx.addCurrent(source_, -idTerm);
+  ctx.addJacobian(drain_, gate_, didvgs);
+  ctx.addJacobian(drain_, drain_, didvds);
+  ctx.addJacobian(drain_, source_, -(didvgs + didvds));
+  ctx.addJacobian(source_, gate_, -didvgs);
+  ctx.addJacobian(source_, drain_, -didvds);
+  ctx.addJacobian(source_, source_, didvgs + didvds);
+
+  // Charge currents.  Terminal charges map with the polarity sign.
+  const double qg = sign * e0.qg;
+  const double qd = sign * e0.qd;
+  const double qs = sign * e0.qs;
+  ctx.setCharge(0, qg);
+  ctx.setCharge(1, qd);
+  ctx.setCharge(2, qs);
+
+  const double c0 = ctx.chargeGain();
+  const double ig = ctx.chargeCurrent(0, qg);
+  const double idq = ctx.chargeCurrent(1, qd);
+  const double isq = ctx.chargeCurrent(2, qs);
+  ctx.addCurrent(gate_, ig);
+  ctx.addCurrent(drain_, idq);
+  ctx.addCurrent(source_, isq);
+
+  if (c0 != 0.0) {
+    // dq/dvgs, dq/dvds in canonical plane; the polarity signs cancel as for
+    // the current derivatives.
+    const double dqgdg = (eg.qg - e0.qg) / kStep;
+    const double dqgdd = (ed.qg - e0.qg) / kStep;
+    const double dqddg = (eg.qd - e0.qd) / kStep;
+    const double dqddd = (ed.qd - e0.qd) / kStep;
+    const double dqsdg = (eg.qs - e0.qs) / kStep;
+    const double dqsdd = (ed.qs - e0.qs) / kStep;
+
+    const auto stampCharge = [&](NodeId terminal, double dqdvgs,
+                                 double dqdvds) {
+      ctx.addJacobian(terminal, gate_, c0 * dqdvgs);
+      ctx.addJacobian(terminal, drain_, c0 * dqdvds);
+      ctx.addJacobian(terminal, source_, -c0 * (dqdvgs + dqdvds));
+    };
+    stampCharge(gate_, dqgdg, dqgdd);
+    stampCharge(drain_, dqddg, dqddd);
+    stampCharge(source_, dqsdg, dqsdd);
+  }
+}
+
+}  // namespace vsstat::spice

@@ -1,0 +1,111 @@
+// Concrete circuit elements: R, C, I, V, and the MOSFET wrapper that adapts
+// a compact model (VS or BsimLite) to the Newton MNA engine.
+#ifndef VSSTAT_SPICE_ELEMENTS_HPP
+#define VSSTAT_SPICE_ELEMENTS_HPP
+
+#include <memory>
+
+#include "models/device.hpp"
+#include "spice/element.hpp"
+#include "spice/source.hpp"
+
+namespace vsstat::spice {
+
+class ResistorElement final : public Element {
+ public:
+  ResistorElement(std::string name, NodeId a, NodeId b, double ohms);
+  void load(LoadContext& ctx) const override;
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  double conductance_;
+};
+
+class CapacitorElement final : public Element {
+ public:
+  CapacitorElement(std::string name, NodeId a, NodeId b, double farads);
+  void load(LoadContext& ctx) const override;
+  [[nodiscard]] int chargeSlots() const noexcept override { return 1; }
+
+ private:
+  NodeId a_;
+  NodeId b_;
+  double capacitance_;
+};
+
+class CurrentSourceElement final : public Element {
+ public:
+  CurrentSourceElement(std::string name, NodeId from, NodeId to,
+                       SourceWaveform waveform);
+  void load(LoadContext& ctx) const override;
+
+ private:
+  NodeId from_;
+  NodeId to_;
+  SourceWaveform waveform_;
+};
+
+class VoltageSourceElement final : public Element {
+ public:
+  VoltageSourceElement(std::string name, NodeId pos, NodeId neg,
+                       SourceWaveform waveform);
+  void load(LoadContext& ctx) const override;
+  [[nodiscard]] int branchCount() const noexcept override { return 1; }
+
+  void setWaveform(SourceWaveform w) noexcept { waveform_ = std::move(w); }
+  [[nodiscard]] const SourceWaveform& waveform() const noexcept {
+    return waveform_;
+  }
+  /// Convenience for DC sweeps.
+  void setDcLevel(double value) { waveform_.setDcLevel(value); }
+
+  [[nodiscard]] NodeId positiveNode() const noexcept { return pos_; }
+  [[nodiscard]] NodeId negativeNode() const noexcept { return neg_; }
+
+ private:
+  NodeId pos_;
+  NodeId neg_;
+  SourceWaveform waveform_;
+};
+
+/// MOSFET element.  Owns the per-instance compact-model card (each Monte
+/// Carlo sample clones the nominal model and applies its mismatch deltas).
+/// Polarity mapping to the N-canonical model convention happens here:
+/// canonical voltages are sign*(vg - vs) and sign*(vd - vs) with sign = +1
+/// for NMOS and -1 for PMOS, and current/charges map back with the same
+/// sign.  Jacobians use forward differences on the compact model.
+class MosfetElement final : public Element {
+ public:
+  MosfetElement(std::string name, NodeId drain, NodeId gate, NodeId source,
+                std::unique_ptr<models::MosfetModel> model,
+                const models::DeviceGeometry& geometry);
+
+  void load(LoadContext& ctx) const override;
+  [[nodiscard]] int chargeSlots() const noexcept override { return 3; }
+
+  [[nodiscard]] const models::MosfetModel& model() const noexcept {
+    return *model_;
+  }
+  [[nodiscard]] const models::DeviceGeometry& geometry() const noexcept {
+    return geometry_;
+  }
+  /// Replaces the instance card/geometry (Monte Carlo re-instancing).
+  void setInstance(std::unique_ptr<models::MosfetModel> model,
+                   const models::DeviceGeometry& geometry);
+
+  /// DC drain terminal current at the given terminal voltages.
+  [[nodiscard]] double terminalDrainCurrent(double vd, double vg,
+                                            double vs) const;
+
+ private:
+  NodeId drain_;
+  NodeId gate_;
+  NodeId source_;
+  std::unique_ptr<models::MosfetModel> model_;
+  models::DeviceGeometry geometry_;
+};
+
+}  // namespace vsstat::spice
+
+#endif  // VSSTAT_SPICE_ELEMENTS_HPP

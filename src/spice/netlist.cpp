@@ -1,0 +1,380 @@
+#include "spice/netlist.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "models/alpha_power.hpp"
+#include "models/bsim_lite.hpp"
+#include "models/vs_model.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::spice {
+
+namespace {
+
+using ModelCard = std::variant<models::VsParams, models::BsimParams,
+                               models::AlphaPowerParams>;
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw InvalidArgumentError("netlist line " + std::to_string(line) + ": " +
+                             message);
+}
+
+std::string lowered(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Logical lines: comments stripped, '+' continuations joined, parens
+/// split into their own tokens.  Keeps the 1-based source line number of
+/// each logical line for diagnostics.
+struct LogicalLine {
+  int number = 0;
+  std::vector<std::string> tokens;
+};
+
+std::vector<LogicalLine> tokenize(const std::string& text) {
+  // Pass 1: physical lines -> (number, content) with comments removed.
+  std::vector<std::pair<int, std::string>> physical;
+  {
+    std::istringstream in(text);
+    std::string raw;
+    int number = 0;
+    while (std::getline(in, raw)) {
+      ++number;
+      const std::size_t first = raw.find_first_not_of(" \t\r");
+      if (first == std::string::npos) continue;
+      if (raw[first] == '*') continue;  // comment line
+      physical.emplace_back(number, raw.substr(first));
+    }
+  }
+
+  // Pass 2: fold '+' continuations into the preceding line.
+  std::vector<std::pair<int, std::string>> logical;
+  for (auto& [number, content] : physical) {
+    if (content[0] == '+') {
+      if (logical.empty()) fail(number, "continuation without a line");
+      logical.back().second += " " + content.substr(1);
+    } else {
+      logical.emplace_back(number, std::move(content));
+    }
+  }
+
+  // Pass 3: tokenize (lowercased; parentheses and '=' become separators).
+  std::vector<LogicalLine> out;
+  for (auto& [number, content] : logical) {
+    std::string spaced;
+    spaced.reserve(content.size() + 8);
+    for (char c : content) {
+      if (c == '(' || c == ')' || c == ',' || c == '=') {
+        spaced += ' ';
+        if (c == '=') spaced += "= ";
+      } else {
+        spaced += c;
+      }
+    }
+    LogicalLine ll;
+    ll.number = number;
+    std::istringstream ts(lowered(spaced));
+    std::string tok;
+    while (ts >> tok) ll.tokens.push_back(tok);
+    if (!ll.tokens.empty()) out.push_back(std::move(ll));
+  }
+  return out;
+}
+
+}  // namespace
+
+double parseSpiceValue(const std::string& token) {
+  require(!token.empty(), "parseSpiceValue: empty token");
+  const std::string t = lowered(token);
+
+  std::size_t consumed = 0;
+  double base = 0.0;
+  try {
+    base = std::stod(t, &consumed);
+  } catch (const std::exception&) {
+    throw InvalidArgumentError("parseSpiceValue: not a number: '" + token +
+                               "'");
+  }
+  std::string suffix = t.substr(consumed);
+
+  double scale = 1.0;
+  if (!suffix.empty()) {
+    if (suffix.rfind("meg", 0) == 0) {
+      scale = 1e6;
+    } else {
+      switch (suffix[0]) {
+        case 't': scale = 1e12; break;
+        case 'g': scale = 1e9; break;
+        case 'k': scale = 1e3; break;
+        case 'm': scale = 1e-3; break;
+        case 'u': scale = 1e-6; break;
+        case 'n': scale = 1e-9; break;
+        case 'p': scale = 1e-12; break;
+        case 'f': scale = 1e-15; break;
+        default:
+          throw InvalidArgumentError("parseSpiceValue: bad suffix '" +
+                                     suffix + "' in '" + token + "'");
+      }
+    }
+    // Anything after the magnitude suffix is a unit word ("10pF", "1kohm")
+    // and is ignored, per SPICE convention.
+  }
+  return base * scale;
+}
+
+namespace {
+
+/// key=value overrides for the VS card families.
+void applyVsOverride(models::VsParams& p, const std::string& key,
+                     double value, int line) {
+  static const std::unordered_map<std::string, double models::VsParams::*>
+      kFields = {
+          {"vt0", &models::VsParams::vt0},
+          {"delta0", &models::VsParams::delta0},
+          {"n0", &models::VsParams::n0},
+          {"cinv", &models::VsParams::cinv},
+          {"vxo", &models::VsParams::vxo},
+          {"mu", &models::VsParams::mu},
+          {"beta", &models::VsParams::beta},
+          {"rs", &models::VsParams::rs},
+          {"rd", &models::VsParams::rd},
+          {"cof", &models::VsParams::cof},
+      };
+  const auto it = kFields.find(key);
+  if (it == kFields.end()) fail(line, "unknown VS model parameter '" + key + "'");
+  p.*(it->second) = value;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lines_(tokenize(text)) {}
+
+  ParsedNetlist run() {
+    // Models first: device lines may reference a .model defined later,
+    // exactly as SPICE allows.
+    for (const LogicalLine& ll : lines_) {
+      if (ll.tokens[0] == ".model") parseModel(ll);
+    }
+    for (const LogicalLine& ll : lines_) {
+      dispatch(ll);
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void dispatch(const LogicalLine& ll) {
+    const std::string& head = ll.tokens[0];
+    if (head == ".model") return;  // handled in the first pass
+    if (head == ".title") {
+      for (std::size_t i = 1; i < ll.tokens.size(); ++i) {
+        if (i > 1) result_.title += ' ';
+        result_.title += ll.tokens[i];
+      }
+      return;
+    }
+    if (head == ".tran") {
+      if (ll.tokens.size() != 3) fail(ll.number, ".tran needs <dt> <tstop>");
+      result_.tran = {value(ll, 1), value(ll, 2)};
+      return;
+    }
+    if (head == ".end") return;
+    if (head[0] == '.') fail(ll.number, "unknown directive '" + head + "'");
+
+    switch (head[0]) {
+      case 'r': return parseResistor(ll);
+      case 'c': return parseCapacitor(ll);
+      case 'v': return parseVoltageSource(ll);
+      case 'i': return parseCurrentSource(ll);
+      case 'm': return parseMosfet(ll);
+      default:
+        fail(ll.number, "unknown element '" + head + "'");
+    }
+  }
+
+  // --- helpers -----------------------------------------------------------
+  [[nodiscard]] const std::string& tok(const LogicalLine& ll,
+                                       std::size_t i) const {
+    if (i >= ll.tokens.size()) fail(ll.number, "missing token");
+    return ll.tokens[i];
+  }
+  [[nodiscard]] double value(const LogicalLine& ll, std::size_t i) const {
+    try {
+      return parseSpiceValue(tok(ll, i));
+    } catch (const InvalidArgumentError& e) {
+      fail(ll.number, e.what());
+    }
+  }
+  [[nodiscard]] NodeId node(const LogicalLine& ll, std::size_t i) {
+    return result_.circuit.node(tok(ll, i));
+  }
+
+  // --- element parsers ------------------------------------------------------
+  void parseResistor(const LogicalLine& ll) {
+    if (ll.tokens.size() != 4) fail(ll.number, "R needs: Rname a b value");
+    result_.circuit.addResistor(tok(ll, 0), node(ll, 1), node(ll, 2),
+                                value(ll, 3));
+  }
+
+  void parseCapacitor(const LogicalLine& ll) {
+    if (ll.tokens.size() != 4) fail(ll.number, "C needs: Cname a b value");
+    result_.circuit.addCapacitor(tok(ll, 0), node(ll, 1), node(ll, 2),
+                                 value(ll, 3));
+  }
+
+  [[nodiscard]] SourceWaveform parseWaveform(const LogicalLine& ll,
+                                             std::size_t i) const {
+    const std::string& kind = tok(ll, i);
+    if (kind == "dc") return SourceWaveform::dc(value(ll, i + 1));
+    if (kind == "pulse") {
+      const std::size_t args = ll.tokens.size() - (i + 1);
+      if (args != 6 && args != 7) {
+        fail(ll.number, "PULSE needs 6 or 7 arguments");
+      }
+      return SourceWaveform::pulse(
+          value(ll, i + 1), value(ll, i + 2), value(ll, i + 3),
+          value(ll, i + 4), value(ll, i + 5), value(ll, i + 6),
+          args == 7 ? value(ll, i + 7) : 0.0);
+    }
+    if (kind == "pwl") {
+      const std::size_t args = ll.tokens.size() - (i + 1);
+      if (args < 4 || args % 2 != 0) {
+        fail(ll.number, "PWL needs an even number (>= 4) of arguments");
+      }
+      std::vector<std::pair<double, double>> points;
+      for (std::size_t k = i + 1; k < ll.tokens.size(); k += 2) {
+        points.emplace_back(value(ll, k), value(ll, k + 1));
+      }
+      return SourceWaveform::pwl(std::move(points));
+    }
+    // Bare value: "V1 a b 0.9".
+    return SourceWaveform::dc(value(ll, i));
+  }
+
+  void parseVoltageSource(const LogicalLine& ll) {
+    if (ll.tokens.size() < 4) fail(ll.number, "V needs: Vname p n <spec>");
+    result_.circuit.addVoltageSource(tok(ll, 0), node(ll, 1), node(ll, 2),
+                                     parseWaveform(ll, 3));
+  }
+
+  void parseCurrentSource(const LogicalLine& ll) {
+    if (ll.tokens.size() < 4) fail(ll.number, "I needs: Iname from to <spec>");
+    result_.circuit.addCurrentSource(tok(ll, 0), node(ll, 1), node(ll, 2),
+                                     parseWaveform(ll, 3));
+  }
+
+  void parseMosfet(const LogicalLine& ll) {
+    // Mname d g s model w = <v> l = <v>   ('=' already split into a token)
+    if (ll.tokens.size() < 5) fail(ll.number, "M needs: Mname d g s model W=... L=...");
+    const std::string& modelName = tok(ll, 4);
+    const auto it = models_.find(modelName);
+    if (it == models_.end()) {
+      fail(ll.number, "undefined model '" + modelName + "'");
+    }
+
+    double w = 0.0;
+    double l = 0.0;
+    for (std::size_t i = 5; i < ll.tokens.size(); i += 3) {
+      if (i + 2 >= ll.tokens.size() || tok(ll, i + 1) != "=") {
+        fail(ll.number, "expected key=value after the model name");
+      }
+      if (tok(ll, i) == "w") {
+        w = value(ll, i + 2);
+      } else if (tok(ll, i) == "l") {
+        l = value(ll, i + 2);
+      } else {
+        fail(ll.number, "unknown MOSFET parameter '" + tok(ll, i) + "'");
+      }
+    }
+    if (w <= 0.0 || l <= 0.0) {
+      fail(ll.number, "MOSFET needs positive W= and L=");
+    }
+
+    std::unique_ptr<models::MosfetModel> model = std::visit(
+        [](const auto& card) -> std::unique_ptr<models::MosfetModel> {
+          using Card = std::decay_t<decltype(card)>;
+          if constexpr (std::is_same_v<Card, models::VsParams>) {
+            return std::make_unique<models::VsModel>(card);
+          } else if constexpr (std::is_same_v<Card, models::BsimParams>) {
+            return std::make_unique<models::BsimLite>(card);
+          } else {
+            return std::make_unique<models::AlphaPowerModel>(card);
+          }
+        },
+        it->second);
+    result_.circuit.addMosfet(tok(ll, 0), node(ll, 1), node(ll, 2),
+                              node(ll, 3), std::move(model),
+                              models::DeviceGeometry{w, l});
+  }
+
+  void parseModel(const LogicalLine& ll) {
+    if (ll.tokens.size() < 3) fail(ll.number, ".model needs: name family");
+    const std::string& name = tok(ll, 1);
+    if (models_.count(name) != 0) {
+      fail(ll.number, "duplicate model '" + name + "'");
+    }
+    const std::string& family = tok(ll, 2);
+
+    ModelCard card;
+    if (family == "vs_nmos") {
+      card = models::defaultVsNmos();
+    } else if (family == "vs_pmos") {
+      card = models::defaultVsPmos();
+    } else if (family == "bsim_nmos") {
+      card = models::defaultBsimNmos();
+    } else if (family == "bsim_pmos") {
+      card = models::defaultBsimPmos();
+    } else if (family == "alpha_nmos") {
+      card = models::defaultAlphaNmos();
+    } else if (family == "alpha_pmos") {
+      card = models::defaultAlphaPmos();
+    } else {
+      fail(ll.number, "unknown model family '" + family + "'");
+    }
+
+    // key = value overrides (VS families only).
+    for (std::size_t i = 3; i < ll.tokens.size(); i += 3) {
+      if (i + 2 >= ll.tokens.size() || tok(ll, i + 1) != "=") {
+        fail(ll.number, "expected key=value");
+      }
+      if (auto* vs = std::get_if<models::VsParams>(&card)) {
+        applyVsOverride(*vs, tok(ll, i), value(ll, i + 2), ll.number);
+      } else {
+        fail(ll.number,
+             "parameter overrides are only supported for vs_* families");
+      }
+    }
+    models_.emplace(name, std::move(card));
+  }
+
+  std::vector<LogicalLine> lines_;
+  std::unordered_map<std::string, ModelCard> models_;
+  ParsedNetlist result_;
+};
+
+}  // namespace
+
+ParsedNetlist parseNetlist(const std::string& text) {
+  require(!text.empty(), "parseNetlist: empty netlist");
+  return Parser(text).run();
+}
+
+ParsedNetlist parseNetlistFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw InvalidArgumentError("parseNetlistFile: cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parseNetlist(buffer.str());
+}
+
+}  // namespace vsstat::spice

@@ -1,0 +1,52 @@
+// SPICE netlist text parser -- the subset this library's circuits need.
+//
+// Grammar (case-insensitive keywords, '*' comments, '+' continuations):
+//
+//   R<name> a b <value>
+//   C<name> a b <value>
+//   V<name> p n [DC] <value> | PULSE(v1 v2 td tr tf pw [per]) | PWL(t v ...)
+//   I<name> from to <value>
+//   M<name> d g s <model> W=<value> L=<value>
+//   .model <name> vs_nmos|vs_pmos|bsim_nmos|bsim_pmos|alpha_nmos|alpha_pmos
+//          [key=value ...]           (VS families accept card overrides)
+//   .tran <dt> <tstop>               (recorded, not executed)
+//   .title <text>  .end
+//
+// Values accept SPICE suffixes (f p n u m k meg g t) and scientific
+// notation; node "0" and "gnd" are ground.  MOSFETs are three-terminal in
+// this engine (no bulk), matching spice::MosfetElement.
+//
+// All errors throw InvalidArgumentError with the offending line number.
+#ifndef VSSTAT_SPICE_NETLIST_HPP
+#define VSSTAT_SPICE_NETLIST_HPP
+
+#include <optional>
+#include <string>
+
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+
+namespace vsstat::spice {
+
+struct ParsedNetlist {
+  Circuit circuit;
+  std::string title;
+  /// From a .tran card, if present: {dt, tstop}.
+  std::optional<std::pair<double, double>> tran;
+};
+
+/// Parses a complete netlist from text.
+[[nodiscard]] ParsedNetlist parseNetlist(const std::string& text);
+
+/// Parses a netlist file from disk.
+[[nodiscard]] ParsedNetlist parseNetlistFile(const std::string& path);
+
+/// Parses one numeric token with SPICE magnitude suffixes:
+/// "1k" = 1e3, "10meg" = 1e7, "3.3u" = 3.3e-6, "40n", "1.5e-12", ...
+/// (SPICE convention: lone "m" is milli, "meg" is 1e6.)  A trailing unit
+/// word after the suffix is ignored ("10pF" == "10p").
+[[nodiscard]] double parseSpiceValue(const std::string& token);
+
+}  // namespace vsstat::spice
+
+#endif  // VSSTAT_SPICE_NETLIST_HPP

@@ -1,0 +1,121 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vsstat::stats {
+
+void MomentAccumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  // Pébay's one-pass update of central moments.
+  const auto n1 = static_cast<double>(n_);
+  ++n_;
+  const auto n = static_cast<double>(n_);
+  const double delta = x - mean_;
+  const double deltaN = delta / n;
+  const double deltaN2 = deltaN * deltaN;
+  const double term1 = delta * deltaN * n1;
+  mean_ += deltaN;
+  m4_ += term1 * deltaN2 * (n * n - 3.0 * n + 3.0) + 6.0 * deltaN2 * m2_ -
+         4.0 * deltaN * m3_;
+  m3_ += term1 * deltaN * (n - 2.0) - 3.0 * deltaN * m2_;
+  m2_ += term1;
+}
+
+double MomentAccumulator::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double MomentAccumulator::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+double MomentAccumulator::skewness() const noexcept {
+  if (n_ < 3 || m2_ <= 0.0) return 0.0;
+  const auto n = static_cast<double>(n_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double MomentAccumulator::excessKurtosis() const noexcept {
+  if (n_ < 4 || m2_ <= 0.0) return 0.0;
+  const auto n = static_cast<double>(n_);
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  if (samples.empty()) return s;
+
+  MomentAccumulator acc;
+  for (double v : samples) acc.add(v);
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.skewness = acc.skewness();
+  s.excessKurtosis = acc.excessKurtosis();
+  s.min = acc.min();
+  s.max = acc.max();
+
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.median = quantileSorted(sorted, 0.5);
+  s.q25 = quantileSorted(sorted, 0.25);
+  s.q75 = quantileSorted(sorted, 0.75);
+  return s;
+}
+
+double quantileSorted(const std::vector<double>& sorted, double q) {
+  require(!sorted.empty(), "quantile: empty sample");
+  require(q >= 0.0 && q <= 1.0, "quantile: q must be in [0, 1]");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double quantile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  return quantileSorted(samples, q);
+}
+
+double mean(const std::vector<double>& samples) {
+  require(!samples.empty(), "mean: empty sample");
+  double s = 0.0;
+  for (double v : samples) s += v;
+  return s / static_cast<double>(samples.size());
+}
+
+double stddev(const std::vector<double>& samples) {
+  MomentAccumulator acc;
+  for (double v : samples) acc.add(v);
+  return acc.stddev();
+}
+
+double correlation(const std::vector<double>& x, const std::vector<double>& y) {
+  require(x.size() == y.size(), "correlation: size mismatch");
+  require(x.size() >= 2, "correlation: need at least 2 points");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace vsstat::stats

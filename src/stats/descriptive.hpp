@@ -1,0 +1,68 @@
+// Descriptive statistics: streaming moments (Welford), quantiles, summary.
+#ifndef VSSTAT_STATS_DESCRIPTIVE_HPP
+#define VSSTAT_STATS_DESCRIPTIVE_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace vsstat::stats {
+
+/// Numerically stable streaming accumulator of the first four moments.
+class MomentAccumulator {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Bias-uncorrected skewness g1; 0 for n < 3 or zero variance.
+  [[nodiscard]] double skewness() const noexcept;
+  /// Excess kurtosis g2; 0 for n < 4 or zero variance.
+  [[nodiscard]] double excessKurtosis() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One-stop summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double skewness = 0.0;
+  double excessKurtosis = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q25 = 0.0;
+  double q75 = 0.0;
+};
+
+[[nodiscard]] Summary summarize(const std::vector<double>& samples);
+
+/// Linear-interpolated quantile of an unsorted sample, q in [0, 1].
+[[nodiscard]] double quantile(std::vector<double> samples, double q);
+
+/// Quantile of an already-sorted sample (no copy).
+[[nodiscard]] double quantileSorted(const std::vector<double>& sorted, double q);
+
+[[nodiscard]] double mean(const std::vector<double>& samples);
+[[nodiscard]] double stddev(const std::vector<double>& samples);
+
+/// Pearson correlation coefficient.
+[[nodiscard]] double correlation(const std::vector<double>& x,
+                                 const std::vector<double>& y);
+
+}  // namespace vsstat::stats
+
+#endif  // VSSTAT_STATS_DESCRIPTIVE_HPP

@@ -1,0 +1,107 @@
+#include "stats/ellipse.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vsstat::stats {
+
+double Bivariate::correlation() const noexcept {
+  const double denom = std::sqrt(varX * varY);
+  return denom > 0.0 ? covXY / denom : 0.0;
+}
+
+Bivariate bivariateMoments(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  require(x.size() == y.size(), "bivariateMoments: size mismatch");
+  require(x.size() >= 2, "bivariateMoments: need >= 2 points");
+  const auto n = static_cast<double>(x.size());
+
+  Bivariate m;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    m.meanX += x[i];
+    m.meanY += y[i];
+  }
+  m.meanX /= n;
+  m.meanY /= n;
+
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - m.meanX;
+    const double dy = y[i] - m.meanY;
+    m.varX += dx * dx;
+    m.varY += dy * dy;
+    m.covXY += dx * dy;
+  }
+  m.varX /= n - 1.0;
+  m.varY /= n - 1.0;
+  m.covXY /= n - 1.0;
+  return m;
+}
+
+EllipseSpec sigmaEllipse(const Bivariate& m, double k) {
+  require(k > 0.0, "sigmaEllipse: k must be > 0");
+  // Eigen-decomposition of the 2x2 symmetric covariance matrix.
+  const double tr = m.varX + m.varY;
+  const double det = m.varX * m.varY - m.covXY * m.covXY;
+  const double disc = std::sqrt(std::max(0.25 * tr * tr - det, 0.0));
+  const double l1 = 0.5 * tr + disc;  // largest eigenvalue
+  const double l2 = 0.5 * tr - disc;
+
+  EllipseSpec e;
+  e.centerX = m.meanX;
+  e.centerY = m.meanY;
+  e.semiMajor = k * std::sqrt(std::max(l1, 0.0));
+  e.semiMinor = k * std::sqrt(std::max(l2, 0.0));
+  if (std::fabs(m.covXY) < 1e-300 && m.varX >= m.varY) {
+    e.angleRad = 0.0;
+  } else if (std::fabs(m.covXY) < 1e-300) {
+    e.angleRad = M_PI / 2.0;
+  } else {
+    e.angleRad = std::atan2(l1 - m.varX, m.covXY);
+  }
+  return e;
+}
+
+EllipsePolyline traceEllipse(const EllipseSpec& e, std::size_t points) {
+  require(points >= 3, "traceEllipse: need >= 3 points");
+  EllipsePolyline p;
+  p.x.resize(points + 1);
+  p.y.resize(points + 1);
+  const double ca = std::cos(e.angleRad);
+  const double sa = std::sin(e.angleRad);
+  for (std::size_t i = 0; i <= points; ++i) {
+    const double t =
+        2.0 * M_PI * static_cast<double>(i) / static_cast<double>(points);
+    const double u = e.semiMajor * std::cos(t);
+    const double v = e.semiMinor * std::sin(t);
+    p.x[i] = e.centerX + u * ca - v * sa;
+    p.y[i] = e.centerY + u * sa + v * ca;
+  }
+  return p;
+}
+
+double fractionInside(const Bivariate& m, double k,
+                      const std::vector<double>& x,
+                      const std::vector<double>& y) {
+  require(x.size() == y.size(), "fractionInside: size mismatch");
+  require(!x.empty(), "fractionInside: empty sample");
+  const double det = m.varX * m.varY - m.covXY * m.covXY;
+  require(det > 0.0, "fractionInside: degenerate covariance");
+
+  const double inv00 = m.varY / det;
+  const double inv01 = -m.covXY / det;
+  const double inv11 = m.varX / det;
+  const double k2 = k * k;
+
+  std::size_t inside = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - m.meanX;
+    const double dy = y[i] - m.meanY;
+    const double d2 = dx * (inv00 * dx + inv01 * dy) +
+                      dy * (inv01 * dx + inv11 * dy);
+    if (d2 <= k2) ++inside;
+  }
+  return static_cast<double>(inside) / static_cast<double>(x.size());
+}
+
+}  // namespace vsstat::stats

@@ -1,0 +1,53 @@
+// Bivariate Gaussian confidence ellipses for the Ion / log10(Ioff) scatter
+// validation (paper Fig. 4: 1/2/3-sigma ellipses for VS vs BSIM).
+#ifndef VSSTAT_STATS_ELLIPSE_HPP
+#define VSSTAT_STATS_ELLIPSE_HPP
+
+#include <vector>
+
+namespace vsstat::stats {
+
+/// Sample mean and covariance of a 2-D point cloud.
+struct Bivariate {
+  double meanX = 0.0;
+  double meanY = 0.0;
+  double varX = 0.0;
+  double varY = 0.0;
+  double covXY = 0.0;
+
+  [[nodiscard]] double correlation() const noexcept;
+};
+
+[[nodiscard]] Bivariate bivariateMoments(const std::vector<double>& x,
+                                         const std::vector<double>& y);
+
+/// k-sigma ellipse of a bivariate Gaussian: principal semi-axes and tilt.
+struct EllipseSpec {
+  double centerX = 0.0;
+  double centerY = 0.0;
+  double semiMajor = 0.0;   ///< k * sqrt(largest eigenvalue)
+  double semiMinor = 0.0;   ///< k * sqrt(smallest eigenvalue)
+  double angleRad = 0.0;    ///< tilt of the major axis w.r.t. +x
+};
+
+[[nodiscard]] EllipseSpec sigmaEllipse(const Bivariate& m, double k);
+
+/// Samples `points` perimeter points of the ellipse (closed polyline).
+struct EllipsePolyline {
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+[[nodiscard]] EllipsePolyline traceEllipse(const EllipseSpec& e,
+                                           std::size_t points = 90);
+
+/// Fraction of points falling inside the k-sigma ellipse (Mahalanobis
+/// distance <= k).  For a true bivariate Gaussian the expectation is
+/// 1 - exp(-k^2/2) (39.3% / 86.5% / 98.9% for k = 1/2/3).
+[[nodiscard]] double fractionInside(const Bivariate& m, double k,
+                                    const std::vector<double>& x,
+                                    const std::vector<double>& y);
+
+}  // namespace vsstat::stats
+
+#endif  // VSSTAT_STATS_ELLIPSE_HPP

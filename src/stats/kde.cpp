@@ -1,0 +1,61 @@
+#include "stats/kde.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::stats {
+
+double silvermanBandwidth(const std::vector<double>& samples) {
+  require(samples.size() >= 2, "silvermanBandwidth: need >= 2 samples");
+  const double sd = stddev(samples);
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double iqr = quantileSorted(sorted, 0.75) - quantileSorted(sorted, 0.25);
+  double spread = sd;
+  if (iqr > 0.0) spread = std::min(sd, iqr / 1.349);
+  if (spread <= 0.0) spread = std::max(sd, 1e-300);
+  const auto n = static_cast<double>(samples.size());
+  return 0.9 * spread * std::pow(n, -0.2);
+}
+
+double kdeAt(const std::vector<double>& samples, double x, double bandwidth) {
+  require(!samples.empty(), "kdeAt: empty sample");
+  require(bandwidth > 0.0, "kdeAt: bandwidth must be > 0");
+  constexpr double kInvSqrt2Pi = 0.3989422804014327;
+  double s = 0.0;
+  for (double v : samples) {
+    const double u = (x - v) / bandwidth;
+    s += std::exp(-0.5 * u * u);
+  }
+  return s * kInvSqrt2Pi /
+         (bandwidth * static_cast<double>(samples.size()));
+}
+
+KdeCurve kde(const std::vector<double>& samples, std::size_t points,
+             double bandwidth) {
+  require(samples.size() >= 2, "kde: need >= 2 samples");
+  require(points >= 2, "kde: need >= 2 grid points");
+
+  double h = bandwidth > 0.0 ? bandwidth : silvermanBandwidth(samples);
+  if (h <= 0.0) h = 1e-12;
+
+  const auto [mnIt, mxIt] = std::minmax_element(samples.begin(), samples.end());
+  const double lo = *mnIt - 3.0 * h;
+  const double hi = *mxIt + 3.0 * h;
+
+  KdeCurve curve;
+  curve.bandwidth = h;
+  curve.x.resize(points);
+  curve.density.resize(points);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    curve.x[i] = lo + static_cast<double>(i) * step;
+    curve.density[i] = kdeAt(samples, curve.x[i], h);
+  }
+  return curve;
+}
+
+}  // namespace vsstat::stats

@@ -1,0 +1,31 @@
+// Gaussian kernel density estimation.  The paper's Figs. 5/7/8/9 plot
+// smooth delay/SNM probability densities from Monte Carlo samples; KDE is
+// how we regenerate those curves.
+#ifndef VSSTAT_STATS_KDE_HPP
+#define VSSTAT_STATS_KDE_HPP
+
+#include <vector>
+
+namespace vsstat::stats {
+
+struct KdeCurve {
+  std::vector<double> x;
+  std::vector<double> density;
+  double bandwidth = 0.0;
+};
+
+/// Silverman's rule-of-thumb bandwidth for a Gaussian kernel.
+[[nodiscard]] double silvermanBandwidth(const std::vector<double>& samples);
+
+/// Evaluates the Gaussian KDE of `samples` on `points` grid points spanning
+/// [min - 3h, max + 3h].  `bandwidth <= 0` selects Silverman's rule.
+[[nodiscard]] KdeCurve kde(const std::vector<double>& samples,
+                           std::size_t points = 200, double bandwidth = 0.0);
+
+/// Evaluates the KDE at a single location.
+[[nodiscard]] double kdeAt(const std::vector<double>& samples, double x,
+                           double bandwidth);
+
+}  // namespace vsstat::stats
+
+#endif  // VSSTAT_STATS_KDE_HPP

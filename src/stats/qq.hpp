@@ -1,0 +1,30 @@
+// Quantile-quantile analysis against the standard normal, matching the
+// paper's Fig. 7 (NAND2 delay at scaled Vdd) and Fig. 9(f) (SRAM HOLD SNM).
+#ifndef VSSTAT_STATS_QQ_HPP
+#define VSSTAT_STATS_QQ_HPP
+
+#include <vector>
+
+namespace vsstat::stats {
+
+/// Standard normal CDF.
+[[nodiscard]] double normalCdf(double x) noexcept;
+
+/// Inverse standard normal CDF (Acklam's rational approximation, refined by
+/// one Halley step; |error| < 1e-9 over (0, 1)).
+[[nodiscard]] double normalQuantile(double p);
+
+struct QqData {
+  std::vector<double> theoretical;  ///< standard normal quantiles
+  std::vector<double> sample;       ///< sorted sample values
+  /// Pearson r^2 of (theoretical, sample); 1.0 == perfectly Gaussian shape.
+  double linearity = 0.0;
+};
+
+/// Builds QQ-plot data: sample order statistics vs normal quantiles at
+/// plotting positions (i + 0.5)/n.
+[[nodiscard]] QqData qqAgainstNormal(std::vector<double> samples);
+
+}  // namespace vsstat::stats
+
+#endif  // VSSTAT_STATS_QQ_HPP

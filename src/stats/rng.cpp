@@ -1,0 +1,91 @@
+#include "stats/rng.hpp"
+
+#include <cmath>
+
+namespace vsstat::stats {
+
+namespace {
+
+std::uint64_t splitMix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitMix64(sm);
+  // xoshiro requires a nonzero state; SplitMix64 output of any seed gives
+  // that with probability 1 - 2^-256, but be explicit anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+}
+
+Rng Rng::fork(std::uint64_t index) const noexcept {
+  // Mix the parent state with the child index through SplitMix64 so child
+  // streams are decorrelated even for consecutive indices.
+  std::uint64_t mix = state_[0] ^ rotl(state_[2], 17) ^ (index * 0xD2B74407B1CE6E93ULL);
+  std::uint64_t sm = mix + 0x9E3779B97F4A7C15ULL * (index + 1);
+  return Rng(splitMix64(sm));
+}
+
+std::uint64_t Rng::nextU64() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal() noexcept {
+  if (hasCachedNormal_) {
+    hasCachedNormal_ = false;
+    return cachedNormal_;
+  }
+  // Marsaglia polar method.
+  double u, v, s;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cachedNormal_ = v * factor;
+  hasCachedNormal_ = true;
+  return u * factor;
+}
+
+double Rng::normal(double mean, double sigma) noexcept {
+  return mean + sigma * normal();
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = nextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+}  // namespace vsstat::stats

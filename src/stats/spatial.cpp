@@ -1,0 +1,58 @@
+#include "stats/spatial.hpp"
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::stats {
+
+double distance(const DiePoint& a, const DiePoint& b) noexcept {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+CorrelatedGaussianField::CorrelatedGaussianField(std::vector<DiePoint> points,
+                                                 double correlationLength,
+                                                 double nugget)
+    : points_(std::move(points)), length_(correlationLength), nugget_(nugget) {
+  require(!points_.empty(), "CorrelatedGaussianField: no points");
+  require(length_ > 0.0,
+          "CorrelatedGaussianField: correlation length must be positive");
+  require(nugget_ >= 0.0 && nugget_ < 1.0,
+          "CorrelatedGaussianField: nugget must lie in [0, 1)");
+
+  const std::size_t n = points_.size();
+  linalg::Matrix corr(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      corr(i, j) = correlation(i, j);
+    }
+  }
+  cholesky_ = linalg::choleskyFactor(corr);
+}
+
+std::vector<double> CorrelatedGaussianField::sample(Rng& rng) const {
+  const std::size_t n = points_.size();
+  std::vector<double> z(n);
+  for (double& v : z) v = rng.normal();
+
+  // field = L z, with L the lower Cholesky factor.
+  std::vector<double> field(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j <= i; ++j) acc += cholesky_(i, j) * z[j];
+    field[i] = acc;
+  }
+  return field;
+}
+
+double CorrelatedGaussianField::correlation(std::size_t i,
+                                            std::size_t j) const {
+  require(i < points_.size() && j < points_.size(),
+          "CorrelatedGaussianField::correlation: index out of range");
+  if (i == j) return 1.0;
+  return (1.0 - nugget_) *
+         std::exp(-distance(points_[i], points_[j]) / length_);
+}
+
+}  // namespace vsstat::stats

@@ -1,0 +1,39 @@
+// Bridge from the statistical VS kit to canonical SSTA delays.
+//
+// A stage's first-order canonical delay has two shared global sources --
+// the NMOS and PMOS speed axes of the statistical corners, at 1 sigma --
+// and an independent local term from within-die mismatch:
+//
+//   D = d0 + gN * X_N + gP * X_P + sigma_local * R
+//
+// gN/gP come from central differences of the stage delay along the corner
+// axes; sigma_local from a mismatch-only Monte Carlo of the same fixture.
+#ifndef VSSTAT_TIMING_STATISTICAL_CELL_HPP
+#define VSSTAT_TIMING_STATISTICAL_CELL_HPP
+
+#include <cstdint>
+
+#include "circuits/cells.hpp"
+#include "core/corners.hpp"
+#include "core/statistical_vs.hpp"
+#include "timing/ssta.hpp"
+
+namespace vsstat::timing {
+
+struct StageModelOptions {
+  double inputSlew = 15e-12;   ///< operating point for the canonical model
+  double loadFarads = 2e-15;
+  int mismatchSamples = 40;    ///< local-sigma Monte Carlo size
+  std::uint64_t seed = 1;
+  double dt = 0.3e-12;
+};
+
+/// Canonical delay of one inverter stage under the kit's variation model.
+/// global[0] is the NMOS axis, global[1] the PMOS axis.
+[[nodiscard]] CanonicalDelay characterizeStageDelay(
+    const core::StatisticalVsKit& kit, const core::StatisticalCorners& corners,
+    const circuits::CellSizing& sizing, const StageModelOptions& options = {});
+
+}  // namespace vsstat::timing
+
+#endif  // VSSTAT_TIMING_STATISTICAL_CELL_HPP

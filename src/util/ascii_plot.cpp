@@ -1,0 +1,101 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace vsstat::util {
+
+std::string asciiHistogram(const std::vector<double>& samples, int bins,
+                           int barWidth, const std::string& xlabel) {
+  require(bins > 0 && barWidth > 0, "asciiHistogram: bins/barWidth must be > 0");
+  if (samples.empty()) return "(no samples)\n";
+
+  const auto [minIt, maxIt] = std::minmax_element(samples.begin(), samples.end());
+  double lo = *minIt;
+  double hi = *maxIt;
+  if (lo == hi) {  // degenerate distribution: widen artificially
+    lo -= 0.5;
+    hi += 0.5;
+  }
+  const double width = (hi - lo) / bins;
+
+  std::vector<int> counts(static_cast<std::size_t>(bins), 0);
+  for (double s : samples) {
+    auto b = static_cast<int>((s - lo) / width);
+    b = std::clamp(b, 0, bins - 1);
+    ++counts[static_cast<std::size_t>(b)];
+  }
+  const int peak = *std::max_element(counts.begin(), counts.end());
+
+  std::ostringstream os;
+  if (!xlabel.empty()) os << "  " << xlabel << '\n';
+  for (int b = 0; b < bins; ++b) {
+    const double center = lo + (b + 0.5) * width;
+    const int count = counts[static_cast<std::size_t>(b)];
+    const int len = peak > 0 ? (count * barWidth + peak / 2) / peak : 0;
+    os << "  " << formatSci(center, 3) << " |" << std::string(len, '#');
+    os << ' ' << count << '\n';
+  }
+  return os.str();
+}
+
+std::string asciiScatter(const std::vector<Series>& series, int width,
+                         int height, const std::string& xlabel,
+                         const std::string& ylabel) {
+  require(width > 2 && height > 2, "asciiScatter: grid too small");
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin, ymin = xmin, ymax = -xmin;
+  bool any = false;
+  for (const auto& s : series) {
+    require(s.x.size() == s.y.size(), "asciiScatter: ragged series");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+      any = true;
+    }
+  }
+  if (!any) return "(no points)\n";
+  if (xmin == xmax) {
+    xmin -= 0.5;
+    xmax += 0.5;
+  }
+  if (ymin == ymax) {
+    ymin -= 0.5;
+    ymax += 0.5;
+  }
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      auto cx = static_cast<int>(std::lround((s.x[i] - xmin) / (xmax - xmin) *
+                                             (width - 1)));
+      auto cy = static_cast<int>(std::lround((s.y[i] - ymin) / (ymax - ymin) *
+                                             (height - 1)));
+      cx = std::clamp(cx, 0, width - 1);
+      cy = std::clamp(cy, 0, height - 1);
+      grid[static_cast<std::size_t>(height - 1 - cy)]
+          [static_cast<std::size_t>(cx)] = s.glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!ylabel.empty()) os << "  " << ylabel << '\n';
+  os << "  " << formatSci(ymax, 2) << '\n';
+  for (const auto& row : grid) os << "  |" << row << "|\n";
+  os << "  " << formatSci(ymin, 2) << '\n';
+  os << "  x: [" << formatSci(xmin, 3) << ", " << formatSci(xmax, 3) << "] "
+     << xlabel << '\n';
+  return os.str();
+}
+
+}  // namespace vsstat::util

@@ -1,0 +1,33 @@
+// Minimal ASCII rendering of histograms and scatter plots so bench binaries
+// can show the *shape* of each paper figure directly in the terminal
+// (Gaussian vs skewed PDFs, butterfly curves, confidence ellipses, ...).
+#ifndef VSSTAT_UTIL_ASCII_PLOT_HPP
+#define VSSTAT_UTIL_ASCII_PLOT_HPP
+
+#include <string>
+#include <vector>
+
+namespace vsstat::util {
+
+/// Renders a horizontal-bar histogram of `samples` with `bins` bins.
+/// Each line shows the bin center, count, and a proportional bar.
+[[nodiscard]] std::string asciiHistogram(const std::vector<double>& samples,
+                                         int bins = 24, int barWidth = 48,
+                                         const std::string& xlabel = "");
+
+/// Renders one or more (x, y) series on a shared character grid.  Series i
+/// is drawn with glyphs[i % glyphs.size()].
+struct Series {
+  std::vector<double> x;
+  std::vector<double> y;
+  char glyph = '*';
+};
+
+[[nodiscard]] std::string asciiScatter(const std::vector<Series>& series,
+                                       int width = 64, int height = 24,
+                                       const std::string& xlabel = "",
+                                       const std::string& ylabel = "");
+
+}  // namespace vsstat::util
+
+#endif  // VSSTAT_UTIL_ASCII_PLOT_HPP

@@ -1,0 +1,61 @@
+#include "util/csv.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vsstat::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : path_(path), arity_(columns.size()) {
+  require(!columns.empty(), "CsvWriter requires at least one column");
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  out_.open(path);
+  if (!out_) throw Error("CsvWriter: cannot open '" + path + "'");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    out_ << columns[i] << (i + 1 == columns.size() ? "\n" : ",");
+  }
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::writeRow(const std::vector<double>& values) {
+  require(values.size() == arity_, "CsvWriter row arity mismatch");
+  std::ostringstream ss;
+  ss.precision(10);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ss << values[i] << (i + 1 == values.size() ? "\n" : ",");
+  }
+  out_ << ss.str();
+}
+
+void CsvWriter::writeRow(const std::vector<std::string>& cells) {
+  require(cells.size() == arity_, "CsvWriter row arity mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out_ << cells[i] << (i + 1 == cells.size() ? "\n" : ",");
+  }
+}
+
+void writeCsv(const std::string& path, const std::vector<std::string>& names,
+              const std::vector<std::vector<double>>& columns) {
+  require(names.size() == columns.size(),
+          "writeCsv: names/columns size mismatch");
+  require(!columns.empty(), "writeCsv: no columns");
+  const std::size_t n = columns.front().size();
+  for (const auto& c : columns) {
+    require(c.size() == n, "writeCsv: ragged columns");
+  }
+  CsvWriter w(path, names);
+  std::vector<double> row(columns.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < columns.size(); ++c) row[c] = columns[c][i];
+    w.writeRow(row);
+  }
+}
+
+}  // namespace vsstat::util

@@ -1,0 +1,47 @@
+// CSV writer for benchmark series output.  Every bench binary dumps the raw
+// series it prints (PDFs, scatters, sweep curves) under out/ so figures can
+// be re-plotted outside this repository.
+#ifndef VSSTAT_UTIL_CSV_HPP
+#define VSSTAT_UTIL_CSV_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace vsstat::util {
+
+/// Streams rows of doubles (plus a header) into a CSV file.  Creates parent
+/// directories as needed.  Throws vsstat::Error when the file cannot be
+/// opened.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+
+  /// Writes a numeric row; arity must match the header.
+  void writeRow(const std::vector<double>& values);
+
+  /// Writes a row of preformatted cells; arity must match the header.
+  void writeRow(const std::vector<std::string>& cells);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::size_t arity_;
+  std::ofstream out_;
+};
+
+/// Convenience: dump aligned columns in one call.  All columns must have the
+/// same length.
+void writeCsv(const std::string& path, const std::vector<std::string>& names,
+              const std::vector<std::vector<double>>& columns);
+
+}  // namespace vsstat::util
+
+#endif  // VSSTAT_UTIL_CSV_HPP

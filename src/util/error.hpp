@@ -1,0 +1,54 @@
+// Exception hierarchy and precondition checks for the vsstat library.
+//
+// All library errors derive from vsstat::Error so callers can catch the
+// whole family with one handler while still distinguishing convergence
+// failures (retryable with different settings) from usage errors.
+#ifndef VSSTAT_UTIL_ERROR_HPP
+#define VSSTAT_UTIL_ERROR_HPP
+
+#include <stdexcept>
+#include <string>
+
+namespace vsstat {
+
+/// Base class for every error thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad size, bad range, ...).
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// An iterative numerical method (Newton, NNLS, LM, bisection) failed to
+/// converge within its budget.  Carries the iteration count for diagnostics.
+class ConvergenceError : public Error {
+ public:
+  ConvergenceError(const std::string& what, int iterations)
+      : Error(what + " (after " + std::to_string(iterations) + " iterations)"),
+        iterations_(iterations) {}
+
+  [[nodiscard]] int iterations() const noexcept { return iterations_; }
+
+ private:
+  int iterations_ = 0;
+};
+
+/// Statistical extraction (BPV / fitting) failed, e.g. the stacked system
+/// is rank deficient or a variance came out non-physical.
+class ExtractionError : public Error {
+ public:
+  explicit ExtractionError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InvalidArgumentError when `condition` is false.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgumentError(message);
+}
+
+}  // namespace vsstat
+
+#endif  // VSSTAT_UTIL_ERROR_HPP

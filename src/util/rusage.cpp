@@ -1,0 +1,81 @@
+#include "util/rusage.hpp"
+
+#include <sys/resource.h>
+#include <sys/time.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+
+#include "util/error.hpp"
+
+namespace vsstat::util {
+
+namespace {
+
+double rusageCpuSeconds(const rusage& ru) {
+  const auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) + static_cast<double>(t.tv_usec) * 1e-6;
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+}
+
+}  // namespace
+
+CampaignUsage runIsolated(const std::function<void()>& workload) {
+  const auto start = std::chrono::steady_clock::now();
+  const pid_t pid = ::fork();
+  if (pid < 0) throw Error("runIsolated: fork failed");
+  if (pid == 0) {
+    // Child: run the workload and exit without running parent-side atexit
+    // handlers or flushing shared stdio buffers twice.
+    int code = 0;
+    try {
+      workload();
+    } catch (const std::exception&) {
+      code = 1;
+    } catch (...) {
+      code = 2;
+    }
+    ::_exit(code);
+  }
+
+  int status = 0;
+  rusage ru{};
+  if (::wait4(pid, &status, 0, &ru) < 0) throw Error("runIsolated: wait4 failed");
+  const auto end = std::chrono::steady_clock::now();
+
+  CampaignUsage usage;
+  usage.wallSeconds = std::chrono::duration<double>(end - start).count();
+  usage.cpuSeconds = rusageCpuSeconds(ru);
+  // Linux reports ru_maxrss in KiB.
+  usage.maxRssMiB = static_cast<double>(ru.ru_maxrss) / 1024.0;
+  usage.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return usage;
+}
+
+CampaignUsage runInProcess(const std::function<void()>& workload) {
+  const auto start = std::chrono::steady_clock::now();
+  rusage before{};
+  ::getrusage(RUSAGE_SELF, &before);
+  int code = 0;
+  try {
+    workload();
+  } catch (const std::exception&) {
+    code = 1;
+  }
+  rusage after{};
+  ::getrusage(RUSAGE_SELF, &after);
+  const auto end = std::chrono::steady_clock::now();
+
+  CampaignUsage usage;
+  usage.wallSeconds = std::chrono::duration<double>(end - start).count();
+  usage.cpuSeconds = rusageCpuSeconds(after) - rusageCpuSeconds(before);
+  usage.maxRssMiB = static_cast<double>(after.ru_maxrss) / 1024.0;
+  usage.exitCode = code;
+  return usage;
+}
+
+}  // namespace vsstat::util

@@ -1,0 +1,33 @@
+// Process-isolated resource measurement for Table IV (runtime & memory of
+// Monte Carlo campaigns).  Each campaign runs in a forked child so peak RSS
+// is attributable to that campaign alone; the parent collects wall time and
+// the child's maxrss via wait4(2).
+#ifndef VSSTAT_UTIL_RUSAGE_HPP
+#define VSSTAT_UTIL_RUSAGE_HPP
+
+#include <functional>
+#include <string>
+
+namespace vsstat::util {
+
+/// Result of running a workload in an isolated child process.
+struct CampaignUsage {
+  double wallSeconds = 0.0;   ///< wall-clock duration of the child
+  double cpuSeconds = 0.0;    ///< user+system CPU time of the child
+  double maxRssMiB = 0.0;     ///< peak resident set size in MiB
+  int exitCode = 0;           ///< child exit status (0 == success)
+};
+
+/// Runs `workload` in a forked child process and reports its resource usage.
+/// The workload must be self-contained (no shared mutable state with the
+/// parent is visible after the fork).  Throws vsstat::Error if fork/wait
+/// fails; a workload that throws is reported via a nonzero exitCode.
+CampaignUsage runIsolated(const std::function<void()>& workload);
+
+/// In-process fallback (wall/cpu only; maxRssMiB is the *process* high-water
+/// mark, not campaign-attributable).  Used on platforms without fork.
+CampaignUsage runInProcess(const std::function<void()>& workload);
+
+}  // namespace vsstat::util
+
+#endif  // VSSTAT_UTIL_RUSAGE_HPP

@@ -1,0 +1,57 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vsstat::util {
+
+unsigned effectiveThreadCount(unsigned requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallelFor(std::size_t count,
+                 const std::function<void(std::size_t)>& body,
+                 unsigned threads) {
+  if (count == 0) return;
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(effectiveThreadCount(threads), count));
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+        // Keep draining indices so other workers terminate promptly.
+        next.store(count, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace vsstat::util

@@ -1,0 +1,24 @@
+// Fixed-size thread pool used by the Monte Carlo runner.  Work items are
+// index-addressed (parallel-for style) because MC samples are embarrassingly
+// parallel and identified by their sample index.
+#ifndef VSSTAT_UTIL_THREAD_POOL_HPP
+#define VSSTAT_UTIL_THREAD_POOL_HPP
+
+#include <cstddef>
+#include <functional>
+
+namespace vsstat::util {
+
+/// Runs body(i) for i in [0, count) across `threads` worker threads.
+/// `threads == 0` selects std::thread::hardware_concurrency().  Exceptions
+/// thrown by any invocation are captured; the first one is rethrown on the
+/// calling thread after all workers join.
+void parallelFor(std::size_t count, const std::function<void(std::size_t)>& body,
+                 unsigned threads = 0);
+
+/// Number of workers parallelFor would use for `requested` threads.
+[[nodiscard]] unsigned effectiveThreadCount(unsigned requested) noexcept;
+
+}  // namespace vsstat::util
+
+#endif  // VSSTAT_UTIL_THREAD_POOL_HPP

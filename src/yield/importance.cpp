@@ -1,0 +1,124 @@
+#include "yield/importance.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vsstat::yield {
+
+namespace {
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+ImportanceResult importanceSample(const FailureIndicator& fails,
+                                  const std::vector<double>& shift,
+                                  const ImportanceOptions& options) {
+  require(static_cast<bool>(fails), "importanceSample: empty indicator");
+  require(!shift.empty(), "importanceSample: empty shift vector");
+  require(options.samples > 1, "importanceSample: need > 1 samples");
+
+  const double shiftNormSq = dot(shift, shift);
+  stats::Rng rng(options.seed);
+
+  std::vector<double> z(shift.size());
+  double sumW = 0.0;
+  double sumW2 = 0.0;
+  int hits = 0;
+  for (int s = 0; s < options.samples; ++s) {
+    for (std::size_t i = 0; i < z.size(); ++i)
+      z[i] = shift[i] + rng.normal();
+    if (!fails(z)) continue;
+    // Likelihood ratio phi(z)/phi(z - shift).
+    const double w = std::exp(-dot(shift, z) + 0.5 * shiftNormSq);
+    sumW += w;
+    sumW2 += w * w;
+    ++hits;
+  }
+
+  const double n = static_cast<double>(options.samples);
+  ImportanceResult r;
+  r.probability = sumW / n;
+  r.failingDraws = hits;
+  r.effectiveSamples = sumW2 > 0.0 ? sumW * sumW / sumW2 : 0.0;
+  if (r.probability > 0.0) {
+    // Var[P_hat] = (E[w^2 1_fail] - P^2) / n, estimated from the samples.
+    const double var =
+        (sumW2 / n - r.probability * r.probability) / (n - 1.0);
+    r.relStdError = std::sqrt(std::max(var, 0.0)) / r.probability;
+  }
+  return r;
+}
+
+ImportanceResult bruteForceProbability(const FailureIndicator& fails,
+                                       std::size_t dim,
+                                       const ImportanceOptions& options) {
+  require(dim > 0, "bruteForceProbability: dim must be positive");
+  return importanceSample(fails, std::vector<double>(dim, 0.0), options);
+}
+
+std::vector<double> findFailureShift(
+    const FailureIndicator& fails, std::size_t dim,
+    const std::vector<std::vector<double>>& extraDirections,
+    const ShiftSearchOptions& options) {
+  require(dim > 0, "findFailureShift: dim must be positive");
+  require(options.maxRadius > 0.0 && options.tolerance > 0.0,
+          "findFailureShift: bad search options");
+
+  // Direction set: +/- coordinate axes plus normalized extras.
+  std::vector<std::vector<double>> directions;
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (const double sign : {1.0, -1.0}) {
+      std::vector<double> d(dim, 0.0);
+      d[i] = sign;
+      directions.push_back(std::move(d));
+    }
+  }
+  for (const auto& extra : extraDirections) {
+    require(extra.size() == dim, "findFailureShift: direction dim mismatch");
+    const double norm = std::sqrt(dot(extra, extra));
+    require(norm > 0.0, "findFailureShift: zero extra direction");
+    std::vector<double> d(dim);
+    for (std::size_t i = 0; i < dim; ++i) d[i] = extra[i] / norm;
+    directions.push_back(std::move(d));
+  }
+
+  const auto failsAt = [&](const std::vector<double>& dir, double radius) {
+    std::vector<double> z(dim);
+    for (std::size_t i = 0; i < dim; ++i) z[i] = radius * dir[i];
+    return fails(z);
+  };
+
+  double bestRadius = options.maxRadius + 1.0;
+  std::vector<double> bestDir;
+  for (const auto& dir : directions) {
+    if (!failsAt(dir, options.maxRadius)) continue;  // never fails this way
+    double lo = 0.0;
+    double hi = options.maxRadius;
+    while (hi - lo > options.tolerance) {
+      const double mid = 0.5 * (lo + hi);
+      (failsAt(dir, mid) ? hi : lo) = mid;
+    }
+    if (hi < bestRadius) {
+      bestRadius = hi;
+      bestDir = dir;
+    }
+  }
+  if (bestDir.empty()) {
+    throw ConvergenceError(
+        "findFailureShift: no failing direction within maxRadius",
+        static_cast<int>(directions.size()));
+  }
+
+  std::vector<double> shift(dim);
+  for (std::size_t i = 0; i < dim; ++i)
+    shift[i] = options.backoff * bestRadius * bestDir[i];
+  return shift;
+}
+
+}  // namespace vsstat::yield

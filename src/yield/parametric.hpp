@@ -1,0 +1,58 @@
+// Parametric yield: pass/fail statistics of a circuit metric against spec
+// limits.  The paper points out that the statistical VS model "may be used
+// to predict the distribution of frequency, leakage power, and even
+// parametric yield" (Sec. IV-B); this module supplies the yield-side
+// arithmetic -- Gaussian and empirical yield plus binomial confidence
+// intervals -- used by the SRAM and timing examples.
+#ifndef VSSTAT_YIELD_PARAMETRIC_HPP
+#define VSSTAT_YIELD_PARAMETRIC_HPP
+
+#include <optional>
+#include <vector>
+
+namespace vsstat::yield {
+
+/// One- or two-sided specification window; absent bounds are open.
+struct SpecLimit {
+  std::optional<double> lower;
+  std::optional<double> upper;
+
+  [[nodiscard]] bool passes(double value) const noexcept {
+    if (lower && value < *lower) return false;
+    if (upper && value > *upper) return false;
+    return true;
+  }
+};
+
+/// Yield of a Gaussian metric N(mean, sigma^2) against the spec window.
+/// sigma must be positive; a spec with no bounds yields 1.
+[[nodiscard]] double gaussianYield(double mean, double sigma,
+                                   const SpecLimit& spec);
+
+/// Fraction of samples inside the window.  Throws on empty input.
+[[nodiscard]] double empiricalYield(const std::vector<double>& samples,
+                                    const SpecLimit& spec);
+
+/// Binomial yield estimate with a Wilson score interval.
+struct YieldEstimate {
+  double yield = 0.0;
+  double lower = 0.0;   ///< Wilson interval bounds at the given z
+  double upper = 0.0;
+  long passed = 0;
+  long total = 0;
+};
+
+/// Wilson score interval for `passed` successes in `total` trials;
+/// z = 1.96 gives a 95% interval.  Throws when total <= 0 or counts are
+/// inconsistent.
+[[nodiscard]] YieldEstimate yieldWithConfidence(long passed, long total,
+                                                double z = 1.96);
+
+/// Convenience: empirical yield of samples with a Wilson interval.
+[[nodiscard]] YieldEstimate yieldOfSamples(const std::vector<double>& samples,
+                                           const SpecLimit& spec,
+                                           double z = 1.96);
+
+}  // namespace vsstat::yield
+
+#endif  // VSSTAT_YIELD_PARAMETRIC_HPP

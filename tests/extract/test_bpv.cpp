@@ -1,0 +1,143 @@
+#include "extract/bpv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "extract/golden_meter.hpp"
+#include "models/vs_params.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::extract {
+namespace {
+
+using models::geometryNm;
+using models::PelgromAlphas;
+
+PelgromAlphas truthAlphas() {
+  PelgromAlphas a;
+  a.aVt0 = 2.3;
+  a.aLeff = 3.71;
+  a.aWeff = 3.71;
+  a.aMu = 900.0;
+  a.aCinv = 0.29;
+  return a;
+}
+
+/// Synthesizes noise-free "measured" variances from a known alpha truth by
+/// forward propagation through the VS model itself.  BPV must then recover
+/// the truth (round trip).
+std::vector<GeometryMeasurement> synthesize(const models::VsParams& card,
+                                            const PelgromAlphas& truth) {
+  std::vector<GeometryMeasurement> meas;
+  for (const auto& g : extractionGeometries()) {
+    const VarianceBreakdown vb = propagateVariance(card, g, truth, 0.9);
+    GeometryMeasurement m;
+    m.geom = g;
+    m.varIdsat = vb.totalFor(0);
+    m.varLog10Ioff = vb.totalFor(1);
+    m.varCgg = vb.totalFor(2);
+    meas.push_back(m);
+  }
+  return meas;
+}
+
+TEST(BpvRoundTrip, RecoversKnownAlphasFromSyntheticVariances) {
+  const models::VsParams card = models::defaultVsNmos();
+  const PelgromAlphas truth = truthAlphas();
+  BpvOptions opt;
+  opt.aCinvDirect = truth.aCinv;  // Cinv "measured directly"
+  const BpvResult r = solveBpv(card, synthesize(card, truth), opt);
+  EXPECT_NEAR(r.alphas.aVt0, truth.aVt0, 0.05 * truth.aVt0);
+  EXPECT_NEAR(r.alphas.aLeff, truth.aLeff, 0.08 * truth.aLeff);
+  EXPECT_NEAR(r.alphas.aWeff, truth.aWeff, 0.08 * truth.aWeff);
+  EXPECT_NEAR(r.alphas.aMu, truth.aMu, 0.15 * truth.aMu);
+  EXPECT_DOUBLE_EQ(r.alphas.aCinv, truth.aCinv);
+  EXPECT_EQ(r.rowsDropped, 0);
+}
+
+TEST(BpvRoundTrip, TieForcesEqualLengthWidthAlphas) {
+  const models::VsParams card = models::defaultVsNmos();
+  const BpvResult r = solveBpv(card, synthesize(card, truthAlphas()));
+  EXPECT_DOUBLE_EQ(r.alphas.aLeff, r.alphas.aWeff);
+}
+
+TEST(BpvRoundTrip, UntiedSolveStillRecoversTruth) {
+  const models::VsParams card = models::defaultVsNmos();
+  PelgromAlphas truth = truthAlphas();
+  BpvOptions opt;
+  opt.tieLengthWidth = false;
+  opt.aCinvDirect = truth.aCinv;
+  const BpvResult r = solveBpv(card, synthesize(card, truth), opt);
+  EXPECT_NEAR(r.alphas.aLeff, truth.aLeff, 0.2 * truth.aLeff);
+  EXPECT_NEAR(r.alphas.aWeff, truth.aWeff, 0.2 * truth.aWeff);
+}
+
+TEST(BpvIndividual, SingleGeometryIsLessConstrained) {
+  // Individual solves (paper Fig. 2) work but scatter more; here we just
+  // verify one solves and stays within a loose band of the joint solve.
+  const models::VsParams card = models::defaultVsNmos();
+  const PelgromAlphas truth = truthAlphas();
+  BpvOptions opt;
+  opt.aCinvDirect = truth.aCinv;
+  const auto meas = synthesize(card, truth);
+  const BpvResult joint = solveBpv(card, meas, opt);
+  const BpvResult single = solveBpvIndividual(card, meas[2], opt);
+  EXPECT_NEAR(single.alphas.aVt0, joint.alphas.aVt0, 0.3 * joint.alphas.aVt0);
+}
+
+TEST(Bpv, SolveCinvByBpvAblation) {
+  // The ablation mode extracts Cinv instead of measuring it; with
+  // noise-free synthetic data it lands near the truth (the paper's point
+  // is that with *real* noisy data BPV overestimates such tight params).
+  const models::VsParams card = models::defaultVsNmos();
+  const PelgromAlphas truth = truthAlphas();
+  BpvOptions opt;
+  opt.solveCinvByBpv = true;
+  const BpvResult r = solveBpv(card, synthesize(card, truth), opt);
+  EXPECT_GE(r.alphas.aCinv, 0.0);
+  EXPECT_LT(r.alphas.aCinv, 5.0 * truth.aCinv);
+}
+
+TEST(Bpv, ThrowsOnEmptyMeasurements) {
+  EXPECT_THROW(solveBpv(models::defaultVsNmos(), {}), InvalidArgumentError);
+}
+
+TEST(Bpv, DegenerateRowsAreDroppedAndCounted) {
+  const models::VsParams card = models::defaultVsNmos();
+  GeometryMeasurement zero;
+  zero.geom = geometryNm(600, 40);
+  zero.varIdsat = 1e-30;  // below the Cinv-subtraction floor
+  zero.varLog10Ioff = 1e-30;
+  zero.varCgg = 1e-60;
+  const auto good = synthesize(card, truthAlphas());
+  std::vector<GeometryMeasurement> meas = good;
+  meas.push_back(zero);
+  const BpvResult r = solveBpv(card, meas);
+  EXPECT_GT(r.rowsDropped, 0);
+}
+
+TEST(PropagateVariance, BreakdownSumsToTotal) {
+  const models::VsParams card = models::defaultVsNmos();
+  const VarianceBreakdown vb =
+      propagateVariance(card, geometryNm(600, 40), truthAlphas(), 0.9);
+  double manual = 0.0;
+  for (std::size_t j = 0; j < 5; ++j) manual += vb.contributions(0, j);
+  EXPECT_DOUBLE_EQ(vb.totalFor(0), manual);
+  EXPECT_GT(vb.totalFor(0), 0.0);
+  EXPECT_GT(vb.totalFor(1), 0.0);
+  EXPECT_GT(vb.totalFor(2), 0.0);
+}
+
+TEST(PropagateVariance, Vt0DominatesLeakageVariance) {
+  // Fig. 3 shape: RDF (VT0) is the leading contributor to leakage sigma.
+  const models::VsParams card = models::defaultVsNmos();
+  const VarianceBreakdown vb =
+      propagateVariance(card, geometryNm(600, 40), truthAlphas(), 0.9);
+  const std::size_t ioffRow = 1;
+  const double vt0Part = vb.contributions(ioffRow, 0);
+  EXPECT_GT(vt0Part, 0.5 * vb.totalFor(ioffRow));
+}
+
+}  // namespace
+}  // namespace vsstat::extract

@@ -1,0 +1,87 @@
+#include "extract/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "measure/device_metrics.hpp"
+#include "models/bsim_lite.hpp"
+#include "models/vs_model.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::extract {
+namespace {
+
+using models::BsimLite;
+using models::geometryNm;
+using models::VsModel;
+
+TEST(VsFit, SelfFitIsNearPerfect) {
+  // Fitting the VS model to itself must keep errors at numerical noise.
+  const models::VsParams truth = models::defaultVsNmos();
+  const VsModel golden(truth);
+  const IvFitResult r =
+      fitVsToGolden(truth, golden, geometryNm(300, 40));
+  EXPECT_LT(r.rmsLogIdVg, 1e-4);
+  EXPECT_LT(r.rmsRelIdVd, 1e-4);
+  EXPECT_LT(std::fabs(r.relCggError), 1e-4);
+}
+
+TEST(VsFit, CrossModelFitReachesFigureOneQuality) {
+  // Fig. 1: VS tracks the golden kit across all regions.  Cross-family
+  // fits can't be perfect; a few percent RMS is the expected quality.
+  const BsimLite golden(models::defaultBsimNmos());
+  const IvFitResult r = fitVsToGolden(models::defaultVsNmos(), golden,
+                                      geometryNm(300, 40));
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.rmsLogIdVg, 0.25);     // < ~25% in log-current space
+  EXPECT_LT(r.rmsRelIdVd, 0.10);     // < 10% on output curves
+  EXPECT_LT(std::fabs(r.relCggError), 0.05);
+}
+
+TEST(VsFit, AnchorsPinIdsatAndIoff) {
+  const BsimLite golden(models::defaultBsimNmos());
+  const auto geom = geometryNm(300, 40);
+  const IvFitResult r =
+      fitVsToGolden(models::defaultVsNmos(), golden, geom);
+  const VsModel fitted(r.card);
+  const double idsatErr =
+      measure::idsat(fitted, geom, 0.9) / measure::idsat(golden, geom, 0.9) -
+      1.0;
+  const double ioffErr = measure::log10Ioff(fitted, geom, 0.9) -
+                         measure::log10Ioff(golden, geom, 0.9);
+  EXPECT_LT(std::fabs(idsatErr), 0.05);  // Idsat within 5%
+  EXPECT_LT(std::fabs(ioffErr), 0.05);   // Ioff within ~12%
+}
+
+TEST(VsFit, PmosFitAlsoConverges) {
+  const BsimLite golden(models::defaultBsimPmos());
+  const IvFitResult r = fitVsToGolden(models::defaultVsPmos(), golden,
+                                      geometryNm(300, 40));
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.rmsRelIdVd, 0.12);
+}
+
+TEST(VsFit, FittedCardStaysInPhysicalBounds) {
+  const BsimLite golden(models::defaultBsimNmos());
+  const IvFitResult r = fitVsToGolden(models::defaultVsNmos(), golden,
+                                      geometryNm(300, 40));
+  EXPECT_GT(r.card.vt0, 0.15);
+  EXPECT_LT(r.card.vt0, 0.65);
+  EXPECT_GE(r.card.n0, 1.0);
+  EXPECT_GT(r.card.vxo, 0.0);
+  EXPECT_GT(r.card.mu, 0.0);
+  EXPECT_GT(r.card.beta, 1.0);
+}
+
+TEST(VsFit, RejectsNonPositiveVdd) {
+  const BsimLite golden(models::defaultBsimNmos());
+  FitOptions opt;
+  opt.vdd = 0.0;
+  EXPECT_THROW(fitVsToGolden(models::defaultVsNmos(), golden,
+                             geometryNm(300, 40), opt),
+               vsstat::InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vsstat::extract

@@ -1,0 +1,46 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vsstat::linalg {
+namespace {
+
+TEST(Cholesky, FactorsKnownSpdMatrix) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const Matrix l = choleskyFactor(a);
+  EXPECT_NEAR(l(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(l(0, 1), 0.0);
+}
+
+TEST(Cholesky, FactorReconstructsMatrix) {
+  const Matrix a{{6.0, 2.0, 1.0}, {2.0, 5.0, 2.0}, {1.0, 2.0, 4.0}};
+  const Matrix l = choleskyFactor(a);
+  EXPECT_LT(maxAbsDiff(l * l.transposed(), a), 1e-12);
+}
+
+TEST(Cholesky, SolveMatchesDirectSolution) {
+  const Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  const Vector x = choleskySolve(a, {10.0, 8.0});
+  // Verify A x == b.
+  const Vector b = a * x;
+  EXPECT_NEAR(b[0], 10.0, 1e-12);
+  EXPECT_NEAR(b[1], 8.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  const Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_THROW(choleskyFactor(a), ConvergenceError);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(choleskyFactor(Matrix(2, 3)), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vsstat::linalg

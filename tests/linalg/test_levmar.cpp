@@ -1,0 +1,73 @@
+#include "linalg/levmar.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace vsstat::linalg {
+namespace {
+
+TEST(LevMar, FitsExponentialDecay) {
+  // Data from y = 2 exp(-0.5 t); recover (amplitude, rate).
+  std::vector<double> t, y;
+  for (int i = 0; i < 20; ++i) {
+    t.push_back(0.2 * i);
+    y.push_back(2.0 * std::exp(-0.5 * 0.2 * i));
+  }
+  const ResidualFn fn = [&](const Vector& x, Vector& r) {
+    for (std::size_t i = 0; i < t.size(); ++i)
+      r[i] = x[0] * std::exp(-x[1] * t[i]) - y[i];
+  };
+  const LevMarResult res = levenbergMarquardt(fn, {1.0, 1.0}, t.size());
+  EXPECT_NEAR(res.x[0], 2.0, 1e-6);
+  EXPECT_NEAR(res.x[1], 0.5, 1e-6);
+  EXPECT_LT(res.cost, 1e-14);
+  EXPECT_LT(res.cost, res.initialCost);
+}
+
+TEST(LevMar, SolvesRosenbrockAsLeastSquares) {
+  // r = (1 - x, 10 (y - x^2)); minimum at (1, 1).
+  const ResidualFn fn = [](const Vector& x, Vector& r) {
+    r[0] = 1.0 - x[0];
+    r[1] = 10.0 * (x[1] - x[0] * x[0]);
+  };
+  LevMarOptions opt;
+  opt.maxIterations = 500;
+  const LevMarResult res = levenbergMarquardt(fn, {-1.2, 1.0}, 2, opt);
+  EXPECT_NEAR(res.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(res.x[1], 1.0, 1e-5);
+}
+
+TEST(LevMar, RespectsBoxBounds) {
+  // Unconstrained minimum at x = 3, but bound to [0, 2].
+  const ResidualFn fn = [](const Vector& x, Vector& r) {
+    r[0] = x[0] - 3.0;
+    r[1] = 0.0;
+  };
+  LevMarOptions opt;
+  opt.lowerBounds = {0.0};
+  opt.upperBounds = {2.0};
+  const LevMarResult res = levenbergMarquardt(fn, {1.0}, 2, opt);
+  EXPECT_NEAR(res.x[0], 2.0, 1e-8);
+}
+
+TEST(LevMar, StartingAtOptimumStaysThere) {
+  const ResidualFn fn = [](const Vector& x, Vector& r) { r[0] = x[0]; r[1] = x[1]; };
+  const LevMarResult res = levenbergMarquardt(fn, {0.0, 0.0}, 2);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.cost, 0.0, 1e-30);
+}
+
+TEST(LevMar, RejectsBadShapes) {
+  const ResidualFn fn = [](const Vector&, Vector&) {};
+  EXPECT_THROW(levenbergMarquardt(fn, {}, 2), InvalidArgumentError);
+  EXPECT_THROW(levenbergMarquardt(fn, {1.0, 2.0}, 1), InvalidArgumentError);
+  LevMarOptions opt;
+  opt.lowerBounds = {0.0, 0.0, 0.0};
+  EXPECT_THROW(levenbergMarquardt(fn, {1.0}, 2, opt), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vsstat::linalg

@@ -1,0 +1,64 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::linalg {
+namespace {
+
+TEST(Lu, SolvesSmallSystem) {
+  const Matrix a{{2.0, 1.0}, {1.0, 3.0}};
+  const Vector x = luSolve(a, {3.0, 5.0});
+  EXPECT_NEAR(x[0], 0.8, 1e-12);
+  EXPECT_NEAR(x[1], 1.4, 1e-12);
+}
+
+TEST(Lu, SolvesWithPivoting) {
+  // Leading zero forces a row swap.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Vector x = luSolve(a, {2.0, 3.0});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(Lu, DetectsSingularMatrix) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(LuFactorization{a}, ConvergenceError);
+}
+
+TEST(Lu, RejectsNonSquare) {
+  EXPECT_THROW(LuFactorization{Matrix(2, 3)}, InvalidArgumentError);
+}
+
+TEST(Lu, DeterminantOfKnownMatrix) {
+  const Matrix a{{4.0, 3.0}, {6.0, 3.0}};
+  EXPECT_NEAR(LuFactorization(a).determinant(), -6.0, 1e-12);
+}
+
+TEST(Lu, ReusableForMultipleRhs) {
+  const LuFactorization lu(Matrix{{2.0, 0.0}, {0.0, 4.0}});
+  EXPECT_DOUBLE_EQ(lu.solve({2.0, 4.0})[0], 1.0);
+  EXPECT_DOUBLE_EQ(lu.solve({4.0, 8.0})[1], 2.0);
+}
+
+TEST(Lu, RandomSystemsRoundTrip) {
+  stats::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.below(10);
+    Matrix a(n, n);
+    Vector xTrue(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      xTrue[i] = rng.uniform(-2.0, 2.0);
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+      a(i, i) += static_cast<double>(n);  // diagonally dominant
+    }
+    const Vector b = a * xTrue;
+    const Vector x = luSolve(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace vsstat::linalg

@@ -1,0 +1,72 @@
+#include "linalg/nnls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/qr.hpp"
+#include "stats/rng.hpp"
+
+namespace vsstat::linalg {
+namespace {
+
+TEST(Nnls, MatchesUnconstrainedWhenSolutionIsPositive) {
+  const Matrix a{{2.0, 0.0}, {0.0, 3.0}, {1.0, 1.0}};
+  const Vector b{2.0, 6.0, 3.0};  // exact solution x = (1, 2)
+  const NnlsResult r = nnls(a, b);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-10);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-10);
+  EXPECT_NEAR(r.residualNorm, 0.0, 1e-10);
+}
+
+TEST(Nnls, ClampsNegativeComponentToZero) {
+  // Unconstrained least squares would want x[1] < 0.
+  const Matrix a{{1.0, 1.0}, {1.0, -1.0}};
+  const Vector b{0.0, 2.0};
+  const NnlsResult r = nnls(a, b);
+  EXPECT_GE(r.x[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.x[1], 0.0);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-10);  // best non-negative fit
+}
+
+TEST(Nnls, AllZeroWhenRhsIsAntiCorrelated) {
+  const Matrix a{{1.0}, {1.0}};
+  const Vector b{-1.0, -2.0};
+  const NnlsResult r = nnls(a, b);
+  EXPECT_DOUBLE_EQ(r.x[0], 0.0);
+}
+
+TEST(Nnls, SolutionSatisfiesKkt) {
+  // Random over-determined problems: at the solution the gradient must be
+  // <= 0 on the active set and ~0 on the passive set.
+  stats::Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    Matrix a(8, 3);
+    Vector b(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      b[i] = rng.uniform(-1.0, 1.0);
+      for (std::size_t j = 0; j < 3; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    }
+    const NnlsResult r = nnls(a, b);
+    const Vector g = a.transposed() * sub(b, a * r.x);
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (r.x[j] > 0.0) {
+        EXPECT_NEAR(g[j], 0.0, 1e-8) << "passive coordinate " << j;
+      } else {
+        EXPECT_LE(g[j], 1e-8) << "active coordinate " << j;
+      }
+    }
+  }
+}
+
+TEST(Nnls, RecoversSparseNonNegativeTruth) {
+  stats::Rng rng(5);
+  Matrix a(20, 4);
+  for (std::size_t i = 0; i < 20; ++i)
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.uniform(0.0, 1.0);
+  const Vector xTrue{0.0, 2.0, 0.0, 0.5};
+  const Vector b = a * xTrue;
+  const NnlsResult r = nnls(a, b);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(r.x[j], xTrue[j], 1e-8);
+}
+
+}  // namespace
+}  // namespace vsstat::linalg

@@ -1,0 +1,88 @@
+#include "mc/providers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "measure/device_metrics.hpp"
+#include "models/vs_model.hpp"
+#include "stats/descriptive.hpp"
+
+namespace vsstat::mc {
+namespace {
+
+using models::DeviceType;
+using models::geometryNm;
+
+models::PelgromAlphas someAlphas() {
+  models::PelgromAlphas a;
+  a.aVt0 = 2.3;
+  a.aLeff = 3.7;
+  a.aWeff = 3.7;
+  a.aMu = 900.0;
+  a.aCinv = 0.3;
+  return a;
+}
+
+TEST(VsProvider, InstancesVaryAroundNominal) {
+  VsStatisticalProvider p(models::defaultVsNmos(), models::defaultVsPmos(),
+                          someAlphas(), someAlphas(), stats::Rng(7));
+  const auto geom = geometryNm(600, 40);
+  stats::MomentAccumulator acc;
+  for (int i = 0; i < 500; ++i) {
+    const auto inst = p.make(DeviceType::Nmos, "M", geom);
+    acc.add(measure::idsat(*inst.model, inst.geometry, 0.9));
+  }
+  EXPECT_GT(acc.stddev(), 0.0);
+  EXPECT_NEAR(acc.stddev() / acc.mean(), 0.035, 0.02);  // few-% mismatch
+}
+
+TEST(VsProvider, ZeroAlphasReproduceNominalExactly) {
+  VsStatisticalProvider p(models::defaultVsNmos(), models::defaultVsPmos(),
+                          models::PelgromAlphas{}, models::PelgromAlphas{},
+                          stats::Rng(7));
+  const auto geom = geometryNm(600, 40);
+  const models::VsModel nominal(models::defaultVsNmos());
+  const auto inst = p.make(DeviceType::Nmos, "M", geom);
+  EXPECT_DOUBLE_EQ(measure::idsat(*inst.model, inst.geometry, 0.9),
+                   measure::idsat(nominal, geom, 0.9));
+}
+
+TEST(VsProvider, PolarityRouting) {
+  VsStatisticalProvider p(models::defaultVsNmos(), models::defaultVsPmos(),
+                          someAlphas(), someAlphas(), stats::Rng(3));
+  EXPECT_EQ(p.make(DeviceType::Nmos, "N", geometryNm(300, 40)).model->deviceType(),
+            DeviceType::Nmos);
+  EXPECT_EQ(p.make(DeviceType::Pmos, "P", geometryNm(300, 40)).model->deviceType(),
+            DeviceType::Pmos);
+}
+
+TEST(BsimProvider, InstancesVaryAroundNominal) {
+  BsimStatisticalProvider p(
+      models::defaultBsimNmos(), models::defaultBsimPmos(),
+      models::defaultBsimMismatchNmos(), models::defaultBsimMismatchPmos(),
+      stats::Rng(11));
+  const auto geom = geometryNm(600, 40);
+  stats::MomentAccumulator acc;
+  for (int i = 0; i < 500; ++i) {
+    const auto inst = p.make(DeviceType::Nmos, "M", geom);
+    acc.add(measure::log10Ioff(*inst.model, inst.geometry, 0.9));
+  }
+  EXPECT_GT(acc.stddev(), 0.05);
+  EXPECT_LT(acc.stddev(), 0.5);
+}
+
+TEST(Providers, SameSeedSameSequence) {
+  const auto geom = geometryNm(600, 40);
+  VsStatisticalProvider p1(models::defaultVsNmos(), models::defaultVsPmos(),
+                           someAlphas(), someAlphas(), stats::Rng(42));
+  VsStatisticalProvider p2(models::defaultVsNmos(), models::defaultVsPmos(),
+                           someAlphas(), someAlphas(), stats::Rng(42));
+  for (int i = 0; i < 10; ++i) {
+    const auto a = p1.make(DeviceType::Nmos, "M", geom);
+    const auto b = p2.make(DeviceType::Nmos, "M", geom);
+    EXPECT_DOUBLE_EQ(measure::idsat(*a.model, a.geometry, 0.9),
+                     measure::idsat(*b.model, b.geometry, 0.9));
+  }
+}
+
+}  // namespace
+}  // namespace vsstat::mc

@@ -1,0 +1,91 @@
+#include "mc/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::mc {
+namespace {
+
+TEST(McRunner, CollectsAllSamples) {
+  McOptions opt;
+  opt.samples = 100;
+  const McResult r = runCampaign(
+      opt, 2, [](std::size_t i, stats::Rng&, std::vector<double>& out) {
+        out[0] = static_cast<double>(i);
+        out[1] = 2.0 * static_cast<double>(i);
+      });
+  EXPECT_EQ(r.sampleCount(), 100u);
+  EXPECT_EQ(r.failures, 0);
+  EXPECT_EQ(r.metrics.size(), 2u);
+}
+
+TEST(McRunner, DeterministicAcrossThreadCounts) {
+  const auto run = [](unsigned threads) {
+    McOptions opt;
+    opt.samples = 500;
+    opt.seed = 99;
+    opt.threads = threads;
+    const McResult r = runCampaign(
+        opt, 1, [](std::size_t, stats::Rng& rng, std::vector<double>& out) {
+          out[0] = rng.normal();
+        });
+    return stats::mean(r.metrics[0]);
+  };
+  EXPECT_DOUBLE_EQ(run(1), run(4));
+}
+
+TEST(McRunner, SampleRngsAreDecorrelated) {
+  McOptions opt;
+  opt.samples = 20000;
+  const McResult r = runCampaign(
+      opt, 2, [](std::size_t, stats::Rng& rng, std::vector<double>& out) {
+        out[0] = rng.normal();
+        out[1] = rng.normal();
+      });
+  // Mean near zero and consecutive samples uncorrelated.
+  EXPECT_NEAR(stats::mean(r.metrics[0]), 0.0, 0.03);
+  EXPECT_NEAR(stats::correlation(r.metrics[0], r.metrics[1]), 0.0, 0.03);
+}
+
+TEST(McRunner, FailedSamplesAreDroppedAndCounted) {
+  McOptions opt;
+  opt.samples = 50;
+  const McResult r = runCampaign(
+      opt, 1, [](std::size_t i, stats::Rng&, std::vector<double>& out) {
+        if (i % 5 == 0) throw std::runtime_error("non-convergent corner");
+        out[0] = 1.0;
+      });
+  EXPECT_EQ(r.failures, 10);
+  EXPECT_EQ(r.sampleCount(), 40u);
+}
+
+TEST(McRunner, DifferentSeedsGiveDifferentStreams) {
+  const auto run = [](std::uint64_t seed) {
+    McOptions opt;
+    opt.samples = 50;
+    opt.seed = seed;
+    const McResult r = runCampaign(
+        opt, 1, [](std::size_t, stats::Rng& rng, std::vector<double>& out) {
+          out[0] = rng.normal();
+        });
+    return r.metrics[0][0];
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(McRunner, RejectsBadOptions) {
+  McOptions opt;
+  opt.samples = 0;
+  EXPECT_THROW(
+      runCampaign(opt, 1,
+                  [](std::size_t, stats::Rng&, std::vector<double>&) {}),
+      InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vsstat::mc

@@ -1,0 +1,132 @@
+// Sample generators: stratification, low-discrepancy structure, moments,
+// determinism, and the variance-reduction property that motivates them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "mc/samplers.hpp"
+#include "stats/qq.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::mc {
+namespace {
+
+TEST(Samplers, ValidateConstructionAndIndices) {
+  EXPECT_THROW(IidSampler(0, 10, 1), InvalidArgumentError);
+  EXPECT_THROW(LatinHypercubeSampler(2, 0, 1), InvalidArgumentError);
+  EXPECT_THROW(HaltonSampler(65, 10, 1), InvalidArgumentError);
+
+  const IidSampler s(3, 4, 1);
+  EXPECT_EQ(s.dimension(), 3u);
+  EXPECT_EQ(s.samples(), 4u);
+  EXPECT_THROW((void)s.standardNormals(4), InvalidArgumentError);
+}
+
+TEST(Samplers, IidIsDeterministicPerSeedAndIndex) {
+  const IidSampler a(4, 8, 42);
+  const IidSampler b(4, 8, 42);
+  EXPECT_EQ(a.standardNormals(3), b.standardNormals(3));
+  EXPECT_NE(a.standardNormals(3), a.standardNormals(4));
+
+  const IidSampler c(4, 8, 43);
+  EXPECT_NE(a.standardNormals(3), c.standardNormals(3));
+}
+
+TEST(Samplers, LatinHypercubeStratifiesEveryDimension) {
+  constexpr std::size_t kN = 32;
+  const LatinHypercubeSampler s(3, kN, 7);
+
+  for (std::size_t d = 0; d < 3; ++d) {
+    std::set<int> strata;
+    for (std::size_t i = 0; i < kN; ++i) {
+      const double u = stats::normalCdf(s.standardNormals(i)[d]);
+      strata.insert(static_cast<int>(u * kN));
+    }
+    // Every stratum hit exactly once.
+    EXPECT_EQ(strata.size(), kN) << "dimension " << d;
+  }
+}
+
+TEST(Samplers, LatinHypercubeMomentsAreStandardNormal) {
+  constexpr std::size_t kN = 2000;
+  const LatinHypercubeSampler s(2, kN, 11);
+  double sum = 0.0;
+  double sumSq = 0.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double z = s.standardNormals(i)[0];
+    sum += z;
+    sumSq += z * z;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sumSq / kN, 1.0, 0.03);
+}
+
+TEST(Samplers, RadicalInverseIsVanDerCorput) {
+  // Base 2: 1 -> 0.5, 2 -> 0.25, 3 -> 0.75, 4 -> 0.125 ...
+  EXPECT_DOUBLE_EQ(HaltonSampler::radicalInverse(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(HaltonSampler::radicalInverse(2, 2), 0.25);
+  EXPECT_DOUBLE_EQ(HaltonSampler::radicalInverse(3, 2), 0.75);
+  EXPECT_DOUBLE_EQ(HaltonSampler::radicalInverse(4, 2), 0.125);
+  // Base 3: 1 -> 1/3, 2 -> 2/3, 3 -> 1/9.
+  EXPECT_NEAR(HaltonSampler::radicalInverse(3, 3), 1.0 / 9.0, 1e-15);
+}
+
+TEST(Samplers, HaltonCoversDyadicIntervalsEvenly) {
+  // First 2^k points of the base-2 dimension (after the rotation is
+  // removed) hit each dyadic interval exactly once.
+  constexpr std::size_t kN = 16;
+  const HaltonSampler s(1, kN, 5);
+  // Recover the rotation from point 0: u0 = RI(1,2) + shift mod 1.
+  const double u0 = stats::normalCdf(s.standardNormals(0)[0]);
+  const double shift = u0 - 0.5;
+  std::set<int> cells;
+  for (std::size_t i = 0; i < kN; ++i) {
+    double u = stats::normalCdf(s.standardNormals(i)[0]) - shift;
+    u -= std::floor(u);
+    cells.insert(static_cast<int>(u * kN));
+  }
+  EXPECT_EQ(cells.size(), kN);
+}
+
+TEST(Samplers, VarianceReductionOnASmoothFunction) {
+  // Mean of f(z) = sum(z_d): all three estimators are unbiased, but the
+  // stratified/low-discrepancy designs shrink the estimator variance by
+  // a large factor on this (additive, smooth) integrand.
+  constexpr std::size_t kDim = 4;
+  constexpr std::size_t kN = 64;
+  constexpr int kReps = 30;
+
+  const auto estimatorVariance = [&](auto makeSampler) {
+    double sum = 0.0;
+    double sumSq = 0.0;
+    for (int r = 0; r < kReps; ++r) {
+      const auto sampler = makeSampler(static_cast<std::uint64_t>(r + 1));
+      double mean = 0.0;
+      for (std::size_t i = 0; i < kN; ++i) {
+        const auto z = sampler.standardNormals(i);
+        double f = 0.0;
+        for (double v : z) f += v;
+        mean += f;
+      }
+      mean /= kN;
+      sum += mean;
+      sumSq += mean * mean;
+    }
+    return sumSq / kReps - (sum / kReps) * (sum / kReps);
+  };
+
+  const double varIid = estimatorVariance(
+      [](std::uint64_t s) { return IidSampler(kDim, kN, s); });
+  const double varLhs = estimatorVariance(
+      [](std::uint64_t s) { return LatinHypercubeSampler(kDim, kN, s); });
+  const double varHalton = estimatorVariance(
+      [](std::uint64_t s) { return HaltonSampler(kDim, kN, s); });
+
+  EXPECT_LT(varLhs, 0.05 * varIid);
+  EXPECT_LT(varHalton, 0.25 * varIid);
+}
+
+}  // namespace
+}  // namespace vsstat::mc

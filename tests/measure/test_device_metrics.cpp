@@ -1,0 +1,63 @@
+#include "measure/device_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/bsim_lite.hpp"
+#include "models/vs_model.hpp"
+
+namespace vsstat::measure {
+namespace {
+
+using models::geometryNm;
+using models::VsModel;
+
+TEST(DeviceMetrics, IdsatAtFullBias) {
+  const VsModel m(models::defaultVsNmos());
+  const auto g = geometryNm(600, 40);
+  EXPECT_DOUBLE_EQ(idsat(m, g, 0.9), m.drainCurrent(g, 0.9, 0.9));
+  EXPECT_GT(idsat(m, g, 0.9), idsat(m, g, 0.7));
+}
+
+TEST(DeviceMetrics, IoffAtZeroGate) {
+  const VsModel m(models::defaultVsNmos());
+  const auto g = geometryNm(600, 40);
+  EXPECT_DOUBLE_EQ(ioff(m, g, 0.9), m.drainCurrent(g, 0.0, 0.9));
+  EXPECT_LT(ioff(m, g, 0.9), 1e-3 * idsat(m, g, 0.9));
+}
+
+TEST(DeviceMetrics, Log10IoffConsistent) {
+  const VsModel m(models::defaultVsNmos());
+  const auto g = geometryNm(600, 40);
+  EXPECT_NEAR(std::pow(10.0, log10Ioff(m, g, 0.9)), ioff(m, g, 0.9),
+              1e-12 * ioff(m, g, 0.9));
+}
+
+TEST(DeviceMetrics, CggPositiveAndAreaScaling) {
+  const VsModel m(models::defaultVsNmos());
+  const double c1 = cggAtVdd(m, geometryNm(300, 40), 0.9);
+  const double c2 = cggAtVdd(m, geometryNm(600, 40), 0.9);
+  EXPECT_GT(c1, 0.0);
+  EXPECT_NEAR(c2 / c1, 2.0, 0.05);  // ~linear in width
+}
+
+TEST(DeviceMetrics, MeasureTargetsBundlesAllThree) {
+  const models::BsimLite m(models::defaultBsimNmos());
+  const auto g = geometryNm(600, 40);
+  const ElectricalTargets t = measureTargets(m, g, 0.9);
+  EXPECT_DOUBLE_EQ(t.idsat, idsat(m, g, 0.9));
+  EXPECT_DOUBLE_EQ(t.log10Ioff, log10Ioff(m, g, 0.9));
+  EXPECT_DOUBLE_EQ(t.cgg, cggAtVdd(m, g, 0.9));
+}
+
+TEST(DeviceMetrics, TargetsTrackVddScaling) {
+  // Lower Vdd: less drive, less DIBL-driven leakage.
+  const VsModel m(models::defaultVsNmos());
+  const auto g = geometryNm(600, 40);
+  EXPECT_GT(idsat(m, g, 0.9), idsat(m, g, 0.55));
+  EXPECT_GT(log10Ioff(m, g, 0.9), log10Ioff(m, g, 0.55));
+}
+
+}  // namespace
+}  // namespace vsstat::measure

@@ -1,0 +1,125 @@
+#include "models/bsim_lite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/bsim_params.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::models {
+namespace {
+
+class BsimLiteTest : public ::testing::Test {
+ protected:
+  BsimLite nmos_{defaultBsimNmos()};
+  BsimLite pmos_{defaultBsimPmos()};
+  DeviceGeometry geom_ = geometryNm(600, 40);
+  static constexpr double kVdd = 0.9;
+};
+
+TEST_F(BsimLiteTest, ZeroVdsGivesZeroCurrent) {
+  EXPECT_DOUBLE_EQ(nmos_.drainCurrent(geom_, kVdd, 0.0), 0.0);
+}
+
+TEST_F(BsimLiteTest, SubthresholdSlopeIsPhysical) {
+  const double i1 = nmos_.drainCurrent(geom_, 0.10, kVdd);
+  const double i2 = nmos_.drainCurrent(geom_, 0.15, kVdd);
+  const double ss = 0.05 / (std::log10(i2) - std::log10(i1)) * 1e3;
+  EXPECT_GT(ss, 60.0);   // thermionic limit
+  EXPECT_LT(ss, 120.0);  // reasonable bulk 40 nm
+}
+
+TEST_F(BsimLiteTest, MonotonicTransferAndOutput) {
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= kVdd; vgs += 0.03) {
+    const double id = nmos_.drainCurrent(geom_, vgs, kVdd);
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+  prev = -1.0;
+  for (double vds = 0.0; vds <= kVdd; vds += 0.03) {
+    const double id = nmos_.drainCurrent(geom_, kVdd, vds);
+    EXPECT_GE(id, prev);
+    prev = id;
+  }
+}
+
+TEST_F(BsimLiteTest, SaturationHasFiniteOutputConductance) {
+  // CLM: current keeps rising slightly past Vdsat.
+  const double i1 = nmos_.drainCurrent(geom_, kVdd, 0.6);
+  const double i2 = nmos_.drainCurrent(geom_, kVdd, 0.9);
+  EXPECT_GT(i2, i1);
+  EXPECT_LT((i2 - i1) / i1, 0.15);  // but only by a few percent
+}
+
+TEST_F(BsimLiteTest, SourceDrainSymmetry) {
+  for (double vgs : {0.3, 0.9}) {
+    for (double vds : {0.2, 0.7}) {
+      const double fwd = nmos_.drainCurrent(geom_, vgs, vds);
+      const double rev = nmos_.drainCurrent(geom_, vgs - vds, -vds);
+      EXPECT_NEAR(fwd, -rev, 1e-12 + 1e-9 * std::fabs(fwd));
+    }
+  }
+}
+
+TEST_F(BsimLiteTest, ChargesSumToZero) {
+  for (double vgs : {0.0, 0.5, 0.9}) {
+    for (double vds : {0.0, 0.5, 0.9}) {
+      const MosfetEvaluation e = nmos_.evaluate(geom_, vgs, vds);
+      EXPECT_NEAR(e.qg + e.qd + e.qs, 0.0, 1e-21);
+    }
+  }
+}
+
+TEST_F(BsimLiteTest, PmosCardIsWeakerThanNmos) {
+  const double idn = nmos_.drainCurrent(geom_, kVdd, kVdd);
+  const double idp = pmos_.drainCurrent(geom_, kVdd, kVdd);
+  EXPECT_GT(idn, idp);
+  EXPECT_GT(idp, 0.3 * idn);
+}
+
+TEST_F(BsimLiteTest, VelocitySaturationLimitsLongChannelScaling) {
+  // Doubling L reduces Idsat by much less than 2x at 40 nm (vsat-limited),
+  // unlike the long-channel 1/L law.
+  const double i40 = nmos_.drainCurrent(geometryNm(600, 40), kVdd, kVdd);
+  const double i80 = nmos_.drainCurrent(geometryNm(600, 80), kVdd, kVdd);
+  EXPECT_GT(i40 / i80, 1.05);
+  EXPECT_LT(i40 / i80, 1.8);
+}
+
+TEST_F(BsimLiteTest, CloneIsEquivalent) {
+  const auto c = pmos_.clone();
+  EXPECT_EQ(c->deviceType(), DeviceType::Pmos);
+  EXPECT_DOUBLE_EQ(c->drainCurrent(geom_, 0.6, 0.6),
+                   pmos_.drainCurrent(geom_, 0.6, 0.6));
+}
+
+TEST_F(BsimLiteTest, RejectsInvalidParams) {
+  BsimParams bad = defaultBsimNmos();
+  bad.vsat = 0.0;
+  EXPECT_THROW(BsimLite{bad}, InvalidArgumentError);
+}
+
+TEST(BsimKitTargets, FortyNmClassElectricals) {
+  // The golden kit must look like a 40-nm HP process: these window checks
+  // pin the technology card against accidental regressions.
+  const BsimLite n(defaultBsimNmos());
+  const BsimLite p(defaultBsimPmos());
+  const DeviceGeometry g = geometryNm(1000, 40);
+  const double idsatN = n.drainCurrent(g, 0.9, 0.9) * 1e6;   // uA/um
+  const double idsatP = p.drainCurrent(g, 0.9, 0.9) * 1e6;
+  const double ioffN = n.drainCurrent(g, 0.0, 0.9) * 1e9;    // nA/um
+  const double ioffP = p.drainCurrent(g, 0.0, 0.9) * 1e9;
+  EXPECT_GT(idsatN, 400.0);
+  EXPECT_LT(idsatN, 800.0);
+  EXPECT_GT(idsatP, 250.0);
+  EXPECT_LT(idsatP, 600.0);
+  EXPECT_GT(ioffN, 1.0);
+  EXPECT_LT(ioffN, 100.0);
+  EXPECT_GT(ioffP, 0.5);
+  EXPECT_LT(ioffP, 100.0);
+}
+
+}  // namespace
+}  // namespace vsstat::models

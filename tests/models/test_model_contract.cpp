@@ -1,0 +1,181 @@
+// Cross-family MosfetModel contract: every compact model in the library
+// (VS, BsimLite golden, alpha-power baseline) must satisfy the interface
+// invariants the circuit engine relies on, at every geometry class the
+// paper uses.  Parameterized over (model family x geometry).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "models/alpha_power.hpp"
+#include "models/bsim_lite.hpp"
+#include "models/vs_model.hpp"
+
+namespace vsstat::models {
+namespace {
+
+struct ContractCase {
+  std::string label;
+  std::function<std::unique_ptr<MosfetModel>()> make;
+  double widthNm;
+};
+
+class ModelContract : public ::testing::TestWithParam<ContractCase> {
+ protected:
+  [[nodiscard]] DeviceGeometry geom() const {
+    return geometryNm(GetParam().widthNm, 40);
+  }
+  [[nodiscard]] std::unique_ptr<MosfetModel> model() const {
+    return GetParam().make();
+  }
+};
+
+TEST_P(ModelContract, ZeroVdsCarriesZeroCurrent) {
+  const auto m = model();
+  for (double vgs : {0.0, 0.3, 0.6, 0.9}) {
+    EXPECT_NEAR(m->drainCurrent(geom(), vgs, 0.0), 0.0, 1e-12)
+        << "vgs = " << vgs;
+  }
+}
+
+TEST_P(ModelContract, CurrentNonNegativeForForwardBias) {
+  const auto m = model();
+  for (double vgs = 0.0; vgs <= 0.91; vgs += 0.1) {
+    for (double vds = 0.0; vds <= 0.91; vds += 0.1) {
+      EXPECT_GE(m->drainCurrent(geom(), vgs, vds), -1e-15)
+          << "vgs=" << vgs << " vds=" << vds;
+    }
+  }
+}
+
+TEST_P(ModelContract, MonotoneInGateBias) {
+  const auto m = model();
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= 0.901; vgs += 0.02) {
+    const double id = m->drainCurrent(geom(), vgs, 0.9);
+    EXPECT_GE(id, prev - 1e-15) << "vgs = " << vgs;
+    prev = id;
+  }
+}
+
+TEST_P(ModelContract, MonotoneNonDecreasingInDrainBias) {
+  const auto m = model();
+  double prev = -1.0;
+  for (double vds = 0.0; vds <= 0.901; vds += 0.02) {
+    const double id = m->drainCurrent(geom(), 0.9, vds);
+    EXPECT_GE(id, prev - 1e-15) << "vds = " << vds;
+    prev = id;
+  }
+}
+
+TEST_P(ModelContract, SourceDrainReversalAntisymmetry) {
+  // Id(vgs, vds) == -Id(vgs - vds, -vds) exactly (the engine depends on
+  // this to seat pass transistors in either orientation).
+  const auto m = model();
+  for (double vgs : {0.2, 0.5, 0.9}) {
+    for (double vds : {0.1, 0.4, 0.8}) {
+      const double fwd = m->drainCurrent(geom(), vgs, vds);
+      const double rev = m->drainCurrent(geom(), vgs - vds, -vds);
+      EXPECT_NEAR(fwd, -rev, 1e-15 + 1e-10 * std::fabs(fwd))
+          << "vgs=" << vgs << " vds=" << vds;
+    }
+  }
+}
+
+TEST_P(ModelContract, ChargesSumToZeroEverywhere) {
+  const auto m = model();
+  for (double vgs : {0.0, 0.45, 0.9}) {
+    for (double vds : {-0.5, 0.0, 0.45, 0.9}) {
+      const MosfetEvaluation e = m->evaluate(geom(), vgs, vds);
+      const double scale =
+          std::max({std::fabs(e.qg), std::fabs(e.qd), std::fabs(e.qs),
+                    1e-20});
+      EXPECT_NEAR((e.qg + e.qd + e.qs) / scale, 0.0, 1e-9)
+          << "vgs=" << vgs << " vds=" << vds;
+    }
+  }
+}
+
+TEST_P(ModelContract, C1SmoothnessOnTheNewtonStepScale) {
+  // The engine differentiates the model with 1 mV steps; the model must
+  // not jump on that scale anywhere in the bias box.
+  const auto m = model();
+  constexpr double h = 1e-3;
+  for (double vgs = 0.0; vgs <= 0.9; vgs += 0.06) {
+    for (double vds = 0.0; vds <= 0.9; vds += 0.06) {
+      const double i0 = m->drainCurrent(geom(), vgs, vds);
+      const double iG = m->drainCurrent(geom(), vgs + h, vds);
+      const double iD = m->drainCurrent(geom(), vgs, vds + h);
+      const double ion = m->drainCurrent(geom(), 0.9, 0.9);
+      EXPECT_LT(std::fabs(iG - i0), 0.02 * ion + 0.5 * std::fabs(i0));
+      EXPECT_LT(std::fabs(iD - i0), 0.02 * ion + 0.5 * std::fabs(i0));
+    }
+  }
+}
+
+TEST_P(ModelContract, CurrentScalesRoughlyWithWidth) {
+  // Doubling W should roughly double Idsat (series resistance and
+  // narrow-width terms allow modest deviation).
+  const auto m = model();
+  const DeviceGeometry g1 = geom();
+  const DeviceGeometry g2 = geometryNm(2.0 * GetParam().widthNm, 40);
+  const double i1 = m->drainCurrent(g1, 0.9, 0.9);
+  const double i2 = m->drainCurrent(g2, 0.9, 0.9);
+  EXPECT_NEAR(i2 / i1, 2.0, 0.25);
+}
+
+TEST_P(ModelContract, CloneBehavesIdentically) {
+  const auto m = model();
+  const auto c = m->clone();
+  for (double vgs : {0.2, 0.6, 0.9}) {
+    EXPECT_DOUBLE_EQ(m->drainCurrent(geom(), vgs, 0.9),
+                     c->drainCurrent(geom(), vgs, 0.9));
+  }
+  EXPECT_EQ(m->deviceType(), c->deviceType());
+}
+
+std::vector<ContractCase> contractCases() {
+  std::vector<ContractCase> cases;
+  const std::vector<double> widths = {120.0, 300.0, 600.0, 1500.0};
+  for (double w : widths) {
+    const auto tag = [w](const char* family) {
+      return std::string(family) + "_W" + std::to_string(static_cast<int>(w));
+    };
+    cases.push_back({tag("VsNmos"),
+                     [] { return std::make_unique<VsModel>(defaultVsNmos()); },
+                     w});
+    cases.push_back({tag("VsPmos"),
+                     [] { return std::make_unique<VsModel>(defaultVsPmos()); },
+                     w});
+    cases.push_back(
+        {tag("BsimNmos"),
+         [] { return std::make_unique<BsimLite>(defaultBsimNmos()); }, w});
+    cases.push_back(
+        {tag("BsimPmos"),
+         [] { return std::make_unique<BsimLite>(defaultBsimPmos()); }, w});
+    cases.push_back({tag("AlphaNmos"),
+                     [] {
+                       return std::make_unique<AlphaPowerModel>(
+                           defaultAlphaNmos());
+                     },
+                     w});
+    cases.push_back({tag("AlphaPmos"),
+                     [] {
+                       return std::make_unique<AlphaPowerModel>(
+                           defaultAlphaPmos());
+                     },
+                     w});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamiliesAllGeometries, ModelContract,
+                         ::testing::ValuesIn(contractCases()),
+                         [](const ::testing::TestParamInfo<ContractCase>& i) {
+                           return i.param.label;
+                         });
+
+}  // namespace
+}  // namespace vsstat::models

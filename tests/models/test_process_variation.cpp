@@ -1,0 +1,179 @@
+#include "models/process_variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/bsim_lite.hpp"
+#include "models/vs_model.hpp"
+#include "stats/descriptive.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace vsstat::models {
+namespace {
+
+PelgromAlphas paperAlphas() {
+  // Paper Table II, NMOS column.
+  PelgromAlphas a;
+  a.aVt0 = 2.3;
+  a.aLeff = 3.71;
+  a.aWeff = 3.71;
+  a.aMu = 944.0;
+  a.aCinv = 0.29;
+  return a;
+}
+
+TEST(PelgromScaling, MatchesPaperFormulasAtMediumDevice) {
+  // W/L = 600/40 nm: sqrt(WL) = 154.92 nm.
+  const auto s = sigmasFor(paperAlphas(), geometryNm(600, 40));
+  const double sqrtWL = std::sqrt(600.0 * 40.0);
+  EXPECT_NEAR(s.sVt0, 2.3 / sqrtWL, 1e-9);                       // ~14.8 mV
+  EXPECT_NEAR(units::mToNm(s.sLeff), 3.71 * std::sqrt(40.0 / 600.0), 1e-9);
+  EXPECT_NEAR(units::mToNm(s.sWeff), 3.71 * std::sqrt(600.0 / 40.0), 1e-9);
+  EXPECT_NEAR(units::siToCm2PerVs(s.sMu), 944.0 / sqrtWL, 1e-9);
+  EXPECT_NEAR(units::siToUFPerCm2(s.sCinv), 0.29 / sqrtWL, 1e-12);
+}
+
+TEST(PelgromScaling, VarianceInverselyProportionalToArea) {
+  // Paper Eq. (7): sigma^2 proportional to 1/(WL) for VT0.
+  const auto s1 = sigmasFor(paperAlphas(), geometryNm(600, 40));
+  const auto s4 = sigmasFor(paperAlphas(), geometryNm(1200, 80));
+  EXPECT_NEAR(s1.sVt0 / s4.sVt0, 2.0, 1e-12);
+}
+
+TEST(PelgromScaling, LengthWidthSigmaRatioIsLOverW) {
+  // The paper's alpha2 == alpha3 tie implies sigma_L/sigma_W = L/W.
+  const auto s = sigmasFor(paperAlphas(), geometryNm(600, 40));
+  EXPECT_NEAR(s.sLeff / s.sWeff, 40.0 / 600.0, 1e-12);
+}
+
+TEST(PelgromScaling, RejectsNonPositiveGeometry) {
+  EXPECT_THROW(sigmasFor(paperAlphas(), DeviceGeometry{0.0, 40e-9}),
+               InvalidArgumentError);
+}
+
+TEST(SampleDelta, ZeroSigmasGiveZeroDeltas) {
+  stats::Rng rng(1);
+  const VariationDelta d = sampleDelta(ParameterSigmas{}, rng);
+  EXPECT_DOUBLE_EQ(d.dVt0, 0.0);
+  EXPECT_DOUBLE_EQ(d.dLeff, 0.0);
+  EXPECT_DOUBLE_EQ(d.dMu, 0.0);
+}
+
+TEST(SampleDelta, EmpiricalSigmasMatchRequest) {
+  const auto sig = sigmasFor(paperAlphas(), geometryNm(600, 40));
+  stats::Rng rng(17);
+  stats::MomentAccumulator vt, le;
+  for (int i = 0; i < 40000; ++i) {
+    const VariationDelta d = sampleDelta(sig, rng);
+    vt.add(d.dVt0);
+    le.add(d.dLeff);
+  }
+  EXPECT_NEAR(vt.stddev(), sig.sVt0, 0.02 * sig.sVt0);
+  EXPECT_NEAR(le.stddev(), sig.sLeff, 0.02 * sig.sLeff);
+  EXPECT_NEAR(vt.mean(), 0.0, 3e-4 * sig.sVt0 * 50);
+}
+
+TEST(ApplyGeometry, ShiftsLengthAndWidth) {
+  VariationDelta d;
+  d.dLeff = units::nmToM(1.0);
+  d.dWeff = units::nmToM(-5.0);
+  const DeviceGeometry g = applyGeometry(geometryNm(600, 40), d);
+  EXPECT_NEAR(g.lengthNm(), 41.0, 1e-9);
+  EXPECT_NEAR(g.widthNm(), 595.0, 1e-9);
+}
+
+TEST(ApplyGeometry, ClampsAbsurdShrinkage) {
+  VariationDelta d;
+  d.dLeff = units::nmToM(-100.0);  // would go negative
+  const DeviceGeometry g = applyGeometry(geometryNm(600, 40), d);
+  EXPECT_GT(g.length, 0.0);
+}
+
+TEST(ApplyToVs, ShiftsCardParameters) {
+  const VsParams card = defaultVsNmos();
+  VariationDelta d;
+  d.dVt0 = 0.01;
+  d.dMu = 0.1 * card.mu;
+  d.dCinv = -0.01 * card.cinv;
+  const VsParams varied = applyToVs(card, d);
+  EXPECT_NEAR(varied.vt0, card.vt0 + 0.01, 1e-15);
+  EXPECT_NEAR(varied.mu, 1.1 * card.mu, 1e-15);
+  EXPECT_NEAR(varied.cinv, 0.99 * card.cinv, 1e-15);
+}
+
+TEST(ApplyToVs, VxoTracksMobilityPerEq5) {
+  const VsParams card = defaultVsNmos();
+  VariationDelta d;
+  d.dMu = 0.02 * card.mu;  // +2% mobility
+  const VsParams varied = applyToVs(card, d);
+  const double expected =
+      card.vxo * (1.0 + card.vxoMobilitySensitivity() * 0.02);
+  EXPECT_NEAR(varied.vxo, expected, 1e-9 * card.vxo);
+}
+
+TEST(ApplyToVs, LeffVariationMovesVxoThroughDibl) {
+  // Eq. (5) second term: a shorter instance has higher delta and higher
+  // vxo; realized through vxoAt() at evaluation time.
+  const VsParams card = defaultVsNmos();
+  const double vShort = card.vxoAt(units::nmToM(38.0));
+  const double vLong = card.vxoAt(units::nmToM(42.0));
+  EXPECT_GT(vShort, card.vxo);
+  EXPECT_LT(vLong, card.vxo);
+  // Linearized slope ~ dVxoDDelta * d(delta)/dL.
+  const double slope = (vShort - vLong) / units::nmToM(-4.0) / card.vxo;
+  EXPECT_NEAR(slope, card.dVxoDDelta * card.diblSlopeAt(card.lNom), 0.05 *
+              std::fabs(card.dVxoDDelta * card.diblSlopeAt(card.lNom)));
+}
+
+TEST(ApplyToBsim, ShiftsGoldenCardIncludingVsatCoupling) {
+  const BsimParams card = defaultBsimNmos();
+  VariationDelta d;
+  d.dVt0 = -0.005;
+  d.dMu = 0.05 * card.u0;
+  const BsimParams varied = applyToBsim(card, d);
+  EXPECT_NEAR(varied.vth0, card.vth0 - 0.005, 1e-15);
+  EXPECT_NEAR(varied.u0, 1.05 * card.u0, 1e-15);
+  EXPECT_NEAR(varied.vsat, card.vsat * (1.0 + card.muVsatCoupling * 0.05),
+              1e-9 * card.vsat);
+}
+
+TEST(ToPelgromAlphas, FieldsMapOneToOne) {
+  BsimMismatch m;
+  m.aVth = 1.0;
+  m.aLeff = 2.0;
+  m.aWeff = 3.0;
+  m.aMu = 4.0;
+  m.aCox = 5.0;
+  const PelgromAlphas a = toPelgromAlphas(m);
+  EXPECT_DOUBLE_EQ(a.aVt0, 1.0);
+  EXPECT_DOUBLE_EQ(a.aLeff, 2.0);
+  EXPECT_DOUBLE_EQ(a.aWeff, 3.0);
+  EXPECT_DOUBLE_EQ(a.aMu, 4.0);
+  EXPECT_DOUBLE_EQ(a.aCinv, 5.0);
+}
+
+TEST(VariationEndToEnd, VsIdsatSigmaScalesWithPelgromLaw) {
+  // sigma(Idsat)/Idsat should shrink ~1/sqrt(area) across geometries.
+  const VsParams card = defaultVsNmos();
+  const PelgromAlphas alphas = paperAlphas();
+  const auto relSigma = [&](double w, double l) {
+    const DeviceGeometry g = geometryNm(w, l);
+    const auto sig = sigmasFor(alphas, g);
+    stats::Rng rng(5);
+    stats::MomentAccumulator acc;
+    for (int i = 0; i < 3000; ++i) {
+      const VariationDelta d = sampleDelta(sig, rng);
+      const VsModel m(applyToVs(card, d));
+      acc.add(m.drainCurrent(applyGeometry(g, d), 0.9, 0.9));
+    }
+    return acc.stddev() / acc.mean();
+  };
+  const double rSmall = relSigma(300, 40);
+  const double rLarge = relSigma(1200, 40);
+  EXPECT_GT(rSmall / rLarge, 1.6);  // ideal 2.0, tolerance for W-specific terms
+}
+
+}  // namespace
+}  // namespace vsstat::models

@@ -1,0 +1,216 @@
+#include "models/vs_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/vs_params.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace vsstat::models {
+namespace {
+
+class VsModelTest : public ::testing::Test {
+ protected:
+  VsModel nmos_{defaultVsNmos()};
+  VsModel pmos_{defaultVsPmos()};
+  DeviceGeometry geom_ = geometryNm(600, 40);
+  static constexpr double kVdd = 0.9;
+};
+
+TEST_F(VsModelTest, ZeroVdsGivesZeroCurrent) {
+  EXPECT_DOUBLE_EQ(nmos_.drainCurrent(geom_, kVdd, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(pmos_.drainCurrent(geom_, kVdd, 0.0), 0.0);
+}
+
+TEST_F(VsModelTest, CurrentIsPositiveInForwardOperation) {
+  EXPECT_GT(nmos_.drainCurrent(geom_, kVdd, kVdd), 0.0);
+  EXPECT_GT(nmos_.drainCurrent(geom_, 0.0, kVdd), 0.0);  // leakage still > 0
+}
+
+TEST_F(VsModelTest, SourceDrainSymmetry) {
+  // Id(vgs, vds) == -Id(vgs - vds, -vds): exchanging the terminals.
+  for (double vgs : {0.2, 0.5, 0.9}) {
+    for (double vds : {0.1, 0.4, 0.8}) {
+      const double fwd = nmos_.drainCurrent(geom_, vgs, vds);
+      const double rev = nmos_.drainCurrent(geom_, vgs - vds, -vds);
+      EXPECT_NEAR(fwd, -rev, 1e-12 + 1e-9 * std::fabs(fwd))
+          << "vgs=" << vgs << " vds=" << vds;
+    }
+  }
+}
+
+TEST_F(VsModelTest, MonotonicInVgs) {
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= kVdd + 1e-9; vgs += 0.02) {
+    const double id = nmos_.drainCurrent(geom_, vgs, kVdd);
+    EXPECT_GT(id, prev) << "vgs=" << vgs;
+    prev = id;
+  }
+}
+
+TEST_F(VsModelTest, MonotonicInVds) {
+  double prev = -1.0;
+  for (double vds = 0.0; vds <= kVdd + 1e-9; vds += 0.02) {
+    const double id = nmos_.drainCurrent(geom_, kVdd, vds);
+    EXPECT_GE(id, prev) << "vds=" << vds;
+    prev = id;
+  }
+}
+
+TEST_F(VsModelTest, ContinuityAcrossOperatingRegions) {
+  // No jumps: scan a fine grid, first differences stay bounded.
+  double prev = nmos_.drainCurrent(geom_, 0.0, kVdd);
+  for (double vgs = 1e-3; vgs <= kVdd; vgs += 1e-3) {
+    const double id = nmos_.drainCurrent(geom_, vgs, kVdd);
+    EXPECT_LT(std::fabs(id - prev), 5e-6) << "jump at vgs=" << vgs;
+    prev = id;
+  }
+}
+
+TEST_F(VsModelTest, SubthresholdSlopeIsPhysical) {
+  // SS >= 60 mV/dec at room temperature.
+  const double i1 = nmos_.drainCurrent(geom_, 0.10, kVdd);
+  const double i2 = nmos_.drainCurrent(geom_, 0.15, kVdd);
+  const double ss = 0.05 / (std::log10(i2) - std::log10(i1)) * 1e3;  // mV/dec
+  EXPECT_GT(ss, 60.0);
+  EXPECT_LT(ss, 150.0);
+}
+
+TEST_F(VsModelTest, DiblRaisesLeakage) {
+  const double offLow = nmos_.drainCurrent(geom_, 0.0, 0.1);
+  const double offHigh = nmos_.drainCurrent(geom_, 0.0, kVdd);
+  EXPECT_GT(offHigh, 2.0 * offLow);
+}
+
+TEST_F(VsModelTest, CurrentScalesWithWidth) {
+  const double i1 = nmos_.drainCurrent(geometryNm(300, 40), kVdd, kVdd);
+  const double i2 = nmos_.drainCurrent(geometryNm(600, 40), kVdd, kVdd);
+  EXPECT_NEAR(i2 / i1, 2.0, 0.01);
+}
+
+TEST_F(VsModelTest, ShorterChannelLeaksMore) {
+  const double off40 = nmos_.drainCurrent(geometryNm(600, 40), 0.0, kVdd);
+  const double off60 = nmos_.drainCurrent(geometryNm(600, 60), 0.0, kVdd);
+  EXPECT_GT(off40, off60);
+}
+
+TEST_F(VsModelTest, ChargesSumToZero) {
+  for (double vgs : {0.0, 0.45, 0.9}) {
+    for (double vds : {0.0, 0.45, 0.9}) {
+      const MosfetEvaluation e = nmos_.evaluate(geom_, vgs, vds);
+      EXPECT_NEAR(e.qg + e.qd + e.qs, 0.0, 1e-21)
+          << "vgs=" << vgs << " vds=" << vds;
+    }
+  }
+}
+
+TEST_F(VsModelTest, GateChargeIncreasesWithVgs) {
+  double prev = nmos_.evaluate(geom_, 0.0, 0.0).qg;
+  for (double vgs = 0.05; vgs <= kVdd; vgs += 0.05) {
+    const double qg = nmos_.evaluate(geom_, vgs, 0.0).qg;
+    EXPECT_GT(qg, prev);
+    prev = qg;
+  }
+}
+
+TEST_F(VsModelTest, GateCapacitanceApproachesCinvTimesArea) {
+  // Strong inversion, vds = 0: intrinsic Cgg -> Cinv*W*L + overlaps.
+  const VsParams p = defaultVsNmos();
+  const DeviceGeometry wide = geometryNm(2000, 100);
+  const double cgg = gateCapacitance(nmos_, wide, 1.2, 0.0);
+  const double intrinsic = p.cinv * wide.width * wide.length;
+  const double overlap = 2.0 * p.cof * wide.width;
+  EXPECT_NEAR(cgg, intrinsic + overlap, 0.15 * (intrinsic + overlap));
+}
+
+TEST_F(VsModelTest, SwappedChargesUnderReversal) {
+  const MosfetEvaluation fwd = nmos_.evaluate(geom_, 0.9, 0.5);
+  const MosfetEvaluation rev = nmos_.evaluate(geom_, 0.4, -0.5);
+  EXPECT_NEAR(fwd.qd, rev.qs, 1e-20);
+  EXPECT_NEAR(fwd.qs, rev.qd, 1e-20);
+  EXPECT_NEAR(fwd.id, -rev.id, 1e-12);
+}
+
+TEST_F(VsModelTest, SeriesResistanceReducesCurrent) {
+  VsParams ideal = defaultVsNmos();
+  ideal.rs = ideal.rd = 0.0;
+  const VsModel noR(ideal);
+  EXPECT_GT(noR.drainCurrent(geom_, kVdd, kVdd),
+            nmos_.drainCurrent(geom_, kVdd, kVdd));
+}
+
+TEST_F(VsModelTest, CloneIsDeepAndEquivalent) {
+  const auto clone = nmos_.clone();
+  EXPECT_EQ(clone->deviceType(), DeviceType::Nmos);
+  EXPECT_DOUBLE_EQ(clone->drainCurrent(geom_, 0.7, 0.7),
+                   nmos_.drainCurrent(geom_, 0.7, 0.7));
+}
+
+TEST_F(VsModelTest, RejectsInvalidParams) {
+  VsParams bad = defaultVsNmos();
+  bad.cinv = -1.0;
+  EXPECT_THROW(VsModel{bad}, InvalidArgumentError);
+  bad = defaultVsNmos();
+  bad.n0 = 0.9;
+  EXPECT_THROW(VsModel{bad}, InvalidArgumentError);
+}
+
+TEST(VsParams, DiblGrowsForShortChannels) {
+  const VsParams p = defaultVsNmos();
+  EXPECT_GT(p.diblAt(units::nmToM(30)), p.delta0);
+  EXPECT_LT(p.diblAt(units::nmToM(60)), p.delta0);
+  EXPECT_NEAR(p.diblAt(p.lNom), p.delta0, 1e-15);
+}
+
+TEST(VsParams, BallisticEfficiencyInUnitInterval) {
+  const VsParams p = defaultVsNmos();
+  EXPECT_GT(p.ballisticEfficiency(), 0.0);
+  EXPECT_LT(p.ballisticEfficiency(), 1.0);
+  // Eq. (6) with lambda=9nm, l=5nm: B = 9/19.
+  EXPECT_NEAR(p.ballisticEfficiency(), 9.0 / 19.0, 1e-12);
+}
+
+TEST(VsParams, VxoMobilitySensitivityMatchesEq5) {
+  const VsParams p = defaultVsNmos();
+  const double b = p.ballisticEfficiency();
+  EXPECT_NEAR(p.vxoMobilitySensitivity(),
+              0.5 + (1.0 - b) * (1.0 - 0.5 + 0.45), 1e-12);
+}
+
+TEST(VsParams, VxoRisesForShorterChannel) {
+  const VsParams p = defaultVsNmos();
+  EXPECT_GT(p.vxoAt(units::nmToM(35)), p.vxo);
+  EXPECT_LT(p.vxoAt(units::nmToM(50)), p.vxo);
+}
+
+// Parameterized sweep: physics invariants hold across geometries.
+class VsGeometrySweep : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(VsGeometrySweep, CurrentAndChargeInvariants) {
+  const auto [w, l] = GetParam();
+  const VsModel model(defaultVsNmos());
+  const DeviceGeometry g = geometryNm(w, l);
+  const double idsat = model.drainCurrent(g, 0.9, 0.9);
+  const double ioff = model.drainCurrent(g, 0.0, 0.9);
+  EXPECT_GT(idsat, 0.0);
+  EXPECT_GT(ioff, 0.0);
+  EXPECT_GT(idsat / ioff, 1e2);
+  const MosfetEvaluation e = model.evaluate(g, 0.9, 0.9);
+  EXPECT_NEAR(e.qg + e.qd + e.qs, 0.0, 1e-20);
+  EXPECT_GT(e.qg, 0.0);
+  EXPECT_LT(e.qd, 0.0);
+  EXPECT_LT(e.qs, 0.0);
+  // In saturation the source holds more channel charge than the drain.
+  EXPECT_GT(std::fabs(e.qs), std::fabs(e.qd));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, VsGeometrySweep,
+    ::testing::Values(std::pair{120.0, 40.0}, std::pair{300.0, 40.0},
+                      std::pair{600.0, 40.0}, std::pair{1500.0, 40.0},
+                      std::pair{300.0, 60.0}, std::pair{600.0, 100.0}));
+
+}  // namespace
+}  // namespace vsstat::models

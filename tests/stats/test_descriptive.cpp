@@ -1,0 +1,100 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::stats {
+namespace {
+
+TEST(Moments, KnownSmallSample) {
+  MomentAccumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Moments, SkewnessSignDetectsAsymmetry) {
+  MomentAccumulator rightSkewed;
+  Rng rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    const double n = rng.normal();
+    rightSkewed.add(std::exp(n));  // lognormal: strong right skew
+  }
+  EXPECT_GT(rightSkewed.skewness(), 1.0);
+  EXPECT_GT(rightSkewed.excessKurtosis(), 1.0);
+}
+
+TEST(Moments, GaussianHasNearZeroHigherMoments) {
+  MomentAccumulator acc;
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) acc.add(rng.normal(1.0, 3.0));
+  EXPECT_NEAR(acc.skewness(), 0.0, 0.05);
+  EXPECT_NEAR(acc.excessKurtosis(), 0.0, 0.1);
+}
+
+TEST(Quantile, LinearInterpolation) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  EXPECT_THROW(quantile({}, 0.5), InvalidArgumentError);
+  EXPECT_THROW(quantile({1.0}, 1.5), InvalidArgumentError);
+}
+
+TEST(Summary, ComputesAllFields) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(s.q25, 2.0);
+  EXPECT_DOUBLE_EQ(s.q75, 4.0);
+}
+
+TEST(Summary, EmptySampleIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Correlation, PerfectAndAnti) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+  const std::vector<double> z{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(Correlation, IndependentNearZero) {
+  Rng rng(31);
+  std::vector<double> x, y;
+  for (int i = 0; i < 50000; ++i) {
+    x.push_back(rng.normal());
+    y.push_back(rng.normal());
+  }
+  EXPECT_NEAR(correlation(x, y), 0.0, 0.02);
+}
+
+TEST(Correlation, DegenerateSeriesGivesZero) {
+  EXPECT_DOUBLE_EQ(correlation({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(MeanStddev, HelpersMatchAccumulator) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 1.0);
+}
+
+}  // namespace
+}  // namespace vsstat::stats

@@ -1,0 +1,98 @@
+#include "stats/ellipse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::stats {
+namespace {
+
+/// Correlated bivariate Gaussian sample.
+void sampleBivariate(std::size_t n, double rho, std::vector<double>& x,
+                     std::vector<double>& y, std::uint64_t seed) {
+  Rng rng(seed);
+  x.resize(n);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.normal();
+    const double b = rng.normal();
+    x[i] = 1.0 + 2.0 * a;
+    y[i] = -1.0 + 0.5 * (rho * a + std::sqrt(1.0 - rho * rho) * b);
+  }
+}
+
+TEST(Bivariate, RecoversMomentsOfKnownDistribution) {
+  std::vector<double> x, y;
+  sampleBivariate(50000, 0.6, x, y, 3);
+  const Bivariate m = bivariateMoments(x, y);
+  EXPECT_NEAR(m.meanX, 1.0, 0.05);
+  EXPECT_NEAR(m.meanY, -1.0, 0.02);
+  EXPECT_NEAR(std::sqrt(m.varX), 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(m.varY), 0.5, 0.01);
+  EXPECT_NEAR(m.correlation(), 0.6, 0.02);
+}
+
+TEST(Ellipse, AxisAlignedWhenUncorrelated) {
+  Bivariate m;
+  m.varX = 4.0;
+  m.varY = 1.0;
+  m.covXY = 0.0;
+  const EllipseSpec e = sigmaEllipse(m, 1.0);
+  EXPECT_NEAR(e.semiMajor, 2.0, 1e-12);
+  EXPECT_NEAR(e.semiMinor, 1.0, 1e-12);
+  EXPECT_NEAR(e.angleRad, 0.0, 1e-9);
+}
+
+TEST(Ellipse, TiltFollowsCorrelation) {
+  Bivariate m;
+  m.varX = 1.0;
+  m.varY = 1.0;
+  m.covXY = 0.8;
+  const EllipseSpec e = sigmaEllipse(m, 1.0);
+  EXPECT_NEAR(e.angleRad, M_PI / 4.0, 1e-9);  // 45 degrees for equal variances
+  EXPECT_GT(e.semiMajor, e.semiMinor);
+}
+
+TEST(Ellipse, ScalesLinearlyWithK) {
+  Bivariate m;
+  m.varX = 3.0;
+  m.varY = 1.0;
+  m.covXY = 0.5;
+  const EllipseSpec e1 = sigmaEllipse(m, 1.0);
+  const EllipseSpec e3 = sigmaEllipse(m, 3.0);
+  EXPECT_NEAR(e3.semiMajor / e1.semiMajor, 3.0, 1e-12);
+  EXPECT_NEAR(e3.semiMinor / e1.semiMinor, 3.0, 1e-12);
+}
+
+TEST(Ellipse, TraceIsClosedPolyline) {
+  Bivariate m;
+  m.varX = 1.0;
+  m.varY = 1.0;
+  const EllipsePolyline p = traceEllipse(sigmaEllipse(m, 2.0), 36);
+  EXPECT_EQ(p.x.size(), 37u);
+  EXPECT_NEAR(p.x.front(), p.x.back(), 1e-12);
+  EXPECT_NEAR(p.y.front(), p.y.back(), 1e-12);
+}
+
+TEST(Ellipse, CoverageMatchesChiSquareLaw) {
+  // For bivariate Gaussian data, P(inside k-sigma) = 1 - exp(-k^2/2).
+  std::vector<double> x, y;
+  sampleBivariate(40000, 0.5, x, y, 9);
+  const Bivariate m = bivariateMoments(x, y);
+  EXPECT_NEAR(fractionInside(m, 1.0, x, y), 1.0 - std::exp(-0.5), 0.01);
+  EXPECT_NEAR(fractionInside(m, 2.0, x, y), 1.0 - std::exp(-2.0), 0.01);
+  EXPECT_NEAR(fractionInside(m, 3.0, x, y), 1.0 - std::exp(-4.5), 0.005);
+}
+
+TEST(Ellipse, RejectsDegenerateInput) {
+  EXPECT_THROW(bivariateMoments({1.0}, {1.0}), InvalidArgumentError);
+  Bivariate degenerate;  // zero covariance matrix
+  EXPECT_THROW(fractionInside(degenerate, 1.0, {1.0, 2.0}, {1.0, 2.0}),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vsstat::stats

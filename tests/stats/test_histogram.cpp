@@ -1,0 +1,69 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace vsstat::stats {
+namespace {
+
+TEST(Histogram, CountsFallIntoCorrectBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(9.9);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.totalCount(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  Histogram h(0.0, 2.0, 8);
+  for (int i = 0; i < 100; ++i) h.add(2.0 * i / 100.0);
+  const auto d = h.density();
+  double integral = 0.0;
+  for (double v : d) integral += v * h.binWidth();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, BinCentersAreMidpoints) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.binCenter(0), 0.125);
+  EXPECT_DOUBLE_EQ(h.binCenter(3), 0.875);
+}
+
+TEST(Histogram, FromSamplesCoversRange) {
+  const std::vector<double> s{1.0, 2.0, 3.0, 4.0, 5.0};
+  const Histogram h = Histogram::fromSamples(s, 5);
+  EXPECT_EQ(h.totalCount(), 5u);
+  // every sample landed somewhere
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < h.binCount(); ++b) total += h.count(b);
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(Histogram, FromSamplesHandlesConstantInput) {
+  const Histogram h = Histogram::fromSamples({2.0, 2.0, 2.0}, 4);
+  EXPECT_EQ(h.totalCount(), 3u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgumentError);
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), InvalidArgumentError);
+  EXPECT_THROW(Histogram::fromSamples({}, 4), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vsstat::stats

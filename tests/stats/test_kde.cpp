@@ -1,0 +1,69 @@
+#include "stats/kde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::stats {
+namespace {
+
+std::vector<double> gaussianSample(std::size_t n, double mu, double sigma,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.normal(mu, sigma);
+  return v;
+}
+
+TEST(Kde, DensityIntegratesToOne) {
+  const auto samples = gaussianSample(2000, 0.0, 1.0, 3);
+  const KdeCurve c = kde(samples, 400);
+  double integral = 0.0;
+  for (std::size_t i = 1; i < c.x.size(); ++i) {
+    integral += 0.5 * (c.density[i] + c.density[i - 1]) * (c.x[i] - c.x[i - 1]);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(Kde, PeaksNearTrueMean) {
+  const auto samples = gaussianSample(4000, 5.0, 0.5, 7);
+  const KdeCurve c = kde(samples, 300);
+  double bestX = 0.0, bestD = -1.0;
+  for (std::size_t i = 0; i < c.x.size(); ++i) {
+    if (c.density[i] > bestD) {
+      bestD = c.density[i];
+      bestX = c.x[i];
+    }
+  }
+  EXPECT_NEAR(bestX, 5.0, 0.1);
+  // Gaussian peak density = 1/(sigma sqrt(2 pi)).
+  EXPECT_NEAR(bestD, 1.0 / (0.5 * std::sqrt(2.0 * M_PI)), 0.08);
+}
+
+TEST(Kde, BimodalSampleShowsTwoModes) {
+  auto a = gaussianSample(3000, -3.0, 0.4, 11);
+  const auto b = gaussianSample(3000, 3.0, 0.4, 13);
+  a.insert(a.end(), b.begin(), b.end());
+  const KdeCurve c = kde(a, 500);
+  // Density at the midpoint valley must be far below either mode.
+  const double valley = kdeAt(a, 0.0, c.bandwidth);
+  const double modeA = kdeAt(a, -3.0, c.bandwidth);
+  EXPECT_LT(valley, 0.2 * modeA);
+}
+
+TEST(Kde, SilvermanBandwidthScalesWithSpread) {
+  const auto narrow = gaussianSample(1000, 0.0, 1.0, 17);
+  const auto wide = gaussianSample(1000, 0.0, 10.0, 19);
+  EXPECT_NEAR(silvermanBandwidth(wide) / silvermanBandwidth(narrow), 10.0, 1.0);
+}
+
+TEST(Kde, RejectsDegenerateInput) {
+  EXPECT_THROW(kde({1.0}, 100), InvalidArgumentError);
+  EXPECT_THROW(kdeAt({1.0}, 0.0, 0.0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vsstat::stats

@@ -1,0 +1,73 @@
+#include "stats/normality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::stats {
+namespace {
+
+std::vector<double> gaussian(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.normal(3.0, 2.0);
+  return v;
+}
+
+std::vector<double> lognormal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = std::exp(rng.normal(0.0, 0.8));
+  return v;
+}
+
+TEST(JarqueBera, AcceptsGaussian) {
+  const JarqueBera jb = jarqueBera(gaussian(5000, 3));
+  EXPECT_FALSE(jb.rejectAt5Percent) << "statistic = " << jb.statistic;
+}
+
+TEST(JarqueBera, RejectsLognormal) {
+  const JarqueBera jb = jarqueBera(lognormal(5000, 5));
+  EXPECT_TRUE(jb.rejectAt5Percent);
+  EXPECT_GT(jb.statistic, 100.0);
+}
+
+TEST(JarqueBera, RejectsTinySample) {
+  EXPECT_THROW(jarqueBera({1.0, 2.0, 3.0}), InvalidArgumentError);
+}
+
+TEST(KsNormal, AcceptsGaussian) {
+  const KsNormal ks = ksAgainstNormal(gaussian(2000, 7));
+  EXPECT_FALSE(ks.rejectAt5Percent)
+      << "D = " << ks.statistic << " crit = " << ks.critical5Percent;
+}
+
+TEST(KsNormal, RejectsLognormal) {
+  const KsNormal ks = ksAgainstNormal(lognormal(2000, 9));
+  EXPECT_TRUE(ks.rejectAt5Percent);
+}
+
+TEST(KsNormal, RejectsUniformTails) {
+  Rng rng(11);
+  std::vector<double> v(3000);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  const KsNormal ks = ksAgainstNormal(v);
+  EXPECT_TRUE(ks.rejectAt5Percent);
+}
+
+TEST(KsNormal, CriticalValueShrinksWithN) {
+  const KsNormal small = ksAgainstNormal(gaussian(100, 13));
+  const KsNormal large = ksAgainstNormal(gaussian(10000, 13));
+  EXPECT_GT(small.critical5Percent, large.critical5Percent);
+}
+
+TEST(KsNormal, RejectsZeroVariance) {
+  EXPECT_THROW(ksAgainstNormal(std::vector<double>(100, 1.0)),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vsstat::stats

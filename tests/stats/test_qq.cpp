@@ -1,0 +1,62 @@
+#include "stats/qq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::stats {
+namespace {
+
+TEST(NormalQuantile, MatchesKnownValues) {
+  EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normalQuantile(0.8413447), 1.0, 1e-4);
+  EXPECT_NEAR(normalQuantile(0.0013499), -3.0, 1e-3);
+}
+
+TEST(NormalQuantile, InverseOfCdf) {
+  for (double x = -3.5; x <= 3.5; x += 0.25) {
+    EXPECT_NEAR(normalQuantile(normalCdf(x)), x, 1e-7) << "x = " << x;
+  }
+}
+
+TEST(NormalQuantile, RejectsBoundaries) {
+  EXPECT_THROW(normalQuantile(0.0), InvalidArgumentError);
+  EXPECT_THROW(normalQuantile(1.0), InvalidArgumentError);
+}
+
+TEST(NormalCdf, Symmetry) {
+  for (double x : {0.3, 1.1, 2.7}) {
+    EXPECT_NEAR(normalCdf(x) + normalCdf(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(QqPlot, GaussianSampleIsLinear) {
+  Rng rng(3);
+  std::vector<double> s(4000);
+  for (auto& v : s) v = rng.normal(2.0, 0.5);
+  const QqData qq = qqAgainstNormal(s);
+  EXPECT_GT(qq.linearity, 0.995);
+  EXPECT_EQ(qq.sample.size(), qq.theoretical.size());
+  // Sorted sample, symmetric theoretical quantiles.
+  EXPECT_LT(qq.theoretical.front(), 0.0);
+  EXPECT_GT(qq.theoretical.back(), 0.0);
+}
+
+TEST(QqPlot, HeavySkewReducesLinearity) {
+  Rng rng(5);
+  std::vector<double> s(4000);
+  for (auto& v : s) v = std::exp(rng.normal(0.0, 1.0));  // lognormal
+  const QqData qq = qqAgainstNormal(s);
+  EXPECT_LT(qq.linearity, 0.9);
+}
+
+TEST(QqPlot, RejectsTinySample) {
+  EXPECT_THROW(qqAgainstNormal({1.0, 2.0}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vsstat::stats

@@ -1,0 +1,102 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace vsstat::stats {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.nextU64() == b.nextU64()) ++equal;
+  EXPECT_LE(equal, 1);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(11);
+  MomentAccumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.uniform());
+  EXPECT_NEAR(acc.mean(), 0.5, 5e-3);
+  EXPECT_NEAR(acc.variance(), 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, NormalMomentsMatchStandardNormal) {
+  Rng rng(13);
+  MomentAccumulator acc;
+  for (int i = 0; i < 200000; ++i) acc.add(rng.normal());
+  EXPECT_NEAR(acc.mean(), 0.0, 0.01);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.01);
+  EXPECT_NEAR(acc.skewness(), 0.0, 0.05);
+  EXPECT_NEAR(acc.excessKurtosis(), 0.0, 0.1);
+}
+
+TEST(Rng, ScaledNormal) {
+  Rng rng(17);
+  MomentAccumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(acc.mean(), 5.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ForkedStreamsAreDecorrelated) {
+  const Rng parent(42);
+  Rng c0 = parent.fork(0);
+  Rng c1 = parent.fork(1);
+  std::vector<double> a, b;
+  for (int i = 0; i < 20000; ++i) {
+    a.push_back(c0.normal());
+    b.push_back(c1.normal());
+  }
+  EXPECT_LT(std::fabs(correlation(a, b)), 0.03);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  const Rng parent(42);
+  Rng a = parent.fork(17);
+  Rng b = parent.fork(17);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(23);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t v = rng.below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // every residue hit
+}
+
+}  // namespace
+}  // namespace vsstat::stats

@@ -1,0 +1,96 @@
+// Spatially correlated Gaussian field: marginal variance, correlation
+// recovery against the exponential model, determinism, and validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/spatial.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::stats {
+namespace {
+
+TEST(Spatial, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}
+
+TEST(Spatial, RejectsBadConstruction) {
+  EXPECT_THROW(CorrelatedGaussianField({}, 1.0), InvalidArgumentError);
+  EXPECT_THROW(CorrelatedGaussianField({{0, 0}}, 0.0), InvalidArgumentError);
+  EXPECT_THROW(CorrelatedGaussianField({{0, 0}}, 1.0, 1.0),
+               InvalidArgumentError);
+  EXPECT_THROW(CorrelatedGaussianField({{0, 0}}, 1.0, -0.1),
+               InvalidArgumentError);
+}
+
+TEST(Spatial, ModelCorrelationFollowsExponentialDecay) {
+  const double lc = 100e-6;
+  const CorrelatedGaussianField field(
+      {{0, 0}, {100e-6, 0}, {300e-6, 0}}, lc);
+  EXPECT_DOUBLE_EQ(field.correlation(0, 0), 1.0);
+  EXPECT_NEAR(field.correlation(0, 1), std::exp(-1.0), 1e-6);
+  EXPECT_NEAR(field.correlation(0, 2), std::exp(-3.0), 1e-6);
+  EXPECT_DOUBLE_EQ(field.correlation(0, 1), field.correlation(1, 0));
+  EXPECT_THROW((void)field.correlation(0, 5), InvalidArgumentError);
+}
+
+TEST(Spatial, SampleMatchesModelMoments) {
+  // Three points: close pair (rho ~ 0.9) and a far one (rho ~ 0.05).
+  const double lc = 200e-6;
+  const CorrelatedGaussianField field(
+      {{0, 0}, {0.1 * lc, 0}, {3.0 * lc, 0}}, lc);
+
+  Rng rng(42);
+  const int n = 40000;
+  double var0 = 0.0, var1 = 0.0, var2 = 0.0, cov01 = 0.0, cov02 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto f = field.sample(rng);
+    var0 += f[0] * f[0];
+    var1 += f[1] * f[1];
+    var2 += f[2] * f[2];
+    cov01 += f[0] * f[1];
+    cov02 += f[0] * f[2];
+  }
+  var0 /= n;
+  var1 /= n;
+  var2 /= n;
+  cov01 /= n;
+  cov02 /= n;
+
+  EXPECT_NEAR(var0, 1.0, 0.03);
+  EXPECT_NEAR(var1, 1.0, 0.03);
+  EXPECT_NEAR(var2, 1.0, 0.03);
+  EXPECT_NEAR(cov01 / std::sqrt(var0 * var1), field.correlation(0, 1), 0.02);
+  EXPECT_NEAR(cov02 / std::sqrt(var0 * var2), field.correlation(0, 2), 0.02);
+}
+
+TEST(Spatial, NuggetReducesOffDiagonalCorrelation) {
+  const double lc = 100e-6;
+  const CorrelatedGaussianField pure({{0, 0}, {10e-6, 0}}, lc, 1e-9);
+  const CorrelatedGaussianField noisy({{0, 0}, {10e-6, 0}}, lc, 0.3);
+  EXPECT_GT(pure.correlation(0, 1), noisy.correlation(0, 1));
+  EXPECT_NEAR(noisy.correlation(0, 1), 0.7 * std::exp(-0.1), 1e-9);
+}
+
+TEST(Spatial, CoincidentPointsNeedNugget) {
+  // Duplicate locations make the pure correlation matrix singular; the
+  // nugget must rescue the factorization.
+  const std::vector<DiePoint> pts{{0, 0}, {0, 0}};
+  EXPECT_NO_THROW(CorrelatedGaussianField(pts, 1e-4, 0.01));
+}
+
+TEST(Spatial, DeterministicPerSeed) {
+  const CorrelatedGaussianField field({{0, 0}, {50e-6, 50e-6}}, 100e-6);
+  Rng a(7);
+  Rng b(7);
+  const auto fa = field.sample(a);
+  const auto fb = field.sample(b);
+  EXPECT_EQ(fa, fb);
+
+  Rng c(8);
+  EXPECT_NE(field.sample(c), fa);
+}
+
+}  // namespace
+}  // namespace vsstat::stats

@@ -1,0 +1,56 @@
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace vsstat::util {
+namespace {
+
+TEST(AsciiHistogram, RendersBars) {
+  std::vector<double> samples;
+  for (int i = 0; i < 100; ++i) samples.push_back(i % 10);
+  const std::string s = asciiHistogram(samples, 10, 20, "value");
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("value"), std::string::npos);
+}
+
+TEST(AsciiHistogram, HandlesEmptySample) {
+  EXPECT_EQ(asciiHistogram({}, 10, 20), "(no samples)\n");
+}
+
+TEST(AsciiHistogram, HandlesDegenerateSample) {
+  const std::string s = asciiHistogram({1.0, 1.0, 1.0}, 5, 10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(AsciiScatter, PlacesPointsInGrid) {
+  Series s;
+  s.x = {0.0, 1.0};
+  s.y = {0.0, 1.0};
+  s.glyph = 'o';
+  const std::string plot = asciiScatter({s}, 16, 8, "xl", "yl");
+  EXPECT_NE(plot.find('o'), std::string::npos);
+  EXPECT_NE(plot.find("xl"), std::string::npos);
+  EXPECT_NE(plot.find("yl"), std::string::npos);
+}
+
+TEST(AsciiScatter, MultipleSeriesUseDistinctGlyphs) {
+  Series a{{0.0}, {0.0}, 'a'};
+  Series b{{1.0}, {1.0}, 'b'};
+  const std::string plot = asciiScatter({a, b}, 16, 8);
+  EXPECT_NE(plot.find('a'), std::string::npos);
+  EXPECT_NE(plot.find('b'), std::string::npos);
+}
+
+TEST(AsciiScatter, RejectsRaggedSeries) {
+  Series s{{0.0, 1.0}, {0.0}, '*'};
+  EXPECT_THROW(asciiScatter({s}), InvalidArgumentError);
+}
+
+TEST(AsciiScatter, EmptyInputReportsNoPoints) {
+  EXPECT_EQ(asciiScatter({}), "(no points)\n");
+}
+
+}  // namespace
+}  // namespace vsstat::util

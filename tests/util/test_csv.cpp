@@ -1,0 +1,79 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace vsstat::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+struct TempDir {
+  std::filesystem::path dir;
+  TempDir() {
+    dir = std::filesystem::temp_directory_path() / "vsstat_csv_test";
+    std::filesystem::create_directories(dir);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+};
+
+TEST(Csv, WritesHeaderAndNumericRows) {
+  TempDir tmp;
+  const std::string path = (tmp.dir / "a.csv").string();
+  {
+    CsvWriter w(path, {"x", "y"});
+    w.writeRow(std::vector<double>{1.0, 2.5});
+    w.writeRow(std::vector<double>{3.0, -4.0});
+  }
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("x,y\n"), std::string::npos);
+  EXPECT_NE(content.find("1,2.5\n"), std::string::npos);
+  EXPECT_NE(content.find("3,-4\n"), std::string::npos);
+}
+
+TEST(Csv, CreatesParentDirectories) {
+  TempDir tmp;
+  const std::string path = (tmp.dir / "deep/nested/b.csv").string();
+  CsvWriter w(path, {"v"});
+  w.writeRow(std::vector<double>{7.0});
+  EXPECT_TRUE(std::filesystem::exists(path));
+}
+
+TEST(Csv, RejectsArityMismatch) {
+  TempDir tmp;
+  CsvWriter w((tmp.dir / "c.csv").string(), {"a", "b"});
+  EXPECT_THROW(w.writeRow(std::vector<double>{1.0}), InvalidArgumentError);
+}
+
+TEST(Csv, WriteCsvHelperAlignsColumns) {
+  TempDir tmp;
+  const std::string path = (tmp.dir / "d.csv").string();
+  writeCsv(path, {"t", "v"}, {{0.0, 1.0, 2.0}, {5.0, 6.0, 7.0}});
+  const std::string content = slurp(path);
+  EXPECT_NE(content.find("t,v"), std::string::npos);
+  EXPECT_NE(content.find("2,7"), std::string::npos);
+}
+
+TEST(Csv, WriteCsvRejectsRaggedColumns) {
+  TempDir tmp;
+  EXPECT_THROW(
+      writeCsv((tmp.dir / "e.csv").string(), {"a", "b"}, {{1.0}, {1.0, 2.0}}),
+      InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace vsstat::util

@@ -1,0 +1,64 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace vsstat::util {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> visits(kCount);
+  parallelFor(kCount, [&](std::size_t i) { visits[i].fetch_add(1); }, 4);
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool called = false;
+  parallelFor(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadPathMatchesSerial) {
+  std::vector<int> order;
+  parallelFor(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+              1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallelFor(
+          100,
+          [](std::size_t i) {
+            if (i == 37) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount) {
+  const auto run = [](unsigned threads) {
+    std::vector<double> out(256);
+    parallelFor(out.size(),
+                [&](std::size_t i) { out[i] = static_cast<double>(i) * 1.5; },
+                threads);
+    return std::accumulate(out.begin(), out.end(), 0.0);
+  };
+  EXPECT_DOUBLE_EQ(run(1), run(8));
+}
+
+TEST(EffectiveThreadCount, NonZeroPassesThrough) {
+  EXPECT_EQ(effectiveThreadCount(3), 3u);
+}
+
+TEST(EffectiveThreadCount, ZeroResolvesToAtLeastOne) {
+  EXPECT_GE(effectiveThreadCount(0), 1u);
+}
+
+}  // namespace
+}  // namespace vsstat::util

@@ -1,0 +1,45 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vsstat::units {
+namespace {
+
+TEST(Units, ThermalVoltageAt300K) {
+  EXPECT_NEAR(thermalVoltage(300.0), 0.025852, 1e-5);
+}
+
+TEST(Units, ThermalVoltageScalesLinearlyWithTemperature) {
+  EXPECT_NEAR(thermalVoltage(600.0), 2.0 * thermalVoltage(300.0), 1e-12);
+}
+
+TEST(Units, LengthRoundTrips) {
+  EXPECT_DOUBLE_EQ(mToNm(nmToM(40.0)), 40.0);
+  EXPECT_DOUBLE_EQ(mToUm(umToM(1.5)), 1.5);
+  EXPECT_DOUBLE_EQ(nmToM(1000.0), umToM(1.0));
+}
+
+TEST(Units, ArealCapacitanceConversion) {
+  // 1.8 uF/cm^2 == 0.018 F/m^2.
+  EXPECT_DOUBLE_EQ(uFPerCm2ToSI(1.8), 0.018);
+  EXPECT_DOUBLE_EQ(siToUFPerCm2(uFPerCm2ToSI(1.8)), 1.8);
+}
+
+TEST(Units, MobilityConversion) {
+  // 200 cm^2/Vs == 0.02 m^2/Vs.
+  EXPECT_DOUBLE_EQ(cm2PerVsToSI(200.0), 0.02);
+  EXPECT_DOUBLE_EQ(siToCm2PerVs(cm2PerVsToSI(123.0)), 123.0);
+}
+
+TEST(Units, VelocityConversion) {
+  // 1.2e7 cm/s == 1.2e5 m/s.
+  EXPECT_DOUBLE_EQ(cmPerSToSI(1.2e7), 1.2e5);
+}
+
+TEST(Units, TimeConversion) {
+  EXPECT_DOUBLE_EQ(psToS(5.0), 5e-12);
+  EXPECT_DOUBLE_EQ(sToPs(psToS(7.25)), 7.25);
+}
+
+}  // namespace
+}  // namespace vsstat::units

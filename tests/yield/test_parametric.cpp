@@ -1,0 +1,85 @@
+// Parametric yield arithmetic: Gaussian yield against analytic CDF values,
+// empirical yield, Wilson intervals.
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "yield/parametric.hpp"
+
+namespace vsstat::yield {
+namespace {
+
+TEST(SpecLimit, PassLogicCoversAllWindowShapes) {
+  const SpecLimit open{};
+  EXPECT_TRUE(open.passes(-1e30));
+  EXPECT_TRUE(open.passes(1e30));
+
+  const SpecLimit lowerOnly{0.0, std::nullopt};
+  EXPECT_TRUE(lowerOnly.passes(0.0));
+  EXPECT_FALSE(lowerOnly.passes(-1e-12));
+
+  const SpecLimit band{-1.0, 1.0};
+  EXPECT_TRUE(band.passes(0.5));
+  EXPECT_FALSE(band.passes(1.5));
+  EXPECT_FALSE(band.passes(-1.5));
+}
+
+TEST(GaussianYield, MatchesAnalyticNormalProbabilities) {
+  // One-sided: P(X > mean - 3 sigma) = Phi(3) = 0.99865.
+  EXPECT_NEAR(gaussianYield(0.0, 1.0, {-3.0, std::nullopt}), 0.99865, 1e-4);
+  // Two-sided +/- 1 sigma: 68.27%.
+  EXPECT_NEAR(gaussianYield(0.0, 1.0, {-1.0, 1.0}), 0.6827, 1e-3);
+  // Shifted/scaled: spec [2, 6] on N(4, 1) is the same +/- 2 sigma window.
+  EXPECT_NEAR(gaussianYield(4.0, 1.0, {2.0, 6.0}),
+              gaussianYield(0.0, 1.0, {-2.0, 2.0}), 1e-12);
+  // No bounds: certain pass.
+  EXPECT_DOUBLE_EQ(gaussianYield(0.0, 1.0, {}), 1.0);
+  EXPECT_THROW((void)gaussianYield(0.0, 0.0, {}), InvalidArgumentError);
+}
+
+TEST(EmpiricalYield, CountsWindowMembership) {
+  const std::vector<double> s{0.1, 0.2, 0.3, 0.4, 0.9};
+  EXPECT_DOUBLE_EQ(empiricalYield(s, {std::nullopt, 0.5}), 0.8);
+  EXPECT_DOUBLE_EQ(empiricalYield(s, {0.15, 0.35}), 0.4);
+  EXPECT_THROW((void)empiricalYield({}, {}), InvalidArgumentError);
+}
+
+TEST(WilsonInterval, KnownValues) {
+  // 95% Wilson interval for 90/100: approximately [0.825, 0.944].
+  const YieldEstimate e = yieldWithConfidence(90, 100);
+  EXPECT_DOUBLE_EQ(e.yield, 0.9);
+  EXPECT_NEAR(e.lower, 0.825, 0.005);
+  EXPECT_NEAR(e.upper, 0.944, 0.005);
+
+  // Zero successes still gives a positive upper bound (rule-of-three-ish).
+  const YieldEstimate zero = yieldWithConfidence(0, 100);
+  EXPECT_DOUBLE_EQ(zero.yield, 0.0);
+  EXPECT_DOUBLE_EQ(zero.lower, 0.0);
+  EXPECT_GT(zero.upper, 0.01);
+  EXPECT_LT(zero.upper, 0.06);
+
+  // All successes clamp the upper bound at 1.
+  const YieldEstimate all = yieldWithConfidence(50, 50);
+  EXPECT_DOUBLE_EQ(all.upper, 1.0);
+  EXPECT_LT(all.lower, 1.0);
+}
+
+TEST(WilsonInterval, ValidatesInputs) {
+  EXPECT_THROW((void)yieldWithConfidence(1, 0), InvalidArgumentError);
+  EXPECT_THROW((void)yieldWithConfidence(-1, 10), InvalidArgumentError);
+  EXPECT_THROW((void)yieldWithConfidence(11, 10), InvalidArgumentError);
+  EXPECT_THROW((void)yieldWithConfidence(5, 10, 0.0), InvalidArgumentError);
+}
+
+TEST(YieldOfSamples, CombinesCountingAndInterval) {
+  std::vector<double> s(200, 0.5);
+  s[0] = 2.0;  // one failure
+  const YieldEstimate e = yieldOfSamples(s, {std::nullopt, 1.0});
+  EXPECT_DOUBLE_EQ(e.yield, 199.0 / 200.0);
+  EXPECT_EQ(e.passed, 199);
+  EXPECT_EQ(e.total, 200);
+  EXPECT_LT(e.lower, e.yield);
+  EXPECT_GT(e.upper, e.yield);
+}
+
+}  // namespace
+}  // namespace vsstat::yield

@@ -1,0 +1,58 @@
+// Parameterized yield properties: Gaussian yield against empirical Monte
+// Carlo across a grid of (mean, sigma, spec window) cases.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "stats/rng.hpp"
+#include "yield/parametric.hpp"
+
+namespace vsstat::yield {
+namespace {
+
+struct YieldCase {
+  double mean;
+  double sigma;
+  double lower;  ///< in sigmas around the mean
+  double upper;
+};
+
+class GaussianVsEmpirical : public ::testing::TestWithParam<YieldCase> {};
+
+TEST_P(GaussianVsEmpirical, AgreeWithinSamplingError) {
+  const YieldCase& p = GetParam();
+  const SpecLimit spec{p.mean + p.lower * p.sigma,
+                       p.mean + p.upper * p.sigma};
+  const double analytic = gaussianYield(p.mean, p.sigma, spec);
+
+  stats::Rng rng(0xABCDEF);
+  std::vector<double> samples;
+  samples.reserve(60000);
+  for (int i = 0; i < 60000; ++i)
+    samples.push_back(rng.normal(p.mean, p.sigma));
+  const double empirical = empiricalYield(samples, spec);
+
+  // Binomial sampling error at n = 60000 stays below ~0.6% absolute.
+  EXPECT_NEAR(empirical, analytic, 0.006);
+
+  // And the Wilson interval must cover the analytic value.
+  const YieldEstimate e = yieldOfSamples(samples, spec, 2.6);
+  EXPECT_GE(analytic, e.lower - 1e-12);
+  EXPECT_LE(analytic, e.upper + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WindowGrid, GaussianVsEmpirical,
+    ::testing::Values(YieldCase{0.0, 1.0, -1.0, 1.0},
+                      YieldCase{0.0, 1.0, -2.0, 2.0},
+                      YieldCase{0.0, 1.0, -3.0, 3.0},
+                      YieldCase{5.0, 0.5, -1.5, 2.5},
+                      YieldCase{-2.0, 3.0, -0.5, 0.5},
+                      YieldCase{10.0, 2.0, -4.0, 0.0}),
+    [](const ::testing::TestParamInfo<YieldCase>& i) {
+      return "case" + std::to_string(i.index);
+    });
+
+}  // namespace
+}  // namespace vsstat::yield
