@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Measures the pre-refactor Newton hot-path baseline: checks the seed commit
+# out into a scratch worktree, compiles newton_seed_baseline.cpp against the
+# pristine seed sources, and writes BENCH_newton_hotpath_baseline.json at the
+# repo root.  Compare against `bench_newton_hotpath` output from the current
+# tree (BENCH_newton_hotpath.json).
+#
+# Usage: bench/measure_seed_baseline.sh [seed-commit] [--quick]
+set -euo pipefail
+
+repo_root="$(git rev-parse --show-toplevel)"
+seed_commit="${1:-$(git rev-list --max-parents=0 HEAD | head -1)}"
+quick="${2:-}"
+
+worktree="$repo_root/build/seed-baseline"
+out_json="$repo_root/BENCH_newton_hotpath_baseline.json"
+
+cleanup() {
+  git -C "$repo_root" worktree remove --force "$worktree" 2>/dev/null || true
+}
+trap cleanup EXIT
+cleanup
+
+mkdir -p "$repo_root/build"
+git -C "$repo_root" worktree add --detach "$worktree" "$seed_commit"
+
+echo "Building seed baseline at $seed_commit ..." >&2
+mapfile -t seed_sources < <(find "$worktree/src" -name '*.cpp' | sort)
+g++ -O2 -Wall -std=c++20 -I"$worktree/src" \
+    "$repo_root/bench/seed_baseline/newton_seed_baseline.cpp" \
+    "${seed_sources[@]}" \
+    -o "$worktree/newton_seed_baseline" -lpthread
+
+echo "Running seed baseline ..." >&2
+"$worktree/newton_seed_baseline" $quick | tee "$out_json"
+echo "Wrote $out_json" >&2

@@ -1,0 +1,148 @@
+// Pre-refactor baseline for bench_newton_hotpath: the SAME per-iteration
+// measurement (assemble + factor + solve at a converged operating point),
+// but compiled against the pristine seed sources, where Assembler stamps
+// into a dense Jacobian and every Newton iteration constructs a fresh
+// LuFactorization and step vector.
+//
+// Built by bench/measure_seed_baseline.sh inside a worktree of the seed
+// commit; it cannot compile against the current tree (the Assembler API
+// changed).  Output schema matches bench_newton_hotpath:
+//   {"name": "...", "ns_per_iter": ..., "allocs": ...}
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#include "circuits/benchmarks.hpp"
+#include "circuits/provider.hpp"
+#include "linalg/lu.hpp"
+#include "models/vs_model.hpp"
+#include "models/vs_params.hpp"
+#include "spice/analysis.hpp"
+#include "spice/assembler.hpp"
+#include "spice/elements.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> gAllocCount{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace vsstat {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+linalg::Vector flatten(const spice::Circuit& circuit,
+                       const spice::OperatingPoint& op) {
+  linalg::Vector x(circuit.unknownCount(), 0.0);
+  const std::size_t numNodes = circuit.nodeCount() - 1;
+  for (std::size_t n = 0; n < numNodes; ++n) x[n] = op.nodeVoltages[n + 1];
+  for (std::size_t b = 0; b < op.branchCurrents.size(); ++b)
+    x[numNodes + b] = op.branchCurrents[b];
+  return x;
+}
+
+void benchConfiguration(const std::string& name,
+                        spice::detail::Assembler& assembler,
+                        const linalg::Vector& x, int iters) {
+  // The seed Newton iteration, verbatim: dense assemble, fresh
+  // factorization (allocating matrix copy + pivots), fresh step vector.
+  const auto iteration = [&] {
+    assembler.assemble(x);
+    linalg::Vector dx = linalg::LuFactorization(assembler.jacobian())
+                            .solve(assembler.residual());
+    (void)dx;
+  };
+
+  for (int i = 0; i < 16; ++i) iteration();  // warmup
+
+  const std::uint64_t allocs0 = gAllocCount.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) iteration();
+  const auto t1 = Clock::now();
+  const std::uint64_t allocs1 = gAllocCount.load(std::memory_order_relaxed);
+
+  const double nsPerIter =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()) /
+      iters;
+  const double allocsPerIter = static_cast<double>(allocs1 - allocs0) / iters;
+  std::printf("{\"name\": \"%s\", \"ns_per_iter\": %.1f, \"allocs\": %.2f}\n",
+              name.c_str(), nsPerIter, allocsPerIter);
+}
+
+void benchCircuit(const std::string& name, const spice::Circuit& circuit,
+                  const spice::OperatingPoint& op, int iters) {
+  const linalg::Vector x = flatten(circuit, op);
+  spice::detail::Assembler assembler(circuit);
+
+  assembler.setDcMode();
+  assembler.setTime(0.0);
+  assembler.setSourceScale(1.0);
+  assembler.setGmin(1e-12);
+  benchConfiguration(name + "_dc", assembler, x, iters);
+
+  assembler.assemble(x);
+  assembler.commitCharges();
+  const std::vector<double> slotCurrents = assembler.slotCurrents();
+  assembler.setTime(1e-12);
+  assembler.setTrapezoidal(1e-12, slotCurrents);
+  benchConfiguration(name + "_tran", assembler, x, iters);
+}
+
+int run(int iters) {
+  using circuits::NominalProvider;
+  using models::VsModel;
+
+  {
+    NominalProvider provider(VsModel(models::defaultVsNmos()),
+                             VsModel(models::defaultVsPmos()));
+    circuits::GateFo3Bench bench = circuits::buildNand2Fo3(
+        provider, circuits::CellSizing{}, circuits::StimulusSpec{});
+    bench.circuit.voltageSource(bench.inSource).setDcLevel(0.0);
+    const spice::OperatingPoint op = spice::dcOperatingPoint(bench.circuit);
+    benchCircuit("nand2_fo3", bench.circuit, op, iters);
+  }
+  {
+    NominalProvider provider(VsModel(models::defaultVsNmos()),
+                             VsModel(models::defaultVsPmos()));
+    circuits::SramCellBench bench = circuits::buildSramCell(
+        provider, 0.9, /*wordlineOn=*/true, circuits::SramSizing{});
+    const spice::OperatingPoint op =
+        spice::dcOperatingPoint(bench.circuit, bench.stateGuess(true), {});
+    benchCircuit("sram6t", bench.circuit, op, iters);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vsstat
+
+int main(int argc, char** argv) {
+  int iters = 20000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) iters = 500;
+  }
+  try {
+    return vsstat::run(iters);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "newton_seed_baseline: %s\n", e.what());
+    return 1;
+  }
+}

@@ -9,9 +9,24 @@ namespace vsstat::linalg {
 
 LuFactorization::LuFactorization(Matrix a, double pivotTolerance)
     : lu_(std::move(a)) {
+  factorize(pivotTolerance);
+}
+
+void LuFactorization::refactor(const Matrix& a, double pivotTolerance) {
+  require(a.rows() == a.cols(), "LU: matrix must be square");
+  const std::size_t n = a.rows();
+  if (lu_.rows() != n || lu_.cols() != n) {
+    lu_ = Matrix(n, n);
+  }
+  std::copy(a.data(), a.data() + n * n, lu_.data());
+  factorize(pivotTolerance);
+}
+
+void LuFactorization::factorize(double pivotTolerance) {
   require(lu_.rows() == lu_.cols(), "LU: matrix must be square");
   const std::size_t n = lu_.rows();
   pivots_.resize(n);
+  pivotSign_ = 1;
 
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivot: largest magnitude in column k at/below the diagonal.

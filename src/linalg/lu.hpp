@@ -9,12 +9,22 @@
 
 namespace vsstat::linalg {
 
-/// Factorization object; reusable for multiple right-hand sides.
+/// Factorization object; reusable for multiple right-hand sides and -- via
+/// refactor() -- for repeated factorizations of same-size matrices without
+/// reallocating the LU storage or pivot array.
 class LuFactorization {
  public:
+  /// Empty factorization; call refactor() before solving.
+  LuFactorization() = default;
+
   /// Factors a square matrix.  Throws ConvergenceError on (numerical)
   /// singularity, i.e. a pivot below `pivotTolerance`.
   explicit LuFactorization(Matrix a, double pivotTolerance = 1e-14);
+
+  /// Re-factors in place, reusing the existing LU/pivot storage when `a`
+  /// matches the previous size (zero heap allocations in that case).
+  /// Throws ConvergenceError on singularity, like the constructor.
+  void refactor(const Matrix& a, double pivotTolerance = 1e-14);
 
   /// Solves A x = b.
   [[nodiscard]] Vector solve(const Vector& b) const;
@@ -26,6 +36,8 @@ class LuFactorization {
   [[nodiscard]] std::size_t size() const noexcept { return lu_.rows(); }
 
  private:
+  void factorize(double pivotTolerance);
+
   Matrix lu_;
   std::vector<std::size_t> pivots_;
   int pivotSign_ = 1;

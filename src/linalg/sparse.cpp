@@ -1,0 +1,58 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace vsstat::linalg {
+
+SparsePattern::SparsePattern(
+    std::size_t n,
+    const std::vector<std::pair<std::size_t, std::size_t>>& coords)
+    : n_(n) {
+  require(n > 0, "SparsePattern: dimension must be positive");
+  slots_.assign(n * n, -1);
+
+  // Mark distinct positions, then lay slots out in CSR (row-major) order so
+  // a linear walk over the value array is cache-friendly.
+  constexpr std::int32_t kMarked = -2;
+  for (const auto& [r, c] : coords) {
+    require(r < n && c < n, "SparsePattern: coordinate out of range");
+    slots_[r * n + c] = kMarked;
+  }
+  rowStart_.assign(n + 1, 0);
+  std::int32_t next = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    rowStart_[r] = static_cast<std::size_t>(next);
+    for (std::size_t c = 0; c < n; ++c) {
+      if (slots_[r * n + c] == kMarked) {
+        slots_[r * n + c] = next++;
+        colIndex_.push_back(c);
+        rowIndex_.push_back(r);
+      }
+    }
+  }
+  rowStart_[n] = static_cast<std::size_t>(next);
+}
+
+double SparsePattern::sparsity() const noexcept {
+  if (n_ == 0) return 0.0;
+  const double total = static_cast<double>(n_) * static_cast<double>(n_);
+  return 1.0 - static_cast<double>(nonZeroCount()) / total;
+}
+
+void SparseMatrix::scatterTo(Matrix& dense) const {
+  const std::size_t n = pattern_->size();
+  if (dense.rows() != n || dense.cols() != n) {
+    dense = Matrix(n, n);
+  } else {
+    dense.fill(0.0);
+  }
+  const auto& rows = pattern_->rowIndex();
+  const auto& cols = pattern_->colIndex();
+  for (std::size_t s = 0; s < values_.size(); ++s) {
+    dense(rows[s], cols[s]) = values_[s];
+  }
+}
+
+}  // namespace vsstat::linalg

@@ -1,0 +1,112 @@
+// Compressed-sparse-row pattern/value split for the MNA Newton hot path.
+//
+// The circuit engine solves the same topology thousands of times per Monte
+// Carlo campaign (Newton iterations x transient steps x samples), so the
+// sparsity structure of the Jacobian is captured exactly once per circuit
+// (the "symbolic" phase) and every subsequent assembly writes straight into
+// preallocated pattern slots.  Systems are small (tens of unknowns), which
+// makes a dense O(1) slot-lookup table affordable and keeps stamping as
+// cheap as a dense write.
+#ifndef VSSTAT_LINALG_SPARSE_HPP
+#define VSSTAT_LINALG_SPARSE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace vsstat::linalg {
+
+/// Immutable CSR sparsity structure of a square matrix.
+///
+/// Built once from a coordinate list (duplicates collapse into one slot);
+/// afterwards `slot(r, c)` resolves a coordinate to its value index in O(1)
+/// via a dense lookup table.
+class SparsePattern {
+ public:
+  SparsePattern() = default;
+
+  /// Builds the pattern for an n x n matrix from (row, col) coordinates.
+  /// Coordinates may repeat; each distinct position gets exactly one slot.
+  SparsePattern(std::size_t n,
+                const std::vector<std::pair<std::size_t, std::size_t>>& coords);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] std::size_t nonZeroCount() const noexcept {
+    return colIndex_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  /// Slot index of (r, c), or -1 when the position is structurally zero.
+  [[nodiscard]] std::int32_t slot(std::size_t r, std::size_t c) const noexcept {
+    return slots_[r * n_ + c];
+  }
+
+  /// CSR row boundaries: slots of row r are [rowStart()[r], rowStart()[r+1]).
+  [[nodiscard]] const std::vector<std::size_t>& rowStart() const noexcept {
+    return rowStart_;
+  }
+  /// Column of each slot (CSR order: by row, then by column).
+  [[nodiscard]] const std::vector<std::size_t>& colIndex() const noexcept {
+    return colIndex_;
+  }
+  /// Row of each slot (redundant with rowStart, kept for O(1) scatter).
+  [[nodiscard]] const std::vector<std::size_t>& rowIndex() const noexcept {
+    return rowIndex_;
+  }
+
+  /// Fraction of structurally zero entries, in [0, 1].
+  [[nodiscard]] double sparsity() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> rowStart_;
+  std::vector<std::size_t> colIndex_;
+  std::vector<std::size_t> rowIndex_;
+  std::vector<std::int32_t> slots_;  ///< dense n*n coordinate -> slot table
+};
+
+/// Values laid out on a SparsePattern.  The pattern is referenced, not
+/// owned: it must outlive the matrix (the Assembler owns both).
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  explicit SparseMatrix(const SparsePattern& pattern)
+      : pattern_(&pattern), values_(pattern.nonZeroCount(), 0.0) {}
+
+  [[nodiscard]] const SparsePattern& pattern() const noexcept {
+    return *pattern_;
+  }
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+  /// Zeroes all values; O(nnz), never touches structural zeros.
+  void clear() noexcept {
+    std::fill(values_.begin(), values_.end(), 0.0);
+  }
+
+  /// Accumulates into a known slot (from SparsePattern::slot).
+  void addAt(std::int32_t slot, double v) noexcept {
+    values_[static_cast<std::size_t>(slot)] += v;
+  }
+
+  /// Value at (r, c); structural zeros read as 0.0.
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    const std::int32_t s = pattern_->slot(r, c);
+    return s < 0 ? 0.0 : values_[static_cast<std::size_t>(s)];
+  }
+
+  /// Writes this matrix into `dense` (resized/zeroed as needed).
+  void scatterTo(Matrix& dense) const;
+
+ private:
+  const SparsePattern* pattern_ = nullptr;
+  std::vector<double> values_;
+};
+
+}  // namespace vsstat::linalg
+
+#endif  // VSSTAT_LINALG_SPARSE_HPP

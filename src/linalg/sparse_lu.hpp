@@ -1,0 +1,84 @@
+// Pattern-reusing sparse LU for the Newton/MNA hot path.
+//
+// Classic SPICE "reorder once, refactor fast" design: the first numeric
+// factorization runs dense partial pivoting and records the row permutation,
+// then a symbolic elimination of the permuted pattern precomputes the full
+// L+U fill structure.  Every later factorization of the *same* pattern
+// (subsequent Newton iterations, transient steps, Monte Carlo samples of one
+// topology) reuses that structure: no pivot search, no fill analysis, no
+// heap allocation -- just a numeric sweep over the structural nonzeros.
+// A pivot falling below tolerance during a fast refactor transparently falls
+// back to the full re-pivoting path.
+#ifndef VSSTAT_LINALG_SPARSE_LU_HPP
+#define VSSTAT_LINALG_SPARSE_LU_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+
+namespace vsstat::linalg {
+
+class SparseLu {
+ public:
+  SparseLu() = default;
+
+  /// Factors the values of `m` (laid out on its pattern).  The first call --
+  /// or a pattern change, or a pivot breakdown -- runs the full analyze +
+  /// partial-pivot path; steady-state calls are allocation-free.  Throws
+  /// ConvergenceError when the matrix is numerically singular.
+  void refactor(const SparseMatrix& m, double pivotTolerance = 1e-14);
+
+  /// Solves A x = b in place; allocation-free.
+  void solveInPlace(Vector& x) const;
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  [[nodiscard]] double determinant() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+  // --- telemetry (perf tests / benches) --------------------------------------
+  /// Full analyze+pivot factorizations performed so far.
+  [[nodiscard]] std::uint64_t fullFactorCount() const noexcept {
+    return fullFactors_;
+  }
+  /// Structure-reusing fast refactorizations performed so far.
+  [[nodiscard]] std::uint64_t fastRefactorCount() const noexcept {
+    return fastRefactors_;
+  }
+  /// Structural nonzeros of L+U (pattern nonzeros + fill-in).
+  [[nodiscard]] std::size_t factorNonZeroCount() const noexcept {
+    return zeroList_.size();
+  }
+
+ private:
+  void fullFactor(const SparseMatrix& m, double pivotTolerance);
+  [[nodiscard]] bool fastRefactor(const SparseMatrix& m,
+                                  double pivotTolerance) noexcept;
+  void buildSymbolic(const SparsePattern& pattern);
+
+  std::size_t n_ = 0;
+  const SparsePattern* pattern_ = nullptr;  ///< identity of analyzed pattern
+  Matrix scratch_;                          ///< permuted LU working storage
+  std::vector<std::size_t> rowPerm_;  ///< permuted row k holds original row
+  std::vector<std::size_t> permInv_;  ///< original row -> permuted row
+  int permSign_ = 1;
+
+  // Structural elimination lists over the permuted matrix (flattened CSR
+  // style).  For pivot k: lRows_ holds the rows i > k with L(i,k) != 0,
+  // uCols_ the columns j > k with U(k,j) != 0, and uColRows_ the rows i < k
+  // with U(i,k) != 0 (for the column-sweep back substitution).
+  std::vector<std::size_t> lStart_, lRows_;
+  std::vector<std::size_t> uStart_, uCols_;
+  std::vector<std::size_t> uColStart_, uColRows_;
+  std::vector<std::size_t> zeroList_;  ///< flattened i*n+j of all L+U slots
+
+  mutable Vector work_;  ///< permuted rhs scratch for solveInPlace
+
+  std::uint64_t fullFactors_ = 0;
+  std::uint64_t fastRefactors_ = 0;
+};
+
+}  // namespace vsstat::linalg
+
+#endif  // VSSTAT_LINALG_SPARSE_LU_HPP

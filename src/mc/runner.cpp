@@ -1,5 +1,6 @@
 #include "mc/runner.hpp"
 
+#include <algorithm>
 #include <exception>
 
 #include "util/error.hpp"
@@ -13,7 +14,9 @@ McResult runCampaign(const McOptions& options, std::size_t metricCount,
   require(metricCount > 0, "runCampaign: metricCount must be > 0");
 
   const auto n = static_cast<std::size_t>(options.samples);
-  std::vector<std::vector<double>> slots(n);
+  // Flat sample-major storage: one allocation for the whole campaign
+  // instead of one vector per sample.
+  std::vector<double> flat(n * metricCount, 0.0);
   std::vector<char> ok(n, 0);
   const stats::Rng campaign(options.seed);
 
@@ -21,10 +24,25 @@ McResult runCampaign(const McOptions& options, std::size_t metricCount,
       n,
       [&](std::size_t i) {
         stats::Rng rng = campaign.fork(i);
-        std::vector<double> out(metricCount, 0.0);
+        // Per-worker scratch, reused across every sample this thread runs
+        // (and across campaigns -- pool workers are persistent).  assign()
+        // keeps the capacity, so steady-state samples allocate nothing
+        // here.  One scratch per nesting depth keeps a sample fn that runs
+        // an inner campaign from clobbering its caller's buffer.
+        thread_local std::vector<std::vector<double>> scratchStack;
+        thread_local std::size_t depth = 0;
+        if (scratchStack.size() <= depth) scratchStack.resize(depth + 1);
+        std::vector<double>& out = scratchStack[depth];
+        out.assign(metricCount, 0.0);
+        ++depth;
+        struct DepthGuard {
+          std::size_t& d;
+          ~DepthGuard() { --d; }
+        } guard{depth};
         try {
           fn(i, rng, out);
-          slots[i] = std::move(out);
+          if (out.size() < metricCount) return;  // malformed sample: dropped
+          std::copy_n(out.begin(), metricCount, flat.begin() + i * metricCount);
           ok[i] = 1;
         } catch (const std::exception&) {
           ok[i] = 0;  // dropped sample (non-convergence / functional failure)
@@ -41,7 +59,7 @@ McResult runCampaign(const McOptions& options, std::size_t metricCount,
       continue;
     }
     for (std::size_t m = 0; m < metricCount; ++m)
-      result.metrics[m].push_back(slots[i][m]);
+      result.metrics[m].push_back(flat[i * metricCount + m]);
   }
   return result;
 }

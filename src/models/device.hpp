@@ -32,6 +32,28 @@ struct MosfetEvaluation {
   double qs = 0.0;  ///< source terminal charge [C]
 };
 
+/// The three evaluations one Newton load needs: the bias point itself plus
+/// the forward-difference points for the gate and drain derivatives.
+struct MosfetDerivEvaluation {
+  MosfetEvaluation base;
+  MosfetEvaluation gateStep;   ///< at (vgs + step, vds)
+  MosfetEvaluation drainStep;  ///< at (vgs, vds + step)
+};
+
+/// Everything one Newton load consumes: the evaluation at the bias point
+/// plus the current/charge derivatives w.r.t. the call's (vgs, vds) inputs.
+struct MosfetLoadEvaluation {
+  MosfetEvaluation at;
+  double didVgs = 0.0;
+  double didVds = 0.0;
+  double dqgVgs = 0.0;
+  double dqgVds = 0.0;
+  double dqdVgs = 0.0;
+  double dqdVds = 0.0;
+  double dqsVgs = 0.0;
+  double dqsVds = 0.0;
+};
+
 /// Pure-abstract compact model.  Implementations must be smooth (C1) in the
 /// bias voltages across all operating regions; the circuit engine
 /// differentiates them numerically inside Newton iterations.
@@ -57,6 +79,23 @@ class MosfetModel {
   /// evaluate().
   [[nodiscard]] virtual double drainCurrent(const DeviceGeometry& geom,
                                             double vgs, double vds) const;
+
+  /// Batched evaluation for one Newton load: the bias point plus the two
+  /// forward-difference points.  The default simply calls evaluate() three
+  /// times; models with internal iterations (series-resistance loops)
+  /// override it to share work between the three nearby points.
+  [[nodiscard]] virtual MosfetDerivEvaluation evaluateForNewton(
+      const DeviceGeometry& geom, double vgs, double vds, double step) const;
+
+  /// The Newton-load entry point: evaluation plus current/charge
+  /// derivatives.  The default forms forward differences (step `fdStep`)
+  /// from evaluateForNewton(); models with cheap analytic derivatives (the
+  /// VS model) override it, which is the single biggest win on the circuit
+  /// hot path.  Derivatives must stay consistent with evaluate() to the
+  /// accuracy the Newton iteration needs (a few percent), not bit-exactly.
+  [[nodiscard]] virtual MosfetLoadEvaluation evaluateLoad(
+      const DeviceGeometry& geom, double vgs, double vds,
+      double fdStep) const;
 
   /// Deep copy (used to give each Monte Carlo instance its own varied card).
   [[nodiscard]] virtual std::unique_ptr<MosfetModel> clone() const = 0;

@@ -8,6 +8,46 @@
 
 namespace vsstat::models {
 
+namespace {
+
+/// logistic(x) = 1/(1+e^x) with its x-derivative, consistent with the
+/// clamped tails of models::logistic (derivative 0 where the value clamps).
+inline void logisticVD(double x, double& v, double& dv) noexcept {
+  if (x > 34.0) {
+    v = 0.0;
+    dv = 0.0;
+    return;
+  }
+  if (x < -34.0) {
+    v = 1.0;
+    dv = 0.0;
+    return;
+  }
+  const double e = std::exp(x);
+  v = 1.0 / (1.0 + e);
+  dv = -e * v * v;
+}
+
+/// softplus(x) = ln(1+e^x) with its x-derivative, matching models::softplus
+/// bit-for-bit in the value.
+inline void softplusVD(double x, double& v, double& dv) noexcept {
+  if (x > 34.0) {
+    v = x;
+    dv = 1.0;
+    return;
+  }
+  if (x < -34.0) {
+    v = std::exp(x);
+    dv = v;
+    return;
+  }
+  const double e = std::exp(x);
+  v = std::log1p(e);
+  dv = e / (1.0 + e);
+}
+
+}  // namespace
+
 VsModel::VsModel(VsParams params) : params_(params) {
   require(params_.cinv > 0.0 && params_.vxo > 0.0 && params_.mu > 0.0,
           "VsModel: cinv, vxo, mu must be positive");
@@ -19,34 +59,38 @@ std::unique_ptr<MosfetModel> VsModel::clone() const {
   return std::make_unique<VsModel>(*this);
 }
 
-VsModel::Intrinsic VsModel::intrinsic(const DeviceGeometry& geom, double vgs,
-                                      double vds) const {
+VsModel::Derived VsModel::derive(const DeviceGeometry& geom) const noexcept {
   const VsParams& p = params_;
-  const double phit = units::thermalVoltage(p.temperatureK);
-  const double leff = geom.length;
+  Derived d;
+  d.phit = units::thermalVoltage(p.temperatureK);
+  d.delta = p.diblAt(geom.length);
+  d.vxo = p.vxoAt(geom.length);
+  d.nphit = p.n0 * d.phit;
+  d.alphaPhit = p.alpha * d.phit;
+  d.qref = p.cinv * d.nphit;
+  d.vdsatStrong = d.vxo * geom.length / p.mu;
+  return d;
+}
 
-  const double delta = p.diblAt(leff);
-  const double vxo = p.vxoAt(leff);
-  const double nphit = p.n0 * phit;
+VsModel::Intrinsic VsModel::intrinsic(const Derived& d, double vgs, double vds,
+                                      bool withCharges) const {
+  const VsParams& p = params_;
 
   // Threshold with DIBL (paper Eq. 4).
-  const double vt = p.vt0 - delta * vds;
+  const double vt = p.vt0 - d.delta * vds;
 
   // Weak/strong inversion transition function FF and the blended Vt shift
   // (MVS formulation): in weak inversion the effective threshold lowers by
   // alpha*phit.
-  const double ff = logistic((vgs - (vt - p.alpha * phit / 2.0)) /
-                             (p.alpha * phit));
-  const double eta = (vgs - (vt - p.alpha * phit * ff)) / nphit;
+  const double ff = logistic((vgs - (vt - d.alphaPhit / 2.0)) / d.alphaPhit);
+  const double eta = (vgs - (vt - d.alphaPhit * ff)) / d.nphit;
 
   // Virtual-source inversion charge (paper's Qixo).
-  const double qref = p.cinv * nphit;
-  const double qix = qref * softplus(eta);
+  const double qix = d.qref * softplus(eta);
 
   // Saturation voltage: strong-inversion value vxo*L/mu blended toward phit
   // in weak inversion.
-  const double vdsatStrong = vxo * leff / p.mu;
-  const double vdsat = vdsatStrong * (1.0 - ff) + phit * ff;
+  const double vdsat = d.vdsatStrong * (1.0 - ff) + d.phit * ff;
 
   // Fsat (paper Eq. 3).
   const double ratio = vds / vdsat;
@@ -54,24 +98,25 @@ VsModel::Intrinsic VsModel::intrinsic(const DeviceGeometry& geom, double vgs,
                                        1.0 / p.beta);
 
   Intrinsic out;
-  out.idPerWidth = qix * vxo * fsat;
+  out.idPerWidth = qix * d.vxo * fsat;
   out.qSrcAreal = qix;
+  if (!withCharges) return out;
 
   // Drain-end charge at the smoothed internal drain voltage
   // Vdseff = Vdsat * Fsat (equals Vds in the linear region, clamps to ~Vdsat
   // in saturation), keeping the charge model continuous everywhere.
   const double vdseff = vdsat * fsat;
-  const double ffd = logistic((vgs - vdseff - (vt - p.alpha * phit / 2.0)) /
-                              (p.alpha * phit));
-  const double etaD = (vgs - vdseff - (vt - p.alpha * phit * ffd)) / nphit;
-  out.qDrnAreal = qref * softplus(etaD);
+  const double ffd = logistic((vgs - vdseff - (vt - d.alphaPhit / 2.0)) /
+                              d.alphaPhit);
+  const double etaD = (vgs - vdseff - (vt - d.alphaPhit * ffd)) / d.nphit;
+  out.qDrnAreal = d.qref * softplus(etaD);
   return out;
 }
 
-VsModel::Intrinsic VsModel::solveWithSeriesR(const DeviceGeometry& geom,
-                                             double vgs, double vds) const {
+double VsModel::solveSeriesCurrent(const DeviceGeometry& geom, const Derived& d,
+                                   double vgs, double vds,
+                                   const double* warmStart) const {
   const VsParams& p = params_;
-  if (p.rs <= 0.0 && p.rd <= 0.0) return intrinsic(geom, vgs, vds);
 
   // Per-instance resistances: cards carry R*W [Ohm m].
   const double rsOhm = p.rs / geom.width;
@@ -81,24 +126,32 @@ VsModel::Intrinsic VsModel::solveWithSeriesR(const DeviceGeometry& geom,
   // current at the post-IR internal voltages.  The IR drop is a small
   // fraction of the bias (|f'| ~ gm*Rs ~ 0.1), so a secant iteration
   // converges in two or three evaluations -- this is the evaluation hot
-  // path for every Newton load in circuit simulation.
-  const auto evalAt = [&](double i) {
+  // path for every Newton load in circuit simulation.  Only the current is
+  // evaluated here; charges are filled in once at the solution.
+  const auto evalCurrent = [&](double i) {
     const double vgsInt = vgs - i * rsOhm;
     const double vdsInt = vds - i * (rsOhm + rdOhm);
-    return intrinsic(geom, std::max(vgsInt, -1.0), std::max(vdsInt, 0.0));
+    return intrinsic(d, std::max(vgsInt, -1.0), std::max(vdsInt, 0.0),
+                     /*withCharges=*/false)
+               .idPerWidth *
+           geom.width;
   };
 
-  double i0 = 0.0;
-  Intrinsic result = evalAt(i0);
-  double h0 = result.idPerWidth * geom.width - i0;  // = f(0)
-  double i1 = h0;                                   // start at f(0)
+  double i0, h0, i1;
+  if (warmStart != nullptr) {
+    // A nearby bias was just solved (Newton finite-difference point): start
+    // the secant from its current, which lands within one or two updates.
+    i0 = *warmStart;
+    h0 = evalCurrent(i0) - i0;
+    i1 = i0 + h0;
+  } else {
+    i0 = 0.0;
+    h0 = evalCurrent(0.0);  // = f(0)
+    i1 = h0;                // start at f(0)
+  }
   for (int it = 0; it < 6; ++it) {
-    result = evalAt(i1);
-    const double h1 = result.idPerWidth * geom.width - i1;
-    if (std::fabs(h1) < 1e-13 + 1e-6 * std::fabs(i1)) {
-      i0 = i1;
-      break;
-    }
+    const double h1 = evalCurrent(i1) - i1;
+    if (std::fabs(h1) < 1e-13 + 1e-6 * std::fabs(i1)) break;
     const double denom = h1 - h0;
     double iNext;
     if (std::fabs(denom) > 1e-300) {
@@ -110,32 +163,61 @@ VsModel::Intrinsic VsModel::solveWithSeriesR(const DeviceGeometry& geom,
     h0 = h1;
     i1 = iNext;
   }
+  return i1;
+}
+
+VsModel::Intrinsic VsModel::solveWithSeriesR(const DeviceGeometry& geom,
+                                             const Derived& d, double vgs,
+                                             double vds,
+                                             const double* warmStart) const {
+  const VsParams& p = params_;
+  if (p.rs <= 0.0 && p.rd <= 0.0)
+    return intrinsic(d, vgs, vds, /*withCharges=*/true);
+
+  const double i1 = solveSeriesCurrent(geom, d, vgs, vds, warmStart);
+  const double rsOhm = p.rs / geom.width;
+  const double rdOhm = p.rd / geom.width;
+  const double vgsInt = vgs - i1 * rsOhm;
+  const double vdsInt = vds - i1 * (rsOhm + rdOhm);
+  Intrinsic result = intrinsic(d, std::max(vgsInt, -1.0),
+                               std::max(vdsInt, 0.0), /*withCharges=*/true);
   result.idPerWidth = i1 / geom.width;
   return result;
 }
 
 double VsModel::inversionCharge(const DeviceGeometry& geom, double vgs,
                                 double vds) const {
-  if (vds < 0.0) return intrinsic(geom, vgs - vds, -vds).qSrcAreal;
-  return intrinsic(geom, vgs, vds).qSrcAreal;
+  const Derived d = derive(geom);
+  if (vds < 0.0) return intrinsic(d, vgs - vds, -vds, true).qSrcAreal;
+  return intrinsic(d, vgs, vds, true).qSrcAreal;
 }
 
 double VsModel::drainCurrent(const DeviceGeometry& geom, double vgs,
                              double vds) const {
+  const Derived d = derive(geom);
+  if (params_.rs <= 0.0 && params_.rd <= 0.0) {
+    if (vds < 0.0)
+      return -intrinsic(d, vgs - vds, -vds, false).idPerWidth * geom.width;
+    return intrinsic(d, vgs, vds, false).idPerWidth * geom.width;
+  }
   if (vds < 0.0) {
     // Source/drain role reversal (device is symmetric).
-    return -solveWithSeriesR(geom, vgs - vds, -vds).idPerWidth * geom.width;
+    return -solveSeriesCurrent(geom, d, vgs - vds, -vds, nullptr);
   }
-  return solveWithSeriesR(geom, vgs, vds).idPerWidth * geom.width;
+  return solveSeriesCurrent(geom, d, vgs, vds, nullptr);
 }
 
-MosfetEvaluation VsModel::evaluate(const DeviceGeometry& geom, double vgs,
-                                   double vds) const {
+MosfetEvaluation VsModel::evaluateImpl(const DeviceGeometry& geom,
+                                       const Derived& d, double vgs,
+                                       double vds, double* warmCurrent,
+                                       bool useWarm) const {
   const bool reversed = vds < 0.0;
   const double cvgs = reversed ? vgs - vds : vgs;
   const double cvds = reversed ? -vds : vds;
 
-  const Intrinsic in = solveWithSeriesR(geom, cvgs, cvds);
+  const double* warm = useWarm ? warmCurrent : nullptr;
+  const Intrinsic in = solveWithSeriesR(geom, d, cvgs, cvds, warm);
+  if (warmCurrent != nullptr) *warmCurrent = in.idPerWidth * geom.width;
 
   const double w = geom.width;
   const double l = geom.length;
@@ -163,6 +245,247 @@ MosfetEvaluation VsModel::evaluate(const DeviceGeometry& geom, double vgs,
     std::swap(eval.qs, eval.qd);
   }
   return eval;
+}
+
+MosfetEvaluation VsModel::evaluate(const DeviceGeometry& geom, double vgs,
+                                   double vds) const {
+  return evaluateImpl(geom, derive(geom), vgs, vds, nullptr, false);
+}
+
+VsModel::IntrinsicDeriv VsModel::intrinsicDeriv(const DeviceGeometry& geom,
+                                                const Derived& d, double vgs,
+                                                double vds,
+                                                bool withCharges) const {
+  const VsParams& p = params_;
+  const double w = geom.width;
+
+  // Same expressions as intrinsic(), with every chain-rule factor closed in
+  // plain arithmetic: the logistic/softplus derivatives reuse the already
+  // computed exponentials, and dFsat/dr = 1/((1+r^beta) * (1+r^beta)^(1/beta))
+  // reuses the powers, so derivatives cost no extra transcendentals.
+  const double vt = p.vt0 - d.delta * vds;
+
+  double ff, dffdu;
+  logisticVD((vgs - (vt - d.alphaPhit / 2.0)) / d.alphaPhit, ff, dffdu);
+  const double dffg = dffdu / d.alphaPhit;            // dff/dvgs
+  const double dffd = dffdu * d.delta / d.alphaPhit;  // dff/dvds
+
+  double sp, dsp;
+  softplusVD((vgs - (vt - d.alphaPhit * ff)) / d.nphit, sp, dsp);
+  const double qix = d.qref * sp;
+  const double detag = (1.0 + d.alphaPhit * dffg) / d.nphit;
+  const double detad = (d.delta + d.alphaPhit * dffd) / d.nphit;
+  const double dqixg = d.qref * dsp * detag;
+  const double dqixd = d.qref * dsp * detad;
+
+  const double vdsat = d.vdsatStrong * (1.0 - ff) + d.phit * ff;
+  const double dvdsatg = (d.phit - d.vdsatStrong) * dffg;
+  const double dvdsatd = (d.phit - d.vdsatStrong) * dffd;
+
+  const double ratio = vds / vdsat;
+  const double drg = -(ratio / vdsat) * dvdsatg;
+  const double drd = 1.0 / vdsat - (ratio / vdsat) * dvdsatd;
+
+  const double t = std::pow(ratio, p.beta);
+  const double s = std::pow(1.0 + t, 1.0 / p.beta);
+  const double fsat = ratio / s;
+  const double dfsatdr = 1.0 / ((1.0 + t) * s);
+
+  IntrinsicDeriv out;
+  out.idW = qix * d.vxo * fsat * w;
+  out.gm = d.vxo * (dqixg * fsat + qix * dfsatdr * drg) * w;
+  out.gd = d.vxo * (dqixd * fsat + qix * dfsatdr * drd) * w;
+  out.qS = qix;
+  out.dqSvg = dqixg;
+  out.dqSvd = dqixd;
+  if (!withCharges) return out;
+
+  const double vdseff = vdsat * fsat;
+  const double dvdseffg = dvdsatg * fsat + vdsat * dfsatdr * drg;
+  const double dvdseffd = dvdsatd * fsat + vdsat * dfsatdr * drd;
+
+  double ffd2, dffd2du;
+  logisticVD((vgs - vdseff - (vt - d.alphaPhit / 2.0)) / d.alphaPhit, ffd2,
+             dffd2du);
+  const double dudg = (1.0 - dvdseffg) / d.alphaPhit;
+  const double dudd = (d.delta - dvdseffd) / d.alphaPhit;
+
+  double spd, dspd;
+  softplusVD((vgs - vdseff - (vt - d.alphaPhit * ffd2)) / d.nphit, spd, dspd);
+  out.qD = d.qref * spd;
+  const double detaDg =
+      (1.0 - dvdseffg + d.alphaPhit * dffd2du * dudg) / d.nphit;
+  const double detaDd =
+      (d.delta - dvdseffd + d.alphaPhit * dffd2du * dudd) / d.nphit;
+  out.dqDvg = d.qref * dspd * detaDg;
+  out.dqDvd = d.qref * dspd * detaDd;
+  return out;
+}
+
+MosfetLoadEvaluation VsModel::evaluateLoad(const DeviceGeometry& geom,
+                                           double vgs, double vds,
+                                           double /*fdStep*/) const {
+  const Derived d = derive(geom);
+  const VsParams& p = params_;
+
+  const bool reversed = vds < 0.0;
+  const double cvgs = reversed ? vgs - vds : vgs;
+  const double cvds = reversed ? -vds : vds;
+
+  const double rsOhm = p.rs > 0.0 ? p.rs / geom.width : 0.0;
+  const double rdOhm = p.rd > 0.0 ? p.rd / geom.width : 0.0;
+  const bool hasSeriesR = rsOhm > 0.0 || rdOhm > 0.0;
+
+  // Resolve the series-resistance fixed point i = f(cvgs - i*Rs,
+  // cvds - i*(Rs+Rd)) with a derivative-aware Newton: h'(i) =
+  // -(gm*Rs + gd*(Rs+Rd)) - 1 is available analytically, so the iteration
+  // is quadratic and typically lands in two or three evaluations.
+  double i = 0.0;
+  double vgsInt = cvgs;
+  double vdsInt = cvds;
+  bool clampG = false;
+  bool clampD = false;
+  if (hasSeriesR) {
+    for (int it = 0; it < 8; ++it) {
+      vgsInt = cvgs - i * rsOhm;
+      vdsInt = cvds - i * (rsOhm + rdOhm);
+      clampG = vgsInt < -1.0;
+      clampD = vdsInt < 0.0;
+      if (clampG) vgsInt = -1.0;
+      if (clampD) vdsInt = 0.0;
+      const IntrinsicDeriv cur =
+          intrinsicDeriv(geom, d, vgsInt, vdsInt, /*withCharges=*/false);
+      const double h = cur.idW - i;
+      if (std::fabs(h) < 1e-13 + 1e-6 * std::fabs(i)) break;
+      const double gmIt = clampG ? 0.0 : cur.gm;
+      const double gdIt = clampD ? 0.0 : cur.gd;
+      const double hp = -(gmIt * rsOhm + gdIt * (rsOhm + rdOhm)) - 1.0;
+      i -= h / hp;
+    }
+    // Internal bias of the accepted current (refreshed in case the loop
+    // exhausted its budget with a pending update).
+    vgsInt = cvgs - i * rsOhm;
+    vdsInt = cvds - i * (rsOhm + rdOhm);
+    clampG = vgsInt < -1.0;
+    clampD = vdsInt < 0.0;
+    if (clampG) vgsInt = -1.0;
+    if (clampD) vdsInt = 0.0;
+  }
+
+  // Charges (and their derivatives) at the internal solution.
+  const IntrinsicDeriv in =
+      intrinsicDeriv(geom, d, vgsInt, vdsInt, /*withCharges=*/true);
+  if (!hasSeriesR) i = in.idW;
+
+  // External small-signal map via the implicit function theorem.
+  const double gmEff = clampG ? 0.0 : in.gm;
+  const double gdEff = clampD ? 0.0 : in.gd;
+  double digs, dids;      // di/dcvgs, di/dcvds
+  double svgG, svgD;      // dvgsInt/dcvgs, dvgsInt/dcvds
+  double svdG, svdD;      // dvdsInt/dcvgs, dvdsInt/dcvds
+  if (hasSeriesR) {
+    const double den = 1.0 + gmEff * rsOhm + gdEff * (rsOhm + rdOhm);
+    digs = gmEff / den;
+    dids = gdEff / den;
+    svgG = clampG ? 0.0 : 1.0 - rsOhm * digs;
+    svgD = clampG ? 0.0 : -rsOhm * dids;
+    svdG = clampD ? 0.0 : -(rsOhm + rdOhm) * digs;
+    svdD = clampD ? 0.0 : 1.0 - (rsOhm + rdOhm) * dids;
+  } else {
+    digs = gmEff;
+    dids = gdEff;
+    svgG = 1.0;
+    svgD = 0.0;
+    svdG = 0.0;
+    svdD = 1.0;
+  }
+
+  // Areal charge sensitivities to the external canonical voltages.
+  const double dqSg = in.dqSvg * svgG + in.dqSvd * svdG;
+  const double dqSd = in.dqSvg * svgD + in.dqSvd * svdD;
+  const double dqDg = in.dqDvg * svgG + in.dqDvd * svdG;
+  const double dqDd = in.dqDvg * svgD + in.dqDvd * svdD;
+
+  // Ward-Dutton partition + overlap, as in evaluateImpl.
+  const double w = geom.width;
+  const double l = geom.length;
+  const double wl6 = w * l / 6.0;
+  const double qChanSrc = wl6 * (2.0 * in.qS + in.qD);
+  const double qChanDrn = wl6 * (in.qS + 2.0 * in.qD);
+  const double dqChanSrcG = wl6 * (2.0 * dqSg + dqDg);
+  const double dqChanSrcD = wl6 * (2.0 * dqSd + dqDd);
+  const double dqChanDrnG = wl6 * (dqSg + 2.0 * dqDg);
+  const double dqChanDrnD = wl6 * (dqSd + 2.0 * dqDd);
+
+  const double cov = params_.cof * w;
+  const double qOvS = cov * cvgs;
+  const double qOvD = cov * (cvgs - cvds);
+
+  // Canonical-frame evaluation and derivatives.
+  const double id = i;
+  const double qg = qChanSrc + qChanDrn + qOvS + qOvD;
+  const double qs = -qChanSrc - qOvS;
+  const double qd = -qChanDrn - qOvD;
+  const double dqgG = dqChanSrcG + dqChanDrnG + 2.0 * cov;
+  const double dqgD = dqChanSrcD + dqChanDrnD - cov;
+  const double dqsG = -dqChanSrcG - cov;
+  const double dqsD = -dqChanSrcD;
+  const double dqdG = -dqChanDrnG - cov;
+  const double dqdD = -dqChanDrnD + cov;
+
+  MosfetLoadEvaluation out;
+  if (!reversed) {
+    out.at.id = id;
+    out.at.qg = qg;
+    out.at.qs = qs;
+    out.at.qd = qd;
+    out.didVgs = digs;
+    out.didVds = dids;
+    out.dqgVgs = dqgG;
+    out.dqgVds = dqgD;
+    out.dqsVgs = dqsG;
+    out.dqsVds = dqsD;
+    out.dqdVgs = dqdG;
+    out.dqdVds = dqdD;
+  } else {
+    // cvgs = vgs - vds, cvds = -vds: for any F(cvgs, cvds),
+    // dF/dvgs = Fg and dF/dvds = -Fg - Fd.  The terminal current flips
+    // sign and the source/drain charges swap.
+    out.at.id = -id;
+    out.at.qg = qg;
+    out.at.qs = qd;  // swapped
+    out.at.qd = qs;
+    out.didVgs = -digs;
+    out.didVds = digs + dids;
+    out.dqgVgs = dqgG;
+    out.dqgVds = -dqgG - dqgD;
+    out.dqsVgs = dqdG;
+    out.dqsVds = -dqdG - dqdD;
+    out.dqdVgs = dqsG;
+    out.dqdVds = -dqsG - dqsD;
+  }
+  return out;
+}
+
+MosfetDerivEvaluation VsModel::evaluateForNewton(const DeviceGeometry& geom,
+                                                 double vgs, double vds,
+                                                 double step) const {
+  const Derived d = derive(geom);
+  const bool baseReversed = vds < 0.0;
+
+  MosfetDerivEvaluation out;
+  double warm = 0.0;
+  out.base = evaluateImpl(geom, d, vgs, vds, &warm, false);
+  // The finite-difference points sit 1 mV from the base bias, so the base
+  // current is an excellent secant seed -- as long as the polarity
+  // canonicalization did not flip between the two points.
+  out.gateStep = evaluateImpl(geom, d, vgs + step, vds, &warm,
+                              /*useWarm=*/true);
+  const bool drainReversed = (vds + step) < 0.0;
+  double warmDrain = warm;
+  out.drainStep = evaluateImpl(geom, d, vgs, vds + step, &warmDrain,
+                               /*useWarm=*/drainReversed == baseReversed);
+  return out;
 }
 
 }  // namespace vsstat::models

@@ -56,7 +56,7 @@ SmallSignalSystem::SmallSignalSystem(const Circuit& circuit,
   assembler.setSourceScale(1.0);
   assembler.setGmin(1e-12);
   assembler.assemble(x);
-  g_ = assembler.jacobian();
+  assembler.scatterJacobian(g_);
 
   // C: with backward Euler at h = 1 the elements stamp Jacobian terms
   // G + 1 * dQ/dv, so the difference recovers dQ/dv without any numeric
@@ -64,7 +64,7 @@ SmallSignalSystem::SmallSignalSystem(const Circuit& circuit,
   assembler.commitCharges();
   assembler.setBackwardEuler(1.0);
   assembler.assemble(x);
-  c_ = assembler.jacobian();
+  assembler.scatterJacobian(c_);
   c_ -= g_;
 }
 

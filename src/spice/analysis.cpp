@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "linalg/lu.hpp"
 #include "linalg/matrix.hpp"
 #include "spice/assembler.hpp"
 #include "spice/elements.hpp"
@@ -59,9 +58,17 @@ namespace {
 
 /// One damped Newton solve at fixed assembler settings.  Returns true on
 /// convergence; x holds the final iterate either way.
+///
+/// The iteration is allocation-free: the assembler writes into its captured
+/// sparsity pattern and the per-assembler NewtonWorkspace supplies the
+/// reusable factorization and step buffer.  On return the assembler's
+/// residual/charge state is consistent with the final x (convergence is
+/// detected *before* applying a step), so callers never need to re-assemble
+/// at the solution.
 bool newtonSolve(detail::Assembler& assembler, linalg::Vector& x,
                  const NewtonOptions& options) {
   const std::size_t numNodes = assembler.numNodes();
+  detail::NewtonWorkspace& ws = assembler.workspace();
   for (int iter = 0; iter < options.maxIterations; ++iter) {
     assembler.assemble(x);
 
@@ -69,27 +76,29 @@ bool newtonSolve(detail::Assembler& assembler, linalg::Vector& x,
     for (double f : assembler.residual())
       residualNorm = std::max(residualNorm, std::fabs(f));
 
-    linalg::Vector dx;
+    std::copy(assembler.residual().begin(), assembler.residual().end(),
+              ws.dx.begin());
     try {
-      dx = linalg::LuFactorization(assembler.jacobian())
-               .solve(assembler.residual());
+      ws.lu.refactor(assembler.jacobian());
     } catch (const ConvergenceError&) {
       return false;  // singular Jacobian: let the homotopy ladder handle it
     }
+    ws.lu.solveInPlace(ws.dx);
 
     // Newton update is x -= J^{-1} F; clamp by the largest voltage move.
     double maxVoltageStep = 0.0;
     for (std::size_t n = 0; n < numNodes; ++n)
-      maxVoltageStep = std::max(maxVoltageStep, std::fabs(dx[n]));
+      maxVoltageStep = std::max(maxVoltageStep, std::fabs(ws.dx[n]));
+
+    if (maxVoltageStep < options.voltageTolerance &&
+        residualNorm < options.residualTolerance) {
+      return true;  // assembly state matches x exactly; skip the sub-tol step
+    }
+
     double scaleFactor = 1.0;
     if (maxVoltageStep > options.maxUpdate)
       scaleFactor = options.maxUpdate / maxVoltageStep;
-    for (std::size_t i = 0; i < x.size(); ++i) x[i] -= scaleFactor * dx[i];
-
-    if (scaleFactor == 1.0 && maxVoltageStep < options.voltageTolerance &&
-        residualNorm < options.residualTolerance) {
-      return true;
-    }
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] -= scaleFactor * ws.dx[i];
   }
   return false;
 }
@@ -233,8 +242,8 @@ Waveform transient(const Circuit& circuit, const TransientOptions& options) {
                            options.dcOptions.newton.maxIterations);
   }
 
-  // Prime the charge history at the DC solution.
-  assembler.assemble(x);
+  // The DC solve left the assembler's charge state consistent with x;
+  // commit it as the t = 0 history.
   assembler.commitCharges();
   std::vector<double> slotCurrents(
       static_cast<std::size_t>(circuit.chargeSlotTotal()), 0.0);
@@ -250,6 +259,7 @@ Waveform transient(const Circuit& circuit, const TransientOptions& options) {
 
   double t = 0.0;
   bool firstStep = true;
+  linalg::Vector xTrial(x.size(), 0.0);  // hoisted: reused across steps
   while (t < options.tStop - 1e-18) {
     double h = std::min(options.dt, options.tStop - t);
 
@@ -264,12 +274,12 @@ Waveform transient(const Circuit& circuit, const TransientOptions& options) {
       } else {
         assembler.setTrapezoidal(h, slotCurrents);
       }
-      linalg::Vector xTrial = x;
+      xTrial = x;
       if (newtonSolve(assembler, xTrial, options.newton)) {
         x = xTrial;
-        // Re-assemble at the solution so charge state matches x exactly.
-        assembler.assemble(x);
-        slotCurrents = assembler.slotCurrents();
+        // newtonSolve left the assembler's charge state consistent with x,
+        // so the converged-iterate assembly is reused directly.
+        assembler.slotCurrents(slotCurrents);
         assembler.commitCharges();
         t = tNext;
         record(t);

@@ -1,0 +1,81 @@
+#include "spice/assembler.hpp"
+
+#include "spice/element.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::spice::detail {
+
+Assembler::Assembler(const Circuit& circuit)
+    : circuit_(circuit),
+      numNodes_(circuit.nodeCount() - 1),
+      numUnknowns_(circuit.unknownCount()),
+      residual_(numUnknowns_, 0.0),
+      chargeNow_(static_cast<std::size_t>(circuit.chargeSlotTotal()), 0.0),
+      chargePrev_(chargeNow_.size(), 0.0),
+      histTerm_(chargeNow_.size(), 0.0) {
+  capturePattern();
+  workspace_.dx.assign(numUnknowns_, 0.0);
+}
+
+void Assembler::capturePattern() {
+  // Symbolic pass: run every element's load() once in capture mode, where
+  // Jacobian stamps record coordinates instead of accumulating values.
+  // Element sparsity structure is bias-independent by contract, so one pass
+  // at the zero iterate sees every position.  Transient mode (c0 != 0) is
+  // forced so charge-derivative stamps are captured too; node diagonals are
+  // added explicitly for the gmin homotopy shunts.
+  capturing_ = true;
+  const linalg::Vector zero(numUnknowns_, 0.0);
+  x_ = &zero;
+  setBackwardEuler(1.0);
+
+  LoadContext ctx;
+  ctx.assembler_ = this;
+  for (const auto& element : circuit_.elements()) {
+    ctx.branchBase_ = element->branchBase();
+    ctx.chargeBase_ = element->chargeBase();
+    element->load(ctx);
+  }
+  for (std::size_t n = 0; n < numNodes_; ++n) coords_.emplace_back(n, n);
+
+  pattern_ = linalg::SparsePattern(numUnknowns_, coords_);
+  values_ = linalg::SparseMatrix(pattern_);
+  gminSlots_.resize(numNodes_);
+  for (std::size_t n = 0; n < numNodes_; ++n)
+    gminSlots_[n] = pattern_.slot(n, n);
+
+  coords_.clear();
+  coords_.shrink_to_fit();
+  std::fill(chargeNow_.begin(), chargeNow_.end(), 0.0);
+  setDcMode();
+  x_ = nullptr;
+  capturing_ = false;
+}
+
+void Assembler::assemble(const linalg::Vector& x) {
+  x_ = &x;
+  values_.clear();
+  std::fill(residual_.begin(), residual_.end(), 0.0);
+  std::fill(chargeNow_.begin(), chargeNow_.end(), 0.0);
+
+  LoadContext ctx;
+  ctx.assembler_ = this;
+  for (const auto& element : circuit_.elements()) {
+    ctx.branchBase_ = element->branchBase();
+    ctx.chargeBase_ = element->chargeBase();
+    element->load(ctx);
+  }
+
+  if (gmin_ > 0.0) {
+    for (std::size_t n = 0; n < numNodes_; ++n) {
+      residual_[n] += gmin_ * x[n];
+      values_.addAt(gminSlots_[n], gmin_);
+    }
+  }
+
+  require(!patternMiss_,
+          "Assembler: element stamped outside the captured sparsity pattern "
+          "(element structure must be bias-independent)");
+}
+
+}  // namespace vsstat::spice::detail

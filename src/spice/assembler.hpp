@@ -4,29 +4,47 @@
 // driver (ac.cpp).  Not part of the public API: element authors only ever
 // see LoadContext, and analysis users only see the free functions in
 // analysis.hpp / ac.hpp.
+//
+// Construction runs a one-time symbolic capture pass that records every
+// Jacobian position the circuit's elements can ever stamp (element sparsity
+// structure is bias-independent by contract).  Each assemble() then writes
+// straight into the captured CSR slots -- an O(nnz) clear instead of an
+// O(n^2) dense fill -- and the owned NewtonWorkspace gives the Newton driver
+// a pattern-reusing factorization plus preallocated step buffers, so one
+// Newton iteration performs zero heap allocations in steady state.
 #ifndef VSSTAT_SPICE_ASSEMBLER_HPP
 #define VSSTAT_SPICE_ASSEMBLER_HPP
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+#include "linalg/sparse_lu.hpp"
 #include "spice/circuit.hpp"
 
 namespace vsstat::spice::detail {
 
+/// Per-Assembler scratch for the Newton iteration: the factorization (which
+/// owns the LU scratch matrix and pivot order) plus the step vector.  All
+/// buffers reach steady-state size after the first iteration and are reused
+/// across iterations, transient steps, and homotopy stages.
+struct NewtonWorkspace {
+  linalg::SparseLu lu;
+  linalg::Vector dx;
+};
+
 /// Owns the Newton assembly state and backs LoadContext.
 class Assembler {
  public:
-  explicit Assembler(const Circuit& circuit)
-      : circuit_(circuit),
-        numNodes_(circuit.nodeCount() - 1),
-        numUnknowns_(circuit.unknownCount()),
-        jacobian_(numUnknowns_, numUnknowns_),
-        residual_(numUnknowns_, 0.0),
-        chargeNow_(static_cast<std::size_t>(circuit.chargeSlotTotal()), 0.0),
-        chargePrev_(chargeNow_.size(), 0.0),
-        histTerm_(chargeNow_.size(), 0.0) {}
+  explicit Assembler(const Circuit& circuit);
+
+  // Not copyable/movable: values_ and the workspace factorization hold
+  // pointers into this object's pattern_.
+  Assembler(const Assembler&) = delete;
+  Assembler& operator=(const Assembler&) = delete;
 
   // --- integration control ---------------------------------------------------
   void setDcMode() noexcept {
@@ -45,14 +63,16 @@ class Assembler {
     for (std::size_t s = 0; s < histTerm_.size(); ++s)
       histTerm_[s] = -c0_ * chargePrev_[s] - currentPrev[s];
   }
-  /// After a converged step: per-slot companion currents at the solution.
-  [[nodiscard]] std::vector<double> slotCurrents() const {
-    std::vector<double> i(chargeNow_.size());
-    for (std::size_t s = 0; s < i.size(); ++s)
-      i[s] = c0_ * chargeNow_[s] + histTerm_[s];
-    return i;
+  /// After a converged step: per-slot companion currents at the solution,
+  /// written into the caller's buffer (resized once, then reused).
+  void slotCurrents(std::vector<double>& out) const {
+    out.resize(chargeNow_.size());
+    for (std::size_t s = 0; s < out.size(); ++s)
+      out[s] = c0_ * chargeNow_[s] + histTerm_[s];
   }
-  void commitCharges() noexcept { chargePrev_ = chargeNow_; }
+  void commitCharges() noexcept {
+    std::copy(chargeNow_.begin(), chargeNow_.end(), chargePrev_.begin());
+  }
   [[nodiscard]] const std::vector<double>& charges() const noexcept {
     return chargeNow_;
   }
@@ -61,35 +81,24 @@ class Assembler {
   void setSourceScale(double s) noexcept { sourceScale_ = s; }
   void setGmin(double g) noexcept { gmin_ = g; }
 
-  /// Rebuilds jacobian_ and residual_ at iterate x.
-  void assemble(const linalg::Vector& x) {
-    x_ = &x;
-    jacobian_.fill(0.0);
-    std::fill(residual_.begin(), residual_.end(), 0.0);
-    std::fill(chargeNow_.begin(), chargeNow_.end(), 0.0);
+  /// Rebuilds the Jacobian values and residual at iterate x.  Allocation-free.
+  void assemble(const linalg::Vector& x);
 
-    LoadContext ctx;
-    ctx.assembler_ = this;
-    for (const auto& element : circuit_.elements()) {
-      ctx.branchBase_ = element->branchBase();
-      ctx.chargeBase_ = element->chargeBase();
-      element->load(ctx);
-    }
-
-    if (gmin_ > 0.0) {
-      for (std::size_t n = 0; n < numNodes_; ++n) {
-        residual_[n] += gmin_ * x[n];
-        jacobian_(n, n) += gmin_;
-      }
-    }
+  /// Jacobian of the last assemble(), laid out on pattern().
+  [[nodiscard]] const linalg::SparseMatrix& jacobian() const noexcept {
+    return values_;
   }
-
-  [[nodiscard]] const linalg::Matrix& jacobian() const noexcept {
-    return jacobian_;
+  /// MNA stamp sparsity of the circuit, captured once at construction.
+  [[nodiscard]] const linalg::SparsePattern& pattern() const noexcept {
+    return pattern_;
   }
+  /// Dense copy of the last assembled Jacobian (AC / diagnostics path).
+  void scatterJacobian(linalg::Matrix& dense) const { values_.scatterTo(dense); }
+
   [[nodiscard]] const linalg::Vector& residual() const noexcept {
     return residual_;
   }
+  [[nodiscard]] NewtonWorkspace& workspace() noexcept { return workspace_; }
   [[nodiscard]] std::size_t numNodes() const noexcept { return numNodes_; }
   [[nodiscard]] std::size_t numUnknowns() const noexcept { return numUnknowns_; }
   [[nodiscard]] const Circuit& circuit() const noexcept { return circuit_; }
@@ -103,30 +112,32 @@ class Assembler {
     return (*x_)[numNodes_ + static_cast<std::size_t>(globalBranch)];
   }
   void stampCurrent(NodeId node, double i) noexcept {
+    if (capturing_) return;
     if (node != kGround) residual_[static_cast<std::size_t>(node - 1)] += i;
   }
   void stampJacobian(NodeId node, NodeId other, double d) noexcept {
     if (node != kGround && other != kGround)
-      jacobian_(static_cast<std::size_t>(node - 1),
-                static_cast<std::size_t>(other - 1)) += d;
+      addEntry(static_cast<std::size_t>(node - 1),
+               static_cast<std::size_t>(other - 1), d);
   }
   void stampJacobianBranch(NodeId node, int globalBranch, double d) noexcept {
     if (node != kGround)
-      jacobian_(static_cast<std::size_t>(node - 1),
-                numNodes_ + static_cast<std::size_t>(globalBranch)) += d;
+      addEntry(static_cast<std::size_t>(node - 1),
+               numNodes_ + static_cast<std::size_t>(globalBranch), d);
   }
   void stampBranchResidual(int globalBranch, double f) noexcept {
+    if (capturing_) return;
     residual_[numNodes_ + static_cast<std::size_t>(globalBranch)] += f;
   }
   void stampBranchJacobianV(int globalBranch, NodeId node, double d) noexcept {
     if (node != kGround)
-      jacobian_(numNodes_ + static_cast<std::size_t>(globalBranch),
-                static_cast<std::size_t>(node - 1)) += d;
+      addEntry(numNodes_ + static_cast<std::size_t>(globalBranch),
+               static_cast<std::size_t>(node - 1), d);
   }
   void stampBranchJacobianI(int globalBranch, int otherGlobalBranch,
                             double d) noexcept {
-    jacobian_(numNodes_ + static_cast<std::size_t>(globalBranch),
-              numNodes_ + static_cast<std::size_t>(otherGlobalBranch)) += d;
+    addEntry(numNodes_ + static_cast<std::size_t>(globalBranch),
+             numNodes_ + static_cast<std::size_t>(otherGlobalBranch), d);
   }
   void recordCharge(int globalSlot, double q) noexcept {
     chargeNow_[static_cast<std::size_t>(globalSlot)] = q;
@@ -140,19 +151,40 @@ class Assembler {
   [[nodiscard]] double scaleNow() const noexcept { return sourceScale_; }
 
  private:
+  void capturePattern();
+
+  void addEntry(std::size_t row, std::size_t col, double d) noexcept {
+    if (capturing_) {
+      coords_.emplace_back(row, col);
+      return;
+    }
+    const std::int32_t s = pattern_.slot(row, col);
+    if (s < 0) {
+      patternMiss_ = true;  // diagnosed (with a throw) at the end of assemble()
+      return;
+    }
+    values_.addAt(s, d);
+  }
+
   const Circuit& circuit_;
   std::size_t numNodes_;
   std::size_t numUnknowns_;
-  linalg::Matrix jacobian_;
+  linalg::SparsePattern pattern_;
+  linalg::SparseMatrix values_;
+  std::vector<std::int32_t> gminSlots_;  ///< node-diagonal slots
   linalg::Vector residual_;
   std::vector<double> chargeNow_;
   std::vector<double> chargePrev_;
   std::vector<double> histTerm_;
+  NewtonWorkspace workspace_;
+  std::vector<std::pair<std::size_t, std::size_t>> coords_;  ///< capture only
   const linalg::Vector* x_ = nullptr;
   double c0_ = 0.0;
   double time_ = 0.0;
   double sourceScale_ = 1.0;
   double gmin_ = 0.0;
+  bool capturing_ = false;
+  bool patternMiss_ = false;
 };
 
 }  // namespace vsstat::spice::detail

@@ -119,18 +119,18 @@ void MosfetElement::load(LoadContext& ctx) const {
   const double vgs = sign * (vg - vs);
   const double vds = sign * (vd - vs);
 
-  // Forward-difference derivatives in the canonical bias plane.  The step
-  // must stay well above the compact model's internal smoothness scale but
-  // below circuit-level resolution; 1 mV fits both.
+  // One batched model call supplies the evaluation plus all current/charge
+  // derivatives in the canonical bias plane -- analytic for the VS model,
+  // forward differences (step 1 mV: above the model's smoothness scale,
+  // below circuit resolution) for models without analytic chains.  This is
+  // the single hottest call in the engine.
   constexpr double kStep = 1e-3;
-  const models::MosfetEvaluation e0 = model_->evaluate(geometry_, vgs, vds);
-  const models::MosfetEvaluation eg =
-      model_->evaluate(geometry_, vgs + kStep, vds);
-  const models::MosfetEvaluation ed =
-      model_->evaluate(geometry_, vgs, vds + kStep);
+  const models::MosfetLoadEvaluation ev =
+      model_->evaluateLoad(geometry_, vgs, vds, kStep);
+  const models::MosfetEvaluation& e0 = ev.at;
 
-  const double didvgs = (eg.id - e0.id) / kStep;
-  const double didvds = (ed.id - e0.id) / kStep;
+  const double didvgs = ev.didVgs;
+  const double didvds = ev.didVds;
 
   // DC current: canonical id flows into the canonical drain; the sign maps
   // it back to the terminal orientation.  d(current leaving drain)/dVg is
@@ -164,22 +164,15 @@ void MosfetElement::load(LoadContext& ctx) const {
   if (c0 != 0.0) {
     // dq/dvgs, dq/dvds in canonical plane; the polarity signs cancel as for
     // the current derivatives.
-    const double dqgdg = (eg.qg - e0.qg) / kStep;
-    const double dqgdd = (ed.qg - e0.qg) / kStep;
-    const double dqddg = (eg.qd - e0.qd) / kStep;
-    const double dqddd = (ed.qd - e0.qd) / kStep;
-    const double dqsdg = (eg.qs - e0.qs) / kStep;
-    const double dqsdd = (ed.qs - e0.qs) / kStep;
-
     const auto stampCharge = [&](NodeId terminal, double dqdvgs,
                                  double dqdvds) {
       ctx.addJacobian(terminal, gate_, c0 * dqdvgs);
       ctx.addJacobian(terminal, drain_, c0 * dqdvds);
       ctx.addJacobian(terminal, source_, -c0 * (dqdvgs + dqdvds));
     };
-    stampCharge(gate_, dqgdg, dqgdd);
-    stampCharge(drain_, dqddg, dqddd);
-    stampCharge(source_, dqsdg, dqsdd);
+    stampCharge(gate_, ev.dqgVgs, ev.dqgVds);
+    stampCharge(drain_, ev.dqdVgs, ev.dqdVds);
+    stampCharge(source_, ev.dqsVgs, ev.dqsVds);
   }
 }
 

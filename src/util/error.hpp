@@ -49,6 +49,12 @@ inline void require(bool condition, const std::string& message) {
   if (!condition) throw InvalidArgumentError(message);
 }
 
+/// Literal-message overload for hot paths: the message string is only
+/// materialized on failure, so a passing check performs no allocation.
+inline void require(bool condition, const char* message) {
+  if (!condition) throw InvalidArgumentError(message);
+}
+
 }  // namespace vsstat
 
 #endif  // VSSTAT_UTIL_ERROR_HPP

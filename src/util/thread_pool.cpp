@@ -1,12 +1,20 @@
 #include "util/thread_pool.hpp"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include <algorithm>
 
 namespace vsstat::util {
+
+namespace {
+
+/// Set while a thread is executing inside a parallelFor sweep (as caller or
+/// worker); nested calls from such a thread run serially inline.
+thread_local bool tlsInSweep = false;
+
+/// Hard cap on persistent workers; far above any sane request, it only
+/// bounds pathological thread counts.
+constexpr unsigned kMaxWorkers = 256;
+
+}  // namespace
 
 unsigned effectiveThreadCount(unsigned requested) noexcept {
   if (requested != 0) return requested;
@@ -14,44 +22,120 @@ unsigned effectiveThreadCount(unsigned requested) noexcept {
   return hw == 0 ? 1 : hw;
 }
 
-void parallelFor(std::size_t count,
-                 const std::function<void(std::size_t)>& body,
-                 unsigned threads) {
-  if (count == 0) return;
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(effectiveThreadCount(threads), count));
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
 
-  if (workers <= 1) {
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    stop_ = true;
+  }
+  workCv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+unsigned ThreadPool::workerCount() const {
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  return static_cast<unsigned>(workers_.size());
+}
+
+void ThreadPool::ensureWorkers(unsigned needed) {
+  std::lock_guard<std::mutex> lock(stateMutex_);
+  const unsigned target = std::min(needed, kMaxWorkers);
+  while (workers_.size() < target) {
+    workers_.emplace_back([this] { workerMain(); });
+  }
+}
+
+void ThreadPool::runSweep(const std::function<void(std::size_t)>& body,
+                          std::size_t count) noexcept {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    try {
+      body(i);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(errorMutex_);
+        if (!firstError_) firstError_ = std::current_exception();
+      }
+      // Drain the remaining indices so every participant retires promptly.
+      next_.store(count, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::workerMain() {
+  tlsInSweep = true;  // workers never recurse into the pool
+  std::uint64_t lastJob = 0;
+  std::unique_lock<std::mutex> lock(stateMutex_);
+  for (;;) {
+    workCv_.wait(lock, [&] { return stop_ || jobId_ != lastJob; });
+    if (stop_) return;
+    lastJob = jobId_;
+    if (helpersJoined_ >= helpersWanted_) continue;  // job fully staffed
+    ++helpersJoined_;
+    ++active_;
+    const std::function<void(std::size_t)>* body = body_;
+    const std::size_t count = count_;
+    lock.unlock();
+    runSweep(*body, count);
+    lock.lock();
+    if (--active_ == 0) doneCv_.notify_all();
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t count,
+                             const std::function<void(std::size_t)>& body,
+                             unsigned threads) {
+  if (count == 0) return;
+  const unsigned total = static_cast<unsigned>(
+      std::min<std::size_t>(effectiveThreadCount(threads), count));
+
+  if (total <= 1 || tlsInSweep) {
+    // Serial path: strictly in index order on the calling thread.
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
 
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr firstError;
-  std::mutex errorMutex;
+  std::lock_guard<std::mutex> jobLock(jobMutex_);
+  ensureWorkers(total - 1);  // the calling thread is the remaining lane
 
-  const auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        body(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(errorMutex);
-        if (!firstError) firstError = std::current_exception();
-        // Keep draining indices so other workers terminate promptly.
-        next.store(count, std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
+  {
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    count_ = count;
+    body_ = &body;
+    helpersWanted_ = total - 1;
+    helpersJoined_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    firstError_ = nullptr;
+    ++jobId_;
+  }
+  workCv_.notify_all();
 
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned t = 0; t < workers; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
+  tlsInSweep = true;
+  runSweep(body, count);
+  tlsInSweep = false;
 
-  if (firstError) std::rethrow_exception(firstError);
+  std::unique_lock<std::mutex> lock(stateMutex_);
+  doneCv_.wait(lock, [&] { return active_ == 0; });
+  body_ = nullptr;
+  helpersWanted_ = 0;
+
+  if (firstError_) {
+    std::exception_ptr err = firstError_;
+    firstError_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void parallelFor(std::size_t count,
+                 const std::function<void(std::size_t)>& body,
+                 unsigned threads) {
+  ThreadPool::instance().parallelFor(count, body, threads);
 }
 
 }  // namespace vsstat::util

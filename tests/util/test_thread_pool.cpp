@@ -60,5 +60,54 @@ TEST(EffectiveThreadCount, ZeroResolvesToAtLeastOne) {
   EXPECT_GE(effectiveThreadCount(0), 1u);
 }
 
+TEST(ThreadPool, WorkersPersistAcrossCalls) {
+  ThreadPool& pool = ThreadPool::instance();
+  std::atomic<int> sum{0};
+  pool.parallelFor(100, [&](std::size_t i) { sum += static_cast<int>(i); }, 4);
+  const unsigned afterFirst = pool.workerCount();
+  EXPECT_GE(afterFirst, 3u);  // caller is the fourth lane
+  for (int round = 0; round < 5; ++round) {
+    pool.parallelFor(100, [&](std::size_t) { sum += 1; }, 4);
+  }
+  // Same concurrency again: no new threads were spawned.
+  EXPECT_EQ(pool.workerCount(), afterFirst);
+}
+
+TEST(ThreadPool, GrowsToLargerRequestsOnly) {
+  ThreadPool& pool = ThreadPool::instance();
+  pool.parallelFor(64, [](std::size_t) {}, 6);
+  const unsigned grown = pool.workerCount();
+  EXPECT_GE(grown, 5u);
+  pool.parallelFor(64, [](std::size_t) {}, 2);  // smaller request: no growth
+  EXPECT_EQ(pool.workerCount(), grown);
+}
+
+TEST(ThreadPool, NestedParallelForRunsSeriallyWithoutDeadlock) {
+  std::atomic<int> total{0};
+  parallelFor(
+      8,
+      [&](std::size_t) {
+        // Nested call from inside a sweep: must degrade to serial inline
+        // execution instead of deadlocking on the single shared pool.
+        parallelFor(10, [&](std::size_t) { total.fetch_add(1); }, 4);
+      },
+      4);
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPool, ExceptionLeavesPoolReusable) {
+  EXPECT_THROW(parallelFor(
+                   50,
+                   [](std::size_t i) {
+                     if (i == 10) throw std::runtime_error("boom");
+                   },
+                   4),
+               std::runtime_error);
+  // The pool must be fully drained and reusable after a failed sweep.
+  std::atomic<int> count{0};
+  parallelFor(50, [&](std::size_t) { count.fetch_add(1); }, 4);
+  EXPECT_EQ(count.load(), 50);
+}
+
 }  // namespace
 }  // namespace vsstat::util
