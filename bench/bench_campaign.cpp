@@ -1,0 +1,231 @@
+// Campaign-engine benchmark: rebuild-per-sample vs build-once/rebind
+// sessions (sim::CampaignSession) on the paper's two statistical
+// workloads:
+//
+//   sram_snm -- READ SNM of the 6T butterfly via 45-point DC sweeps
+//               (the Fig. 9 Monte Carlo inner loop);
+//   inv_fo3  -- INV FO3 delay via transient analysis (the Fig. 5 inner
+//               loop).
+//
+// Both paths run the identical statistical VS sampling (same seed, same
+// draws) single-threaded, so samples/sec compares per-sample cost and the
+// metrics can be checked bit-identical.  "allocs" counts heap allocations
+// per sample in steady state (rebuilding circuit + assembler per sample is
+// hundreds; a session rebind pass is near zero for the VS provider).
+//
+// Output is machine-readable JSON, one object per line on stdout:
+//   {"name": ..., "samples": N, "us_per_sample": ..., "samples_per_sec":
+//    ..., "allocs_per_sample": ..., "speedup_vs_rebuild": ...,
+//    "bit_identical": true}
+// BENCH_campaign.json records a reference run.
+//
+// Usage: bench_campaign [--quick]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "circuits/benchmarks.hpp"
+#include "mc/circuit_campaign.hpp"
+#include "mc/providers.hpp"
+#include "mc/runner.hpp"
+#include "measure/delay.hpp"
+#include "measure/snm.hpp"
+#include "models/vs_params.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> gAllocCount{0};
+
+}  // namespace
+
+// Global allocation hooks (same scheme as bench_newton_hotpath): count
+// every heap allocation so allocs/sample is exact.
+void* operator new(std::size_t size) {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace vsstat {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+models::PelgromAlphas benchAlphas() {
+  models::PelgromAlphas a;
+  a.aVt0 = 2.3;
+  a.aLeff = 3.7;
+  a.aWeff = 3.7;
+  a.aMu = 900.0;
+  a.aCinv = 0.3;
+  return a;
+}
+
+std::unique_ptr<circuits::DeviceProvider> makeProvider(stats::Rng rng) {
+  return std::make_unique<mc::VsStatisticalProvider>(
+      models::defaultVsNmos(), models::defaultVsPmos(), benchAlphas(),
+      benchAlphas(), rng);
+}
+
+struct CampaignTiming {
+  mc::McResult result;
+  double usPerSample = 0.0;
+  double allocsPerSample = 0.0;
+};
+
+/// Times a whole single-threaded campaign (after a small warmup campaign
+/// that brings the thread pool and allocator to steady state).
+CampaignTiming timeCampaign(int samples,
+                            const std::function<mc::McResult(int)>& run) {
+  (void)run(4);  // warmup
+
+  const std::uint64_t allocs0 = gAllocCount.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  CampaignTiming t;
+  t.result = run(samples);
+  const auto t1 = Clock::now();
+  const std::uint64_t allocs1 = gAllocCount.load(std::memory_order_relaxed);
+
+  const double us = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
+  t.usPerSample = us / samples;
+  t.allocsPerSample = static_cast<double>(allocs1 - allocs0) / samples;
+  return t;
+}
+
+bool bitIdentical(const mc::McResult& a, const mc::McResult& b) {
+  if (a.failures != b.failures || a.metrics.size() != b.metrics.size())
+    return false;
+  for (std::size_t m = 0; m < a.metrics.size(); ++m)
+    if (a.metrics[m] != b.metrics[m]) return false;
+  return true;
+}
+
+void emit(const std::string& name, int samples, const CampaignTiming& t,
+          double rebuildUsPerSample, bool identical) {
+  std::printf(
+      "{\"name\": \"%s\", \"samples\": %d, \"us_per_sample\": %.1f, "
+      "\"samples_per_sec\": %.1f, \"allocs_per_sample\": %.1f, "
+      "\"speedup_vs_rebuild\": %.2f, \"bit_identical\": %s}\n",
+      name.c_str(), samples, t.usPerSample, 1e6 / t.usPerSample,
+      t.allocsPerSample, rebuildUsPerSample / t.usPerSample,
+      identical ? "true" : "false");
+}
+
+/// One workload: measures the rebuild path, then the session path, checks
+/// bit-identity, and emits both JSONL lines.
+void benchWorkload(const std::string& name, int samples,
+                   const std::function<mc::McResult(int)>& rebuild,
+                   const std::function<mc::McResult(int)>& session) {
+  const CampaignTiming r = timeCampaign(samples, rebuild);
+  const CampaignTiming s = timeCampaign(samples, session);
+  const bool identical = bitIdentical(r.result, s.result);
+  emit(name + "_rebuild", samples, r, r.usPerSample, identical);
+  emit(name + "_session", samples, s, r.usPerSample, identical);
+}
+
+constexpr int kSnmPoints = 45;
+constexpr std::uint64_t kSeed = 901;
+
+mc::McOptions options(int samples) {
+  mc::McOptions opt;
+  opt.samples = samples;
+  opt.seed = kSeed;
+  opt.threads = 1;  // per-sample cost comparison, not parallel throughput
+  return opt;
+}
+
+int run(int snmSamples, int invSamples) {
+  benchWorkload(
+      "sram_snm", snmSamples,
+      [](int n) {
+        return mc::runCampaign(
+            options(n), 1,
+            [](std::size_t, stats::Rng& rng, std::vector<double>& out) {
+              auto provider = makeProvider(rng);
+              circuits::SramButterflyBench bench =
+                  circuits::buildSramButterfly(*provider, 0.9,
+                                               circuits::SramMode::Read,
+                                               circuits::SramSizing{});
+              out[0] = measure::measureSnm(bench, kSnmPoints).cellSnm();
+            });
+      },
+      [](int n) {
+        return mc::runCampaign<circuits::SramButterflyBench>(
+            options(n), 1,
+            [](circuits::DeviceProvider& provider) {
+              return circuits::buildSramButterfly(provider, 0.9,
+                                                  circuits::SramMode::Read,
+                                                  circuits::SramSizing{});
+            },
+            [] { return makeProvider(stats::Rng(0)); },
+            [](std::size_t,
+               sim::CampaignSession<circuits::SramButterflyBench>& session,
+               stats::Rng&, std::vector<double>& out) {
+              out[0] = measure::measureSnm(session.fixture(), session.spice(),
+                                           kSnmPoints)
+                           .cellSnm();
+            });
+      });
+
+  benchWorkload(
+      "inv_fo3", invSamples,
+      [](int n) {
+        return mc::runCampaign(
+            options(n), 1,
+            [](std::size_t, stats::Rng& rng, std::vector<double>& out) {
+              auto provider = makeProvider(rng);
+              circuits::GateFo3Bench bench = circuits::buildInvFo3(
+                  *provider, circuits::CellSizing{}, circuits::StimulusSpec{});
+              out[0] = measure::measureGateDelays(bench).average();
+            });
+      },
+      [](int n) {
+        return mc::runCampaign<circuits::GateFo3Bench>(
+            options(n), 1,
+            [](circuits::DeviceProvider& provider) {
+              return circuits::buildInvFo3(provider, circuits::CellSizing{},
+                                           circuits::StimulusSpec{});
+            },
+            [] { return makeProvider(stats::Rng(0)); },
+            [](std::size_t,
+               sim::CampaignSession<circuits::GateFo3Bench>& session,
+               stats::Rng&, std::vector<double>& out) {
+              out[0] = measure::measureGateDelays(session.fixture(),
+                                                  session.spice())
+                           .average();
+            });
+      });
+  return 0;
+}
+
+}  // namespace
+}  // namespace vsstat
+
+int main(int argc, char** argv) {
+  int snmSamples = 160;
+  int invSamples = 48;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      snmSamples = 32;
+      invSamples = 12;
+    }
+  }
+  try {
+    return vsstat::run(snmSamples, invSamples);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_campaign: %s\n", e.what());
+    return 1;
+  }
+}

@@ -5,6 +5,7 @@
 
 #include "common.hpp"
 #include "measure/snm.hpp"
+#include "mc/circuit_campaign.hpp"
 #include "mc/runner.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/kde.hpp"
@@ -49,12 +50,20 @@ int main() {
       mc::McOptions opt;
       opt.samples = samples;
       opt.seed = (read ? 900 : 910) + (useVs ? 1 : 2);
-      const mc::McResult r = mc::runCampaign(
-          opt, 1, [&](std::size_t, stats::Rng& rng, std::vector<double>& out) {
-            auto provider = bench::makeStatProvider(useVs, rng);
-            auto fixture = circuits::buildSramButterfly(
-                *provider, 0.9, mode, circuits::SramSizing{});
-            out[0] = measure::measureSnm(fixture, 45).cellSnm();
+      // Session campaign: the butterfly fixture is built once per worker
+      // and rebound per sample (bit-identical to rebuilding it).
+      const mc::McResult r = mc::runCampaign<circuits::SramButterflyBench>(
+          opt, 1,
+          [&](circuits::DeviceProvider& provider) {
+            return circuits::buildSramButterfly(provider, 0.9, mode,
+                                                circuits::SramSizing{});
+          },
+          [&] { return bench::makeStatProvider(useVs, stats::Rng(0)); },
+          [&](std::size_t,
+              sim::CampaignSession<circuits::SramButterflyBench>& session,
+              stats::Rng&, std::vector<double>& out) {
+            out[0] = measure::measureSnm(session.fixture(), session.spice(), 45)
+                         .cellSnm();
           });
       const auto s = stats::summarize(r.metrics[0]);
       const auto qq = stats::qqAgainstNormal(r.metrics[0]);

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "measure/delay.hpp"
+#include "mc/circuit_campaign.hpp"
 #include "mc/providers.hpp"
 #include "mc/runner.hpp"
 
@@ -60,14 +61,25 @@ DelayCampaignResult runGateDelayCampaign(bool useVs, bool nand2,
   mc::McOptions opt;
   opt.samples = samples;
   opt.seed = seed;
-  const mc::McResult r = mc::runCampaign(
-      opt, 2, [&](std::size_t, stats::Rng& rng, std::vector<double>& out) {
-        auto provider = makeStatProvider(useVs, rng);
-        circuits::GateFo3Bench bench =
-            nand2 ? circuits::buildNand2Fo3(*provider, sizing, stimulus)
-                  : circuits::buildInvFo3(*provider, sizing, stimulus);
-        out[0] = measure::measureGateDelays(bench, dt).average();
-        out[1] = withLeakage ? measure::measureLeakage(bench) : 0.0;
+  // Build-once / rebind-per-sample session campaign: each worker builds
+  // the fixture once and rebinds device cards per sample (bit-identical to
+  // the historical rebuild-per-sample flow, just faster).
+  const mc::McResult r = mc::runCampaign<circuits::GateFo3Bench>(
+      opt, 2,
+      [&](circuits::DeviceProvider& provider) {
+        return nand2 ? circuits::buildNand2Fo3(provider, sizing, stimulus)
+                     : circuits::buildInvFo3(provider, sizing, stimulus);
+      },
+      [&] { return makeStatProvider(useVs, stats::Rng(0)); },
+      [&](std::size_t, sim::CampaignSession<circuits::GateFo3Bench>& session,
+          stats::Rng&, std::vector<double>& out) {
+        out[0] = measure::measureGateDelays(session.fixture(), session.spice(),
+                                            dt)
+                     .average();
+        out[1] = withLeakage
+                     ? measure::measureLeakage(session.fixture(),
+                                               session.spice())
+                     : 0.0;
       });
   DelayCampaignResult result;
   result.delays = r.metrics[0];

@@ -9,15 +9,22 @@
 // population is also shown for contrast: it is wider, because the corner
 // axes only carry the Idsat-aligned component of variation -- which is
 // exactly why mismatch cannot be signed off with corners alone.
+//
+// Both Monte Carlos run through the build-once / rebind-per-sample
+// campaign engine: the INV FO3 fixture is built once per worker and only
+// its device cards are rebound per sample.
+//
+// Usage: example_corner_analysis [samples]   (default 500)
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "circuits/benchmarks.hpp"
 #include "core/corners.hpp"
 #include "core/statistical_vs.hpp"
 #include "measure/delay.hpp"
-#include "mc/runner.hpp"
+#include "mc/circuit_campaign.hpp"
 #include "models/vs_model.hpp"
 #include "stats/descriptive.hpp"
 
@@ -38,17 +45,22 @@ models::VariationDelta scaled(const models::VariationDelta& fast, double z) {
   return d;
 }
 
-/// Die-level provider: one shared (zN, zP) draw for all instances.
+/// Die-level provider: one shared (zN, zP) draw for all instances of a
+/// sample.  reseed() draws the die's position from the sample stream, so
+/// the provider drops straight into a campaign session.
 class GlobalSkewProvider final : public circuits::DeviceProvider {
  public:
   GlobalSkewProvider(const core::StatisticalVsKit& kit,
-                     const core::StatisticalCorners& corners, double zN,
-                     double zP)
+                     const core::StatisticalCorners& corners)
       : kit_(kit),
-        nmos_(scaled(corners.delta(core::Corner::FF, models::DeviceType::Nmos),
-                     zN)),
-        pmos_(scaled(corners.delta(core::Corner::FF, models::DeviceType::Pmos),
-                     zP)) {}
+        fastN_(corners.delta(core::Corner::FF, models::DeviceType::Nmos)),
+        fastP_(corners.delta(core::Corner::FF, models::DeviceType::Pmos)) {}
+
+  void reseed(const stats::Rng& rng) override {
+    stats::Rng stream = rng;
+    nmos_ = scaled(fastN_, stream.normal());
+    pmos_ = scaled(fastP_, stream.normal());
+  }
 
   [[nodiscard]] circuits::DeviceInstance make(
       models::DeviceType type, const std::string&,
@@ -62,13 +74,31 @@ class GlobalSkewProvider final : public circuits::DeviceProvider {
 
  private:
   const core::StatisticalVsKit& kit_;
+  models::VariationDelta fastN_;
+  models::VariationDelta fastP_;
   models::VariationDelta nmos_;
   models::VariationDelta pmos_;
 };
 
+mc::McResult runInvDelayCampaign(const mc::McOptions& opt,
+                                 const mc::ProviderFactory& providers) {
+  return mc::runCampaign<circuits::GateFo3Bench>(
+      opt, 1,
+      [](circuits::DeviceProvider& provider) {
+        return circuits::buildInvFo3(provider, circuits::CellSizing{},
+                                     circuits::StimulusSpec{});
+      },
+      providers,
+      [](std::size_t, sim::CampaignSession<circuits::GateFo3Bench>& session,
+         stats::Rng&, std::vector<double>& out) {
+        out[0] = measure::measureGateDelays(session.fixture(), session.spice())
+                     .average();
+      });
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   core::CharacterizeOptions opt;
   opt.analyticGoldenVariance = true;
   const core::StatisticalVsKit kit = core::StatisticalVsKit::characterize(
@@ -93,21 +123,17 @@ int main() {
     if (c == core::Corner::SS) ssDelay = d.average();
   }
 
+  const int kSamples = argc > 1 ? std::max(std::atoi(argv[1]), 20) : 500;
+
   // Die-level Monte Carlo along the corner axes: each sample is one die
   // with shared (zN, zP).  This is the population the corner methodology
   // claims to bound.
-  constexpr int kSamples = 500;
   mc::McOptions globalOpt;
   globalOpt.samples = kSamples;
   globalOpt.seed = 4242;
-  const mc::McResult globalMc = mc::runCampaign(
-      globalOpt, 1,
-      [&](std::size_t, stats::Rng& rng, std::vector<double>& out) {
-        GlobalSkewProvider provider(kit, corners, rng.normal(), rng.normal());
-        circuits::GateFo3Bench bench = circuits::buildInvFo3(
-            provider, circuits::CellSizing{}, circuits::StimulusSpec{});
-        out[0] = measure::measureGateDelays(bench).average();
-      });
+  const mc::McResult globalMc = runInvDelayCampaign(globalOpt, [&] {
+    return std::make_unique<GlobalSkewProvider>(kit, corners);
+  });
 
   const stats::Summary g = stats::summarize(globalMc.metrics[0]);
   const double lo3 = g.mean - 3.0 * g.stddev;
@@ -126,14 +152,8 @@ int main() {
   mc::McOptions localOpt;
   localOpt.samples = kSamples;
   localOpt.seed = 4243;
-  const mc::McResult localMc = mc::runCampaign(
-      localOpt, 1,
-      [&](std::size_t, stats::Rng& rng, std::vector<double>& out) {
-        auto provider = kit.makeProvider(rng);
-        circuits::GateFo3Bench bench = circuits::buildInvFo3(
-            *provider, circuits::CellSizing{}, circuits::StimulusSpec{});
-        out[0] = measure::measureGateDelays(bench).average();
-      });
+  const mc::McResult localMc = runInvDelayCampaign(
+      localOpt, [&] { return kit.makeProvider(stats::Rng(0)); });
   const stats::Summary l = stats::summarize(localMc.metrics[0]);
   std::printf("\nPer-instance mismatch MC, for contrast: sigma = %.2f ps vs\n"
               "  the die-level %.2f ps.  The corner axes carry only the\n"

@@ -2,25 +2,34 @@
 // (Fig. 7): a single statistical VS model, extracted once at nominal Vdd,
 // predicts the delay distribution at scaled supplies including the
 // non-Gaussian skew that breaks Gaussian SSTA assumptions.
+//
+// The Monte Carlo runs through the build-once / rebind-per-sample campaign
+// engine (mc::runCampaign circuit overload): one NAND2 FO3 fixture per
+// worker, rebound per sample, instead of rebuilding circuit + solver state
+// every sample.
+//
+// Usage: example_dvs_timing [samples]   (default 500; CI smoke uses a few)
 #include <cstdio>
+#include <cstdlib>
 
 #include "circuits/benchmarks.hpp"
 #include "core/statistical_vs.hpp"
 #include "measure/delay.hpp"
-#include "mc/runner.hpp"
+#include "mc/circuit_campaign.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/normality.hpp"
 #include "stats/qq.hpp"
 
 using namespace vsstat;
 
-int main() {
+int main(int argc, char** argv) {
   core::CharacterizeOptions opt;
   opt.analyticGoldenVariance = true;
   const core::StatisticalVsKit kit = core::StatisticalVsKit::characterize(
       extract::GoldenKit::default40nm(), opt);
 
-  constexpr int kSamples = 500;
+  const int kSamples =
+      argc > 1 ? std::max(std::atoi(argv[1]), 10) : 500;
   std::printf("NAND2 FO3 delay under dynamic voltage scaling (%d MC runs, "
               "statistical VS model)\n\n", kSamples);
   std::printf("%-8s %-12s %-14s %-10s %-12s %-10s\n", "Vdd [V]", "mean [ps]",
@@ -36,12 +45,18 @@ int main() {
     mc::McOptions mcOpt;
     mcOpt.samples = kSamples;
     mcOpt.seed = 4242;
-    const mc::McResult r = mc::runCampaign(
-        mcOpt, 1, [&](std::size_t, stats::Rng& rng, std::vector<double>& out) {
-          auto provider = kit.makeProvider(rng);
-          auto bench =
-              circuits::buildNand2Fo3(*provider, circuits::CellSizing{}, stim);
-          out[0] = measure::measureGateDelays(bench, dt).average();
+    const mc::McResult r = mc::runCampaign<circuits::GateFo3Bench>(
+        mcOpt, 1,
+        [&](circuits::DeviceProvider& provider) {
+          return circuits::buildNand2Fo3(provider, circuits::CellSizing{},
+                                         stim);
+        },
+        [&] { return kit.makeProvider(stats::Rng(0)); },
+        [&](std::size_t, sim::CampaignSession<circuits::GateFo3Bench>& session,
+            stats::Rng&, std::vector<double>& out) {
+          out[0] = measure::measureGateDelays(session.fixture(),
+                                              session.spice(), dt)
+                       .average();
         });
 
     const auto s = stats::summarize(r.metrics[0]);

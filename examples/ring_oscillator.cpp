@@ -5,7 +5,9 @@
 // axis.  This example Monte Carlos a 3-stage ring with the statistical VS
 // kit and reports the frequency distribution, plus the nominal and
 // per-supply behaviour.
+// Usage: example_ring_oscillator [samples]   (default 120)
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "circuits/benchmarks.hpp"
@@ -16,7 +18,7 @@
 
 using namespace vsstat;
 
-int main() {
+int main(int argc, char** argv) {
   core::CharacterizeOptions opt;
   opt.analyticGoldenVariance = true;
   const core::StatisticalVsKit kit = core::StatisticalVsKit::characterize(
@@ -35,7 +37,7 @@ int main() {
   }
 
   // Mismatch Monte Carlo at the nominal supply.
-  constexpr int kSamples = 120;
+  const int kSamples = argc > 1 ? std::max(std::atoi(argv[1]), 10) : 120;
   mc::McOptions mcOpt;
   mcOpt.samples = kSamples;
   mcOpt.seed = 808;

@@ -7,8 +7,19 @@
 //      importance sampling over the standardized 30-dimensional mismatch
 //      space (6 transistors x 5 VS parameters) resolves the failure
 //      probability with a tight relative error.
+//
+// Everything runs on the build-once / rebind-per-sample campaign engine:
+// stage 1 leases READ and HOLD butterfly sessions from two sim::SessionPool
+// instances inside one mc::runCampaign, and stage 2's failure indicator
+// leases a session per evaluation -- which also makes it safe for the
+// parallel importance sampler (yield::importanceSample now fans out over
+// the shared persistent thread pool).
+//
+// Usage: example_sram_yield [mc_samples] [is_samples]   (defaults 800/400)
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "circuits/benchmarks.hpp"
@@ -17,6 +28,7 @@
 #include "mc/runner.hpp"
 #include "models/process_variation.hpp"
 #include "models/vs_model.hpp"
+#include "sim/session.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/qq.hpp"
 #include "yield/importance.hpp"
@@ -29,12 +41,16 @@ namespace {
 /// Provider that realizes a FIXED standardized mismatch vector: entry
 /// 5*i+j of z scales parameter j of the i-th requested transistor by its
 /// Pelgrom sigma.  This is the bridge between the importance sampler's
-/// z-space and circuit instances.
+/// z-space and circuit instances; setZ() rearms it for the next rebind
+/// pass of a campaign session.
 class FixedDeltaProvider final : public circuits::DeviceProvider {
  public:
-  FixedDeltaProvider(const core::StatisticalVsKit& kit,
-                     const std::vector<double>& z)
-      : kit_(kit), z_(z) {}
+  explicit FixedDeltaProvider(const core::StatisticalVsKit& kit) : kit_(kit) {}
+
+  void setZ(const std::vector<double>& z) {
+    z_ = z;
+    cursor_ = 0;
+  }
 
   [[nodiscard]] circuits::DeviceInstance make(
       models::DeviceType type, const std::string&,
@@ -55,37 +71,52 @@ class FixedDeltaProvider final : public circuits::DeviceProvider {
   double next() { return cursor_ < z_.size() ? z_[cursor_++] : 0.0; }
 
   const core::StatisticalVsKit& kit_;
-  const std::vector<double>& z_;
+  std::vector<double> z_;
   std::size_t cursor_ = 0;
 };
 
+using ButterflyPool = sim::SessionPool<circuits::SramButterflyBench>;
+
+ButterflyPool makePool(const core::StatisticalVsKit& kit,
+                       circuits::SramMode mode) {
+  return ButterflyPool(
+      [&kit, mode](circuits::DeviceProvider& provider) {
+        return circuits::buildSramButterfly(provider, kit.vdd(), mode,
+                                            circuits::SramSizing{});
+      },
+      [&kit] { return kit.makeProvider(stats::Rng(0)); });
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   core::CharacterizeOptions opt;
   opt.analyticGoldenVariance = true;  // fast, noise-free characterization
   const core::StatisticalVsKit kit = core::StatisticalVsKit::characterize(
       extract::GoldenKit::default40nm(), opt);
 
-  constexpr int kSamples = 800;
+  const int kSamples = argc > 1 ? std::max(std::atoi(argv[1]), 20) : 800;
+  const int kIsSamples = argc > 2 ? std::max(std::atoi(argv[2]), 20) : 400;
   constexpr double kSnmFloor = 0.04;  // V; stability criterion
+
+  // Stage 1: READ and HOLD SNM of the same dies, via leased sessions.
+  ButterflyPool readPool = makePool(kit, circuits::SramMode::Read);
+  ButterflyPool holdPool = makePool(kit, circuits::SramMode::Hold);
 
   mc::McOptions mcOpt;
   mcOpt.samples = kSamples;
   mcOpt.seed = 2026;
   const mc::McResult r = mc::runCampaign(
       mcOpt, 2, [&](std::size_t, stats::Rng& rng, std::vector<double>& out) {
-        auto provider = kit.makeProvider(rng);
-        auto read = circuits::buildSramButterfly(
-            *provider, kit.vdd(), circuits::SramMode::Read,
-            circuits::SramSizing{});
-        out[0] = measure::measureSnm(read, 45).cellSnm();
-        // Same dies, HOLD mode needs a fresh fixture with identical draws:
-        auto provider2 = kit.makeProvider(rng.fork(1));
-        auto hold = circuits::buildSramButterfly(
-            *provider2, kit.vdd(), circuits::SramMode::Hold,
-            circuits::SramSizing{});
-        out[1] = measure::measureSnm(hold, 45).cellSnm();
+        auto read = readPool.acquire();
+        read->bindSample(rng);
+        out[0] = measure::measureSnm(read->fixture(), read->spice(), 45)
+                     .cellSnm();
+        // Same dies, HOLD mode rebinds identical draws from a forked stream:
+        auto hold = holdPool.acquire();
+        hold->bindSample(rng.fork(1));
+        out[1] = measure::measureSnm(hold->fixture(), hold->spice(), 45)
+                     .cellSnm();
       });
 
   const auto read = stats::summarize(r.metrics[0]);
@@ -113,13 +144,24 @@ int main() {
   constexpr double kTailFloor = 0.015;  // V; plain MC sees ~no failures here
   constexpr std::size_t kDims = 6 * 5;  // transistors x VS parameters
 
+  // Session-backed indicator: lease a READ fixture, point its
+  // FixedDeltaProvider at z, rebind, measure.  Thread-safe (one session
+  // per concurrent evaluation), so the parallel sampler can hammer it.
+  ButterflyPool tailPool(
+      [&kit](circuits::DeviceProvider& provider) {
+        return circuits::buildSramButterfly(provider, kit.vdd(),
+                                            circuits::SramMode::Read,
+                                            circuits::SramSizing{});
+      },
+      [&kit] { return std::make_unique<FixedDeltaProvider>(kit); });
+
   const yield::FailureIndicator cellFails =
       [&](const std::vector<double>& z) {
-        FixedDeltaProvider provider(kit, z);
-        auto fixture = circuits::buildSramButterfly(
-            provider, kit.vdd(), circuits::SramMode::Read,
-            circuits::SramSizing{});
-        return measure::measureSnm(fixture, 45).cellSnm() < kTailFloor;
+        auto lease = tailPool.acquire();
+        static_cast<FixedDeltaProvider&>(lease->provider()).setZ(z);
+        lease->rebind();
+        return measure::measureSnm(lease->fixture(), lease->spice(), 45)
+                   .cellSnm() < kTailFloor;
       };
 
   // Physics-guided extra directions: READ failures are driven by opposing
@@ -139,7 +181,7 @@ int main() {
   std::printf("  shift found at |z| = %.2f sigma\n", std::sqrt(shiftNorm));
 
   yield::ImportanceOptions isOpt;
-  isOpt.samples = 400;
+  isOpt.samples = kIsSamples;
   isOpt.seed = 99;
   const yield::ImportanceResult is =
       yield::importanceSample(cellFails, shift, isOpt);

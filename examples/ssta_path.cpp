@@ -11,8 +11,11 @@
 //   3. validate mean/sigma against a Monte Carlo that samples the SAME
 //      variation model (shared die axes + fresh per-stage mismatch) and
 //      measures each stage in the characterization fixture.
+//
+// Usage: example_ssta_path [samples]   (default 150 flat-MC samples)
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <vector>
 
 #include "core/corners.hpp"
@@ -50,7 +53,7 @@ models::VariationDelta combine(const models::VariationDelta& a,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   core::CharacterizeOptions copt;
   copt.analyticGoldenVariance = true;
   const core::StatisticalVsKit kit = core::StatisticalVsKit::characterize(
@@ -88,7 +91,7 @@ int main() {
   const auto& fastN = corners.delta(core::Corner::FF, models::DeviceType::Nmos);
   const auto& fastP = corners.delta(core::Corner::FF, models::DeviceType::Pmos);
 
-  constexpr int kSamples = 150;
+  const int kSamples = argc > 1 ? std::max(std::atoi(argv[1]), 10) : 150;
   stats::Rng rng(20260611);
   std::vector<double> mcPath;
   mcPath.reserve(kSamples);

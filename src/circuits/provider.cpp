@@ -1,8 +1,20 @@
 #include "circuits/provider.hpp"
 
+#include "spice/elements.hpp"
+#include "stats/rng.hpp"
 #include "util/error.hpp"
 
 namespace vsstat::circuits {
+
+void DeviceProvider::resample(models::DeviceType type,
+                              const std::string& instanceName,
+                              const models::DeviceGeometry& nominal,
+                              spice::MosfetElement& element) {
+  DeviceInstance inst = make(type, instanceName, nominal);
+  element.rebind(*inst.model, inst.geometry);
+}
+
+void DeviceProvider::reseed(const stats::Rng& /*rng*/) {}
 
 NominalProvider::NominalProvider(const models::MosfetModel& nmosPrototype,
                                  const models::MosfetModel& pmosPrototype)
@@ -21,6 +33,13 @@ DeviceInstance NominalProvider::make(models::DeviceType type,
       type == models::DeviceType::Nmos ? nmos_->clone() : pmos_->clone();
   inst.geometry = nominal;
   return inst;
+}
+
+DeviceInstance RecordingProvider::make(models::DeviceType type,
+                                       const std::string& instanceName,
+                                       const models::DeviceGeometry& nominal) {
+  records_.push_back(DeviceRecord{type, instanceName, nominal});
+  return inner_.make(type, instanceName, nominal);
 }
 
 }  // namespace vsstat::circuits

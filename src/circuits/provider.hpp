@@ -5,13 +5,31 @@
 // (src/mc/providers.hpp) sample fresh mismatch deltas per instance.  This
 // keeps every benchmark circuit topology-identical between the nominal,
 // VS-statistical and golden-statistical runs -- only the provider changes.
+//
+// Build-once / rebind-per-sample campaigns (sim::CampaignSession) add a
+// second pass to the same seam: after a fixture is built once, the session
+// replays the build's device order per sample through resample(), which
+// rebinds cards onto the existing elements instead of re-creating them.
+// reseed() resets the provider's random stream to the sample's
+// decorrelated child RNG first, so a rebind pass draws exactly what a
+// fresh provider plus rebuild would have drawn -- that is what makes the
+// two paths bit-identical.
 #ifndef VSSTAT_CIRCUITS_PROVIDER_HPP
 #define VSSTAT_CIRCUITS_PROVIDER_HPP
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "models/device.hpp"
+
+namespace vsstat::spice {
+class MosfetElement;
+}
+
+namespace vsstat::stats {
+class Rng;
+}
 
 namespace vsstat::circuits {
 
@@ -19,6 +37,14 @@ namespace vsstat::circuits {
 struct DeviceInstance {
   std::unique_ptr<models::MosfetModel> model;
   models::DeviceGeometry geometry;
+};
+
+/// One make() call of a fixture build, as recorded by RecordingProvider:
+/// everything needed to replay the request against the built circuit.
+struct DeviceRecord {
+  models::DeviceType type = models::DeviceType::Nmos;
+  std::string instanceName;
+  models::DeviceGeometry nominal;
 };
 
 /// Pure-abstract factory for transistor instances.
@@ -36,6 +62,22 @@ class DeviceProvider {
   [[nodiscard]] virtual DeviceInstance make(
       models::DeviceType type, const std::string& instanceName,
       const models::DeviceGeometry& nominal) = 0;
+
+  /// Per-sample rebind pass: regenerates the card for one transistor and
+  /// rebinds it onto an existing element in place.  Must consume exactly
+  /// the draws make() would, so replaying the build order reproduces the
+  /// rebuild path bit-for-bit.  The default routes through make() (one
+  /// temporary card allocation); statistical providers override it with a
+  /// stack-card + in-place parameter copy that never touches the heap.
+  virtual void resample(models::DeviceType type,
+                        const std::string& instanceName,
+                        const models::DeviceGeometry& nominal,
+                        spice::MosfetElement& element);
+
+  /// Resets the provider's random stream for the next sample (campaign
+  /// sessions call this once per sample with the sample's decorrelated
+  /// child RNG).  Providers without internal randomness ignore it.
+  virtual void reseed(const stats::Rng& rng);
 };
 
 /// Clones fixed prototype cards; geometry passes through unchanged.
@@ -51,6 +93,28 @@ class NominalProvider final : public DeviceProvider {
  private:
   std::unique_ptr<models::MosfetModel> nmos_;
   std::unique_ptr<models::MosfetModel> pmos_;
+};
+
+/// Pass-through wrapper that records every make() call during a one-time
+/// fixture build.  sim::CampaignSession wraps the worker's provider in one
+/// of these while the builder runs, then resolves the records to the built
+/// circuit's elements (builders name elements after the instanceName they
+/// request) to form its per-sample rebind plan.
+class RecordingProvider final : public DeviceProvider {
+ public:
+  explicit RecordingProvider(DeviceProvider& inner) : inner_(inner) {}
+
+  [[nodiscard]] DeviceInstance make(
+      models::DeviceType type, const std::string& instanceName,
+      const models::DeviceGeometry& nominal) override;
+
+  [[nodiscard]] const std::vector<DeviceRecord>& records() const noexcept {
+    return records_;
+  }
+
+ private:
+  DeviceProvider& inner_;
+  std::vector<DeviceRecord> records_;
 };
 
 }  // namespace vsstat::circuits

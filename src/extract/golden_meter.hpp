@@ -31,9 +31,14 @@ struct GoldenKit {
 struct GoldenMeterOptions {
   int samples = 1000;          ///< MC samples per geometry (paper: > 1000)
   std::uint64_t seed = 1234;   ///< campaign seed
+  unsigned threads = 0;        ///< 0 == hardware concurrency
 };
 
 /// Monte-Carlo variance measurement at one geometry for the given polarity.
+/// Samples run in parallel on the shared persistent pool with one child
+/// RNG stream per sample and a serial index-order reduction, so the
+/// variances are bit-identical for any thread count (and to the historical
+/// serial implementation, which already forked per sample).
 [[nodiscard]] GeometryMeasurement measureGoldenVariance(
     const GoldenKit& kit, models::DeviceType type,
     const models::DeviceGeometry& geom, const GoldenMeterOptions& options);

@@ -30,6 +30,16 @@ class SparseLu {
   /// ConvergenceError when the matrix is numerically singular.
   void refactor(const SparseMatrix& m, double pivotTolerance = 1e-14);
 
+  /// Forgets the analyzed pattern and pivot order so the next refactor()
+  /// runs the full analyze + partial-pivot path again.  All buffers are
+  /// retained at capacity, so a reset + refactor cycle on an unchanged
+  /// pattern performs no steady-state heap allocations.  Simulation
+  /// sessions call this at the start of every solve so a persistent
+  /// workspace reproduces the numerics of a freshly-constructed one
+  /// bit-for-bit (the pivot order is re-derived from the solve's own first
+  /// iterate instead of whatever sample last touched the factorization).
+  void reset() noexcept { pattern_ = nullptr; }
+
   /// Solves A x = b in place; allocation-free.
   void solveInPlace(Vector& x) const;
   [[nodiscard]] Vector solve(const Vector& b) const;

@@ -2,6 +2,7 @@
 
 #include "models/bsim_lite.hpp"
 #include "models/vs_model.hpp"
+#include "spice/elements.hpp"
 
 namespace vsstat::mc {
 
@@ -13,20 +14,39 @@ VsStatisticalProvider::VsStatisticalProvider(models::VsParams nmos,
     : nmos_(nmos), pmos_(pmos), nmosAlphas_(nmosAlphas),
       pmosAlphas_(pmosAlphas), rng_(rng) {}
 
+models::VariationDelta VsStatisticalProvider::draw(
+    models::DeviceType type, const models::DeviceGeometry& nominal) {
+  const bool isN = type == models::DeviceType::Nmos;
+  const models::PelgromAlphas& alphas = isN ? nmosAlphas_ : pmosAlphas_;
+  const models::ParameterSigmas sigmas = models::sigmasFor(alphas, nominal);
+  return models::sampleDelta(sigmas, rng_);
+}
+
 circuits::DeviceInstance VsStatisticalProvider::make(
     models::DeviceType type, const std::string& /*instanceName*/,
     const models::DeviceGeometry& nominal) {
   const bool isN = type == models::DeviceType::Nmos;
   const models::VsParams& card = isN ? nmos_ : pmos_;
-  const models::PelgromAlphas& alphas = isN ? nmosAlphas_ : pmosAlphas_;
-
-  const models::ParameterSigmas sigmas = models::sigmasFor(alphas, nominal);
-  const models::VariationDelta delta = models::sampleDelta(sigmas, rng_);
+  const models::VariationDelta delta = draw(type, nominal);
 
   circuits::DeviceInstance inst;
   inst.model = std::make_unique<models::VsModel>(models::applyToVs(card, delta));
   inst.geometry = models::applyGeometry(nominal, delta);
   return inst;
+}
+
+void VsStatisticalProvider::resample(models::DeviceType type,
+                                     const std::string& /*instanceName*/,
+                                     const models::DeviceGeometry& nominal,
+                                     spice::MosfetElement& element) {
+  const bool isN = type == models::DeviceType::Nmos;
+  const models::VsParams& card = isN ? nmos_ : pmos_;
+  const models::VariationDelta delta = draw(type, nominal);
+
+  // Stack card + in-place parameter copy: the per-sample rebind pass of a
+  // campaign session performs no heap allocation here.
+  const models::VsModel varied(models::applyToVs(card, delta));
+  element.rebind(varied, models::applyGeometry(nominal, delta));
 }
 
 BsimStatisticalProvider::BsimStatisticalProvider(
@@ -36,22 +56,39 @@ BsimStatisticalProvider::BsimStatisticalProvider(
     : nmos_(nmos), pmos_(pmos), nmosMismatch_(nmosMismatch),
       pmosMismatch_(pmosMismatch), rng_(rng) {}
 
+models::VariationDelta BsimStatisticalProvider::draw(
+    models::DeviceType type, const models::DeviceGeometry& nominal) {
+  const bool isN = type == models::DeviceType::Nmos;
+  const models::PelgromAlphas alphas =
+      models::toPelgromAlphas(isN ? nmosMismatch_ : pmosMismatch_);
+  const models::ParameterSigmas sigmas = models::sigmasFor(alphas, nominal);
+  return models::sampleDelta(sigmas, rng_);
+}
+
 circuits::DeviceInstance BsimStatisticalProvider::make(
     models::DeviceType type, const std::string& /*instanceName*/,
     const models::DeviceGeometry& nominal) {
   const bool isN = type == models::DeviceType::Nmos;
   const models::BsimParams& card = isN ? nmos_ : pmos_;
-  const models::PelgromAlphas alphas =
-      models::toPelgromAlphas(isN ? nmosMismatch_ : pmosMismatch_);
-
-  const models::ParameterSigmas sigmas = models::sigmasFor(alphas, nominal);
-  const models::VariationDelta delta = models::sampleDelta(sigmas, rng_);
+  const models::VariationDelta delta = draw(type, nominal);
 
   circuits::DeviceInstance inst;
   inst.model =
       std::make_unique<models::BsimLite>(models::applyToBsim(card, delta));
   inst.geometry = models::applyGeometry(nominal, delta);
   return inst;
+}
+
+void BsimStatisticalProvider::resample(models::DeviceType type,
+                                       const std::string& /*instanceName*/,
+                                       const models::DeviceGeometry& nominal,
+                                       spice::MosfetElement& element) {
+  const bool isN = type == models::DeviceType::Nmos;
+  const models::BsimParams& card = isN ? nmos_ : pmos_;
+  const models::VariationDelta delta = draw(type, nominal);
+
+  const models::BsimLite varied(models::applyToBsim(card, delta));
+  element.rebind(varied, models::applyGeometry(nominal, delta));
 }
 
 }  // namespace vsstat::mc

@@ -25,7 +25,18 @@ class VsStatisticalProvider final : public circuits::DeviceProvider {
       models::DeviceType type, const std::string& instanceName,
       const models::DeviceGeometry& nominal) override;
 
+  /// Allocation-free rebind: draws the same deltas make() would and copies
+  /// the varied card into the element's existing model object.
+  void resample(models::DeviceType type, const std::string& instanceName,
+                const models::DeviceGeometry& nominal,
+                spice::MosfetElement& element) override;
+
+  void reseed(const stats::Rng& rng) override { rng_ = rng; }
+
  private:
+  [[nodiscard]] models::VariationDelta draw(
+      models::DeviceType type, const models::DeviceGeometry& nominal);
+
   models::VsParams nmos_;
   models::VsParams pmos_;
   models::PelgromAlphas nmosAlphas_;
@@ -44,7 +55,17 @@ class BsimStatisticalProvider final : public circuits::DeviceProvider {
       models::DeviceType type, const std::string& instanceName,
       const models::DeviceGeometry& nominal) override;
 
+  /// Allocation-free rebind (see VsStatisticalProvider::resample).
+  void resample(models::DeviceType type, const std::string& instanceName,
+                const models::DeviceGeometry& nominal,
+                spice::MosfetElement& element) override;
+
+  void reseed(const stats::Rng& rng) override { rng_ = rng; }
+
  private:
+  [[nodiscard]] models::VariationDelta draw(
+      models::DeviceType type, const models::DeviceGeometry& nominal);
+
   models::BsimParams nmos_;
   models::BsimParams pmos_;
   models::BsimMismatch nmosMismatch_;

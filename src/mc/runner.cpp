@@ -8,6 +8,15 @@
 
 namespace vsstat::mc {
 
+std::size_t McResult::sampleCount() const {
+  const std::size_t n = metrics.empty() ? 0 : metrics.front().size();
+  for (const std::vector<double>& row : metrics)
+    require(row.size() == n,
+            "McResult: ragged metric rows (every row must hold one entry "
+            "per successful sample)");
+  return n;
+}
+
 McResult runCampaign(const McOptions& options, std::size_t metricCount,
                      const SampleFn& fn) {
   require(options.samples > 0, "runCampaign: samples must be > 0");

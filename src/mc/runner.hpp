@@ -24,12 +24,19 @@ struct McOptions {
 
 struct McResult {
   /// metrics[m][k]: metric m of the k-th *successful* sample.
+  ///
+  /// Failure-drop contract: a sample whose function throws (or underfills
+  /// its output) is dropped from EVERY metric row and counted once in
+  /// `failures` -- rows are filled in lockstep, so all rows always share
+  /// one length, and row index k refers to the same surviving sample in
+  /// every metric.  `sampleCount() + failures == McOptions::samples` for a
+  /// result produced by runCampaign.
   std::vector<std::vector<double>> metrics;
   int failures = 0;
 
-  [[nodiscard]] std::size_t sampleCount() const {
-    return metrics.empty() ? 0 : metrics.front().size();
-  }
+  /// Number of successful samples (the shared row length).  Throws
+  /// InvalidArgumentError if the rows have been tampered into raggedness.
+  [[nodiscard]] std::size_t sampleCount() const;
 };
 
 /// Sample function: fills `out` (size metricCount) for the given sample.

@@ -9,12 +9,34 @@ namespace vsstat::measure {
 
 using spice::SourceWaveform;
 
+namespace {
+
+GateDelays delaysFromWave(const circuits::GateFo3Bench& bench,
+                          const spice::Waveform& wave);
+
+}  // namespace
+
 GateDelays measureGateDelays(circuits::GateFo3Bench& bench, double dt) {
   spice::TransientOptions options;
   options.tStop = bench.tStop;
   options.dt = dt;
+  return delaysFromWave(bench, spice::transient(bench.circuit, options));
+}
 
-  const spice::Waveform wave = spice::transient(bench.circuit, options);
+GateDelays measureGateDelays(circuits::GateFo3Bench& bench,
+                             spice::SimSession& session, double dt) {
+  require(&session.circuit() == &bench.circuit,
+          "measureGateDelays: session is bound to a different circuit");
+  spice::TransientOptions options;
+  options.tStop = bench.tStop;
+  options.dt = dt;
+  return delaysFromWave(bench, session.transient(options));
+}
+
+namespace {
+
+GateDelays delaysFromWave(const circuits::GateFo3Bench& bench,
+                          const spice::Waveform& wave) {
   const double mid = 0.5 * bench.supply;
 
   const auto inRise = wave.crossing(bench.in, mid, /*rising=*/true);
@@ -37,6 +59,8 @@ GateDelays measureGateDelays(circuits::GateFo3Bench& bench, double dt) {
   require(d.tphl > 0.0 && d.tplh > 0.0, "measureGateDelays: negative delay");
   return d;
 }
+
+}  // namespace
 
 OscillationResult measureOscillation(circuits::RingOscillatorBench& bench,
                                      int settleCycles, int measureCycles) {
@@ -90,9 +114,29 @@ OscillationResult measureOscillation(circuits::RingOscillatorBench& bench,
   return r;
 }
 
+namespace {
+
+/// Restores a voltage source's waveform on scope exit -- a throwing DC
+/// solve must not leave the stimulus clobbered, especially on persistent
+/// session fixtures that outlive the failing sample.
+class WaveformRestorer {
+ public:
+  explicit WaveformRestorer(spice::VoltageSourceElement& source)
+      : source_(source), original_(source.waveform()) {}
+  ~WaveformRestorer() { source_.setWaveform(original_); }
+  WaveformRestorer(const WaveformRestorer&) = delete;
+  WaveformRestorer& operator=(const WaveformRestorer&) = delete;
+
+ private:
+  spice::VoltageSourceElement& source_;
+  SourceWaveform original_;
+};
+
+}  // namespace
+
 double measureLeakage(circuits::GateFo3Bench& bench) {
   auto& input = bench.circuit.voltageSource(bench.inSource);
-  const SourceWaveform original = input.waveform();
+  const WaveformRestorer restore(input);
 
   double total = 0.0;
   for (const double level : {0.0, bench.supply}) {
@@ -101,7 +145,23 @@ double measureLeakage(circuits::GateFo3Bench& bench) {
     total += std::fabs(
         spice::sourceCurrent(bench.circuit, bench.vddSource, op));
   }
-  input.setWaveform(original);
+  return 0.5 * total;
+}
+
+double measureLeakage(circuits::GateFo3Bench& bench,
+                      spice::SimSession& session) {
+  require(&session.circuit() == &bench.circuit,
+          "measureLeakage: session is bound to a different circuit");
+  auto& input = bench.circuit.voltageSource(bench.inSource);
+  const WaveformRestorer restore(input);
+
+  double total = 0.0;
+  for (const double level : {0.0, bench.supply}) {
+    input.setDcLevel(level);
+    const spice::OperatingPoint op = session.dcOperatingPoint();
+    total += std::fabs(
+        spice::sourceCurrent(bench.circuit, bench.vddSource, op));
+  }
   return 0.5 * total;
 }
 

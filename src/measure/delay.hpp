@@ -4,6 +4,7 @@
 
 #include "circuits/benchmarks.hpp"
 #include "spice/analysis.hpp"
+#include "spice/session.hpp"
 
 namespace vsstat::measure {
 
@@ -22,9 +23,20 @@ struct GateDelays {
 [[nodiscard]] GateDelays measureGateDelays(circuits::GateFo3Bench& bench,
                                            double dt = 0.25e-12);
 
+/// Session variant for build-once campaigns: runs the transient through a
+/// persistent spice::SimSession bound to the bench's circuit.
+/// Bit-identical to the overload above.
+[[nodiscard]] GateDelays measureGateDelays(circuits::GateFo3Bench& bench,
+                                           spice::SimSession& session,
+                                           double dt = 0.25e-12);
+
 /// Static supply leakage of the fixture, averaged over input low and
 /// input high states [A].
 [[nodiscard]] double measureLeakage(circuits::GateFo3Bench& bench);
+
+/// Session variant (build-once campaigns); bit-identical to the above.
+[[nodiscard]] double measureLeakage(circuits::GateFo3Bench& bench,
+                                    spice::SimSession& session);
 
 struct OscillationResult {
   double frequency = 0.0;  ///< [Hz], averaged over the measured cycles

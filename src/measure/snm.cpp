@@ -10,40 +10,65 @@
 
 namespace vsstat::measure {
 
-ButterflyCurves measureButterfly(circuits::SramButterflyBench& bench,
-                                 int points) {
+namespace {
+
+std::vector<double> sweepLevels(double supply, int points) {
   require(points >= 3, "measureButterfly: need >= 3 sweep points");
   std::vector<double> levels(static_cast<std::size_t>(points));
   for (int i = 0; i < points; ++i) {
     levels[static_cast<std::size_t>(i)] =
-        bench.supply * static_cast<double>(i) / static_cast<double>(points - 1);
+        supply * static_cast<double>(i) / static_cast<double>(points - 1);
   }
+  return levels;
+}
 
-  ButterflyCurves curves;
-
-  const auto sweepHalf = [&](const std::string& source, spice::NodeId out,
-                             bool mirrored) {
-    const std::vector<spice::OperatingPoint> ops =
-        spice::dcSweep(bench.circuit, source, levels);
-    VtcCurve c;
-    c.x.reserve(levels.size());
-    c.y.reserve(levels.size());
-    for (std::size_t i = 0; i < levels.size(); ++i) {
-      const double in = levels[i];
-      const double response = ops[i].v(out);
-      if (mirrored) {
-        c.x.push_back(response);
-        c.y.push_back(in);
-      } else {
-        c.x.push_back(in);
-        c.y.push_back(response);
-      }
+VtcCurve curveFromSweep(const std::vector<double>& levels,
+                        const std::vector<spice::OperatingPoint>& ops,
+                        spice::NodeId out, bool mirrored) {
+  VtcCurve c;
+  c.x.reserve(levels.size());
+  c.y.reserve(levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    const double in = levels[i];
+    const double response = ops[i].v(out);
+    if (mirrored) {
+      c.x.push_back(response);
+      c.y.push_back(in);
+    } else {
+      c.x.push_back(in);
+      c.y.push_back(response);
     }
-    return c;
-  };
+  }
+  return c;
+}
 
-  curves.curve1 = sweepHalf(bench.sweep1, bench.out1, /*mirrored=*/false);
-  curves.curve2 = sweepHalf(bench.sweep2, bench.out2, /*mirrored=*/true);
+}  // namespace
+
+ButterflyCurves measureButterfly(circuits::SramButterflyBench& bench,
+                                 int points) {
+  const std::vector<double> levels = sweepLevels(bench.supply, points);
+  ButterflyCurves curves;
+  curves.curve1 =
+      curveFromSweep(levels, spice::dcSweep(bench.circuit, bench.sweep1, levels),
+                     bench.out1, /*mirrored=*/false);
+  curves.curve2 =
+      curveFromSweep(levels, spice::dcSweep(bench.circuit, bench.sweep2, levels),
+                     bench.out2, /*mirrored=*/true);
+  return curves;
+}
+
+ButterflyCurves measureButterfly(circuits::SramButterflyBench& bench,
+                                 spice::SimSession& session, int points) {
+  require(&session.circuit() == &bench.circuit,
+          "measureButterfly: session is bound to a different circuit");
+  const std::vector<double> levels = sweepLevels(bench.supply, points);
+  // Lean sweeps: only the probed response node is recorded per level (the
+  // solver trajectory -- hence every voltage -- matches dcSweep exactly).
+  ButterflyCurves curves;
+  curves.curve1.x = levels;
+  session.dcSweepNode(bench.sweep1, levels, bench.out1, curves.curve1.y);
+  curves.curve2.y = levels;
+  session.dcSweepNode(bench.sweep2, levels, bench.out2, curves.curve2.x);
   return curves;
 }
 
@@ -170,11 +195,21 @@ SnmResult staticNoiseMargin(const ButterflyCurves& curves, double vdd) {
   // the bottom-left corner, xl >= f2(yb)).  Substituting the tightest
   // xl = f2(yb):
   //   fits(t)  <=>  exists yb : f1(f2(yb) + t) - t >= yb.
+  // The inner anchor interpolation (f2(yb) resp. f1(xl)) does not depend
+  // on the square side t, so it is hoisted out of the bisection: one grid
+  // evaluation per lobe instead of one per (bisection iteration x grid
+  // point).  The surviving arithmetic is unchanged, so SNM values are
+  // bit-identical to the unhoisted form.
   const int gridPoints = 360;
+  std::vector<double> upperYb(gridPoints + 1);
+  std::vector<double> upperAnchor(gridPoints + 1);
+  for (int i = 0; i <= gridPoints; ++i) {
+    upperYb[i] = yM + (yA - yM) * static_cast<double>(i) / gridPoints;
+    upperAnchor[i] = f2(upperYb[i]);
+  }
   const auto fitsUpper = [&](double t) {
     for (int i = 0; i <= gridPoints; ++i) {
-      const double yb = yM + (yA - yM) * static_cast<double>(i) / gridPoints;
-      if (f1(f2(yb) + t) - t >= yb) return true;
+      if (f1(upperAnchor[i] + t) - t >= upperYb[i]) return true;
     }
     return false;
   };
@@ -182,10 +217,15 @@ SnmResult staticNoiseMargin(const ButterflyCurves& curves, double vdd) {
   // bottom-left corner yb >= f1(xl); left of curve 2, binding at the
   // top-right corner xl + t <= f2(yb + t)).  With the tightest yb = f1(xl):
   //   fits(t)  <=>  exists xl : f2(f1(xl) + t) - t >= xl.
+  std::vector<double> lowerXl(gridPoints + 1);
+  std::vector<double> lowerAnchor(gridPoints + 1);
+  for (int i = 0; i <= gridPoints; ++i) {
+    lowerXl[i] = xM + (xB - xM) * static_cast<double>(i) / gridPoints;
+    lowerAnchor[i] = f1(lowerXl[i]);
+  }
   const auto fitsLower = [&](double t) {
     for (int i = 0; i <= gridPoints; ++i) {
-      const double xl = xM + (xB - xM) * static_cast<double>(i) / gridPoints;
-      if (f2(f1(xl) + t) - t >= xl) return true;
+      if (f2(lowerAnchor[i] + t) - t >= lowerXl[i]) return true;
     }
     return false;
   };
@@ -210,6 +250,12 @@ SnmResult staticNoiseMargin(const ButterflyCurves& curves, double vdd) {
 
 SnmResult measureSnm(circuits::SramButterflyBench& bench, int points) {
   const ButterflyCurves curves = measureButterfly(bench, points);
+  return staticNoiseMargin(curves, bench.supply);
+}
+
+SnmResult measureSnm(circuits::SramButterflyBench& bench,
+                     spice::SimSession& session, int points) {
+  const ButterflyCurves curves = measureButterfly(bench, session, points);
   return staticNoiseMargin(curves, bench.supply);
 }
 

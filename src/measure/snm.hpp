@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "circuits/benchmarks.hpp"
+#include "spice/session.hpp"
 
 namespace vsstat::measure {
 
@@ -33,6 +34,13 @@ struct ButterflyCurves {
 [[nodiscard]] ButterflyCurves measureButterfly(
     circuits::SramButterflyBench& bench, int points = 61);
 
+/// Session variant for build-once campaigns: sweeps through a persistent
+/// spice::SimSession bound to the bench's circuit instead of rebuilding
+/// solver state per sweep point.  Bit-identical to the overload above.
+[[nodiscard]] ButterflyCurves measureButterfly(
+    circuits::SramButterflyBench& bench, spice::SimSession& session,
+    int points = 61);
+
 /// Sides of the largest embedded squares of the two lobes and the cell
 /// SNM (their minimum).  A monostable (already-flipped) cell reports 0.
 struct SnmResult {
@@ -49,6 +57,11 @@ struct SnmResult {
 
 /// Convenience: butterfly sweep + SNM in one call.
 [[nodiscard]] SnmResult measureSnm(circuits::SramButterflyBench& bench,
+                                   int points = 61);
+
+/// Session variant (build-once campaigns); bit-identical to the above.
+[[nodiscard]] SnmResult measureSnm(circuits::SramButterflyBench& bench,
+                                   spice::SimSession& session,
                                    int points = 61);
 
 /// True when two polylines intersect (exposed for tests).

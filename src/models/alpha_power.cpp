@@ -98,4 +98,11 @@ std::unique_ptr<MosfetModel> AlphaPowerModel::clone() const {
   return std::make_unique<AlphaPowerModel>(params_);
 }
 
+bool AlphaPowerModel::assignFrom(const MosfetModel& other) {
+  const auto* o = dynamic_cast<const AlphaPowerModel*>(&other);
+  if (o == nullptr) return false;
+  params_ = o->params_;
+  return true;
+}
+
 }  // namespace vsstat::models

@@ -61,6 +61,7 @@ class AlphaPowerModel final : public MosfetModel {
                                     double vds) const override;
 
   [[nodiscard]] std::unique_ptr<MosfetModel> clone() const override;
+  [[nodiscard]] bool assignFrom(const MosfetModel& other) override;
 
   [[nodiscard]] const AlphaPowerParams& params() const noexcept {
     return params_;

@@ -18,6 +18,13 @@ std::unique_ptr<MosfetModel> BsimLite::clone() const {
   return std::make_unique<BsimLite>(*this);
 }
 
+bool BsimLite::assignFrom(const MosfetModel& other) {
+  const auto* o = dynamic_cast<const BsimLite*>(&other);
+  if (o == nullptr) return false;
+  params_ = o->params_;
+  return true;
+}
+
 BsimLite::Operating BsimLite::operatingPoint(const DeviceGeometry& geom,
                                              double vgs, double vds) const {
   const BsimParams& p = params_;

@@ -31,6 +31,7 @@ class BsimLite final : public MosfetModel {
                                     double vds) const override;
 
   [[nodiscard]] std::unique_ptr<MosfetModel> clone() const override;
+  [[nodiscard]] bool assignFrom(const MosfetModel& other) override;
 
   [[nodiscard]] const BsimParams& params() const noexcept { return params_; }
   [[nodiscard]] BsimParams& mutableParams() noexcept { return params_; }

@@ -99,6 +99,16 @@ class MosfetModel {
 
   /// Deep copy (used to give each Monte Carlo instance its own varied card).
   [[nodiscard]] virtual std::unique_ptr<MosfetModel> clone() const = 0;
+
+  /// In-place parameter copy from another card of the same dynamic type;
+  /// returns false (leaving this card untouched) when the types differ.
+  /// This powers allocation-free Monte Carlo rebinding
+  /// (spice::MosfetElement::rebind): a campaign session overwrites the
+  /// existing instance card per sample instead of cloning a fresh one.
+  [[nodiscard]] virtual bool assignFrom(const MosfetModel& other) {
+    (void)other;
+    return false;
+  }
 };
 
 /// Total gate capacitance Cgg = dQg/dVgs at the bias point, by central

@@ -59,6 +59,13 @@ std::unique_ptr<MosfetModel> VsModel::clone() const {
   return std::make_unique<VsModel>(*this);
 }
 
+bool VsModel::assignFrom(const MosfetModel& other) {
+  const auto* o = dynamic_cast<const VsModel*>(&other);
+  if (o == nullptr) return false;
+  params_ = o->params_;
+  return true;
+}
+
 VsModel::Derived VsModel::derive(const DeviceGeometry& geom) const noexcept {
   const VsParams& p = params_;
   Derived d;

@@ -56,6 +56,7 @@ class VsModel final : public MosfetModel {
                                                   double fdStep) const override;
 
   [[nodiscard]] std::unique_ptr<MosfetModel> clone() const override;
+  [[nodiscard]] bool assignFrom(const MosfetModel& other) override;
 
   [[nodiscard]] const VsParams& params() const noexcept { return params_; }
   [[nodiscard]] VsParams& mutableParams() noexcept { return params_; }

@@ -6,6 +6,7 @@
 #include "linalg/matrix.hpp"
 #include "spice/assembler.hpp"
 #include "spice/elements.hpp"
+#include "spice/solver_core.hpp"
 #include "util/error.hpp"
 
 namespace vsstat::spice {
@@ -52,20 +53,14 @@ double LoadContext::chargeCurrent(int localSlot, double q) const noexcept {
 }
 double LoadContext::chargeGain() const noexcept { return assembler_->c0(); }
 
-// --- Newton core ---------------------------------------------------------------
+// --- Newton core (shared with SimSession via solver_core.hpp) ------------------
 
-namespace {
+namespace detail {
 
-/// One damped Newton solve at fixed assembler settings.  Returns true on
-/// convergence; x holds the final iterate either way.
-///
 /// The iteration is allocation-free: the assembler writes into its captured
 /// sparsity pattern and the per-assembler NewtonWorkspace supplies the
-/// reusable factorization and step buffer.  On return the assembler's
-/// residual/charge state is consistent with the final x (convergence is
-/// detected *before* applying a step), so callers never need to re-assemble
-/// at the solution.
-bool newtonSolve(detail::Assembler& assembler, linalg::Vector& x,
+/// reusable factorization and step buffer.
+bool newtonSolve(Assembler& assembler, linalg::Vector& x,
                  const NewtonOptions& options) {
   const std::size_t numNodes = assembler.numNodes();
   detail::NewtonWorkspace& ws = assembler.workspace();
@@ -129,8 +124,7 @@ linalg::Vector unpackGuess(const Circuit& circuit, const OperatingPoint& op) {
   return x;
 }
 
-/// DC solve ladder: plain Newton, then gmin stepping, then source stepping.
-bool dcSolveLadder(detail::Assembler& assembler, linalg::Vector& x,
+bool dcSolveLadder(Assembler& assembler, linalg::Vector& x,
                    const DcOptions& options) {
   assembler.setDcMode();
   assembler.setTime(0.0);
@@ -183,57 +177,10 @@ bool dcSolveLadder(detail::Assembler& assembler, linalg::Vector& x,
   return false;
 }
 
-}  // namespace
-
-OperatingPoint dcOperatingPoint(const Circuit& circuit,
-                                const DcOptions& options) {
-  OperatingPoint zeroGuess;
-  return dcOperatingPoint(circuit, zeroGuess, options);
-}
-
-OperatingPoint dcOperatingPoint(const Circuit& circuit,
-                                const OperatingPoint& guess,
-                                const DcOptions& options) {
-  detail::Assembler assembler(circuit);
-  linalg::Vector x = unpackGuess(circuit, guess);
-  if (!dcSolveLadder(assembler, x, options)) {
-    throw ConvergenceError("dcOperatingPoint: no convergence",
-                           options.newton.maxIterations);
-  }
-  return packSolution(circuit, x);
-}
-
-double sourceCurrent(Circuit& circuit, const std::string& name,
-                     const OperatingPoint& op) {
-  const VoltageSourceElement& src = circuit.voltageSource(name);
-  return op.branchCurrents[static_cast<std::size_t>(src.branchBase())];
-}
-
-std::vector<OperatingPoint> dcSweep(Circuit& circuit,
-                                    const std::string& sourceName,
-                                    const std::vector<double>& levels,
-                                    const DcOptions& options) {
-  VoltageSourceElement& src = circuit.voltageSource(sourceName);
-  const SourceWaveform original = src.waveform();
-
-  std::vector<OperatingPoint> result;
-  result.reserve(levels.size());
-  OperatingPoint guess;
-  for (double level : levels) {
-    src.setDcLevel(level);
-    guess = result.empty() ? dcOperatingPoint(circuit, options)
-                           : dcOperatingPoint(circuit, guess, options);
-    result.push_back(guess);
-  }
-  src.setWaveform(original);
-  return result;
-}
-
-Waveform transient(const Circuit& circuit, const TransientOptions& options) {
+Waveform runTransient(Assembler& assembler, const TransientOptions& options) {
   require(options.tStop > 0.0 && options.dt > 0.0,
           "transient: tStop and dt must be positive");
-
-  detail::Assembler assembler(circuit);
+  const Circuit& circuit = assembler.circuit();
 
   // t = 0 operating point.
   linalg::Vector x(circuit.unknownCount(), 0.0);
@@ -297,6 +244,57 @@ Waveform transient(const Circuit& circuit, const TransientOptions& options) {
     }
   }
   return wave;
+}
+
+}  // namespace detail
+
+OperatingPoint dcOperatingPoint(const Circuit& circuit,
+                                const DcOptions& options) {
+  OperatingPoint zeroGuess;
+  return dcOperatingPoint(circuit, zeroGuess, options);
+}
+
+OperatingPoint dcOperatingPoint(const Circuit& circuit,
+                                const OperatingPoint& guess,
+                                const DcOptions& options) {
+  detail::Assembler assembler(circuit);
+  linalg::Vector x = detail::unpackGuess(circuit, guess);
+  if (!detail::dcSolveLadder(assembler, x, options)) {
+    throw ConvergenceError("dcOperatingPoint: no convergence",
+                           options.newton.maxIterations);
+  }
+  return detail::packSolution(circuit, x);
+}
+
+double sourceCurrent(Circuit& circuit, const std::string& name,
+                     const OperatingPoint& op) {
+  const VoltageSourceElement& src = circuit.voltageSource(name);
+  return op.branchCurrents[static_cast<std::size_t>(src.branchBase())];
+}
+
+std::vector<OperatingPoint> dcSweep(Circuit& circuit,
+                                    const std::string& sourceName,
+                                    const std::vector<double>& levels,
+                                    const DcOptions& options) {
+  VoltageSourceElement& src = circuit.voltageSource(sourceName);
+  const SourceWaveform original = src.waveform();
+
+  std::vector<OperatingPoint> result;
+  result.reserve(levels.size());
+  OperatingPoint guess;
+  for (double level : levels) {
+    src.setDcLevel(level);
+    guess = result.empty() ? dcOperatingPoint(circuit, options)
+                           : dcOperatingPoint(circuit, guess, options);
+    result.push_back(guess);
+  }
+  src.setWaveform(original);
+  return result;
+}
+
+Waveform transient(const Circuit& circuit, const TransientOptions& options) {
+  detail::Assembler assembler(circuit);
+  return detail::runTransient(assembler, options);
 }
 
 }  // namespace vsstat::spice

@@ -101,6 +101,16 @@ void MosfetElement::setInstance(std::unique_ptr<models::MosfetModel> model,
   geometry_ = geometry;
 }
 
+void MosfetElement::rebind(const models::MosfetModel& model,
+                           const models::DeviceGeometry& geometry) {
+  require(geometry.width > 0.0 && geometry.length > 0.0,
+          "rebind requires positive geometry");
+  require(model.deviceType() == model_->deviceType(),
+          "rebind must not change device polarity");
+  if (!model_->assignFrom(model)) model_ = model.clone();
+  geometry_ = geometry;
+}
+
 double MosfetElement::terminalDrainCurrent(double vd, double vg,
                                            double vs) const {
   const double sign =

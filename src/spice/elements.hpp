@@ -94,6 +94,16 @@ class MosfetElement final : public Element {
   void setInstance(std::unique_ptr<models::MosfetModel> model,
                    const models::DeviceGeometry& geometry);
 
+  /// Rebinds the instance card/geometry in place -- the per-sample pass of
+  /// a build-once campaign session (sim::CampaignSession).  When `model`
+  /// has the same dynamic type as the current card its parameters are
+  /// copied into the existing object (no heap allocation); a differing
+  /// type falls back to a clone.  The device's polarity must not change:
+  /// the MNA stamp pattern captured at session construction stays valid
+  /// because element sparsity is parameter-independent by contract.
+  void rebind(const models::MosfetModel& model,
+              const models::DeviceGeometry& geometry);
+
   /// DC drain terminal current at the given terminal voltages.
   [[nodiscard]] double terminalDrainCurrent(double vd, double vg,
                                             double vs) const;

@@ -1,0 +1,107 @@
+#include "spice/session.hpp"
+
+#include "spice/assembler.hpp"
+#include "spice/elements.hpp"
+#include "spice/solver_core.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::spice {
+
+namespace {
+
+/// Restores the swept source's waveform on scope exit: a level that fails
+/// to converge must not leave a persistent session's stimulus pinned at
+/// the failing DC level for later analyses.
+class SweepSourceGuard {
+ public:
+  explicit SweepSourceGuard(VoltageSourceElement& source)
+      : source_(source), original_(source.waveform()) {}
+  ~SweepSourceGuard() { source_.setWaveform(original_); }
+  SweepSourceGuard(const SweepSourceGuard&) = delete;
+  SweepSourceGuard& operator=(const SweepSourceGuard&) = delete;
+
+ private:
+  VoltageSourceElement& source_;
+  SourceWaveform original_;
+};
+
+}  // namespace
+
+SimSession::SimSession(Circuit& circuit)
+    : circuit_(&circuit),
+      assembler_(std::make_unique<detail::Assembler>(circuit)) {}
+
+SimSession::~SimSession() = default;
+
+void SimSession::resetNumerics() noexcept {
+  assembler_->workspace().lu.reset();
+}
+
+OperatingPoint SimSession::dcOperatingPoint(const DcOptions& options) {
+  OperatingPoint zeroGuess;
+  return dcOperatingPoint(zeroGuess, options);
+}
+
+OperatingPoint SimSession::dcOperatingPoint(const OperatingPoint& guess,
+                                            const DcOptions& options) {
+  resetNumerics();
+  linalg::Vector x = detail::unpackGuess(*circuit_, guess);
+  if (!detail::dcSolveLadder(*assembler_, x, options)) {
+    throw ConvergenceError("SimSession::dcOperatingPoint: no convergence",
+                           options.newton.maxIterations);
+  }
+  return detail::packSolution(*circuit_, x);
+}
+
+std::vector<OperatingPoint> SimSession::dcSweep(
+    const std::string& sourceName, const std::vector<double>& levels,
+    const DcOptions& options) {
+  VoltageSourceElement& src = circuit_->voltageSource(sourceName);
+  const SweepSourceGuard restore(src);
+
+  std::vector<OperatingPoint> result;
+  result.reserve(levels.size());
+  OperatingPoint guess;
+  for (double level : levels) {
+    src.setDcLevel(level);
+    guess = result.empty() ? dcOperatingPoint(options)
+                           : dcOperatingPoint(guess, options);
+    result.push_back(guess);
+  }
+  return result;
+}
+
+void SimSession::dcSweepNode(const std::string& sourceName,
+                             const std::vector<double>& levels,
+                             NodeId probeNode, std::vector<double>& out,
+                             const DcOptions& options) {
+  VoltageSourceElement& src = circuit_->voltageSource(sourceName);
+  const SweepSourceGuard restore(src);
+
+  out.clear();
+  out.reserve(levels.size());
+  // The iterate persists across levels: handing level k's solution to
+  // level k+1 directly is exactly the pack/unpack round trip dcSweep
+  // performs (a straight copy), so the Newton trajectories -- and the
+  // probed voltages -- are bit-identical to dcSweep's.
+  sweepX_.resize(circuit_->unknownCount());
+  std::fill(sweepX_.begin(), sweepX_.end(), 0.0);  // level 0: zero guess
+  for (double level : levels) {
+    src.setDcLevel(level);
+    resetNumerics();
+    if (!detail::dcSolveLadder(*assembler_, sweepX_, options)) {
+      throw ConvergenceError("SimSession::dcSweepNode: no convergence",
+                             options.newton.maxIterations);
+    }
+    out.push_back(probeNode == kGround
+                      ? 0.0
+                      : sweepX_[static_cast<std::size_t>(probeNode - 1)]);
+  }
+}
+
+Waveform SimSession::transient(const TransientOptions& options) {
+  resetNumerics();
+  return detail::runTransient(*assembler_, options);
+}
+
+}  // namespace vsstat::spice

@@ -1,0 +1,90 @@
+// Persistent per-circuit solver session.
+//
+// The free functions in analysis.hpp construct a fresh Assembler -- pattern
+// capture, symbolic fill analysis, workspace allocation -- on every call,
+// which is wasteful when the same topology is solved thousands of times
+// (Monte Carlo campaigns, DC sweeps, yield indicators).  A SimSession
+// captures that state once and reuses it across every analysis it runs;
+// device cards may be rebound between runs (MosfetElement::rebind) because
+// the MNA stamp pattern is bias- and parameter-independent by contract.
+//
+// Numerics contract: each solve resets the workspace factorization's pivot
+// order first, so every analysis is bit-identical to the equivalent free
+// function on a freshly built circuit.  This is what lets the
+// build-once/rebind-per-sample campaign path (sim::CampaignSession) assert
+// bit-identical metrics against the legacy rebuild-per-sample path, and it
+// keeps campaign results independent of which worker session evaluated
+// which sample.
+#ifndef VSSTAT_SPICE_SESSION_HPP
+#define VSSTAT_SPICE_SESSION_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+#include "spice/waveform.hpp"
+
+namespace vsstat::spice {
+
+namespace detail {
+class Assembler;
+}
+
+class SimSession {
+ public:
+  /// Binds to `circuit` and captures its MNA pattern.  The circuit must
+  /// outlive the session; its topology must not change afterwards (device
+  /// rebinding and source retuning are fine).
+  explicit SimSession(Circuit& circuit);
+  ~SimSession();
+
+  SimSession(const SimSession&) = delete;
+  SimSession& operator=(const SimSession&) = delete;
+
+  [[nodiscard]] Circuit& circuit() noexcept { return *circuit_; }
+
+  /// DC operating point from a zero guess; throws ConvergenceError when
+  /// every homotopy fails.  Bit-identical to spice::dcOperatingPoint.
+  [[nodiscard]] OperatingPoint dcOperatingPoint(const DcOptions& options = {});
+
+  /// Warm-started DC operating point.
+  [[nodiscard]] OperatingPoint dcOperatingPoint(const OperatingPoint& guess,
+                                                const DcOptions& options);
+
+  /// DC sweep of a named voltage source, warm-starting each point from the
+  /// previous solution; the source's waveform is restored afterwards.
+  /// Bit-identical to spice::dcSweep.
+  [[nodiscard]] std::vector<OperatingPoint> dcSweep(
+      const std::string& sourceName, const std::vector<double>& levels,
+      const DcOptions& options = {});
+
+  /// Lean sweep for probe-one-node consumers (VTC/butterfly loops): same
+  /// solver trajectory as dcSweep -- the warm-start handoff between levels
+  /// is an exact copy either way -- but records only `probeNode`'s voltage
+  /// per level into `out` instead of materializing an OperatingPoint per
+  /// level.  Allocation-free in steady state (out's capacity is reused).
+  void dcSweepNode(const std::string& sourceName,
+                   const std::vector<double>& levels, NodeId probeNode,
+                   std::vector<double>& out, const DcOptions& options = {});
+
+  /// Transient analysis; bit-identical to spice::transient.
+  [[nodiscard]] Waveform transient(const TransientOptions& options);
+
+ private:
+  /// Resets the workspace LU pivot state so this solve re-derives its
+  /// pivot order from its own first iterate (the legacy fresh-assembler
+  /// granularity: one full pivoting pass per dcOperatingPoint / transient
+  /// call).  Buffers stay at capacity -- no steady-state allocation.
+  void resetNumerics() noexcept;
+
+  Circuit* circuit_;
+  std::unique_ptr<detail::Assembler> assembler_;
+  linalg::Vector sweepX_;  ///< persistent sweep iterate (dcSweepNode)
+};
+
+}  // namespace vsstat::spice
+
+#endif  // VSSTAT_SPICE_SESSION_HPP

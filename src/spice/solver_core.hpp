@@ -1,0 +1,41 @@
+// Internal: the Newton/homotopy/transient solver core shared by the free
+// analysis functions (analysis.cpp) and the persistent SimSession
+// (session.cpp).  Not part of the public API.
+//
+// Determinism contract: given the same Assembler settings, circuit
+// parameters, and starting iterate, every function here produces
+// bit-identical results whether the assembler/workspace is freshly
+// constructed or reused -- provided the workspace factorization was reset()
+// beforehand (the SparseLu pivot order is otherwise frozen from whatever
+// solve last ran full pivoting).  SimSession relies on this to make
+// build-once/rebind-per-sample campaigns bit-identical to the legacy
+// rebuild-per-sample path.
+#ifndef VSSTAT_SPICE_SOLVER_CORE_HPP
+#define VSSTAT_SPICE_SOLVER_CORE_HPP
+
+#include "spice/analysis.hpp"
+#include "spice/assembler.hpp"
+
+namespace vsstat::spice::detail {
+
+/// One damped Newton solve at fixed assembler settings.  Returns true on
+/// convergence; x holds the final iterate either way.  On return the
+/// assembler's residual/charge state is consistent with the final x
+/// (convergence is detected *before* applying a step), so callers never
+/// need to re-assemble at the solution.
+bool newtonSolve(Assembler& assembler, linalg::Vector& x,
+                 const NewtonOptions& options);
+
+/// DC solve ladder: plain Newton, then gmin stepping, then source stepping.
+bool dcSolveLadder(Assembler& assembler, linalg::Vector& x,
+                   const DcOptions& options);
+
+OperatingPoint packSolution(const Circuit& circuit, const linalg::Vector& x);
+linalg::Vector unpackGuess(const Circuit& circuit, const OperatingPoint& op);
+
+/// Full transient run on an existing assembler (t = 0 DC solve included).
+Waveform runTransient(Assembler& assembler, const TransientOptions& options);
+
+}  // namespace vsstat::spice::detail
+
+#endif  // VSSTAT_SPICE_SOLVER_CORE_HPP

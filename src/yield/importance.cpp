@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "stats/rng.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace vsstat::yield {
 
@@ -24,32 +26,52 @@ ImportanceResult importanceSample(const FailureIndicator& fails,
   require(options.samples > 1, "importanceSample: need > 1 samples");
 
   const double shiftNormSq = dot(shift, shift);
-  stats::Rng rng(options.seed);
+  const stats::Rng campaign(options.seed);
+  const auto n = static_cast<std::size_t>(options.samples);
 
-  std::vector<double> z(shift.size());
+  // Evaluate the indicator in parallel: each sample draws from its own
+  // decorrelated child stream, and per-sample weights land in flat
+  // index-addressed storage so the reduction below is independent of
+  // scheduling (bit-identical across thread counts).
+  std::vector<double> weight(n, 0.0);
+  std::vector<char> failed(n, 0);
+  util::parallelFor(
+      n,
+      [&](std::size_t s) {
+        stats::Rng rng = campaign.fork(s);
+        // Per-call buffer: an indicator may itself run a nested campaign
+        // on this thread (nested parallelFor degrades to serial), so a
+        // thread_local scratch would be overwritten under the caller.
+        std::vector<double> z(shift.size());
+        for (std::size_t i = 0; i < z.size(); ++i)
+          z[i] = shift[i] + rng.normal();
+        if (!fails(z)) return;
+        failed[s] = 1;
+        // Likelihood ratio phi(z)/phi(z - shift).
+        weight[s] = std::exp(-dot(shift, z) + 0.5 * shiftNormSq);
+      },
+      options.threads);
+
   double sumW = 0.0;
   double sumW2 = 0.0;
   int hits = 0;
-  for (int s = 0; s < options.samples; ++s) {
-    for (std::size_t i = 0; i < z.size(); ++i)
-      z[i] = shift[i] + rng.normal();
-    if (!fails(z)) continue;
-    // Likelihood ratio phi(z)/phi(z - shift).
-    const double w = std::exp(-dot(shift, z) + 0.5 * shiftNormSq);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!failed[s]) continue;
+    const double w = weight[s];
     sumW += w;
     sumW2 += w * w;
     ++hits;
   }
 
-  const double n = static_cast<double>(options.samples);
+  const double count = static_cast<double>(options.samples);
   ImportanceResult r;
-  r.probability = sumW / n;
+  r.probability = sumW / count;
   r.failingDraws = hits;
   r.effectiveSamples = sumW2 > 0.0 ? sumW * sumW / sumW2 : 0.0;
   if (r.probability > 0.0) {
     // Var[P_hat] = (E[w^2 1_fail] - P^2) / n, estimated from the samples.
     const double var =
-        (sumW2 / n - r.probability * r.probability) / (n - 1.0);
+        (sumW2 / count - r.probability * r.probability) / (count - 1.0);
     r.relStdError = std::sqrt(std::max(var, 0.0)) / r.probability;
   }
   return r;

@@ -78,6 +78,28 @@ TEST(McRunner, DifferentSeedsGiveDifferentStreams) {
   EXPECT_NE(run(1), run(2));
 }
 
+TEST(McRunner, SampleCountEnforcesTheSharedRowLengthContract) {
+  // Rows are filled in lockstep (failure-drop contract, see runner.hpp):
+  // a campaign result always satisfies sampleCount() + failures == samples.
+  McOptions opt;
+  opt.samples = 40;
+  opt.seed = 9;
+  const McResult r = runCampaign(
+      opt, 2, [](std::size_t i, stats::Rng&, std::vector<double>& out) {
+        if (i % 5 == 0) throw std::runtime_error("dropped corner");
+        out[0] = static_cast<double>(i);
+        out[1] = -static_cast<double>(i);
+      });
+  EXPECT_EQ(r.metrics[0].size(), r.metrics[1].size());
+  EXPECT_EQ(static_cast<int>(r.sampleCount()) + r.failures, opt.samples);
+
+  // Hand-tampered ragged rows must be rejected loudly, not silently
+  // reported as the first row's length.
+  McResult ragged = r;
+  ragged.metrics[1].pop_back();
+  EXPECT_THROW((void)ragged.sampleCount(), InvalidArgumentError);
+}
+
 TEST(McRunner, RejectsBadOptions) {
   McOptions opt;
   opt.samples = 0;
