@@ -1,0 +1,296 @@
+// Device-bank benchmark: scalar per-element MOSFET evaluation vs the
+// struct-of-arrays banked path (spice/device_bank.hpp), at two levels:
+//
+//   micro    -- raw Newton-load evaluation of a 6-lane VS bank (the 6T SRAM
+//               device population): per-device virtual evaluateLoad vs one
+//               evaluateLoadBatch with per-lane cached derived parameters;
+//   campaign -- the paper's two statistical inner loops (SRAM SNM DC
+//               sweeps, INV FO3 transient delay) through scalar-session vs
+//               banked-session Monte Carlo campaigns, identical seeds.
+//
+// Both levels verify bit-identity between the compared paths in-run.
+// "allocs" counts heap allocations per sample/evaluation in steady state.
+//
+// Output is machine-readable JSON, one object per line on stdout;
+// BENCH_device_bank.json records a reference run.
+//
+// Usage: bench_device_bank [--quick]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "circuits/benchmarks.hpp"
+#include "mc/circuit_campaign.hpp"
+#include "mc/providers.hpp"
+#include "mc/runner.hpp"
+#include "measure/delay.hpp"
+#include "measure/snm.hpp"
+#include "models/vs_model.hpp"
+#include "models/vs_params.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> gAllocCount{0};
+
+}  // namespace
+
+// Global allocation hooks (same scheme as bench_campaign): count every heap
+// allocation so allocs/sample is exact.
+void* operator new(std::size_t size) {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace vsstat {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// --- micro: 6-lane VS bank ---------------------------------------------------
+
+void benchMicro(int sweeps) {
+  // Six mismatched VS instances in SRAM-like geometries: the device
+  // population one banked SNM assembly evaluates.
+  std::vector<std::unique_ptr<models::VsModel>> cards;
+  std::vector<models::DeviceGeometry> geoms;
+  for (int i = 0; i < 6; ++i) {
+    models::VsParams p =
+        (i % 2 == 0) ? models::defaultVsNmos() : models::defaultVsPmos();
+    p.vt0 += 0.004 * i;
+    p.mu *= 1.0 + 0.02 * i;
+    cards.push_back(std::make_unique<models::VsModel>(p));
+    geoms.push_back(models::geometryNm(150.0 + 50.0 * i, 40));
+  }
+  std::vector<models::BankLane> lanes;
+  for (std::size_t i = 0; i < cards.size(); ++i)
+    lanes.push_back(models::BankLane{cards[i].get(), &geoms[i]});
+  const auto bank = cards.front()->makeLoadBank(lanes);
+
+  const std::size_t n = cards.size();
+  std::vector<double> vgs(n), vds(n);
+  std::vector<models::MosfetLoadEvaluation> scalarOut(n), batchOut(n);
+  constexpr double kStep = 1e-3;
+
+  const auto biasAt = [&](int s) {
+    for (std::size_t i = 0; i < n; ++i) {
+      vgs[i] = 0.05 + 0.85 * ((s + static_cast<int>(i) * 7) % 97) / 96.0;
+      vds[i] = 0.9 * ((s + static_cast<int>(i) * 13) % 89) / 88.0;
+    }
+  };
+
+  double checksum = 0.0;
+  bool identical = true;
+
+  // Warmup + bit-identity check over the full sweep.
+  for (int s = 0; s < 200; ++s) {
+    biasAt(s);
+    for (std::size_t i = 0; i < n; ++i)
+      scalarOut[i] = cards[i]->evaluateLoad(geoms[i], vgs[i], vds[i], kStep);
+    bank->evaluateLoadBatch(vgs, vds, kStep, batchOut);
+    for (std::size_t i = 0; i < n; ++i) {
+      identical = identical && scalarOut[i].at.id == batchOut[i].at.id &&
+                  scalarOut[i].didVgs == batchOut[i].didVgs &&
+                  scalarOut[i].dqgVds == batchOut[i].dqgVds &&
+                  scalarOut[i].dqsVgs == batchOut[i].dqsVgs;
+    }
+  }
+
+  const std::uint64_t a0 = gAllocCount.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  for (int s = 0; s < sweeps; ++s) {
+    biasAt(s);
+    for (std::size_t i = 0; i < n; ++i) {
+      scalarOut[i] = cards[i]->evaluateLoad(geoms[i], vgs[i], vds[i], kStep);
+      checksum += scalarOut[i].at.id;
+    }
+  }
+  const auto t1 = Clock::now();
+  for (int s = 0; s < sweeps; ++s) {
+    biasAt(s);
+    bank->evaluateLoadBatch(vgs, vds, kStep, batchOut);
+    for (std::size_t i = 0; i < n; ++i) checksum += batchOut[i].at.id;
+  }
+  const auto t2 = Clock::now();
+  const std::uint64_t a1 = gAllocCount.load(std::memory_order_relaxed);
+
+  const double evals = static_cast<double>(sweeps) * static_cast<double>(n);
+  const double nsScalar =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() /
+      evals;
+  const double nsBatch =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t2 - t1).count() /
+      evals;
+  std::printf("{\"name\": \"micro_vs_load_scalar\", \"lanes\": 6, "
+              "\"ns_per_device_eval\": %.1f}\n",
+              nsScalar);
+  std::printf("{\"name\": \"micro_vs_load_banked\", \"lanes\": 6, "
+              "\"ns_per_device_eval\": %.1f, \"speedup_vs_scalar\": %.2f, "
+              "\"allocs\": %.2f, \"bit_identical\": %s}\n",
+              nsBatch, nsScalar / nsBatch,
+              static_cast<double>(a1 - a0) / (2.0 * evals),
+              identical ? "true" : "false");
+  if (checksum == 12345.0) std::printf("# impossible\n");  // defeat DCE
+}
+
+// --- campaigns: scalar vs banked sessions -----------------------------------
+
+models::PelgromAlphas benchAlphas() {
+  models::PelgromAlphas a;
+  a.aVt0 = 2.3;
+  a.aLeff = 3.7;
+  a.aWeff = 3.7;
+  a.aMu = 900.0;
+  a.aCinv = 0.3;
+  return a;
+}
+
+std::unique_ptr<circuits::DeviceProvider> makeProvider(stats::Rng rng) {
+  return std::make_unique<mc::VsStatisticalProvider>(
+      models::defaultVsNmos(), models::defaultVsPmos(), benchAlphas(),
+      benchAlphas(), rng);
+}
+
+struct CampaignTiming {
+  mc::McResult result;
+  double usPerSample = 0.0;
+  double allocsPerSample = 0.0;
+};
+
+CampaignTiming timeCampaign(int samples,
+                            const std::function<mc::McResult(int)>& run) {
+  (void)run(4);  // warmup: sessions, thread pool, thread_local buffers
+
+  const std::uint64_t allocs0 = gAllocCount.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  CampaignTiming t;
+  t.result = run(samples);
+  const auto t1 = Clock::now();
+  const std::uint64_t allocs1 = gAllocCount.load(std::memory_order_relaxed);
+
+  const double us = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
+  t.usPerSample = us / samples;
+  t.allocsPerSample = static_cast<double>(allocs1 - allocs0) / samples;
+  return t;
+}
+
+bool bitIdentical(const mc::McResult& a, const mc::McResult& b) {
+  if (a.failures != b.failures || a.metrics.size() != b.metrics.size())
+    return false;
+  for (std::size_t m = 0; m < a.metrics.size(); ++m)
+    if (a.metrics[m] != b.metrics[m]) return false;
+  return true;
+}
+
+constexpr int kSnmPoints = 45;
+constexpr std::uint64_t kSeed = 901;
+
+mc::McOptions options(int samples) {
+  mc::McOptions opt;
+  opt.samples = samples;
+  opt.seed = kSeed;
+  opt.threads = 1;  // per-sample cost comparison, not parallel throughput
+  return opt;
+}
+
+mc::McResult snmCampaign(int n, bool banked) {
+  return mc::runCampaign<circuits::SramButterflyBench>(
+      options(n), 1,
+      [](circuits::DeviceProvider& provider) {
+        return circuits::buildSramButterfly(provider, 0.9,
+                                            circuits::SramMode::Read,
+                                            circuits::SramSizing{});
+      },
+      [] { return makeProvider(stats::Rng(0)); },
+      [](std::size_t,
+         sim::CampaignSession<circuits::SramButterflyBench>& session,
+         stats::Rng&, std::vector<double>& out) {
+        out[0] =
+            measure::measureSnm(session.fixture(), session.spice(), kSnmPoints)
+                .cellSnm();
+      },
+      spice::SessionOptions{.useDeviceBank = banked});
+}
+
+mc::McResult invCampaign(int n, bool banked) {
+  return mc::runCampaign<circuits::GateFo3Bench>(
+      options(n), 1,
+      [](circuits::DeviceProvider& provider) {
+        return circuits::buildInvFo3(provider, circuits::CellSizing{},
+                                     circuits::StimulusSpec{});
+      },
+      [] { return makeProvider(stats::Rng(0)); },
+      [](std::size_t, sim::CampaignSession<circuits::GateFo3Bench>& session,
+         stats::Rng&, std::vector<double>& out) {
+        out[0] =
+            measure::measureGateDelays(session.fixture(), session.spice())
+                .average();
+      },
+      spice::SessionOptions{.useDeviceBank = banked});
+}
+
+void benchWorkload(const std::string& name, int samples,
+                   const std::function<mc::McResult(int, bool)>& campaign) {
+  const CampaignTiming scalar =
+      timeCampaign(samples, [&](int n) { return campaign(n, false); });
+  const CampaignTiming banked =
+      timeCampaign(samples, [&](int n) { return campaign(n, true); });
+  const bool identical = bitIdentical(scalar.result, banked.result);
+  std::printf("{\"name\": \"%s_scalar_session\", \"samples\": %d, "
+              "\"us_per_sample\": %.1f, \"samples_per_sec\": %.1f, "
+              "\"allocs_per_sample\": %.1f}\n",
+              name.c_str(), samples, scalar.usPerSample,
+              1e6 / scalar.usPerSample, scalar.allocsPerSample);
+  std::printf("{\"name\": \"%s_banked_session\", \"samples\": %d, "
+              "\"us_per_sample\": %.1f, \"samples_per_sec\": %.1f, "
+              "\"allocs_per_sample\": %.1f, \"speedup_vs_scalar\": %.2f, "
+              "\"bit_identical\": %s}\n",
+              name.c_str(), samples, banked.usPerSample,
+              1e6 / banked.usPerSample, banked.allocsPerSample,
+              scalar.usPerSample / banked.usPerSample,
+              identical ? "true" : "false");
+}
+
+int run(int micro, int snmSamples, int invSamples) {
+  benchMicro(micro);
+  benchWorkload("sram_snm", snmSamples,
+                [](int n, bool banked) { return snmCampaign(n, banked); });
+  benchWorkload("inv_fo3", invSamples,
+                [](int n, bool banked) { return invCampaign(n, banked); });
+  return 0;
+}
+
+}  // namespace
+}  // namespace vsstat
+
+int main(int argc, char** argv) {
+  int micro = 200000;
+  int snmSamples = 160;
+  int invSamples = 48;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      micro = 20000;
+      snmSamples = 32;
+      invSamples = 12;
+    }
+  }
+  try {
+    return vsstat::run(micro, snmSamples, invSamples);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_device_bank: %s\n", e.what());
+    return 1;
+  }
+}

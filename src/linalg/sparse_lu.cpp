@@ -82,7 +82,11 @@ void SparseLu::buildSymbolic(const SparsePattern& pattern) {
   // Boolean elimination of the permuted pattern: every pattern position is
   // treated as nonzero, so the resulting L+U structure is a superset of the
   // numeric nonzeros for *any* values on this pattern under this row order.
-  std::vector<char> b(n * n, 0);
+  // Member scratch, not a local: sessions reset() the pivot order before
+  // every solve, so buildSymbolic reruns per solve and a local bitmap was
+  // one heap allocation per DC solve across a whole campaign.
+  std::vector<char>& b = symbolicScratch_;
+  b.assign(n * n, 0);
   const auto& rows = pattern.rowIndex();
   const auto& cols = pattern.colIndex();
   for (std::size_t s = 0; s < pattern.nonZeroCount(); ++s)

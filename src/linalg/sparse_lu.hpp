@@ -82,6 +82,7 @@ class SparseLu {
   std::vector<std::size_t> uStart_, uCols_;
   std::vector<std::size_t> uColStart_, uColRows_;
   std::vector<std::size_t> zeroList_;  ///< flattened i*n+j of all L+U slots
+  std::vector<char> symbolicScratch_;  ///< fill bitmap (buildSymbolic)
 
   mutable Vector work_;  ///< permuted rhs scratch for solveInPlace
 

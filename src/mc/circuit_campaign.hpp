@@ -45,9 +45,9 @@ template <class Fixture>
 [[nodiscard]] McResult runCampaign(
     const McOptions& options, std::size_t metricCount,
     const typename sim::CampaignSession<Fixture>::Builder& build,
-    const ProviderFactory& providerFactory,
-    const CircuitSampleFn<Fixture>& fn) {
-  sim::SessionPool<Fixture> pool(build, providerFactory);
+    const ProviderFactory& providerFactory, const CircuitSampleFn<Fixture>& fn,
+    spice::SessionOptions sessionOptions = {}) {
+  sim::SessionPool<Fixture> pool(build, providerFactory, sessionOptions);
   return runCampaign(
       options, metricCount,
       [&](std::size_t index, stats::Rng& rng, std::vector<double>& out) {

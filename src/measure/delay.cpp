@@ -30,7 +30,13 @@ GateDelays measureGateDelays(circuits::GateFo3Bench& bench,
   spice::TransientOptions options;
   options.tStop = bench.tStop;
   options.dt = dt;
-  return delaysFromWave(bench, session.transient(options));
+  // Campaign inner loop: record into a per-thread waveform whose capacity
+  // survives across samples (with the persistent worker pool, a steady
+  // state sample allocates nothing here).  Contents are fully rewritten
+  // per run, so reuse never leaks state between samples.
+  static thread_local spice::Waveform wave(1);
+  session.transient(options, wave);
+  return delaysFromWave(bench, wave);
 }
 
 namespace {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
 #include <optional>
 
 #include "spice/analysis.hpp"
@@ -12,13 +11,18 @@ namespace vsstat::measure {
 
 namespace {
 
-std::vector<double> sweepLevels(double supply, int points) {
+void sweepLevelsInto(double supply, int points, std::vector<double>& levels) {
   require(points >= 3, "measureButterfly: need >= 3 sweep points");
-  std::vector<double> levels(static_cast<std::size_t>(points));
+  levels.resize(static_cast<std::size_t>(points));
   for (int i = 0; i < points; ++i) {
     levels[static_cast<std::size_t>(i)] =
         supply * static_cast<double>(i) / static_cast<double>(points - 1);
   }
+}
+
+std::vector<double> sweepLevels(double supply, int points) {
+  std::vector<double> levels;
+  sweepLevelsInto(supply, points, levels);
   return levels;
 }
 
@@ -57,18 +61,31 @@ ButterflyCurves measureButterfly(circuits::SramButterflyBench& bench,
   return curves;
 }
 
-ButterflyCurves measureButterfly(circuits::SramButterflyBench& bench,
-                                 spice::SimSession& session, int points) {
+namespace {
+
+/// Session butterfly into caller-owned storage: the campaign inner loop
+/// reuses one curve/level buffer set across samples (see measureSnm).
+void butterflyInto(circuits::SramButterflyBench& bench,
+                   spice::SimSession& session, int points,
+                   std::vector<double>& levels, ButterflyCurves& curves) {
   require(&session.circuit() == &bench.circuit,
           "measureButterfly: session is bound to a different circuit");
-  const std::vector<double> levels = sweepLevels(bench.supply, points);
+  sweepLevelsInto(bench.supply, points, levels);
   // Lean sweeps: only the probed response node is recorded per level (the
   // solver trajectory -- hence every voltage -- matches dcSweep exactly).
-  ButterflyCurves curves;
-  curves.curve1.x = levels;
+  curves.curve1.x.assign(levels.begin(), levels.end());
   session.dcSweepNode(bench.sweep1, levels, bench.out1, curves.curve1.y);
-  curves.curve2.y = levels;
+  curves.curve2.y.assign(levels.begin(), levels.end());
   session.dcSweepNode(bench.sweep2, levels, bench.out2, curves.curve2.x);
+}
+
+}  // namespace
+
+ButterflyCurves measureButterfly(circuits::SramButterflyBench& bench,
+                                 spice::SimSession& session, int points) {
+  std::vector<double> levels;
+  ButterflyCurves curves;
+  butterflyInto(bench, session, points, levels, curves);
   return curves;
 }
 
@@ -93,10 +110,12 @@ std::optional<std::pair<double, double>> segmentIntersection(
   return std::make_pair(ax + t * rX, ay + t * rY);
 }
 
-/// Geometrically distinct intersection points of two polylines.
-std::vector<std::pair<double, double>> intersectionPoints(
-    const VtcCurve& a, const VtcCurve& b, double mergeTolerance) {
-  std::vector<std::pair<double, double>> hits;
+/// Geometrically distinct intersection points of two polylines, written
+/// into the caller's buffer (cleared first, capacity reused).
+void intersectionPointsInto(const VtcCurve& a, const VtcCurve& b,
+                            double mergeTolerance,
+                            std::vector<std::pair<double, double>>& hits) {
+  hits.clear();
   for (std::size_t i = 1; i < a.x.size(); ++i) {
     for (std::size_t j = 1; j < b.x.size(); ++j) {
       const auto hit =
@@ -114,7 +133,6 @@ std::vector<std::pair<double, double>> intersectionPoints(
       if (!duplicate) hits.push_back(*hit);
     }
   }
-  return hits;
 }
 
 /// Linear interpolation of value(key) on a polyline with ascending keys;
@@ -135,7 +153,9 @@ double interpolate(const std::vector<double>& keys,
 }  // namespace
 
 bool polylinesIntersect(const VtcCurve& a, const VtcCurve& b) {
-  return !intersectionPoints(a, b, 1e-12).empty();
+  std::vector<std::pair<double, double>> hits;
+  intersectionPointsInto(a, b, 1e-12, hits);
+  return !hits.empty();
 }
 
 SnmResult staticNoiseMargin(const ButterflyCurves& curves, double vdd) {
@@ -144,9 +164,12 @@ SnmResult staticNoiseMargin(const ButterflyCurves& curves, double vdd) {
 
   // A butterfly exists only when the two VTCs cross three times (two
   // stable states + the metastable point).  A monostable (flipped) cell
-  // has no eyes and zero noise margin.
-  const std::vector<std::pair<double, double>> crossings =
-      intersectionPoints(curves.curve1, curves.curve2, vdd * 2e-3);
+  // has no eyes and zero noise margin.  The crossing list and the lobe
+  // grids below live in per-thread buffers reused across calls: this
+  // routine runs once per Monte Carlo sample, and its scratch was most of
+  // the campaign's remaining measurement-side allocations.
+  static thread_local std::vector<std::pair<double, double>> crossings;
+  intersectionPointsInto(curves.curve1, curves.curve2, vdd * 2e-3, crossings);
   if (crossings.size() < 3) return SnmResult{};
 
   // Identify the stable corners and the metastable point: A = upper-left,
@@ -201,8 +224,10 @@ SnmResult staticNoiseMargin(const ButterflyCurves& curves, double vdd) {
   // point).  The surviving arithmetic is unchanged, so SNM values are
   // bit-identical to the unhoisted form.
   const int gridPoints = 360;
-  std::vector<double> upperYb(gridPoints + 1);
-  std::vector<double> upperAnchor(gridPoints + 1);
+  static thread_local std::vector<double> upperYb;
+  static thread_local std::vector<double> upperAnchor;
+  upperYb.resize(gridPoints + 1);
+  upperAnchor.resize(gridPoints + 1);
   for (int i = 0; i <= gridPoints; ++i) {
     upperYb[i] = yM + (yA - yM) * static_cast<double>(i) / gridPoints;
     upperAnchor[i] = f2(upperYb[i]);
@@ -217,8 +242,10 @@ SnmResult staticNoiseMargin(const ButterflyCurves& curves, double vdd) {
   // bottom-left corner yb >= f1(xl); left of curve 2, binding at the
   // top-right corner xl + t <= f2(yb + t)).  With the tightest yb = f1(xl):
   //   fits(t)  <=>  exists xl : f2(f1(xl) + t) - t >= xl.
-  std::vector<double> lowerXl(gridPoints + 1);
-  std::vector<double> lowerAnchor(gridPoints + 1);
+  static thread_local std::vector<double> lowerXl;
+  static thread_local std::vector<double> lowerAnchor;
+  lowerXl.resize(gridPoints + 1);
+  lowerAnchor.resize(gridPoints + 1);
   for (int i = 0; i <= gridPoints; ++i) {
     lowerXl[i] = xM + (xB - xM) * static_cast<double>(i) / gridPoints;
     lowerAnchor[i] = f1(lowerXl[i]);
@@ -230,7 +257,9 @@ SnmResult staticNoiseMargin(const ButterflyCurves& curves, double vdd) {
     return false;
   };
 
-  const auto largestSide = [&](const std::function<bool(double)>& fits) {
+  // Generic lambda: no std::function wrapper (whose capture allocation per
+  // call was measurable in campaign profiles).
+  const auto largestSide = [&](const auto& fits) {
     if (!fits(0.0)) return 0.0;
     double lo = 0.0;
     double hi = vdd;
@@ -255,7 +284,12 @@ SnmResult measureSnm(circuits::SramButterflyBench& bench, int points) {
 
 SnmResult measureSnm(circuits::SramButterflyBench& bench,
                      spice::SimSession& session, int points) {
-  const ButterflyCurves curves = measureButterfly(bench, session, points);
+  // Campaign inner loop: sweep into per-thread curve buffers whose
+  // capacity survives across samples (fully rewritten per call), instead
+  // of materializing a fresh ButterflyCurves per sample.
+  static thread_local std::vector<double> levels;
+  static thread_local ButterflyCurves curves;
+  butterflyInto(bench, session, points, levels, curves);
   return staticNoiseMargin(curves, bench.supply);
 }
 

@@ -4,6 +4,41 @@
 
 namespace vsstat::models {
 
+bool MosfetLoadBank::rebindLane(std::size_t laneIndex, const MosfetModel& card,
+                                const DeviceGeometry& geometry) {
+  lanes()[laneIndex] = BankLane{&card, &geometry};
+  return true;
+}
+
+namespace {
+
+/// Default bank: one scalar evaluateLoad per lane.  No per-lane cached
+/// state, so the base rebindLane (pointer swap) is already complete, and
+/// the batch trivially matches the scalar path bit-for-bit.  Models whose
+/// Newton load is not on any campaign hot path (BsimLite, AlphaPower) stay
+/// on this and are still correct lanes of a banked circuit.
+class GenericLoadBank final : public MosfetLoadBank {
+ public:
+  explicit GenericLoadBank(std::vector<BankLane> lanes)
+      : MosfetLoadBank(std::move(lanes)) {}
+
+  void evaluateLoadBatch(std::span<const double> vgs,
+                         std::span<const double> vds, double fdStep,
+                         std::span<MosfetLoadEvaluation> out) const override {
+    for (std::size_t i = 0; i < laneCount(); ++i) {
+      const BankLane& l = lane(i);
+      out[i] = l.card->evaluateLoad(*l.geometry, vgs[i], vds[i], fdStep);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<MosfetLoadBank> MosfetModel::makeLoadBank(
+    std::vector<BankLane> lanes) const {
+  return std::make_unique<GenericLoadBank>(std::move(lanes));
+}
+
 double MosfetModel::drainCurrent(const DeviceGeometry& geom, double vgs,
                                  double vds) const {
   return evaluate(geom, vgs, vds).id;

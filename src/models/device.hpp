@@ -11,8 +11,11 @@
 #ifndef VSSTAT_MODELS_DEVICE_HPP
 #define VSSTAT_MODELS_DEVICE_HPP
 
+#include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "models/geometry.hpp"
 
@@ -52,6 +55,67 @@ struct MosfetLoadEvaluation {
   double dqdVds = 0.0;
   double dqsVgs = 0.0;
   double dqsVds = 0.0;
+};
+
+class MosfetModel;
+
+/// One lane of a homogeneous device bank: the element's live per-instance
+/// card and geometry.  The referents stay authoritative -- a bank caches
+/// bias-independent derived state from them and must be told (rebindLane)
+/// when either changes.
+struct BankLane {
+  const MosfetModel* card = nullptr;
+  const DeviceGeometry* geometry = nullptr;
+};
+
+/// Struct-of-arrays batched Newton-load evaluator over a group of device
+/// instances sharing one concrete model class.  Created once per circuit by
+/// MosfetModel::makeLoadBank; the circuit engine then evaluates every lane
+/// of the bank with ONE call per Newton assembly instead of one virtual
+/// evaluateLoad() per device.
+///
+/// Numerics contract: evaluateLoadBatch(...)[i] must equal
+/// lane(i).card->evaluateLoad(*lane(i).geometry, vgs[i], vds[i], fdStep)
+/// BIT-for-bit -- a bank is a layout restructuring of the scalar path, never
+/// a different arithmetic.  Implementations may hoist bias-independent
+/// work per lane (that is the point), but every hoisted value must be the
+/// same double the scalar path would recompute.
+class MosfetLoadBank {
+ public:
+  virtual ~MosfetLoadBank() = default;
+
+  MosfetLoadBank(const MosfetLoadBank&) = delete;
+  MosfetLoadBank& operator=(const MosfetLoadBank&) = delete;
+
+  [[nodiscard]] std::size_t laneCount() const noexcept {
+    return lanes_.size();
+  }
+  [[nodiscard]] const BankLane& lane(std::size_t i) const {
+    return lanes_[i];
+  }
+
+  /// Re-points a lane at a (possibly new) card/geometry and re-derives its
+  /// cached per-lane state -- the per-sample pass after a Monte Carlo
+  /// rebind.  Returns false (lane untouched) when the card's dynamic type
+  /// is incompatible with this bank; the owner must then rebuild its banks.
+  [[nodiscard]] virtual bool rebindLane(std::size_t laneIndex,
+                                        const MosfetModel& card,
+                                        const DeviceGeometry& geometry);
+
+  /// Batched Newton load: out[i] = scalar evaluateLoad of lane i at
+  /// (vgs[i], vds[i]).  All spans have laneCount() entries.
+  virtual void evaluateLoadBatch(std::span<const double> vgs,
+                                 std::span<const double> vds, double fdStep,
+                                 std::span<MosfetLoadEvaluation> out) const = 0;
+
+ protected:
+  explicit MosfetLoadBank(std::vector<BankLane> lanes)
+      : lanes_(std::move(lanes)) {}
+
+  [[nodiscard]] std::vector<BankLane>& lanes() noexcept { return lanes_; }
+
+ private:
+  std::vector<BankLane> lanes_;
 };
 
 /// Pure-abstract compact model.  Implementations must be smooth (C1) in the
@@ -96,6 +160,16 @@ class MosfetModel {
   [[nodiscard]] virtual MosfetLoadEvaluation evaluateLoad(
       const DeviceGeometry& geom, double vgs, double vds,
       double fdStep) const;
+
+  /// Creates the batched Newton-load evaluator for a homogeneous group of
+  /// lanes (every card must share this model's dynamic type; the circuit
+  /// engine groups by typeid before calling).  The default returns a
+  /// generic bank that routes each lane through its card's evaluateLoad()
+  /// -- correct for every model; models with a flat analytic chain (the VS
+  /// model) override it with a struct-of-arrays lane loop that caches the
+  /// bias-independent derived parameters per lane.
+  [[nodiscard]] virtual std::unique_ptr<MosfetLoadBank> makeLoadBank(
+      std::vector<BankLane> lanes) const;
 
   /// Deep copy (used to give each Monte Carlo instance its own varied card).
   [[nodiscard]] virtual std::unique_ptr<MosfetModel> clone() const = 0;

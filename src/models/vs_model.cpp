@@ -46,28 +46,26 @@ inline void softplusVD(double x, double& v, double& dv) noexcept {
   dv = e / (1.0 + e);
 }
 
-}  // namespace
+// --- model equations ---------------------------------------------------------
+//
+// Free functions of (params, geometry, bias): one arithmetic chain serves
+// the card-owning VsModel adapter, the scalar Newton-load entry point, and
+// the banked lane loop.
 
-VsModel::VsModel(VsParams params) : params_(params) {
-  require(params_.cinv > 0.0 && params_.vxo > 0.0 && params_.mu > 0.0,
-          "VsModel: cinv, vxo, mu must be positive");
-  require(params_.beta > 0.0 && params_.n0 >= 1.0,
-          "VsModel: beta > 0 and n0 >= 1 required");
-}
+/// Bias-independent values derived from (params, geometry).  Computed once
+/// per evaluation chain and shared across every intrinsic call of the
+/// series-resistance loop and the Newton finite-difference points.
+struct Derived {
+  double phit = 0.0;          ///< thermal voltage
+  double delta = 0.0;         ///< DIBL coefficient at Leff
+  double vxo = 0.0;           ///< injection velocity at Leff
+  double nphit = 0.0;         ///< n0 * phit
+  double alphaPhit = 0.0;     ///< alpha * phit
+  double qref = 0.0;          ///< cinv * nphit
+  double vdsatStrong = 0.0;   ///< vxo * Leff / mu
+};
 
-std::unique_ptr<MosfetModel> VsModel::clone() const {
-  return std::make_unique<VsModel>(*this);
-}
-
-bool VsModel::assignFrom(const MosfetModel& other) {
-  const auto* o = dynamic_cast<const VsModel*>(&other);
-  if (o == nullptr) return false;
-  params_ = o->params_;
-  return true;
-}
-
-VsModel::Derived VsModel::derive(const DeviceGeometry& geom) const noexcept {
-  const VsParams& p = params_;
+Derived derive(const VsParams& p, const DeviceGeometry& geom) noexcept {
   Derived d;
   d.phit = units::thermalVoltage(p.temperatureK);
   d.delta = p.diblAt(geom.length);
@@ -79,10 +77,18 @@ VsModel::Derived VsModel::derive(const DeviceGeometry& geom) const noexcept {
   return d;
 }
 
-VsModel::Intrinsic VsModel::intrinsic(const Derived& d, double vgs, double vds,
-                                      bool withCharges) const {
-  const VsParams& p = params_;
+/// Core intrinsic solution at internal (post-Rs/Rd) voltages.
+struct Intrinsic {
+  double idPerWidth = 0.0;  ///< A/m, positive for canonical vds >= 0
+  double qSrcAreal = 0.0;   ///< source-end channel charge [C/m^2]
+  double qDrnAreal = 0.0;   ///< drain-end channel charge [C/m^2]
+};
 
+/// Intrinsic model at internal (post-Rs/Rd) voltages.  The drain-end
+/// charge block is only computed when `withCharges` is set: the
+/// series-resistance secant needs the current alone.
+Intrinsic intrinsic(const VsParams& p, const Derived& d, double vgs,
+                    double vds, bool withCharges) {
   // Threshold with DIBL (paper Eq. 4).
   const double vt = p.vt0 - d.delta * vds;
 
@@ -120,11 +126,9 @@ VsModel::Intrinsic VsModel::intrinsic(const Derived& d, double vgs, double vds,
   return out;
 }
 
-double VsModel::solveSeriesCurrent(const DeviceGeometry& geom, const Derived& d,
-                                   double vgs, double vds,
-                                   const double* warmStart) const {
-  const VsParams& p = params_;
-
+double solveSeriesCurrent(const VsParams& p, const DeviceGeometry& geom,
+                          const Derived& d, double vgs, double vds,
+                          const double* warmStart) {
   // Per-instance resistances: cards carry R*W [Ohm m].
   const double rsOhm = p.rs / geom.width;
   const double rdOhm = p.rd / geom.width;
@@ -138,7 +142,7 @@ double VsModel::solveSeriesCurrent(const DeviceGeometry& geom, const Derived& d,
   const auto evalCurrent = [&](double i) {
     const double vgsInt = vgs - i * rsOhm;
     const double vdsInt = vds - i * (rsOhm + rdOhm);
-    return intrinsic(d, std::max(vgsInt, -1.0), std::max(vdsInt, 0.0),
+    return intrinsic(p, d, std::max(vgsInt, -1.0), std::max(vdsInt, 0.0),
                      /*withCharges=*/false)
                .idPerWidth *
            geom.width;
@@ -173,57 +177,36 @@ double VsModel::solveSeriesCurrent(const DeviceGeometry& geom, const Derived& d,
   return i1;
 }
 
-VsModel::Intrinsic VsModel::solveWithSeriesR(const DeviceGeometry& geom,
-                                             const Derived& d, double vgs,
-                                             double vds,
-                                             const double* warmStart) const {
-  const VsParams& p = params_;
+/// Full intrinsic solution with the IR drop resolved.
+Intrinsic solveWithSeriesR(const VsParams& p, const DeviceGeometry& geom,
+                           const Derived& d, double vgs, double vds,
+                           const double* warmStart) {
   if (p.rs <= 0.0 && p.rd <= 0.0)
-    return intrinsic(d, vgs, vds, /*withCharges=*/true);
+    return intrinsic(p, d, vgs, vds, /*withCharges=*/true);
 
-  const double i1 = solveSeriesCurrent(geom, d, vgs, vds, warmStart);
+  const double i1 = solveSeriesCurrent(p, geom, d, vgs, vds, warmStart);
   const double rsOhm = p.rs / geom.width;
   const double rdOhm = p.rd / geom.width;
   const double vgsInt = vgs - i1 * rsOhm;
   const double vdsInt = vds - i1 * (rsOhm + rdOhm);
-  Intrinsic result = intrinsic(d, std::max(vgsInt, -1.0),
+  Intrinsic result = intrinsic(p, d, std::max(vgsInt, -1.0),
                                std::max(vdsInt, 0.0), /*withCharges=*/true);
   result.idPerWidth = i1 / geom.width;
   return result;
 }
 
-double VsModel::inversionCharge(const DeviceGeometry& geom, double vgs,
-                                double vds) const {
-  const Derived d = derive(geom);
-  if (vds < 0.0) return intrinsic(d, vgs - vds, -vds, true).qSrcAreal;
-  return intrinsic(d, vgs, vds, true).qSrcAreal;
-}
-
-double VsModel::drainCurrent(const DeviceGeometry& geom, double vgs,
-                             double vds) const {
-  const Derived d = derive(geom);
-  if (params_.rs <= 0.0 && params_.rd <= 0.0) {
-    if (vds < 0.0)
-      return -intrinsic(d, vgs - vds, -vds, false).idPerWidth * geom.width;
-    return intrinsic(d, vgs, vds, false).idPerWidth * geom.width;
-  }
-  if (vds < 0.0) {
-    // Source/drain role reversal (device is symmetric).
-    return -solveSeriesCurrent(geom, d, vgs - vds, -vds, nullptr);
-  }
-  return solveSeriesCurrent(geom, d, vgs, vds, nullptr);
-}
-
-MosfetEvaluation VsModel::evaluateImpl(const DeviceGeometry& geom,
-                                       const Derived& d, double vgs,
-                                       double vds, double* warmCurrent,
-                                       bool useWarm) const {
+/// Canonicalization + Ward-Dutton partition shared by evaluate() and
+/// evaluateForNewton().  `warmCurrent` (if non-null) carries the previous
+/// nearby solve's canonical current in, and the present one out.
+MosfetEvaluation evaluateImpl(const VsParams& p, const DeviceGeometry& geom,
+                              const Derived& d, double vgs, double vds,
+                              double* warmCurrent, bool useWarm) {
   const bool reversed = vds < 0.0;
   const double cvgs = reversed ? vgs - vds : vgs;
   const double cvds = reversed ? -vds : vds;
 
   const double* warm = useWarm ? warmCurrent : nullptr;
-  const Intrinsic in = solveWithSeriesR(geom, d, cvgs, cvds, warm);
+  const Intrinsic in = solveWithSeriesR(p, geom, d, cvgs, cvds, warm);
   if (warmCurrent != nullptr) *warmCurrent = in.idPerWidth * geom.width;
 
   const double w = geom.width;
@@ -236,7 +219,7 @@ MosfetEvaluation VsModel::evaluateImpl(const DeviceGeometry& geom,
   const double qChanDrn = w * l * (in.qSrcAreal + 2.0 * in.qDrnAreal) / 6.0;
 
   // Overlap/fringe parasitics (linear, per gate edge).
-  const double cov = params_.cof * w;
+  const double cov = p.cof * w;
   const double vgd = cvgs - cvds;
   const double qOvS = cov * cvgs;
   const double qOvD = cov * vgd;
@@ -254,71 +237,125 @@ MosfetEvaluation VsModel::evaluateImpl(const DeviceGeometry& geom,
   return eval;
 }
 
-MosfetEvaluation VsModel::evaluate(const DeviceGeometry& geom, double vgs,
-                                   double vds) const {
-  return evaluateImpl(geom, derive(geom), vgs, vds, nullptr, false);
+// --- Newton-load chain (scalar entry point + banked lane loop) ---------------
+
+/// Everything the analytic Newton-load chain reads, hoisted out of the
+/// bias-dependent arithmetic: parameter-card scalars, the per-geometry
+/// Derived block, pre-divided series resistances, and the charge
+/// prefactors.  Built per call on the scalar path; cached per lane (and
+/// refreshed per rebind) by the device bank -- every field is the same
+/// double the scalar path computes, so caching does not change bits.
+struct LoadCard {
+  double vt0 = 0.0;
+  double beta = 0.0;
+  Derived d;
+  double rsOhm = 0.0;
+  double rdOhm = 0.0;
+  bool hasSeriesR = false;
+  double cov = 0.0;    ///< cof * W
+  double width = 0.0;
+  double wl6 = 0.0;    ///< W * L / 6
+};
+
+LoadCard makeLoadCard(const VsParams& p, const DeviceGeometry& geom) noexcept {
+  LoadCard c;
+  c.vt0 = p.vt0;
+  c.beta = p.beta;
+  c.d = derive(p, geom);
+  c.rsOhm = p.rs > 0.0 ? p.rs / geom.width : 0.0;
+  c.rdOhm = p.rd > 0.0 ? p.rd / geom.width : 0.0;
+  c.hasSeriesR = c.rsOhm > 0.0 || c.rdOhm > 0.0;
+  c.cov = p.cof * geom.width;
+  c.width = geom.width;
+  c.wl6 = geom.width * geom.length / 6.0;
+  return c;
 }
 
-VsModel::IntrinsicDeriv VsModel::intrinsicDeriv(const DeviceGeometry& geom,
-                                                const Derived& d, double vgs,
-                                                double vds,
-                                                bool withCharges) const {
-  const VsParams& p = params_;
-  const double w = geom.width;
+/// Intrinsic current + source-end charge with the full analytic derivative
+/// chain (w.r.t. the internal canonical voltages), plus every intermediate
+/// the drain-end charge block consumes.  Splitting the chain here lets the
+/// series-resistance loop's final iteration be reused for the charge pass
+/// instead of recomputed -- the saved intermediates are bitwise the values
+/// a recomputation at the same bias would produce.
+struct CurrentState {
+  double vt = 0.0;
+  double vdsat = 0.0, dvdsatg = 0.0, dvdsatd = 0.0;
+  double fsat = 0.0, dfsatdr = 0.0;
+  double drg = 0.0, drd = 0.0;
+  double idW = 0.0;  ///< drain current [A] (width-scaled)
+  double gm = 0.0;   ///< d(idW)/dvgs [S]
+  double gd = 0.0;   ///< d(idW)/dvds [S]
+  double qS = 0.0;   ///< source-end areal charge [C/m^2]
+  double dqSvg = 0.0, dqSvd = 0.0;
+};
+
+CurrentState currentPart(const LoadCard& c, double vgs, double vds) {
+  const Derived& d = c.d;
 
   // Same expressions as intrinsic(), with every chain-rule factor closed in
   // plain arithmetic: the logistic/softplus derivatives reuse the already
   // computed exponentials, and dFsat/dr = 1/((1+r^beta) * (1+r^beta)^(1/beta))
   // reuses the powers, so derivatives cost no extra transcendentals.
-  const double vt = p.vt0 - d.delta * vds;
+  CurrentState s;
+  s.vt = c.vt0 - d.delta * vds;
 
   double ff, dffdu;
-  logisticVD((vgs - (vt - d.alphaPhit / 2.0)) / d.alphaPhit, ff, dffdu);
+  logisticVD((vgs - (s.vt - d.alphaPhit / 2.0)) / d.alphaPhit, ff, dffdu);
   const double dffg = dffdu / d.alphaPhit;            // dff/dvgs
   const double dffd = dffdu * d.delta / d.alphaPhit;  // dff/dvds
 
   double sp, dsp;
-  softplusVD((vgs - (vt - d.alphaPhit * ff)) / d.nphit, sp, dsp);
+  softplusVD((vgs - (s.vt - d.alphaPhit * ff)) / d.nphit, sp, dsp);
   const double qix = d.qref * sp;
   const double detag = (1.0 + d.alphaPhit * dffg) / d.nphit;
   const double detad = (d.delta + d.alphaPhit * dffd) / d.nphit;
   const double dqixg = d.qref * dsp * detag;
   const double dqixd = d.qref * dsp * detad;
 
-  const double vdsat = d.vdsatStrong * (1.0 - ff) + d.phit * ff;
-  const double dvdsatg = (d.phit - d.vdsatStrong) * dffg;
-  const double dvdsatd = (d.phit - d.vdsatStrong) * dffd;
+  s.vdsat = d.vdsatStrong * (1.0 - ff) + d.phit * ff;
+  s.dvdsatg = (d.phit - d.vdsatStrong) * dffg;
+  s.dvdsatd = (d.phit - d.vdsatStrong) * dffd;
 
-  const double ratio = vds / vdsat;
-  const double drg = -(ratio / vdsat) * dvdsatg;
-  const double drd = 1.0 / vdsat - (ratio / vdsat) * dvdsatd;
+  const double ratio = vds / s.vdsat;
+  s.drg = -(ratio / s.vdsat) * s.dvdsatg;
+  s.drd = 1.0 / s.vdsat - (ratio / s.vdsat) * s.dvdsatd;
 
-  const double t = std::pow(ratio, p.beta);
-  const double s = std::pow(1.0 + t, 1.0 / p.beta);
-  const double fsat = ratio / s;
-  const double dfsatdr = 1.0 / ((1.0 + t) * s);
+  const double t = std::pow(ratio, c.beta);
+  const double sPow = std::pow(1.0 + t, 1.0 / c.beta);
+  s.fsat = ratio / sPow;
+  s.dfsatdr = 1.0 / ((1.0 + t) * sPow);
 
-  IntrinsicDeriv out;
-  out.idW = qix * d.vxo * fsat * w;
-  out.gm = d.vxo * (dqixg * fsat + qix * dfsatdr * drg) * w;
-  out.gd = d.vxo * (dqixd * fsat + qix * dfsatdr * drd) * w;
-  out.qS = qix;
-  out.dqSvg = dqixg;
-  out.dqSvd = dqixd;
-  if (!withCharges) return out;
+  s.idW = qix * d.vxo * s.fsat * c.width;
+  s.gm = d.vxo * (dqixg * s.fsat + qix * s.dfsatdr * s.drg) * c.width;
+  s.gd = d.vxo * (dqixd * s.fsat + qix * s.dfsatdr * s.drd) * c.width;
+  s.qS = qix;
+  s.dqSvg = dqixg;
+  s.dqSvd = dqixd;
+  return s;
+}
 
-  const double vdseff = vdsat * fsat;
-  const double dvdseffg = dvdsatg * fsat + vdsat * dfsatdr * drg;
-  const double dvdseffd = dvdsatd * fsat + vdsat * dfsatdr * drd;
+struct ChargeState {
+  double qD = 0.0;  ///< drain-end areal charge [C/m^2]
+  double dqDvg = 0.0, dqDvd = 0.0;
+};
+
+ChargeState chargePart(const LoadCard& c, double vgs, const CurrentState& s) {
+  const Derived& d = c.d;
+
+  const double vdseff = s.vdsat * s.fsat;
+  const double dvdseffg = s.dvdsatg * s.fsat + s.vdsat * s.dfsatdr * s.drg;
+  const double dvdseffd = s.dvdsatd * s.fsat + s.vdsat * s.dfsatdr * s.drd;
 
   double ffd2, dffd2du;
-  logisticVD((vgs - vdseff - (vt - d.alphaPhit / 2.0)) / d.alphaPhit, ffd2,
+  logisticVD((vgs - vdseff - (s.vt - d.alphaPhit / 2.0)) / d.alphaPhit, ffd2,
              dffd2du);
   const double dudg = (1.0 - dvdseffg) / d.alphaPhit;
   const double dudd = (d.delta - dvdseffd) / d.alphaPhit;
 
   double spd, dspd;
-  softplusVD((vgs - vdseff - (vt - d.alphaPhit * ffd2)) / d.nphit, spd, dspd);
+  softplusVD((vgs - vdseff - (s.vt - d.alphaPhit * ffd2)) / d.nphit, spd,
+             dspd);
+  ChargeState out;
   out.qD = d.qref * spd;
   const double detaDg =
       (1.0 - dvdseffg + d.alphaPhit * dffd2du * dudg) / d.nphit;
@@ -329,19 +366,15 @@ VsModel::IntrinsicDeriv VsModel::intrinsicDeriv(const DeviceGeometry& geom,
   return out;
 }
 
-MosfetLoadEvaluation VsModel::evaluateLoad(const DeviceGeometry& geom,
-                                           double vgs, double vds,
-                                           double /*fdStep*/) const {
-  const Derived d = derive(geom);
-  const VsParams& p = params_;
-
+MosfetLoadEvaluation evaluateLoadCard(const LoadCard& c, double vgs,
+                                      double vds) {
   const bool reversed = vds < 0.0;
   const double cvgs = reversed ? vgs - vds : vgs;
   const double cvds = reversed ? -vds : vds;
 
-  const double rsOhm = p.rs > 0.0 ? p.rs / geom.width : 0.0;
-  const double rdOhm = p.rd > 0.0 ? p.rd / geom.width : 0.0;
-  const bool hasSeriesR = rsOhm > 0.0 || rdOhm > 0.0;
+  const double rsOhm = c.rsOhm;
+  const double rdOhm = c.rdOhm;
+  const bool hasSeriesR = c.hasSeriesR;
 
   // Resolve the series-resistance fixed point i = f(cvgs - i*Rs,
   // cvds - i*(Rs+Rd)) with a derivative-aware Newton: h'(i) =
@@ -352,7 +385,10 @@ MosfetLoadEvaluation VsModel::evaluateLoad(const DeviceGeometry& geom,
   double vdsInt = cvds;
   bool clampG = false;
   bool clampD = false;
+  CurrentState cur;
+  bool curValid = false;
   if (hasSeriesR) {
+    bool converged = false;
     for (int it = 0; it < 8; ++it) {
       vgsInt = cvgs - i * rsOhm;
       vdsInt = cvds - i * (rsOhm + rdOhm);
@@ -360,10 +396,12 @@ MosfetLoadEvaluation VsModel::evaluateLoad(const DeviceGeometry& geom,
       clampD = vdsInt < 0.0;
       if (clampG) vgsInt = -1.0;
       if (clampD) vdsInt = 0.0;
-      const IntrinsicDeriv cur =
-          intrinsicDeriv(geom, d, vgsInt, vdsInt, /*withCharges=*/false);
+      cur = currentPart(c, vgsInt, vdsInt);
       const double h = cur.idW - i;
-      if (std::fabs(h) < 1e-13 + 1e-6 * std::fabs(i)) break;
+      if (std::fabs(h) < 1e-13 + 1e-6 * std::fabs(i)) {
+        converged = true;
+        break;
+      }
       const double gmIt = clampG ? 0.0 : cur.gm;
       const double gdIt = clampD ? 0.0 : cur.gd;
       const double hp = -(gmIt * rsOhm + gdIt * (rsOhm + rdOhm)) - 1.0;
@@ -377,16 +415,20 @@ MosfetLoadEvaluation VsModel::evaluateLoad(const DeviceGeometry& geom,
     clampD = vdsInt < 0.0;
     if (clampG) vgsInt = -1.0;
     if (clampD) vdsInt = 0.0;
+    // On convergence the loop broke before updating i, so the refreshed
+    // biases equal the ones the last currentPart ran at and its state is
+    // reusable as-is; only an exhausted budget forces a recomputation.
+    curValid = converged;
   }
+  if (!curValid) cur = currentPart(c, vgsInt, vdsInt);
 
   // Charges (and their derivatives) at the internal solution.
-  const IntrinsicDeriv in =
-      intrinsicDeriv(geom, d, vgsInt, vdsInt, /*withCharges=*/true);
-  if (!hasSeriesR) i = in.idW;
+  const ChargeState chg = chargePart(c, vgsInt, cur);
+  if (!hasSeriesR) i = cur.idW;
 
   // External small-signal map via the implicit function theorem.
-  const double gmEff = clampG ? 0.0 : in.gm;
-  const double gdEff = clampD ? 0.0 : in.gd;
+  const double gmEff = clampG ? 0.0 : cur.gm;
+  const double gdEff = clampD ? 0.0 : cur.gd;
   double digs, dids;      // di/dcvgs, di/dcvds
   double svgG, svgD;      // dvgsInt/dcvgs, dvgsInt/dcvds
   double svdG, svdD;      // dvdsInt/dcvgs, dvdsInt/dcvds
@@ -408,23 +450,21 @@ MosfetLoadEvaluation VsModel::evaluateLoad(const DeviceGeometry& geom,
   }
 
   // Areal charge sensitivities to the external canonical voltages.
-  const double dqSg = in.dqSvg * svgG + in.dqSvd * svdG;
-  const double dqSd = in.dqSvg * svgD + in.dqSvd * svdD;
-  const double dqDg = in.dqDvg * svgG + in.dqDvd * svdG;
-  const double dqDd = in.dqDvg * svgD + in.dqDvd * svdD;
+  const double dqSg = cur.dqSvg * svgG + cur.dqSvd * svdG;
+  const double dqSd = cur.dqSvg * svgD + cur.dqSvd * svdD;
+  const double dqDg = chg.dqDvg * svgG + chg.dqDvd * svdG;
+  const double dqDd = chg.dqDvg * svgD + chg.dqDvd * svdD;
 
   // Ward-Dutton partition + overlap, as in evaluateImpl.
-  const double w = geom.width;
-  const double l = geom.length;
-  const double wl6 = w * l / 6.0;
-  const double qChanSrc = wl6 * (2.0 * in.qS + in.qD);
-  const double qChanDrn = wl6 * (in.qS + 2.0 * in.qD);
+  const double wl6 = c.wl6;
+  const double qChanSrc = wl6 * (2.0 * cur.qS + chg.qD);
+  const double qChanDrn = wl6 * (cur.qS + 2.0 * chg.qD);
   const double dqChanSrcG = wl6 * (2.0 * dqSg + dqDg);
   const double dqChanSrcD = wl6 * (2.0 * dqSd + dqDd);
   const double dqChanDrnG = wl6 * (dqSg + 2.0 * dqDg);
   const double dqChanDrnD = wl6 * (dqSd + 2.0 * dqDd);
 
-  const double cov = params_.cof * w;
+  const double cov = c.cov;
   const double qOvS = cov * cvgs;
   const double qOvD = cov * (cvgs - cvds);
 
@@ -474,23 +514,120 @@ MosfetLoadEvaluation VsModel::evaluateLoad(const DeviceGeometry& geom,
   return out;
 }
 
+/// Struct-of-arrays lane block of the VS device bank: one cached LoadCard
+/// per lane, refreshed on rebind, evaluated by a flat loop through the
+/// shared analytic chain.  One bank evaluation performs zero virtual calls
+/// and zero derive() work.
+class VsLoadBank final : public MosfetLoadBank {
+ public:
+  explicit VsLoadBank(std::vector<BankLane> laneRefs)
+      : MosfetLoadBank(std::move(laneRefs)), cards_(laneCount()) {
+    for (std::size_t i = 0; i < laneCount(); ++i) refresh(i);
+  }
+
+  [[nodiscard]] bool rebindLane(std::size_t laneIndex, const MosfetModel& card,
+                                const DeviceGeometry& geometry) override {
+    if (dynamic_cast<const VsModel*>(&card) == nullptr) return false;
+    (void)MosfetLoadBank::rebindLane(laneIndex, card, geometry);
+    refresh(laneIndex);
+    return true;
+  }
+
+  void evaluateLoadBatch(std::span<const double> vgs,
+                         std::span<const double> vds, double /*fdStep*/,
+                         std::span<MosfetLoadEvaluation> out) const override {
+    for (std::size_t i = 0; i < cards_.size(); ++i)
+      out[i] = evaluateLoadCard(cards_[i], vgs[i], vds[i]);
+  }
+
+ private:
+  void refresh(std::size_t i) {
+    const BankLane& l = lane(i);
+    const auto* vs = dynamic_cast<const VsModel*>(l.card);
+    require(vs != nullptr, "VsLoadBank: lane card is not a VsModel");
+    cards_[i] = makeLoadCard(vs->params(), *l.geometry);
+  }
+
+  std::vector<LoadCard> cards_;
+};
+
+}  // namespace
+
+VsModel::VsModel(VsParams params) : params_(params) {
+  require(params_.cinv > 0.0 && params_.vxo > 0.0 && params_.mu > 0.0,
+          "VsModel: cinv, vxo, mu must be positive");
+  require(params_.beta > 0.0 && params_.n0 >= 1.0,
+          "VsModel: beta > 0 and n0 >= 1 required");
+}
+
+std::unique_ptr<MosfetModel> VsModel::clone() const {
+  return std::make_unique<VsModel>(*this);
+}
+
+bool VsModel::assignFrom(const MosfetModel& other) {
+  const auto* o = dynamic_cast<const VsModel*>(&other);
+  if (o == nullptr) return false;
+  params_ = o->params_;
+  return true;
+}
+
+std::unique_ptr<MosfetLoadBank> VsModel::makeLoadBank(
+    std::vector<BankLane> lanes) const {
+  return std::make_unique<VsLoadBank>(std::move(lanes));
+}
+
+double VsModel::inversionCharge(const DeviceGeometry& geom, double vgs,
+                                double vds) const {
+  const Derived d = derive(params_, geom);
+  if (vds < 0.0) return intrinsic(params_, d, vgs - vds, -vds, true).qSrcAreal;
+  return intrinsic(params_, d, vgs, vds, true).qSrcAreal;
+}
+
+double VsModel::drainCurrent(const DeviceGeometry& geom, double vgs,
+                             double vds) const {
+  const Derived d = derive(params_, geom);
+  if (params_.rs <= 0.0 && params_.rd <= 0.0) {
+    if (vds < 0.0)
+      return -intrinsic(params_, d, vgs - vds, -vds, false).idPerWidth *
+             geom.width;
+    return intrinsic(params_, d, vgs, vds, false).idPerWidth * geom.width;
+  }
+  if (vds < 0.0) {
+    // Source/drain role reversal (device is symmetric).
+    return -solveSeriesCurrent(params_, geom, d, vgs - vds, -vds, nullptr);
+  }
+  return solveSeriesCurrent(params_, geom, d, vgs, vds, nullptr);
+}
+
+MosfetEvaluation VsModel::evaluate(const DeviceGeometry& geom, double vgs,
+                                   double vds) const {
+  return evaluateImpl(params_, geom, derive(params_, geom), vgs, vds, nullptr,
+                      false);
+}
+
+MosfetLoadEvaluation VsModel::evaluateLoad(const DeviceGeometry& geom,
+                                           double vgs, double vds,
+                                           double /*fdStep*/) const {
+  return evaluateLoadCard(makeLoadCard(params_, geom), vgs, vds);
+}
+
 MosfetDerivEvaluation VsModel::evaluateForNewton(const DeviceGeometry& geom,
                                                  double vgs, double vds,
                                                  double step) const {
-  const Derived d = derive(geom);
+  const Derived d = derive(params_, geom);
   const bool baseReversed = vds < 0.0;
 
   MosfetDerivEvaluation out;
   double warm = 0.0;
-  out.base = evaluateImpl(geom, d, vgs, vds, &warm, false);
+  out.base = evaluateImpl(params_, geom, d, vgs, vds, &warm, false);
   // The finite-difference points sit 1 mV from the base bias, so the base
   // current is an excellent secant seed -- as long as the polarity
   // canonicalization did not flip between the two points.
-  out.gateStep = evaluateImpl(geom, d, vgs + step, vds, &warm,
+  out.gateStep = evaluateImpl(params_, geom, d, vgs + step, vds, &warm,
                               /*useWarm=*/true);
   const bool drainReversed = (vds + step) < 0.0;
   double warmDrain = warm;
-  out.drainStep = evaluateImpl(geom, d, vgs, vds + step, &warmDrain,
+  out.drainStep = evaluateImpl(params_, geom, d, vgs, vds + step, &warmDrain,
                                /*useWarm=*/drainReversed == baseReversed);
   return out;
 }

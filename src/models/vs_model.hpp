@@ -15,6 +15,12 @@
 // Series resistance: Rs/Rd produce internal-node IR drop, resolved by a
 // damped fixed-point loop inside evaluate() so the external terminal
 // behaviour stays smooth for the Newton solver.
+//
+// The model equations themselves live in vs_model.cpp as free functions of
+// (params, geometry, bias); the class is a thin card-owning adapter.  That
+// lets the scalar Newton-load entry point (evaluateLoad) and the batched
+// device-bank lane loop (makeLoadBank) share one arithmetic chain, which
+// is what makes banked evaluation bit-identical to the scalar path.
 #ifndef VSSTAT_MODELS_VS_MODEL_HPP
 #define VSSTAT_MODELS_VS_MODEL_HPP
 
@@ -55,6 +61,14 @@ class VsModel final : public MosfetModel {
                                                   double vgs, double vds,
                                                   double fdStep) const override;
 
+  /// Struct-of-arrays device bank: per-lane bias-independent evaluation
+  /// cards (derived parameters, pre-divided series resistances, charge
+  /// prefactors) cached once per rebind, then one flat lane loop through
+  /// the same analytic chain evaluateLoad runs.  Bit-identical to the
+  /// scalar path by construction -- both call the same chain function.
+  [[nodiscard]] std::unique_ptr<MosfetLoadBank> makeLoadBank(
+      std::vector<BankLane> lanes) const override;
+
   [[nodiscard]] std::unique_ptr<MosfetModel> clone() const override;
   [[nodiscard]] bool assignFrom(const MosfetModel& other) override;
 
@@ -67,73 +81,6 @@ class VsModel final : public MosfetModel {
                                        double vds) const;
 
  private:
-  /// Core intrinsic solution at internal (post-Rs/Rd) voltages.
-  struct Intrinsic {
-    double idPerWidth = 0.0;  ///< A/m, positive for canonical vds >= 0
-    double qSrcAreal = 0.0;   ///< source-end channel charge [C/m^2]
-    double qDrnAreal = 0.0;   ///< drain-end channel charge [C/m^2]
-  };
-
-  /// Bias-independent values derived from (params, geometry).  Computed
-  /// once per evaluation chain and shared across every intrinsic call of
-  /// the series-resistance loop and the Newton finite-difference points.
-  struct Derived {
-    double phit = 0.0;          ///< thermal voltage
-    double delta = 0.0;         ///< DIBL coefficient at Leff
-    double vxo = 0.0;           ///< injection velocity at Leff
-    double nphit = 0.0;         ///< n0 * phit
-    double alphaPhit = 0.0;     ///< alpha * phit
-    double qref = 0.0;          ///< cinv * nphit
-    double vdsatStrong = 0.0;   ///< vxo * Leff / mu
-  };
-  [[nodiscard]] Derived derive(const DeviceGeometry& geom) const noexcept;
-
-  /// Intrinsic model at internal (post-Rs/Rd) voltages.  The drain-end
-  /// charge block is only computed when `withCharges` is set: the
-  /// series-resistance secant needs the current alone.
-  [[nodiscard]] Intrinsic intrinsic(const Derived& d, double vgs, double vds,
-                                    bool withCharges) const;
-
-  /// Secant solve of the Rs/Rd IR-drop fixed point; returns the external
-  /// terminal current [A].  `warmStart` (if non-null) seeds the iteration
-  /// with a nearby known current instead of the cold f(0) start.
-  [[nodiscard]] double solveSeriesCurrent(const DeviceGeometry& geom,
-                                          const Derived& d, double vgs,
-                                          double vds,
-                                          const double* warmStart) const;
-
-  /// Full intrinsic solution with the IR drop resolved.
-  [[nodiscard]] Intrinsic solveWithSeriesR(const DeviceGeometry& geom,
-                                           const Derived& d, double vgs,
-                                           double vds,
-                                           const double* warmStart) const;
-
-  /// Canonicalization + Ward-Dutton partition shared by evaluate() and
-  /// evaluateForNewton().  `warmCurrent` (if non-null) carries the previous
-  /// nearby solve's canonical current in, and the present one out.
-  [[nodiscard]] MosfetEvaluation evaluateImpl(const DeviceGeometry& geom,
-                                              const Derived& d, double vgs,
-                                              double vds,
-                                              double* warmCurrent,
-                                              bool useWarm) const;
-
-  /// Intrinsic solution with the full analytic derivative chain (w.r.t. the
-  /// internal canonical voltages).  Charges are filled only when
-  /// `withCharges` is set.
-  struct IntrinsicDeriv {
-    double idW = 0.0;  ///< drain current [A] (width-scaled)
-    double gm = 0.0;   ///< d(idW)/dvgs [S]
-    double gd = 0.0;   ///< d(idW)/dvds [S]
-    double qS = 0.0;   ///< source-end areal charge [C/m^2]
-    double qD = 0.0;   ///< drain-end areal charge [C/m^2]
-    double dqSvg = 0.0, dqSvd = 0.0;
-    double dqDvg = 0.0, dqDvd = 0.0;
-  };
-  [[nodiscard]] IntrinsicDeriv intrinsicDeriv(const DeviceGeometry& geom,
-                                              const Derived& d, double vgs,
-                                              double vds,
-                                              bool withCharges) const;
-
   VsParams params_;
 };
 

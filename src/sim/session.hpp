@@ -50,12 +50,14 @@ class CampaignSession {
   using Builder = std::function<Fixture(circuits::DeviceProvider&)>;
 
   CampaignSession(const Builder& build,
-                  std::unique_ptr<circuits::DeviceProvider> provider)
+                  std::unique_ptr<circuits::DeviceProvider> provider,
+                  spice::SessionOptions spiceOptions = {})
       : provider_(std::move(provider)) {
     require(provider_ != nullptr, "CampaignSession: null provider");
     circuits::RecordingProvider recorder(*provider_);
     fixture_ = std::make_unique<Fixture>(build(recorder));
-    session_ = std::make_unique<spice::SimSession>(fixture_->circuit);
+    session_ =
+        std::make_unique<spice::SimSession>(fixture_->circuit, spiceOptions);
     // Resolve the recorded build order to the built circuit's elements:
     // builders name each MOSFET after the instanceName they requested.
     const std::vector<circuits::DeviceRecord>& records = recorder.records();
@@ -75,11 +77,15 @@ class CampaignSession {
 
   /// Replays the rebind pass without reseeding -- for providers whose
   /// state is set externally (e.g. the fixed-z indicators of yield
-  /// importance sampling).
+  /// importance sampling).  The sampled parameters land in the session's
+  /// device-bank lanes immediately afterwards (syncDeviceBank): the bank's
+  /// struct-of-arrays blocks are re-derived once per sample, here, instead
+  /// of inside the first Newton assembly of the sample's solves.
   void rebind() {
     for (Binding& b : plan_)
       provider_->resample(b.record.type, b.record.instanceName,
                           b.record.nominal, *b.element);
+    session_->syncDeviceBank();
   }
 
   [[nodiscard]] Fixture& fixture() noexcept { return *fixture_; }
@@ -117,9 +123,11 @@ class SessionPool {
   using ProviderFactory =
       std::function<std::unique_ptr<circuits::DeviceProvider>()>;
 
-  SessionPool(Builder build, ProviderFactory providerFactory)
+  SessionPool(Builder build, ProviderFactory providerFactory,
+              spice::SessionOptions spiceOptions = {})
       : build_(std::move(build)),
-        providerFactory_(std::move(providerFactory)) {}
+        providerFactory_(std::move(providerFactory)),
+        spiceOptions_(spiceOptions) {}
 
   /// RAII lease: returns the session to the free list on destruction.
   class Lease {
@@ -159,8 +167,8 @@ class SessionPool {
     }
     // First acquisition on this worker: build outside the lock (fixture
     // construction is the expensive part the pool exists to amortize).
-    auto session =
-        std::make_unique<CampaignSession<Fixture>>(build_, providerFactory_());
+    auto session = std::make_unique<CampaignSession<Fixture>>(
+        build_, providerFactory_(), spiceOptions_);
     CampaignSession<Fixture>* raw = session.get();
     const std::lock_guard<std::mutex> lock(mutex_);
     sessions_.push_back(std::move(session));
@@ -181,6 +189,7 @@ class SessionPool {
 
   Builder build_;
   ProviderFactory providerFactory_;
+  spice::SessionOptions spiceOptions_;
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<CampaignSession<Fixture>>> sessions_;
   std::vector<CampaignSession<Fixture>*> free_;

@@ -45,7 +45,8 @@ SmallSignalSystem::SmallSignalSystem(const Circuit& circuit,
                                      const OperatingPoint& op)
     : numNodes_(circuit.nodeCount() - 1),
       numUnknowns_(circuit.unknownCount()) {
-  detail::Assembler assembler(circuit);
+  // Two assemblies on a one-shot assembler: not worth bank construction.
+  detail::Assembler assembler(circuit, /*useDeviceBank=*/false);
   const linalg::Vector x = flatten(circuit, op);
 
   // G: Jacobian with all charge terms off.  A tiny gmin keeps the later

@@ -138,8 +138,13 @@ bool dcSolveLadder(Assembler& assembler, linalg::Vector& x,
   // below the solver tolerances.
   constexpr double kGminFloor = 1e-12;
 
+  // Homotopy trial iterate: workspace scratch (re-initialized to exactly
+  // the values a fresh local would hold), so a failed plain Newton does
+  // not allocate on persistent sessions.
+  linalg::Vector& xTrial = assembler.workspace().xHomotopy;
+
   if (options.gminStepping) {
-    linalg::Vector xTrial = x;
+    xTrial.assign(x.begin(), x.end());
     bool ok = true;
     for (double gmin = 1e-2; gmin >= kGminFloor; gmin *= 0.1) {
       assembler.setGmin(gmin);
@@ -155,7 +160,7 @@ bool dcSolveLadder(Assembler& assembler, linalg::Vector& x,
   }
 
   if (options.sourceStepping) {
-    linalg::Vector xTrial(x.size(), 0.0);
+    xTrial.assign(x.size(), 0.0);
     assembler.setGmin(1e-9);
     bool ok = true;
     for (int step = 1; step <= 20; ++step) {
@@ -177,13 +182,18 @@ bool dcSolveLadder(Assembler& assembler, linalg::Vector& x,
   return false;
 }
 
-Waveform runTransient(Assembler& assembler, const TransientOptions& options) {
+void runTransient(Assembler& assembler, const TransientOptions& options,
+                  Waveform& wave) {
   require(options.tStop > 0.0 && options.dt > 0.0,
           "transient: tStop and dt must be positive");
   const Circuit& circuit = assembler.circuit();
+  NewtonWorkspace& ws = assembler.workspace();
 
-  // t = 0 operating point.
-  linalg::Vector x(circuit.unknownCount(), 0.0);
+  // t = 0 operating point.  Scratch buffers live in the workspace and are
+  // re-initialized to the exact values a fresh run would construct, so
+  // reuse never changes numerics.
+  linalg::Vector& x = ws.xTransient;
+  x.assign(circuit.unknownCount(), 0.0);
   if (!dcSolveLadder(assembler, x, options.dcOptions)) {
     throw ConvergenceError("transient: DC operating point failed",
                            options.dcOptions.newton.maxIterations);
@@ -192,11 +202,13 @@ Waveform runTransient(Assembler& assembler, const TransientOptions& options) {
   // The DC solve left the assembler's charge state consistent with x;
   // commit it as the t = 0 history.
   assembler.commitCharges();
-  std::vector<double> slotCurrents(
-      static_cast<std::size_t>(circuit.chargeSlotTotal()), 0.0);
+  std::vector<double>& slotCurrents = ws.slotCurrents;
+  slotCurrents.assign(static_cast<std::size_t>(circuit.chargeSlotTotal()),
+                      0.0);
 
-  Waveform wave(circuit.nodeCount());
-  std::vector<double> sample(circuit.nodeCount(), 0.0);
+  wave.reset(circuit.nodeCount());
+  std::vector<double>& sample = ws.sampleBuf;
+  sample.assign(circuit.nodeCount(), 0.0);
   const std::size_t numNodes = circuit.nodeCount() - 1;
   const auto record = [&](double t) {
     for (std::size_t n = 0; n < numNodes; ++n) sample[n + 1] = x[n];
@@ -206,7 +218,8 @@ Waveform runTransient(Assembler& assembler, const TransientOptions& options) {
 
   double t = 0.0;
   bool firstStep = true;
-  linalg::Vector xTrial(x.size(), 0.0);  // hoisted: reused across steps
+  linalg::Vector& xTrial = ws.xTrial;  // hoisted: reused across steps
+  xTrial.assign(x.size(), 0.0);
   while (t < options.tStop - 1e-18) {
     double h = std::min(options.dt, options.tStop - t);
 
@@ -243,6 +256,11 @@ Waveform runTransient(Assembler& assembler, const TransientOptions& options) {
                              options.newton.maxIterations);
     }
   }
+}
+
+Waveform runTransient(Assembler& assembler, const TransientOptions& options) {
+  Waveform wave(assembler.circuit().nodeCount());
+  runTransient(assembler, options, wave);
   return wave;
 }
 
@@ -257,7 +275,10 @@ OperatingPoint dcOperatingPoint(const Circuit& circuit,
 OperatingPoint dcOperatingPoint(const Circuit& circuit,
                                 const OperatingPoint& guess,
                                 const DcOptions& options) {
-  detail::Assembler assembler(circuit);
+  // One-shot assembler, a handful of assemblies: device-bank construction
+  // would cost more than its dispatch savings here, so the free DC entry
+  // points run the scalar element loop (bit-identical either way).
+  detail::Assembler assembler(circuit, /*useDeviceBank=*/false);
   linalg::Vector x = detail::unpackGuess(circuit, guess);
   if (!detail::dcSolveLadder(assembler, x, options)) {
     throw ConvergenceError("dcOperatingPoint: no convergence",
@@ -293,6 +314,8 @@ std::vector<OperatingPoint> dcSweep(Circuit& circuit,
 }
 
 Waveform transient(const Circuit& circuit, const TransientOptions& options) {
+  // Thousands of assemblies on one assembler: banking amortizes in the
+  // first few steps even for a one-shot run.
   detail::Assembler assembler(circuit);
   return detail::runTransient(assembler, options);
 }

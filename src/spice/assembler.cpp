@@ -1,11 +1,12 @@
 #include "spice/assembler.hpp"
 
 #include "spice/element.hpp"
+#include "spice/elements.hpp"
 #include "util/error.hpp"
 
 namespace vsstat::spice::detail {
 
-Assembler::Assembler(const Circuit& circuit)
+Assembler::Assembler(const Circuit& circuit, bool useDeviceBank)
     : circuit_(circuit),
       numNodes_(circuit.nodeCount() - 1),
       numUnknowns_(circuit.unknownCount()),
@@ -15,6 +16,14 @@ Assembler::Assembler(const Circuit& circuit)
       histTerm_(chargeNow_.size(), 0.0) {
   capturePattern();
   workspace_.dx.assign(numUnknowns_, 0.0);
+  if (useDeviceBank) {
+    auto bank = std::make_unique<DeviceBankSet>(circuit_, pattern_);
+    if (bank->laneCount() > 0) bankSet_ = std::move(bank);
+  }
+}
+
+void Assembler::syncDeviceBank() {
+  if (bankSet_ != nullptr && !bankSet_->sync()) bankSet_->rebuild();
 }
 
 void Assembler::capturePattern() {
@@ -58,9 +67,29 @@ void Assembler::assemble(const linalg::Vector& x) {
   std::fill(residual_.begin(), residual_.end(), 0.0);
   std::fill(chargeNow_.begin(), chargeNow_.end(), 0.0);
 
+  // Banked path: refresh any lanes invalidated by a rebind, then gather
+  // every device's canonical bias and batch-evaluate all model groups up
+  // front.  The element loop below scatters the precomputed lane results
+  // in circuit element order, so residual/Jacobian accumulation order --
+  // and therefore every floating-point sum -- matches the scalar loop.
+  if (bankSet_ != nullptr) {
+    if (!bankSet_->sync()) bankSet_->rebuild();
+    bankSet_->evaluate(x);
+  }
+
   LoadContext ctx;
   ctx.assembler_ = this;
-  for (const auto& element : circuit_.elements()) {
+  const auto& elements = circuit_.elements();
+  for (std::size_t idx = 0; idx < elements.size(); ++idx) {
+    if (bankSet_ != nullptr) {
+      const BankLaneRef ref = bankSet_->elementLanes()[idx];
+      if (ref.group >= 0) {
+        scatterBankedLane(bankSet_->group(ref.group),
+                          static_cast<std::size_t>(ref.lane));
+        continue;
+      }
+    }
+    const auto& element = elements[idx];
     ctx.branchBase_ = element->branchBase();
     ctx.chargeBase_ = element->chargeBase();
     element->load(ctx);
@@ -76,6 +105,68 @@ void Assembler::assemble(const linalg::Vector& x) {
   require(!patternMiss_,
           "Assembler: element stamped outside the captured sparsity pattern "
           "(element structure must be bias-independent)");
+}
+
+void Assembler::scatterBankedLane(const DeviceBankGroup& grp,
+                                  std::size_t lane) noexcept {
+  // Mirror of MosfetElement::scatterLoad with the LoadContext indirection
+  // and per-stamp slot lookups replaced by the lane's captured rows/slots.
+  // Stamp order and per-stamp arithmetic are identical, which keeps banked
+  // assemblies bit-identical to scalar ones (pinned by tests/spice/
+  // test_device_bank.cpp and the campaign bit-identity suite).
+  const models::MosfetLoadEvaluation& ev = grp.out[lane];
+  const double sign = grp.sign[lane];
+  const std::int32_t rowD = grp.rowD[lane];
+  const std::int32_t rowG = grp.rowG[lane];
+  const std::int32_t rowS = grp.rowS[lane];
+
+  const auto addResidual = [&](std::int32_t row, double v) {
+    if (row >= 0) residual_[static_cast<std::size_t>(row)] += v;
+  };
+  const auto addJ = [&](std::int32_t slot, double v) {
+    if (slot >= 0) values_.addAt(slot, v);
+  };
+
+  const double didvgs = ev.didVgs;
+  const double didvds = ev.didVds;
+
+  const double idTerm = sign * ev.at.id;
+  addResidual(rowD, idTerm);
+  addResidual(rowS, -idTerm);
+  addJ(grp.sDG[lane], didvgs);
+  addJ(grp.sDD[lane], didvds);
+  addJ(grp.sDS[lane], -(didvgs + didvds));
+  addJ(grp.sSG[lane], -didvgs);
+  addJ(grp.sSD[lane], -didvds);
+  addJ(grp.sSS[lane], didvgs + didvds);
+
+  const double qg = sign * ev.at.qg;
+  const double qd = sign * ev.at.qd;
+  const double qs = sign * ev.at.qs;
+  const std::int32_t cb = grp.chargeBase[lane];
+  chargeNow_[static_cast<std::size_t>(cb)] = qg;
+  chargeNow_[static_cast<std::size_t>(cb) + 1] = qd;
+  chargeNow_[static_cast<std::size_t>(cb) + 2] = qs;
+
+  const double c0 = c0_;
+  const double ig = companionCurrent(cb, qg);
+  const double idq = companionCurrent(cb + 1, qd);
+  const double isq = companionCurrent(cb + 2, qs);
+  addResidual(rowG, ig);
+  addResidual(rowD, idq);
+  addResidual(rowS, isq);
+
+  if (c0 != 0.0) {
+    addJ(grp.sGG[lane], c0 * ev.dqgVgs);
+    addJ(grp.sGD[lane], c0 * ev.dqgVds);
+    addJ(grp.sGS[lane], -c0 * (ev.dqgVgs + ev.dqgVds));
+    addJ(grp.sDG[lane], c0 * ev.dqdVgs);
+    addJ(grp.sDD[lane], c0 * ev.dqdVds);
+    addJ(grp.sDS[lane], -c0 * (ev.dqdVgs + ev.dqdVds));
+    addJ(grp.sSG[lane], c0 * ev.dqsVgs);
+    addJ(grp.sSD[lane], c0 * ev.dqsVds);
+    addJ(grp.sSS[lane], -c0 * (ev.dqsVgs + ev.dqsVds));
+  }
 }
 
 }  // namespace vsstat::spice::detail

@@ -12,11 +12,17 @@
 // O(n^2) dense fill -- and the owned NewtonWorkspace gives the Newton driver
 // a pattern-reusing factorization plus preallocated step buffers, so one
 // Newton iteration performs zero heap allocations in steady state.
+//
+// MOSFET evaluation is banked by default (see spice/device_bank.hpp): the
+// assembler batch-evaluates every device group before the element loop and
+// scatters each lane's result into precaptured CSR slots in element order,
+// bit-identically to the scalar per-element path (useDeviceBank = false).
 #ifndef VSSTAT_SPICE_ASSEMBLER_HPP
 #define VSSTAT_SPICE_ASSEMBLER_HPP
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -24,6 +30,7 @@
 #include "linalg/sparse.hpp"
 #include "linalg/sparse_lu.hpp"
 #include "spice/circuit.hpp"
+#include "spice/device_bank.hpp"
 
 namespace vsstat::spice::detail {
 
@@ -34,12 +41,24 @@ namespace vsstat::spice::detail {
 struct NewtonWorkspace {
   linalg::SparseLu lu;
   linalg::Vector dx;
+  // Transient-driver scratch (detail::runTransient): the iterate, the
+  // trial step, the per-slot companion currents, and the recorded sample
+  // row.  Hoisted into the workspace so a persistent session's transients
+  // reuse capacity across Monte Carlo samples instead of reallocating.
+  linalg::Vector xTransient;
+  linalg::Vector xTrial;
+  std::vector<double> slotCurrents;
+  std::vector<double> sampleBuf;
+  /// Homotopy trial iterate (detail::dcSolveLadder gmin/source stepping).
+  linalg::Vector xHomotopy;
 };
 
 /// Owns the Newton assembly state and backs LoadContext.
 class Assembler {
  public:
-  explicit Assembler(const Circuit& circuit);
+  /// `useDeviceBank` selects batched MOSFET evaluation (bit-identical to
+  /// the scalar element loop; off is the comparison/fallback path).
+  explicit Assembler(const Circuit& circuit, bool useDeviceBank = true);
 
   // Not copyable/movable: values_ and the workspace factorization hold
   // pointers into this object's pattern_.
@@ -103,6 +122,21 @@ class Assembler {
   [[nodiscard]] std::size_t numUnknowns() const noexcept { return numUnknowns_; }
   [[nodiscard]] const Circuit& circuit() const noexcept { return circuit_; }
 
+  /// Eagerly re-derives device-bank lanes after a rebind pass (campaign
+  /// sessions call this per sample so the refresh runs once, outside the
+  /// Newton loop).  assemble() also syncs lazily, so calling this is an
+  /// optimization, never a correctness requirement.  No-op when banking is
+  /// off.
+  void syncDeviceBank();
+  /// Number of banked MOSFET lanes (0 when banking is off or bank-less).
+  [[nodiscard]] std::size_t deviceBankLaneCount() const noexcept {
+    return bankSet_ != nullptr ? bankSet_->laneCount() : 0;
+  }
+  /// Number of homogeneous model groups in the bank.
+  [[nodiscard]] std::size_t deviceBankGroupCount() const noexcept {
+    return bankSet_ != nullptr ? bankSet_->groupCount() : 0;
+  }
+
   // --- LoadContext backends ---------------------------------------------------
   [[nodiscard]] double nodeVoltage(NodeId node) const noexcept {
     return node == kGround ? 0.0
@@ -152,6 +186,7 @@ class Assembler {
 
  private:
   void capturePattern();
+  void scatterBankedLane(const DeviceBankGroup& grp, std::size_t lane) noexcept;
 
   void addEntry(std::size_t row, std::size_t col, double d) noexcept {
     if (capturing_) {
@@ -177,6 +212,7 @@ class Assembler {
   std::vector<double> chargePrev_;
   std::vector<double> histTerm_;
   NewtonWorkspace workspace_;
+  std::unique_ptr<DeviceBankSet> bankSet_;  ///< null when banking is off
   std::vector<std::pair<std::size_t, std::size_t>> coords_;  ///< capture only
   const linalg::Vector* x_ = nullptr;
   double c0_ = 0.0;

@@ -76,18 +76,23 @@ MosfetElement& Circuit::addMosfet(const std::string& name, NodeId drain,
 }
 
 VoltageSourceElement& Circuit::voltageSource(const std::string& name) {
+  // Messages are built only on failure: these lookups sit in campaign
+  // inner loops (one per sweep), and eager concatenation was a measurable
+  // per-sample allocation.
   const auto it = elementByName_.find(name);
-  require(it != elementByName_.end(), "no element named " + name);
+  if (it == elementByName_.end())
+    throw InvalidArgumentError("no element named " + name);
   auto* v = dynamic_cast<VoltageSourceElement*>(it->second);
-  require(v != nullptr, name + " is not a voltage source");
+  if (v == nullptr) throw InvalidArgumentError(name + " is not a voltage source");
   return *v;
 }
 
 MosfetElement& Circuit::mosfet(const std::string& name) {
   const auto it = elementByName_.find(name);
-  require(it != elementByName_.end(), "no element named " + name);
+  if (it == elementByName_.end())
+    throw InvalidArgumentError("no element named " + name);
   auto* m = dynamic_cast<MosfetElement*>(it->second);
-  require(m != nullptr, name + " is not a MOSFET");
+  if (m == nullptr) throw InvalidArgumentError(name + " is not a MOSFET");
   return *m;
 }
 

@@ -1,0 +1,143 @@
+#include "spice/device_bank.hpp"
+
+#include <span>
+#include <typeinfo>
+
+#include "util/error.hpp"
+
+namespace vsstat::spice::detail {
+
+namespace {
+
+/// Residual row of a node: unknown index, or -1 for ground (the same
+/// mapping LoadContext::v / Assembler::stampCurrent apply per stamp).
+inline std::int32_t rowOf(NodeId node) noexcept {
+  return node == kGround ? -1 : static_cast<std::int32_t>(node - 1);
+}
+
+}  // namespace
+
+DeviceBankSet::DeviceBankSet(const Circuit& circuit,
+                             const linalg::SparsePattern& pattern)
+    : circuit_(&circuit), pattern_(&pattern) {
+  rebuild();
+}
+
+void DeviceBankSet::rebuild() {
+  groups_.clear();
+  laneCount_ = 0;
+  const auto& elements = circuit_->elements();
+  elementLanes_.assign(elements.size(), BankLaneRef{});
+
+  for (std::size_t idx = 0; idx < elements.size(); ++idx) {
+    const auto* m = dynamic_cast<const MosfetElement*>(elements[idx].get());
+    if (m == nullptr) continue;
+
+    const std::type_index type(typeid(m->model()));
+    std::int32_t g = -1;
+    for (std::size_t k = 0; k < groups_.size(); ++k) {
+      if (groups_[k].cardType == type) {
+        g = static_cast<std::int32_t>(k);
+        break;
+      }
+    }
+    if (g < 0) {
+      g = static_cast<std::int32_t>(groups_.size());
+      groups_.emplace_back(type);
+    }
+    DeviceBankGroup& grp = groups_[static_cast<std::size_t>(g)];
+
+    const std::int32_t lane = static_cast<std::int32_t>(grp.element.size());
+    grp.element.push_back(m);
+    grp.version.push_back(m->cardVersion());
+    grp.sign.push_back(
+        m->model().deviceType() == models::DeviceType::Nmos ? 1.0 : -1.0);
+    const std::int32_t rd = rowOf(m->drain());
+    const std::int32_t rg = rowOf(m->gate());
+    const std::int32_t rs = rowOf(m->source());
+    grp.rowD.push_back(rd);
+    grp.rowG.push_back(rg);
+    grp.rowS.push_back(rs);
+    grp.chargeBase.push_back(m->chargeBase());
+
+    // The element's 3x3 terminal Jacobian block was captured by the
+    // assembler's symbolic pass (stamp structure is bias-independent by
+    // contract), so every non-ground pair must resolve to a slot.
+    const auto slotOf = [&](std::int32_t row, std::int32_t col) {
+      if (row < 0 || col < 0) return std::int32_t{-1};
+      const std::int32_t s = pattern_->slot(static_cast<std::size_t>(row),
+                                            static_cast<std::size_t>(col));
+      require(s >= 0,
+              "DeviceBankSet: MOSFET stamp position missing from the "
+              "captured sparsity pattern");
+      return s;
+    };
+    grp.sDG.push_back(slotOf(rd, rg));
+    grp.sDD.push_back(slotOf(rd, rd));
+    grp.sDS.push_back(slotOf(rd, rs));
+    grp.sSG.push_back(slotOf(rs, rg));
+    grp.sSD.push_back(slotOf(rs, rd));
+    grp.sSS.push_back(slotOf(rs, rs));
+    grp.sGG.push_back(slotOf(rg, rg));
+    grp.sGD.push_back(slotOf(rg, rd));
+    grp.sGS.push_back(slotOf(rg, rs));
+
+    elementLanes_[idx] = BankLaneRef{g, lane};
+    ++laneCount_;
+  }
+
+  for (DeviceBankGroup& grp : groups_) {
+    std::vector<models::BankLane> lanes;
+    lanes.reserve(grp.element.size());
+    for (const MosfetElement* e : grp.element)
+      lanes.push_back(models::BankLane{&e->model(), &e->geometry()});
+    grp.bank = grp.element.front()->model().makeLoadBank(std::move(lanes));
+    grp.vgs.resize(grp.element.size());
+    grp.vds.resize(grp.element.size());
+    grp.out.resize(grp.element.size());
+  }
+}
+
+bool DeviceBankSet::sync() {
+  for (DeviceBankGroup& grp : groups_) {
+    for (std::size_t i = 0; i < grp.element.size(); ++i) {
+      const MosfetElement* e = grp.element[i];
+      if (e->cardVersion() == grp.version[i]) continue;
+      if (!grp.bank->rebindLane(i, e->model(), e->geometry()))
+        return false;  // dynamic type changed: regroup from scratch
+      // Polarity may only change through setInstance (rebind forbids it);
+      // either way the sign is re-derived with the lane.
+      grp.sign[i] =
+          e->model().deviceType() == models::DeviceType::Nmos ? 1.0 : -1.0;
+      grp.version[i] = e->cardVersion();
+    }
+  }
+  return true;
+}
+
+void DeviceBankSet::evaluate(const linalg::Vector& x) {
+  for (DeviceBankGroup& grp : groups_) {
+    const std::size_t n = grp.element.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const double vd = grp.rowD[i] < 0
+                            ? 0.0
+                            : x[static_cast<std::size_t>(grp.rowD[i])];
+      const double vg = grp.rowG[i] < 0
+                            ? 0.0
+                            : x[static_cast<std::size_t>(grp.rowG[i])];
+      const double vs = grp.rowS[i] < 0
+                            ? 0.0
+                            : x[static_cast<std::size_t>(grp.rowS[i])];
+      const double sign = grp.sign[i];
+      grp.vgs[i] = sign * (vg - vs);
+      grp.vds[i] = sign * (vd - vs);
+    }
+    grp.bank->evaluateLoadBatch(std::span<const double>(grp.vgs),
+                                std::span<const double>(grp.vds),
+                                kMosfetFdStep,
+                                std::span<models::MosfetLoadEvaluation>(
+                                    grp.out));
+  }
+}
+
+}  // namespace vsstat::spice::detail

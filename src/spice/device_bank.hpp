@@ -1,0 +1,121 @@
+// Internal: struct-of-arrays device bank behind the Newton assembler.
+//
+// At Assembler construction every MosfetElement is gathered into a
+// homogeneous group per concrete model type; each group carries a
+// models::MosfetLoadBank (the model-specific batched evaluator) plus
+// struct-of-arrays lane state captured once: polarity sign, residual rows,
+// charge-slot base, and the CSR stamp slots of the element's full Jacobian
+// footprint.  A Newton assembly then
+//
+//   gather:   one pass pulls every lane's canonical (vgs, vds) out of the
+//             iterate,
+//   evaluate: ONE MosfetLoadBank::evaluateLoadBatch call per group replaces
+//             one virtual MosfetModel::evaluateLoad per device,
+//   scatter:  the assembler writes each lane's currents/charges/Jacobian
+//             entries straight into the captured CSR slots, in circuit
+//             element order (Assembler::scatterBankedLane).
+//
+// Bit-identity contract: the gather reproduces LoadContext::v's voltage
+// lookup, the bank reproduces evaluateLoad (models::MosfetLoadBank
+// contract), and the scatter replays MosfetElement::scatterLoad's stamp
+// sequence value-for-value in the same element order -- so a banked
+// assembly accumulates exactly the doubles the scalar element loop would.
+//
+// Rebinds: lanes cache bias-independent state, so the bank tracks each
+// element's cardVersion().  sync() re-derives stale lanes through
+// MosfetLoadBank::rebindLane; a card whose dynamic type changed (exotic --
+// cross-family setInstance/rebind) fails rebindLane and the caller rebuilds
+// the groups from scratch.
+#ifndef VSSTAT_SPICE_DEVICE_BANK_HPP
+#define VSSTAT_SPICE_DEVICE_BANK_HPP
+
+#include <cstdint>
+#include <memory>
+#include <typeindex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
+#include "models/device.hpp"
+#include "spice/circuit.hpp"
+#include "spice/elements.hpp"
+
+namespace vsstat::spice::detail {
+
+/// Where a banked element's lane lives: group index + lane index within
+/// the group.  group < 0 means "not banked" (non-MOSFET elements).
+struct BankLaneRef {
+  std::int32_t group = -1;
+  std::int32_t lane = -1;
+};
+
+/// One homogeneous model group, struct-of-arrays over its lanes.
+struct DeviceBankGroup {
+  std::unique_ptr<models::MosfetLoadBank> bank;
+  std::type_index cardType;
+
+  // --- per-lane captured state (SoA) ----------------------------------------
+  std::vector<const MosfetElement*> element;
+  std::vector<std::uint32_t> version;   ///< last-synced cardVersion()
+  std::vector<double> sign;             ///< +1 NMOS / -1 PMOS
+  std::vector<std::int32_t> rowD, rowG, rowS;  ///< residual rows, -1 = ground
+  std::vector<std::int32_t> chargeBase;        ///< global slot of qg
+  // CSR stamp slots of the 3x3 terminal Jacobian block (row x col over
+  // drain/gate/source), -1 where a terminal is ground.  Named s<Row><Col>.
+  std::vector<std::int32_t> sDG, sDD, sDS;
+  std::vector<std::int32_t> sSG, sSD, sSS;
+  std::vector<std::int32_t> sGG, sGD, sGS;
+
+  // --- per-assembly lanes (gather inputs / batch outputs) -------------------
+  std::vector<double> vgs, vds;
+  std::vector<models::MosfetLoadEvaluation> out;
+
+  explicit DeviceBankGroup(std::type_index type) : cardType(type) {}
+};
+
+class DeviceBankSet {
+ public:
+  /// Captures lane state for every MosfetElement of `circuit`.  `pattern`
+  /// is the assembler's captured MNA sparsity (must outlive the bank set,
+  /// as must the circuit).
+  DeviceBankSet(const Circuit& circuit, const linalg::SparsePattern& pattern);
+
+  DeviceBankSet(const DeviceBankSet&) = delete;
+  DeviceBankSet& operator=(const DeviceBankSet&) = delete;
+
+  /// Re-derives lanes whose element card changed since the last sync.
+  /// Returns false when a lane's card switched to a different model class;
+  /// the caller must rebuild() before the next evaluation.
+  [[nodiscard]] bool sync();
+
+  /// Regroups every element from scratch (cross-family rebind fallback).
+  void rebuild();
+
+  /// Gather + batch-evaluate every group at iterate `x` (node voltage of
+  /// NodeId n is x[n-1], ground reads 0 -- the LoadContext::v convention).
+  void evaluate(const linalg::Vector& x);
+
+  /// Per-circuit-element lane mapping, parallel to circuit.elements().
+  [[nodiscard]] const std::vector<BankLaneRef>& elementLanes() const noexcept {
+    return elementLanes_;
+  }
+  [[nodiscard]] const DeviceBankGroup& group(std::int32_t g) const {
+    return groups_[static_cast<std::size_t>(g)];
+  }
+
+  [[nodiscard]] std::size_t groupCount() const noexcept {
+    return groups_.size();
+  }
+  [[nodiscard]] std::size_t laneCount() const noexcept { return laneCount_; }
+
+ private:
+  const Circuit* circuit_;
+  const linalg::SparsePattern* pattern_;
+  std::vector<DeviceBankGroup> groups_;
+  std::vector<BankLaneRef> elementLanes_;
+  std::size_t laneCount_ = 0;
+};
+
+}  // namespace vsstat::spice::detail
+
+#endif  // VSSTAT_SPICE_DEVICE_BANK_HPP

@@ -99,6 +99,7 @@ void MosfetElement::setInstance(std::unique_ptr<models::MosfetModel> model,
   require(model != nullptr, "setInstance requires a model");
   model_ = std::move(model);
   geometry_ = geometry;
+  ++cardVersion_;
 }
 
 void MosfetElement::rebind(const models::MosfetModel& model,
@@ -109,6 +110,7 @@ void MosfetElement::rebind(const models::MosfetModel& model,
           "rebind must not change device polarity");
   if (!model_->assignFrom(model)) model_ = model.clone();
   geometry_ = geometry;
+  ++cardVersion_;
 }
 
 double MosfetElement::terminalDrainCurrent(double vd, double vg,
@@ -131,12 +133,16 @@ void MosfetElement::load(LoadContext& ctx) const {
 
   // One batched model call supplies the evaluation plus all current/charge
   // derivatives in the canonical bias plane -- analytic for the VS model,
-  // forward differences (step 1 mV: above the model's smoothness scale,
-  // below circuit resolution) for models without analytic chains.  This is
-  // the single hottest call in the engine.
-  constexpr double kStep = 1e-3;
-  const models::MosfetLoadEvaluation ev =
-      model_->evaluateLoad(geometry_, vgs, vds, kStep);
+  // forward differences for models without analytic chains.  This is the
+  // single hottest call in the engine; device banks hoist it out of the
+  // element loop and hand the result to scatterLoad directly.
+  scatterLoad(ctx, model_->evaluateLoad(geometry_, vgs, vds, kMosfetFdStep));
+}
+
+void MosfetElement::scatterLoad(LoadContext& ctx,
+                                const models::MosfetLoadEvaluation& ev) const {
+  const double sign =
+      model_->deviceType() == models::DeviceType::Nmos ? 1.0 : -1.0;
   const models::MosfetEvaluation& e0 = ev.at;
 
   const double didvgs = ev.didVgs;

@@ -3,6 +3,7 @@
 #ifndef VSSTAT_SPICE_ELEMENTS_HPP
 #define VSSTAT_SPICE_ELEMENTS_HPP
 
+#include <cstdint>
 #include <memory>
 
 #include "models/device.hpp"
@@ -69,6 +70,12 @@ class VoltageSourceElement final : public Element {
   SourceWaveform waveform_;
 };
 
+/// Finite-difference step for compact models without analytic Newton-load
+/// chains: above the models' smoothness scale, below circuit resolution.
+/// Shared by the scalar element load and the batched device bank so the
+/// two paths hand models identical inputs.
+inline constexpr double kMosfetFdStep = 1e-3;
+
 /// MOSFET element.  Owns the per-instance compact-model card (each Monte
 /// Carlo sample clones the nominal model and applies its mismatch deltas).
 /// Polarity mapping to the N-canonical model convention happens here:
@@ -82,7 +89,19 @@ class MosfetElement final : public Element {
                 const models::DeviceGeometry& geometry);
 
   void load(LoadContext& ctx) const override;
+
+  /// Stamp pass of load() with the model evaluation supplied by the caller
+  /// -- the scatter half of the batched device-bank path.  load() is
+  /// exactly evaluateLoad() + scatterLoad(), so a banked assembly that
+  /// feeds this the batch result reproduces the scalar stamps bit-for-bit.
+  void scatterLoad(LoadContext& ctx,
+                   const models::MosfetLoadEvaluation& ev) const;
+
   [[nodiscard]] int chargeSlots() const noexcept override { return 3; }
+
+  [[nodiscard]] NodeId drain() const noexcept { return drain_; }
+  [[nodiscard]] NodeId gate() const noexcept { return gate_; }
+  [[nodiscard]] NodeId source() const noexcept { return source_; }
 
   [[nodiscard]] const models::MosfetModel& model() const noexcept {
     return *model_;
@@ -104,6 +123,15 @@ class MosfetElement final : public Element {
   void rebind(const models::MosfetModel& model,
               const models::DeviceGeometry& geometry);
 
+  /// Monotone counter bumped whenever the instance card or geometry
+  /// changes (rebind/setInstance).  Device banks cache bias-independent
+  /// per-lane state and compare this against their last-synced value to
+  /// know when a lane must be re-derived -- the card object itself is
+  /// usually overwritten in place, so pointer identity cannot tell.
+  [[nodiscard]] std::uint32_t cardVersion() const noexcept {
+    return cardVersion_;
+  }
+
   /// DC drain terminal current at the given terminal voltages.
   [[nodiscard]] double terminalDrainCurrent(double vd, double vg,
                                             double vs) const;
@@ -114,6 +142,7 @@ class MosfetElement final : public Element {
   NodeId source_;
   std::unique_ptr<models::MosfetModel> model_;
   models::DeviceGeometry geometry_;
+  std::uint32_t cardVersion_ = 0;
 };
 
 }  // namespace vsstat::spice

@@ -27,11 +27,18 @@ class SweepSourceGuard {
 
 }  // namespace
 
-SimSession::SimSession(Circuit& circuit)
+SimSession::SimSession(Circuit& circuit, SessionOptions options)
     : circuit_(&circuit),
-      assembler_(std::make_unique<detail::Assembler>(circuit)) {}
+      assembler_(std::make_unique<detail::Assembler>(circuit,
+                                                     options.useDeviceBank)) {}
 
 SimSession::~SimSession() = default;
+
+void SimSession::syncDeviceBank() { assembler_->syncDeviceBank(); }
+
+std::size_t SimSession::deviceBankLaneCount() const noexcept {
+  return assembler_->deviceBankLaneCount();
+}
 
 void SimSession::resetNumerics() noexcept {
   assembler_->workspace().lu.reset();
@@ -102,6 +109,11 @@ void SimSession::dcSweepNode(const std::string& sourceName,
 Waveform SimSession::transient(const TransientOptions& options) {
   resetNumerics();
   return detail::runTransient(*assembler_, options);
+}
+
+void SimSession::transient(const TransientOptions& options, Waveform& out) {
+  resetNumerics();
+  detail::runTransient(*assembler_, options, out);
 }
 
 }  // namespace vsstat::spice

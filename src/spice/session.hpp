@@ -33,12 +33,20 @@ namespace detail {
 class Assembler;
 }
 
+struct SessionOptions {
+  /// Batched struct-of-arrays MOSFET evaluation (spice/device_bank.hpp).
+  /// Bit-identical to the scalar element loop by contract; turning it off
+  /// selects the scalar fallback (the comparison axis for benches/tests,
+  /// and an escape hatch for exotic element mixes).
+  bool useDeviceBank = true;
+};
+
 class SimSession {
  public:
   /// Binds to `circuit` and captures its MNA pattern.  The circuit must
   /// outlive the session; its topology must not change afterwards (device
   /// rebinding and source retuning are fine).
-  explicit SimSession(Circuit& circuit);
+  explicit SimSession(Circuit& circuit, SessionOptions options = {});
   ~SimSession();
 
   SimSession(const SimSession&) = delete;
@@ -72,6 +80,21 @@ class SimSession {
 
   /// Transient analysis; bit-identical to spice::transient.
   [[nodiscard]] Waveform transient(const TransientOptions& options);
+
+  /// Transient analysis into a caller-owned record (cleared first, capacity
+  /// reused) -- the allocation-free variant for campaign inner loops.
+  /// Sample-for-sample identical to the overload above.
+  void transient(const TransientOptions& options, Waveform& out);
+
+  /// Eagerly re-derives the device bank's cached lane state after a rebind
+  /// pass (sim::CampaignSession calls this per sample, hoisting the refresh
+  /// out of the Newton loop).  Lazy sync inside the assembler makes this an
+  /// optimization, not a correctness requirement.
+  void syncDeviceBank();
+
+  /// Banked MOSFET lanes (0 = scalar fallback / no MOSFETs): telemetry for
+  /// tests and benches that assert banking is actually engaged.
+  [[nodiscard]] std::size_t deviceBankLaneCount() const noexcept;
 
  private:
   /// Resets the workspace LU pivot state so this solve re-derives its

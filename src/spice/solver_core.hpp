@@ -33,7 +33,14 @@ bool dcSolveLadder(Assembler& assembler, linalg::Vector& x,
 OperatingPoint packSolution(const Circuit& circuit, const linalg::Vector& x);
 linalg::Vector unpackGuess(const Circuit& circuit, const OperatingPoint& op);
 
-/// Full transient run on an existing assembler (t = 0 DC solve included).
+/// Full transient run on an existing assembler (t = 0 DC solve included),
+/// recorded into `out` (reset first; capacity reused).  Scratch vectors
+/// live in the assembler's workspace, so a warm session transient performs
+/// no per-run allocations beyond waveform growth past prior capacity.
+void runTransient(Assembler& assembler, const TransientOptions& options,
+                  Waveform& out);
+
+/// By-value convenience wrapper around the overload above.
 Waveform runTransient(Assembler& assembler, const TransientOptions& options);
 
 }  // namespace vsstat::spice::detail

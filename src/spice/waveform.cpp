@@ -10,6 +10,13 @@ Waveform::Waveform(std::size_t nodeCount) : nodeCount_(nodeCount) {
   require(nodeCount > 0, "Waveform: need at least the ground node");
 }
 
+void Waveform::reset(std::size_t nodeCount) {
+  require(nodeCount > 0, "Waveform: need at least the ground node");
+  nodeCount_ = nodeCount;
+  times_.clear();
+  values_.clear();
+}
+
 void Waveform::addSample(double time, const std::vector<double>& nodeVoltages) {
   require(nodeVoltages.size() == nodeCount_, "Waveform: sample arity mismatch");
   require(times_.empty() || time >= times_.back(),

@@ -14,6 +14,11 @@ class Waveform {
  public:
   explicit Waveform(std::size_t nodeCount);
 
+  /// Re-arms the record for a new run: drops all samples, keeps the sample
+  /// storage capacity.  Campaign inner loops reuse one Waveform across
+  /// samples this way instead of allocating a fresh record per transient.
+  void reset(std::size_t nodeCount);
+
   /// Appends one time sample; `nodeVoltages` is indexed by NodeId and must
   /// include ground at index 0.  Times must be non-decreasing.
   void addSample(double time, const std::vector<double>& nodeVoltages);

@@ -126,6 +126,74 @@ TEST_P(ModelContract, CurrentScalesRoughlyWithWidth) {
   EXPECT_NEAR(i2 / i1, 2.0, 0.25);
 }
 
+TEST_P(ModelContract, BatchLoadBitIdenticalToScalar) {
+  // Device-bank contract: makeLoadBank's batched evaluation must equal the
+  // scalar evaluateLoad lane-for-lane and BIT-for-bit, across the full
+  // bias plane including source/drain reversal (negative vds), for every
+  // model family and polarity.  Lanes deliberately differ in geometry so
+  // per-lane cached derived state is exercised.
+  const auto m = model();
+  const std::vector<DeviceGeometry> geoms = {
+      geom(), geometryNm(0.6 * GetParam().widthNm, 40),
+      geometryNm(1.7 * GetParam().widthNm, 55)};
+  std::vector<BankLane> lanes;
+  for (const DeviceGeometry& g : geoms) lanes.push_back(BankLane{m.get(), &g});
+  const auto bank = m->makeLoadBank(lanes);
+  ASSERT_EQ(bank->laneCount(), geoms.size());
+
+  constexpr double kStep = 1e-3;
+  std::vector<double> vgs(geoms.size());
+  std::vector<double> vds(geoms.size());
+  std::vector<MosfetLoadEvaluation> out(geoms.size());
+  for (double vg : {-0.2, 0.0, 0.3, 0.45, 0.9}) {
+    for (double vd : {-0.9, -0.3, 0.0, 0.001, 0.4, 0.9}) {
+      // Offset the lanes so the batch sees distinct biases per lane.
+      for (std::size_t i = 0; i < geoms.size(); ++i) {
+        vgs[i] = vg + 0.013 * static_cast<double>(i);
+        vds[i] = vd - 0.017 * static_cast<double>(i);
+      }
+      bank->evaluateLoadBatch(vgs, vds, kStep, out);
+      for (std::size_t i = 0; i < geoms.size(); ++i) {
+        const MosfetLoadEvaluation ref =
+            m->evaluateLoad(geoms[i], vgs[i], vds[i], kStep);
+        EXPECT_EQ(out[i].at.id, ref.at.id) << "lane " << i;
+        EXPECT_EQ(out[i].at.qg, ref.at.qg) << "lane " << i;
+        EXPECT_EQ(out[i].at.qd, ref.at.qd) << "lane " << i;
+        EXPECT_EQ(out[i].at.qs, ref.at.qs) << "lane " << i;
+        EXPECT_EQ(out[i].didVgs, ref.didVgs) << "lane " << i;
+        EXPECT_EQ(out[i].didVds, ref.didVds) << "lane " << i;
+        EXPECT_EQ(out[i].dqgVgs, ref.dqgVgs) << "lane " << i;
+        EXPECT_EQ(out[i].dqgVds, ref.dqgVds) << "lane " << i;
+        EXPECT_EQ(out[i].dqdVgs, ref.dqdVgs) << "lane " << i;
+        EXPECT_EQ(out[i].dqdVds, ref.dqdVds) << "lane " << i;
+        EXPECT_EQ(out[i].dqsVgs, ref.dqsVgs) << "lane " << i;
+        EXPECT_EQ(out[i].dqsVds, ref.dqsVds) << "lane " << i;
+      }
+    }
+  }
+}
+
+TEST_P(ModelContract, BankRebindLaneTracksNewCard) {
+  // After rebindLane the lane must evaluate the NEW card/geometry (cached
+  // derived state refreshed), still bit-identical to scalar.
+  const auto m = model();
+  const DeviceGeometry g0 = geom();
+  const DeviceGeometry g1 = geometryNm(1.4 * GetParam().widthNm, 48);
+  std::vector<BankLane> lanes = {BankLane{m.get(), &g0}};
+  const auto bank = m->makeLoadBank(lanes);
+
+  ASSERT_TRUE(bank->rebindLane(0, *m, g1));
+  constexpr double kStep = 1e-3;
+  const std::vector<double> vgs = {0.6};
+  const std::vector<double> vds = {0.45};
+  std::vector<MosfetLoadEvaluation> out(1);
+  bank->evaluateLoadBatch(vgs, vds, kStep, out);
+  const MosfetLoadEvaluation ref = m->evaluateLoad(g1, 0.6, 0.45, kStep);
+  EXPECT_EQ(out[0].at.id, ref.at.id);
+  EXPECT_EQ(out[0].didVgs, ref.didVgs);
+  EXPECT_EQ(out[0].dqgVds, ref.dqgVds);
+}
+
 TEST_P(ModelContract, CloneBehavesIdentically) {
   const auto m = model();
   const auto c = m->clone();

@@ -148,6 +148,90 @@ TEST(CampaignSession, SramSnmRebindBitIdenticalToRebuild) {
   expectBitIdentical(rebuild, session4);
 }
 
+// --- Device bank: banked sessions vs the scalar element loop -----------------
+
+/// Session campaign with the device bank explicitly on/off.  The default
+/// (banked) path batch-evaluates each model group per Newton assembly; the
+/// scalar path is the PR-2 per-element loop.  Their campaign metrics must
+/// be BIT-identical for any thread count on both workload shapes.
+template <class Fixture, class Fn>
+mc::McResult campaignWithBank(int samples, unsigned threads,
+                              std::uint64_t seed,
+                              const typename sim::CampaignSession<
+                                  Fixture>::Builder& build,
+                              bool useDeviceBank, const Fn& fn) {
+  mc::McOptions opt;
+  opt.samples = samples;
+  opt.seed = seed;
+  opt.threads = threads;
+  return mc::runCampaign<Fixture>(
+      opt, 1, build, [] { return makeProvider(stats::Rng(0)); }, fn,
+      spice::SessionOptions{.useDeviceBank = useDeviceBank});
+}
+
+TEST(DeviceBankCampaign, InvFo3BankedBitIdenticalToScalarSession) {
+  const auto build = [](circuits::DeviceProvider& p) {
+    return circuits::buildInvFo3(p, circuits::CellSizing{},
+                                 circuits::StimulusSpec{});
+  };
+  const auto fn = [](std::size_t, CampaignSession<GateFo3Bench>& session,
+                     stats::Rng&, std::vector<double>& out) {
+    out[0] = measure::measureGateDelays(session.fixture(), session.spice(),
+                                        kInvDt)
+                 .average();
+  };
+  const mc::McResult scalar =
+      campaignWithBank<GateFo3Bench>(10, 1, 4242, build, false, fn);
+  const mc::McResult banked1 =
+      campaignWithBank<GateFo3Bench>(10, 1, 4242, build, true, fn);
+  const mc::McResult banked4 =
+      campaignWithBank<GateFo3Bench>(10, 4, 4242, build, true, fn);
+  ASSERT_GT(scalar.sampleCount(), 0u);
+  expectBitIdentical(scalar, banked1);
+  expectBitIdentical(scalar, banked4);
+}
+
+TEST(DeviceBankCampaign, SramSnmBankedBitIdenticalToScalarSession) {
+  const auto build = [](circuits::DeviceProvider& p) {
+    return circuits::buildSramButterfly(p, 0.9, circuits::SramMode::Read,
+                                        circuits::SramSizing{});
+  };
+  const auto fn = [](std::size_t, CampaignSession<SramButterflyBench>& session,
+                     stats::Rng&, std::vector<double>& out) {
+    out[0] =
+        measure::measureSnm(session.fixture(), session.spice(), kSnmPoints)
+            .cellSnm();
+  };
+  const mc::McResult scalar =
+      campaignWithBank<SramButterflyBench>(8, 1, 905, build, false, fn);
+  const mc::McResult banked1 =
+      campaignWithBank<SramButterflyBench>(8, 1, 905, build, true, fn);
+  const mc::McResult banked4 =
+      campaignWithBank<SramButterflyBench>(8, 4, 905, build, true, fn);
+  ASSERT_GT(scalar.sampleCount(), 0u);
+  expectBitIdentical(scalar, banked1);
+  expectBitIdentical(scalar, banked4);
+}
+
+TEST(DeviceBankCampaign, SessionsReportBankedLanes) {
+  auto session = CampaignSession<SramButterflyBench>(
+      [](circuits::DeviceProvider& p) {
+        return circuits::buildSramButterfly(p, 0.9, circuits::SramMode::Read,
+                                            circuits::SramSizing{});
+      },
+      makeProvider(stats::Rng(1)));
+  EXPECT_EQ(session.spice().deviceBankLaneCount(), 6u);  // banked by default
+
+  auto scalar = CampaignSession<SramButterflyBench>(
+      [](circuits::DeviceProvider& p) {
+        return circuits::buildSramButterfly(p, 0.9, circuits::SramMode::Read,
+                                            circuits::SramSizing{});
+      },
+      makeProvider(stats::Rng(1)),
+      spice::SessionOptions{.useDeviceBank = false});
+  EXPECT_EQ(scalar.spice().deviceBankLaneCount(), 0u);
+}
+
 // --- Rebind plumbing ---------------------------------------------------------
 
 TEST(CampaignSession, RecordsBuildOrderAndRebindsInPlace) {

@@ -1,0 +1,219 @@
+// The device bank's core contract (spice/device_bank.hpp): a banked
+// assembly -- gather, one batch evaluation per model group, direct-slot
+// scatter -- must reproduce the scalar per-element Newton path BIT-for-bit
+// on every analysis: DC operating points, sweeps, and transients; on
+// homogeneous and mixed-model circuits; and across in-place and
+// cross-family rebinds (which force a lane refresh resp. a bank rebuild).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "circuits/benchmarks.hpp"
+#include "circuits/provider.hpp"
+#include "measure/snm.hpp"
+#include "models/alpha_power.hpp"
+#include "models/bsim_lite.hpp"
+#include "models/vs_model.hpp"
+#include "spice/analysis.hpp"
+#include "spice/circuit.hpp"
+#include "spice/elements.hpp"
+#include "spice/session.hpp"
+
+namespace vsstat::spice {
+namespace {
+
+models::VsParams nmosCard() { return models::defaultVsNmos(); }
+models::VsParams pmosCard() { return models::defaultVsPmos(); }
+
+/// Inverter driving a capacitive load, with a pulse input: exercises DC
+/// (homotopies off the zero guess) and transient (charge stamps).
+Circuit makeInverter() {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.addVoltageSource("VDD", vdd, c.ground(), SourceWaveform::dc(0.9));
+  c.addVoltageSource("VIN", in, c.ground(),
+                     SourceWaveform::pulse(0.0, 0.9, 20e-12, 10e-12, 10e-12,
+                                           80e-12, 200e-12));
+  c.addMosfet("MP", out, in, vdd,
+              std::make_unique<models::VsModel>(pmosCard()),
+              models::geometryNm(600, 40));
+  c.addMosfet("MN", out, in, c.ground(),
+              std::make_unique<models::VsModel>(nmosCard()),
+              models::geometryNm(300, 40));
+  c.addCapacitor("CL", out, c.ground(), 2e-15);
+  return c;
+}
+
+/// Mixed model families in one circuit: a VS inverter loaded by a BsimLite
+/// pass transistor and an AlphaPower pull-down.  Groups one VsLoadBank and
+/// two generic banks in a single banked assembly.
+Circuit makeMixedFamilies() {
+  Circuit c;
+  const NodeId vdd = c.node("vdd");
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  const NodeId tail = c.node("tail");
+  c.addVoltageSource("VDD", vdd, c.ground(), SourceWaveform::dc(0.9));
+  c.addVoltageSource("VIN", in, c.ground(), SourceWaveform::dc(0.35));
+  c.addMosfet("MP", out, in, vdd,
+              std::make_unique<models::VsModel>(pmosCard()),
+              models::geometryNm(600, 40));
+  c.addMosfet("MN", out, in, c.ground(),
+              std::make_unique<models::VsModel>(nmosCard()),
+              models::geometryNm(300, 40));
+  c.addMosfet("MPASS", tail, vdd, out,
+              std::make_unique<models::BsimLite>(models::defaultBsimNmos()),
+              models::geometryNm(200, 40));
+  c.addMosfet("MA", tail, in, c.ground(),
+              std::make_unique<models::AlphaPowerModel>(
+                  models::defaultAlphaNmos()),
+              models::geometryNm(150, 40));
+  c.addResistor("RL", tail, c.ground(), 5e5);
+  return c;
+}
+
+void expectSameOp(const OperatingPoint& a, const OperatingPoint& b) {
+  ASSERT_EQ(a.nodeVoltages.size(), b.nodeVoltages.size());
+  for (std::size_t i = 0; i < a.nodeVoltages.size(); ++i)
+    EXPECT_EQ(a.nodeVoltages[i], b.nodeVoltages[i]) << "node " << i;
+  ASSERT_EQ(a.branchCurrents.size(), b.branchCurrents.size());
+  for (std::size_t i = 0; i < a.branchCurrents.size(); ++i)
+    EXPECT_EQ(a.branchCurrents[i], b.branchCurrents[i]) << "branch " << i;
+}
+
+void expectSameWave(const Waveform& a, const Waveform& b) {
+  ASSERT_EQ(a.sampleCount(), b.sampleCount());
+  ASSERT_EQ(a.nodeCount(), b.nodeCount());
+  for (std::size_t i = 0; i < a.sampleCount(); ++i) {
+    EXPECT_EQ(a.time(i), b.time(i)) << "sample " << i;
+    for (std::size_t n = 0; n < a.nodeCount(); ++n)
+      EXPECT_EQ(a.value(static_cast<NodeId>(n), i),
+                b.value(static_cast<NodeId>(n), i))
+          << "sample " << i << " node " << n;
+  }
+}
+
+TEST(DeviceBank, DcOperatingPointBitIdenticalToScalar) {
+  Circuit banked = makeInverter();
+  Circuit scalar = makeInverter();
+  SimSession bankedSession(banked, SessionOptions{.useDeviceBank = true});
+  SimSession scalarSession(scalar, SessionOptions{.useDeviceBank = false});
+  ASSERT_EQ(bankedSession.deviceBankLaneCount(), 2u);
+  ASSERT_EQ(scalarSession.deviceBankLaneCount(), 0u);
+
+  expectSameOp(bankedSession.dcOperatingPoint(),
+               scalarSession.dcOperatingPoint());
+}
+
+TEST(DeviceBank, TransientBitIdenticalToScalar) {
+  Circuit banked = makeInverter();
+  Circuit scalar = makeInverter();
+  SimSession bankedSession(banked, SessionOptions{.useDeviceBank = true});
+  SimSession scalarSession(scalar, SessionOptions{.useDeviceBank = false});
+
+  TransientOptions opt;
+  opt.tStop = 200e-12;
+  opt.dt = 1e-12;
+  expectSameWave(bankedSession.transient(opt), scalarSession.transient(opt));
+}
+
+TEST(DeviceBank, MixedModelFamiliesBitIdenticalToScalar) {
+  Circuit banked = makeMixedFamilies();
+  Circuit scalar = makeMixedFamilies();
+  SimSession bankedSession(banked, SessionOptions{.useDeviceBank = true});
+  SimSession scalarSession(scalar, SessionOptions{.useDeviceBank = false});
+  // VS group (MP, MN) + BsimLite group + AlphaPower group.
+  ASSERT_EQ(bankedSession.deviceBankLaneCount(), 4u);
+
+  expectSameOp(bankedSession.dcOperatingPoint(),
+               scalarSession.dcOperatingPoint());
+
+  // Sweep the input: warm-started trajectories must stay locked too.
+  std::vector<double> levels;
+  for (int i = 0; i <= 30; ++i) levels.push_back(0.9 * i / 30.0);
+  const auto bankedSweep = bankedSession.dcSweep("VIN", levels);
+  const auto scalarSweep = scalarSession.dcSweep("VIN", levels);
+  ASSERT_EQ(bankedSweep.size(), scalarSweep.size());
+  for (std::size_t i = 0; i < bankedSweep.size(); ++i)
+    expectSameOp(bankedSweep[i], scalarSweep[i]);
+}
+
+TEST(DeviceBank, InPlaceRebindRefreshesLanes) {
+  Circuit banked = makeInverter();
+  Circuit scalar = makeInverter();
+  SimSession bankedSession(banked, SessionOptions{.useDeviceBank = true});
+  SimSession scalarSession(scalar, SessionOptions{.useDeviceBank = false});
+  (void)bankedSession.dcOperatingPoint();  // lanes derived from the old card
+
+  // Same-type rebind overwrites the card in place; the bank must re-derive
+  // its cached per-lane state before the next solve.
+  models::VsParams shifted = nmosCard();
+  shifted.vt0 += 0.07;
+  const models::VsModel card(shifted);
+  banked.mosfet("MN").rebind(card, models::geometryNm(320, 42));
+  scalar.mosfet("MN").rebind(card, models::geometryNm(320, 42));
+
+  expectSameOp(bankedSession.dcOperatingPoint(),
+               scalarSession.dcOperatingPoint());
+}
+
+TEST(DeviceBank, CrossFamilyRebindRebuildsBank) {
+  Circuit banked = makeInverter();
+  Circuit scalar = makeInverter();
+  SimSession bankedSession(banked, SessionOptions{.useDeviceBank = true});
+  SimSession scalarSession(scalar, SessionOptions{.useDeviceBank = false});
+  (void)bankedSession.dcOperatingPoint();
+
+  // Cross-family rebind clones a BsimLite card into the VS lane: the VS
+  // bank reports the incompatible type and the set regroups.
+  const models::BsimLite golden(models::defaultBsimNmos());
+  banked.mosfet("MN").rebind(golden, models::geometryNm(300, 40));
+  scalar.mosfet("MN").rebind(golden, models::geometryNm(300, 40));
+
+  expectSameOp(bankedSession.dcOperatingPoint(),
+               scalarSession.dcOperatingPoint());
+}
+
+TEST(DeviceBank, SramSnmFixtureBitIdenticalToScalar) {
+  // The paper's Fig. 9 inner loop on the real 6T READ fixture: butterfly
+  // sweeps + SNM through banked and scalar sessions.
+  const models::VsModel nmos(nmosCard());
+  const models::VsModel pmos(pmosCard());
+  circuits::NominalProvider p1(nmos, pmos);
+  circuits::NominalProvider p2(nmos, pmos);
+  circuits::SramButterflyBench banked = circuits::buildSramButterfly(
+      p1, 0.9, circuits::SramMode::Read, circuits::SramSizing{});
+  circuits::SramButterflyBench scalar = circuits::buildSramButterfly(
+      p2, 0.9, circuits::SramMode::Read, circuits::SramSizing{});
+  SimSession bankedSession(banked.circuit,
+                           SessionOptions{.useDeviceBank = true});
+  SimSession scalarSession(scalar.circuit,
+                           SessionOptions{.useDeviceBank = false});
+  ASSERT_EQ(bankedSession.deviceBankLaneCount(), 6u);
+
+  const measure::SnmResult a = measure::measureSnm(banked, bankedSession, 45);
+  const measure::SnmResult b = measure::measureSnm(scalar, scalarSession, 45);
+  EXPECT_EQ(a.lobe1, b.lobe1);
+  EXPECT_EQ(a.lobe2, b.lobe2);
+}
+
+TEST(DeviceBank, FreeFunctionsMatchScalarSessions) {
+  // The free-analysis entry points default to banked assemblers; they must
+  // agree with an explicitly scalar session on the same topology.
+  Circuit freePath = makeInverter();
+  Circuit scalar = makeInverter();
+  SimSession scalarSession(scalar, SessionOptions{.useDeviceBank = false});
+
+  expectSameOp(dcOperatingPoint(freePath), scalarSession.dcOperatingPoint());
+
+  TransientOptions opt;
+  opt.tStop = 100e-12;
+  opt.dt = 1e-12;
+  expectSameWave(transient(freePath, opt), scalarSession.transient(opt));
+}
+
+}  // namespace
+}  // namespace vsstat::spice
