@@ -85,7 +85,8 @@ struct VsLaneFixture {
     std::vector<models::BankLane> lanes;
     for (std::size_t i = 0; i < cards.size(); ++i)
       lanes.push_back(models::BankLane{cards[i].get(), &geoms[i]});
-    bank = cards.front()->makeLoadBank(lanes);
+    bank = static_cast<const models::MosfetModel&>(*cards.front())
+               .makeLoadBank(lanes);
     vgs.resize(cards.size());
     vds.resize(cards.size());
     out.resize(cards.size());

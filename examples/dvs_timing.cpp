@@ -8,9 +8,14 @@
 // worker, rebound per sample, instead of rebuilding circuit + solver state
 // every sample.
 //
-// Usage: example_dvs_timing [samples]   (default 500; CI smoke uses a few)
+// Usage: example_dvs_timing [samples] [--fast]
+//   samples   default 500; CI smoke uses a few
+//   --fast    NumericsMode::fast -- SIMD transcendental kernels in the
+//             device-bank lanes; delay metrics agree with the reference
+//             mode within solver tolerance (see README, numerics modes)
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "circuits/benchmarks.hpp"
 #include "core/statistical_vs.hpp"
@@ -28,10 +33,23 @@ int main(int argc, char** argv) {
   const core::StatisticalVsKit kit = core::StatisticalVsKit::characterize(
       extract::GoldenKit::default40nm(), opt);
 
-  const int kSamples =
-      argc > 1 ? std::max(std::atoi(argv[1]), 10) : 500;
+  int kSamples = 500;
+  spice::SessionOptions sessionOptions;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      sessionOptions.numerics = models::NumericsMode::fast;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "example_dvs_timing: unknown flag '%s' "
+                   "(usage: example_dvs_timing [samples] [--fast])\n",
+                   argv[i]);
+      return 2;
+    } else {
+      kSamples = std::max(std::atoi(argv[i]), 10);
+    }
+  }
   std::printf("NAND2 FO3 delay under dynamic voltage scaling (%d MC runs, "
-              "statistical VS model)\n\n", kSamples);
+              "statistical VS model, %s numerics)\n\n", kSamples,
+              models::toString(sessionOptions.numerics));
   std::printf("%-8s %-12s %-14s %-10s %-12s %-10s\n", "Vdd [V]", "mean [ps]",
               "sigma/mean [%]", "skewness", "QQ r^2", "Gaussian?");
 
@@ -57,7 +75,8 @@ int main(int argc, char** argv) {
           out[0] = measure::measureGateDelays(session.fixture(),
                                               session.spice(), dt)
                        .average();
-        });
+        },
+        sessionOptions);
 
     const auto s = stats::summarize(r.metrics[0]);
     const auto qq = stats::qqAgainstNormal(r.metrics[0]);

@@ -22,11 +22,14 @@
 // Monte Carlo estimate -- stratified designs buy back the budget on smooth
 // responses like SNM.
 //
-// Usage: example_sram_yield [mc_samples] [is_samples] [scheme]
-//        (defaults 800/400 iid; scheme in {iid, lhs, halton})
+// Usage: example_sram_yield [mc_samples] [is_samples] [scheme] [--fast]
+//        (defaults 800/400 iid; scheme in {iid, lhs, halton}; --fast
+//        selects NumericsMode::fast -- SIMD kernels in the device-bank
+//        lanes, SNM/yield results within solver tolerance of reference)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -89,13 +92,14 @@ class FixedDeltaProvider final : public circuits::DeviceProvider {
 using ButterflyPool = sim::SessionPool<circuits::SramButterflyBench>;
 
 ButterflyPool makePool(const core::StatisticalVsKit& kit,
-                       circuits::SramMode mode) {
+                       circuits::SramMode mode,
+                       spice::SessionOptions sessionOptions) {
   return ButterflyPool(
       [&kit, mode](circuits::DeviceProvider& provider) {
         return circuits::buildSramButterfly(provider, kit.vdd(), mode,
                                             circuits::SramSizing{});
       },
-      [&kit] { return kit.makeProvider(stats::Rng(0)); });
+      [&kit] { return kit.makeProvider(stats::Rng(0)); }, sessionOptions);
 }
 
 }  // namespace
@@ -108,14 +112,16 @@ namespace {
 /// campaign's own RNG stream is ignored on purpose.
 yield::YieldEstimate generatorYield(const core::StatisticalVsKit& kit,
                                     const mc::SampleGenerator& gen,
-                                    double snmFloor) {
+                                    double snmFloor,
+                                    spice::SessionOptions sessionOptions) {
   ButterflyPool pool(
       [&kit](circuits::DeviceProvider& provider) {
         return circuits::buildSramButterfly(provider, kit.vdd(),
                                             circuits::SramMode::Read,
                                             circuits::SramSizing{});
       },
-      [&kit] { return std::make_unique<FixedDeltaProvider>(kit); });
+      [&kit] { return std::make_unique<FixedDeltaProvider>(kit); },
+      sessionOptions);
 
   mc::McOptions opt;
   opt.samples = static_cast<int>(gen.samples());
@@ -140,16 +146,34 @@ int main(int argc, char** argv) {
   const core::StatisticalVsKit kit = core::StatisticalVsKit::characterize(
       extract::GoldenKit::default40nm(), opt);
 
-  const int kSamples = argc > 1 ? std::max(std::atoi(argv[1]), 20) : 800;
-  const int kIsSamples = argc > 2 ? std::max(std::atoi(argv[2]), 20) : 400;
-  const std::string scheme = argc > 3 ? argv[3] : "iid";
+  spice::SessionOptions sessionOptions;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      sessionOptions.numerics = models::NumericsMode::fast;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "example_sram_yield: unknown flag '%s' (usage: "
+                   "example_sram_yield [mc_samples] [is_samples] [scheme] "
+                   "[--fast])\n", argv[i]);
+      return 2;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int kSamples =
+      positional.size() > 0 ? std::max(std::atoi(positional[0]), 20) : 800;
+  const int kIsSamples =
+      positional.size() > 1 ? std::max(std::atoi(positional[1]), 20) : 400;
+  const std::string scheme = positional.size() > 2 ? positional[2] : "iid";
   require(scheme == "iid" || scheme == "lhs" || scheme == "halton",
           "scheme must be one of: iid, lhs, halton");
   constexpr double kSnmFloor = 0.04;  // V; stability criterion
 
   // Stage 1: READ and HOLD SNM of the same dies, via leased sessions.
-  ButterflyPool readPool = makePool(kit, circuits::SramMode::Read);
-  ButterflyPool holdPool = makePool(kit, circuits::SramMode::Hold);
+  ButterflyPool readPool =
+      makePool(kit, circuits::SramMode::Read, sessionOptions);
+  ButterflyPool holdPool =
+      makePool(kit, circuits::SramMode::Hold, sessionOptions);
 
   mc::McOptions mcOpt;
   mcOpt.samples = kSamples;
@@ -170,7 +194,8 @@ int main(int argc, char** argv) {
   const auto read = stats::summarize(r.metrics[0]);
   const auto hold = stats::summarize(r.metrics[1]);
   std::printf("6T SRAM (N/P 150/40 nm, pass 100 nm) at Vdd = %.2f V, %d MC "
-              "samples\n\n", kit.vdd(), kSamples);
+              "samples, %s numerics\n\n", kit.vdd(), kSamples,
+              models::toString(sessionOptions.numerics));
   std::printf("READ SNM: mean = %.1f mV  sigma = %.1f mV  min = %.1f mV\n",
               read.mean * 1e3, read.stddev * 1e3, read.min * 1e3);
   std::printf("HOLD SNM: mean = %.1f mV  sigma = %.1f mV  min = %.1f mV\n",
@@ -200,7 +225,7 @@ int main(int argc, char** argv) {
       gen = std::make_unique<mc::HaltonSampler>(dims, budget, 314);
     }
     const yield::YieldEstimate stratified =
-        generatorYield(kit, *gen, kSnmFloor);
+        generatorYield(kit, *gen, kSnmFloor, sessionOptions);
     std::printf("\n%s read-stability yield at HALF budget (%zu samples): "
                 "%.2f %%  [95%% CI %.2f..%.2f]\n",
                 scheme == "lhs" ? "Latin-hypercube" : "Randomized-Halton",
@@ -229,7 +254,8 @@ int main(int argc, char** argv) {
                                             circuits::SramMode::Read,
                                             circuits::SramSizing{});
       },
-      [&kit] { return std::make_unique<FixedDeltaProvider>(kit); });
+      [&kit] { return std::make_unique<FixedDeltaProvider>(kit); },
+      sessionOptions);
 
   const yield::FailureIndicator cellFails =
       [&](const std::vector<double>& z) {

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""CI parallel-scaling smoke: bit-identity + throughput across worker counts.
+
+Input is the concatenated JSONL of several `bench_campaign --scaling
+--threads N` runs (one scaling.jsonl, uploaded as a CI artifact).  For each
+workload row name the script
+
+  * asserts every thread count reported the SAME metrics_fnv1a -- the
+    campaign runner's cross-thread bit-identity contract, now checked on
+    every push rather than only in unit tests, and
+  * prints samples/sec per worker count (the ROADMAP "parallel-scaling
+    audit" record; no threshold is applied, since CI runners have too few
+    cores for a meaningful parallel-efficiency gate).
+
+Requires at least two distinct thread counts per workload.  Markdown goes
+to --summary (point it at $GITHUB_STEP_SUMMARY).  Exit 1 on any hash
+mismatch or missing coverage.  Stdlib only.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("jsonl", help="concatenated --scaling run output")
+    parser.add_argument("--summary", default=None)
+    args = parser.parse_args()
+
+    rows = []
+    with open(args.jsonl, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                sys.exit(f"error: {args.jsonl}:{lineno}: not JSON ({err})")
+
+    by_name = collections.defaultdict(list)
+    for row in rows:
+        by_name[row["name"]].append(row)
+
+    if not by_name:
+        sys.exit(f"error: no rows in {args.jsonl}")
+
+    failures = 0
+    table = []  # (name, threads, samples_per_sec, hash, ok)
+    for name, group in sorted(by_name.items()):
+        group.sort(key=lambda r: r.get("threads", 0))
+        threads = [r.get("threads") for r in group]
+        if len(set(threads)) < 2:
+            print(f"error: workload {name} ran at {len(set(threads))} "
+                  f"thread count(s); need >= 2 for a scaling check")
+            failures += 1
+        hashes = {r.get("metrics_fnv1a") for r in group}
+        identical = len(hashes) == 1 and None not in hashes
+        if not identical:
+            failures += 1
+        for r in group:
+            table.append((name, r.get("threads"), r.get("samples_per_sec"),
+                          r.get("metrics_fnv1a"), identical))
+
+    print("parallel-scaling smoke (metrics must be bit-identical across "
+          "worker counts):")
+    for name, threads, sps, fnv, ok in table:
+        mark = "ok" if ok else "HASH MISMATCH"
+        print(f"  {name:<24} threads={threads:<3} {sps:>8.1f} samples/s  "
+              f"{fnv}  {mark}")
+    verdict = ("bit-identical across all worker counts" if failures == 0
+               else f"{failures} workload(s) FAILED the identity check")
+    print(f"  -> {verdict}")
+
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as fh:
+            fh.write("### Parallel-scaling smoke\n\n")
+            fh.write("| workload | threads | samples/sec | metrics hash "
+                     "| bit-identical |\n|---|---|---|---|---|\n")
+            for name, threads, sps, fnv, ok in table:
+                fh.write(f"| {name} | {threads} | {sps:.1f} | `{fnv}` "
+                         f"| {'✅' if ok else '❌'} |\n")
+            fh.write(f"\n**{verdict}**\n\n")
+
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

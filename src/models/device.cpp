@@ -16,7 +16,9 @@ namespace {
 /// state, so the base rebindLane (pointer swap) is already complete, and
 /// the batch trivially matches the scalar path bit-for-bit.  Models whose
 /// Newton load is not on any campaign hot path (BsimLite, AlphaPower) stay
-/// on this and are still correct lanes of a banked circuit.
+/// on this and are still correct lanes of a banked circuit.  NumericsMode
+/// is accepted and ignored: the generic bank always evaluates reference
+/// numerics, which trivially satisfies the fast-mode tolerance contract.
 class GenericLoadBank final : public MosfetLoadBank {
  public:
   explicit GenericLoadBank(std::vector<BankLane> lanes)
@@ -35,7 +37,7 @@ class GenericLoadBank final : public MosfetLoadBank {
 }  // namespace
 
 std::unique_ptr<MosfetLoadBank> MosfetModel::makeLoadBank(
-    std::vector<BankLane> lanes) const {
+    std::vector<BankLane> lanes, NumericsMode /*mode*/) const {
   return std::make_unique<GenericLoadBank>(std::move(lanes));
 }
 

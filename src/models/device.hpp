@@ -27,6 +27,28 @@ enum class DeviceType { Nmos, Pmos };
   return t == DeviceType::Nmos ? "NMOS" : "PMOS";
 }
 
+/// Numerics contract of batched (device-bank) model evaluation.
+///
+/// `reference` -- the default -- pins every transcendental to libm and every
+/// accumulation to the scalar path's order: banked evaluation is
+/// bit-identical to per-element evaluateLoad, which is what all identity
+/// tests and the cross-thread determinism contract are built on.
+///
+/// `fast` replaces the lane loop's exp/log1p/pow with the vectorized
+/// polynomial kernels of util/simd_math.hpp, batched across the bank's
+/// lanes.  It is tolerance-checked, not bit-checked, against reference:
+/// per-lane relative current/charge error stays within the bounds asserted
+/// by tests/models/test_fast_numerics.cpp, and campaign metrics agree
+/// within solver tolerance.  Fast mode is still deterministic -- the same
+/// inputs produce the same bits on every run and every thread count -- it
+/// just rounds differently from libm.  Models without a fast kernel chain
+/// (the generic bank) evaluate reference numerics regardless of mode.
+enum class NumericsMode { reference, fast };
+
+[[nodiscard]] inline const char* toString(NumericsMode m) noexcept {
+  return m == NumericsMode::reference ? "reference" : "fast";
+}
+
 /// Full evaluation at one bias point.
 struct MosfetEvaluation {
   double id = 0.0;  ///< drain terminal current [A], positive into the drain
@@ -74,12 +96,16 @@ struct BankLane {
 /// of the bank with ONE call per Newton assembly instead of one virtual
 /// evaluateLoad() per device.
 ///
-/// Numerics contract: evaluateLoadBatch(...)[i] must equal
+/// Numerics contract: in NumericsMode::reference (the default),
+/// evaluateLoadBatch(...)[i] must equal
 /// lane(i).card->evaluateLoad(*lane(i).geometry, vgs[i], vds[i], fdStep)
 /// BIT-for-bit -- a bank is a layout restructuring of the scalar path, never
 /// a different arithmetic.  Implementations may hoist bias-independent
 /// work per lane (that is the point), but every hoisted value must be the
-/// same double the scalar path would recompute.
+/// same double the scalar path would recompute.  In NumericsMode::fast a
+/// bank may substitute vectorized kernels for the transcendentals; results
+/// must then stay within the documented tolerance of the reference path
+/// (see NumericsMode) and remain deterministic.
 class MosfetLoadBank {
  public:
   virtual ~MosfetLoadBank() = default;
@@ -165,11 +191,14 @@ class MosfetModel {
   /// lanes (every card must share this model's dynamic type; the circuit
   /// engine groups by typeid before calling).  The default returns a
   /// generic bank that routes each lane through its card's evaluateLoad()
-  /// -- correct for every model; models with a flat analytic chain (the VS
-  /// model) override it with a struct-of-arrays lane loop that caches the
-  /// bias-independent derived parameters per lane.
+  /// -- correct for every model and reference-numerics regardless of
+  /// `mode`; models with a flat analytic chain (the VS model) override it
+  /// with a struct-of-arrays lane loop that caches the bias-independent
+  /// derived parameters per lane and, in NumericsMode::fast, batches the
+  /// chain's transcendentals through util/simd_math.hpp kernels.
   [[nodiscard]] virtual std::unique_ptr<MosfetLoadBank> makeLoadBank(
-      std::vector<BankLane> lanes) const;
+      std::vector<BankLane> lanes,
+      NumericsMode mode = NumericsMode::reference) const;
 
   /// Deep copy (used to give each Monte Carlo instance its own varied card).
   [[nodiscard]] virtual std::unique_ptr<MosfetModel> clone() const = 0;

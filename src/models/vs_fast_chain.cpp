@@ -1,0 +1,30 @@
+// Baseline compilation of the fused VS-chain kernels plus the per-process
+// dispatch; the AVX2+FMA clones live in vs_fast_chain_avx2.cpp.  Same
+// two-TU scheme as util/simd_math.cpp -- see there for the rationale.
+#include "models/vs_fast_chain.hpp"
+
+#include "util/simd_math.hpp"
+
+namespace vsstat::models::fastchain {
+
+namespace {
+#include "util/simd_math_kernels.inc"
+#include "models/vs_fast_chain_kernels.inc"
+}  // namespace
+
+namespace avx2 {
+void currentBatch(const CurrentIo& io) noexcept;
+void chargeBatch(const ChargeIo& io) noexcept;
+}  // namespace avx2
+
+void currentBatch(const CurrentIo& io) noexcept {
+  if (util::simd::usingAvx2()) return avx2::currentBatch(io);
+  kcurrentBatch(io);
+}
+
+void chargeBatch(const ChargeIo& io) noexcept {
+  if (util::simd::usingAvx2()) return avx2::chargeBatch(io);
+  kchargeBatch(io);
+}
+
+}  // namespace vsstat::models::fastchain

@@ -1,0 +1,17 @@
+// AVX2+FMA compilation of the fused VS-chain kernels (CMake builds this
+// file with -mavx2 -mfma).  Only reached through the runtime dispatch in
+// vs_fast_chain.cpp, so the binary stays runnable on pre-AVX2 hardware.
+#include "models/vs_fast_chain.hpp"
+
+namespace vsstat::models::fastchain::avx2 {
+
+namespace {
+#include "util/simd_math_kernels.inc"
+#include "models/vs_fast_chain_kernels.inc"
+}  // namespace
+
+void currentBatch(const CurrentIo& io) noexcept { kcurrentBatch(io); }
+
+void chargeBatch(const ChargeIo& io) noexcept { kchargeBatch(io); }
+
+}  // namespace vsstat::models::fastchain::avx2

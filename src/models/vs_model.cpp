@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
+#include "models/vs_fast_chain.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -366,65 +368,32 @@ ChargeState chargePart(const LoadCard& c, double vgs, const CurrentState& s) {
   return out;
 }
 
-MosfetLoadEvaluation evaluateLoadCard(const LoadCard& c, double vgs,
-                                      double vds) {
-  const bool reversed = vds < 0.0;
-  const double cvgs = reversed ? vgs - vds : vgs;
-  const double cvds = reversed ? -vds : vds;
+/// The accepted internal solution finishLoad consumes: canonical frame,
+/// terminal current, and the clamp flags of the internal bias.
+struct SolveFrame {
+  bool reversed = false;
+  double cvgs = 0.0, cvds = 0.0;
+  double i = 0.0;  ///< accepted terminal current [A]
+  bool clampG = false, clampD = false;
+};
 
+/// External small-signal map + Ward-Dutton partition + polarity restore:
+/// the shared tail of the scalar chain (evaluateLoadCard) and the banked
+/// fast pipeline (VsLoadBank).  Pure arithmetic on the already-solved
+/// states, so sharing it costs the fast path nothing and keeps the two
+/// paths structurally identical after the transcendental stage.
+MosfetLoadEvaluation finishLoad(const LoadCard& c, const SolveFrame& f,
+                                const CurrentState& cur,
+                                const ChargeState& chg) {
   const double rsOhm = c.rsOhm;
   const double rdOhm = c.rdOhm;
   const bool hasSeriesR = c.hasSeriesR;
-
-  // Resolve the series-resistance fixed point i = f(cvgs - i*Rs,
-  // cvds - i*(Rs+Rd)) with a derivative-aware Newton: h'(i) =
-  // -(gm*Rs + gd*(Rs+Rd)) - 1 is available analytically, so the iteration
-  // is quadratic and typically lands in two or three evaluations.
-  double i = 0.0;
-  double vgsInt = cvgs;
-  double vdsInt = cvds;
-  bool clampG = false;
-  bool clampD = false;
-  CurrentState cur;
-  bool curValid = false;
-  if (hasSeriesR) {
-    bool converged = false;
-    for (int it = 0; it < 8; ++it) {
-      vgsInt = cvgs - i * rsOhm;
-      vdsInt = cvds - i * (rsOhm + rdOhm);
-      clampG = vgsInt < -1.0;
-      clampD = vdsInt < 0.0;
-      if (clampG) vgsInt = -1.0;
-      if (clampD) vdsInt = 0.0;
-      cur = currentPart(c, vgsInt, vdsInt);
-      const double h = cur.idW - i;
-      if (std::fabs(h) < 1e-13 + 1e-6 * std::fabs(i)) {
-        converged = true;
-        break;
-      }
-      const double gmIt = clampG ? 0.0 : cur.gm;
-      const double gdIt = clampD ? 0.0 : cur.gd;
-      const double hp = -(gmIt * rsOhm + gdIt * (rsOhm + rdOhm)) - 1.0;
-      i -= h / hp;
-    }
-    // Internal bias of the accepted current (refreshed in case the loop
-    // exhausted its budget with a pending update).
-    vgsInt = cvgs - i * rsOhm;
-    vdsInt = cvds - i * (rsOhm + rdOhm);
-    clampG = vgsInt < -1.0;
-    clampD = vdsInt < 0.0;
-    if (clampG) vgsInt = -1.0;
-    if (clampD) vdsInt = 0.0;
-    // On convergence the loop broke before updating i, so the refreshed
-    // biases equal the ones the last currentPart ran at and its state is
-    // reusable as-is; only an exhausted budget forces a recomputation.
-    curValid = converged;
-  }
-  if (!curValid) cur = currentPart(c, vgsInt, vdsInt);
-
-  // Charges (and their derivatives) at the internal solution.
-  const ChargeState chg = chargePart(c, vgsInt, cur);
-  if (!hasSeriesR) i = cur.idW;
+  const bool reversed = f.reversed;
+  const bool clampG = f.clampG;
+  const bool clampD = f.clampD;
+  const double cvgs = f.cvgs;
+  const double cvds = f.cvds;
+  const double i = f.i;
 
   // External small-signal map via the implicit function theorem.
   const double gmEff = clampG ? 0.0 : cur.gm;
@@ -514,14 +483,340 @@ MosfetLoadEvaluation evaluateLoadCard(const LoadCard& c, double vgs,
   return out;
 }
 
+MosfetLoadEvaluation evaluateLoadCard(const LoadCard& c, double vgs,
+                                      double vds) {
+  SolveFrame f;
+  f.reversed = vds < 0.0;
+  f.cvgs = f.reversed ? vgs - vds : vgs;
+  f.cvds = f.reversed ? -vds : vds;
+
+  const double rsOhm = c.rsOhm;
+  const double rdOhm = c.rdOhm;
+
+  // Resolve the series-resistance fixed point i = f(cvgs - i*Rs,
+  // cvds - i*(Rs+Rd)) with a derivative-aware Newton: h'(i) =
+  // -(gm*Rs + gd*(Rs+Rd)) - 1 is available analytically, so the iteration
+  // is quadratic and typically lands in two or three evaluations.
+  double i = 0.0;
+  double vgsInt = f.cvgs;
+  double vdsInt = f.cvds;
+  CurrentState cur;
+  bool curValid = false;
+  if (c.hasSeriesR) {
+    bool converged = false;
+    for (int it = 0; it < 8; ++it) {
+      vgsInt = f.cvgs - i * rsOhm;
+      vdsInt = f.cvds - i * (rsOhm + rdOhm);
+      f.clampG = vgsInt < -1.0;
+      f.clampD = vdsInt < 0.0;
+      if (f.clampG) vgsInt = -1.0;
+      if (f.clampD) vdsInt = 0.0;
+      cur = currentPart(c, vgsInt, vdsInt);
+      const double h = cur.idW - i;
+      if (std::fabs(h) < 1e-13 + 1e-6 * std::fabs(i)) {
+        converged = true;
+        break;
+      }
+      const double gmIt = f.clampG ? 0.0 : cur.gm;
+      const double gdIt = f.clampD ? 0.0 : cur.gd;
+      const double hp = -(gmIt * rsOhm + gdIt * (rsOhm + rdOhm)) - 1.0;
+      i -= h / hp;
+    }
+    // Internal bias of the accepted current (refreshed in case the loop
+    // exhausted its budget with a pending update).
+    vgsInt = f.cvgs - i * rsOhm;
+    vdsInt = f.cvds - i * (rsOhm + rdOhm);
+    f.clampG = vgsInt < -1.0;
+    f.clampD = vdsInt < 0.0;
+    if (f.clampG) vgsInt = -1.0;
+    if (f.clampD) vdsInt = 0.0;
+    // On convergence the loop broke before updating i, so the refreshed
+    // biases equal the ones the last currentPart ran at and its state is
+    // reusable as-is; only an exhausted budget forces a recomputation.
+    curValid = converged;
+  }
+  if (!curValid) cur = currentPart(c, vgsInt, vdsInt);
+
+  // Charges (and their derivatives) at the internal solution.
+  const ChargeState chg = chargePart(c, vgsInt, cur);
+  f.i = c.hasSeriesR ? i : cur.idW;
+  return finishLoad(c, f, cur, chg);
+}
+
+// --- fast-numerics banked pipeline -------------------------------------------
+//
+// NumericsMode::fast restructures the lane loop into a struct-of-arrays
+// pipeline around the fused vector kernels of models/vs_fast_chain.hpp:
+// card parameters live as pre-inverted SoA arrays (refreshed per rebind),
+// each series-resistance Newton iteration evaluates the ENTIRE currentPart
+// of every lane with one fused kernel call (4 lanes per vector block), and
+// the charge block runs once on the accepted solution.  Everything outside
+// the two kernel calls -- canonicalization, the per-lane Newton update,
+// finishLoad -- is the scalar chain's own code.
+//
+// Numerics: the kernels' polynomial exp/log and the pre-inverted divisions
+// put results within ~1e-9 relative of the reference chain (the bound
+// tests/models/test_fast_numerics.cpp asserts), so the fast path is
+// tolerance-checked, never bit-checked.  The reference tails (logistic
+// hard 0/1 beyond +-34, softplus linear tail) are not special-cased: the
+// kernels cover the full argument range smoothly and agree with the
+// clamped tails to ~1e-15 absolute.  Results are deterministic for a given
+// lane population -- kernel arithmetic depends only on lane values and
+// block position, both fixed per bank -- so fast campaigns stay
+// bit-identical across runs and thread counts on one host (the AVX2
+// dispatch may round differently across CPU generations).
+
+/// Per-bank SoA state for the fast pipeline: padded card parameters +
+/// kernel in/out arrays.  Owned mutable by the bank (a bank belongs to one
+/// session, which is single-threaded by contract -- parallel campaigns use
+/// one session per worker).
+struct FastState {
+  std::size_t lanes = 0;
+  std::size_t padded = 0;  ///< lanes rounded up to a vector multiple
+
+  // All 31 SoA arrays live in one arena (one allocation per session, not
+  // 31): 12 card-parameter arrays refreshed per rebind (divisions
+  // pre-inverted), 2 bias inputs, 14 currentPart outputs, 3 chargePart
+  // outputs.  The named pointers below index into it.
+  std::vector<double> arena;
+  double *vt0 = nullptr, *delta = nullptr, *alphaPhit = nullptr,
+         *invAlphaPhit = nullptr, *invNphit = nullptr, *qref = nullptr,
+         *vxo = nullptr, *vdsatStrong = nullptr, *phit = nullptr,
+         *beta = nullptr, *invBeta = nullptr, *width = nullptr;
+  double *vgsInt = nullptr, *vdsInt = nullptr;
+  double *vt = nullptr, *vdsat = nullptr, *dvdsatg = nullptr,
+         *dvdsatd = nullptr, *fsat = nullptr, *dfsatdr = nullptr,
+         *drg = nullptr, *drd = nullptr, *idW = nullptr, *gm = nullptr,
+         *gd = nullptr, *qS = nullptr, *dqSvg = nullptr, *dqSvd = nullptr;
+  double *qD = nullptr, *dqDvg = nullptr, *dqDvd = nullptr;
+  // Canonical frame + series-resistance iterate, per lane.
+  std::vector<SolveFrame> frame;
+  std::vector<std::uint8_t> settled;
+
+  void resizeLanes(std::size_t n) {
+    lanes = n;
+    padded = (n + 3) & ~std::size_t{3};
+    arena.assign(31 * padded, 0.0);
+    double* p = arena.data();
+    for (double** slot :
+         {&vt0, &delta, &alphaPhit, &invAlphaPhit, &invNphit, &qref, &vxo,
+          &vdsatStrong, &phit, &beta, &invBeta, &width, &vgsInt, &vdsInt,
+          &vt, &vdsat, &dvdsatg, &dvdsatd, &fsat, &dfsatdr, &drg, &drd,
+          &idW, &gm, &gd, &qS, &dqSvg, &dqSvd, &qD, &dqDvg, &dqDvd}) {
+      *slot = p;
+      p += padded;
+    }
+    frame.resize(n);
+    settled.resize(n);
+    // Benign pad lanes: every kernel operation on them must stay finite
+    // (unity scales dodge the reciprocals; zero charge/velocity/width
+    // makes their outputs inert).  Their results are never read.
+    for (std::size_t i = n; i < padded; ++i) {
+      alphaPhit[i] = 1.0;
+      invAlphaPhit[i] = 1.0;
+      invNphit[i] = 1.0;
+      vdsatStrong[i] = 1.0;
+      phit[i] = 1.0;
+      beta[i] = 1.0;
+      invBeta[i] = 1.0;
+    }
+  }
+
+  void setCard(std::size_t i, const LoadCard& c) {
+    vt0[i] = c.vt0;
+    delta[i] = c.d.delta;
+    alphaPhit[i] = c.d.alphaPhit;
+    invAlphaPhit[i] = 1.0 / c.d.alphaPhit;
+    invNphit[i] = 1.0 / c.d.nphit;
+    qref[i] = c.d.qref;
+    vxo[i] = c.d.vxo;
+    vdsatStrong[i] = c.d.vdsatStrong;
+    phit[i] = c.d.phit;
+    beta[i] = c.beta;
+    invBeta[i] = 1.0 / c.beta;
+    width[i] = c.width;
+  }
+
+  [[nodiscard]] fastchain::CurrentIo currentIo() noexcept {
+    fastchain::CurrentIo io;
+    io.n = padded;
+    io.vt0 = vt0;
+    io.delta = delta;
+    io.alphaPhit = alphaPhit;
+    io.invAlphaPhit = invAlphaPhit;
+    io.invNphit = invNphit;
+    io.qref = qref;
+    io.vxo = vxo;
+    io.vdsatStrong = vdsatStrong;
+    io.phit = phit;
+    io.beta = beta;
+    io.invBeta = invBeta;
+    io.width = width;
+    io.vgs = vgsInt;
+    io.vds = vdsInt;
+    io.vt = vt;
+    io.vdsat = vdsat;
+    io.dvdsatg = dvdsatg;
+    io.dvdsatd = dvdsatd;
+    io.fsat = fsat;
+    io.dfsatdr = dfsatdr;
+    io.drg = drg;
+    io.drd = drd;
+    io.idW = idW;
+    io.gm = gm;
+    io.gd = gd;
+    io.qS = qS;
+    io.dqSvg = dqSvg;
+    io.dqSvd = dqSvd;
+    return io;
+  }
+
+  [[nodiscard]] fastchain::ChargeIo chargeIo() noexcept {
+    fastchain::ChargeIo io;
+    io.n = padded;
+    io.delta = delta;
+    io.alphaPhit = alphaPhit;
+    io.invAlphaPhit = invAlphaPhit;
+    io.invNphit = invNphit;
+    io.qref = qref;
+    io.vgs = vgsInt;
+    io.vt = vt;
+    io.vdsat = vdsat;
+    io.dvdsatg = dvdsatg;
+    io.dvdsatd = dvdsatd;
+    io.fsat = fsat;
+    io.dfsatdr = dfsatdr;
+    io.drg = drg;
+    io.drd = drd;
+    io.qD = qD;
+    io.dqDvg = dqDvg;
+    io.dqDvd = dqDvd;
+    return io;
+  }
+};
+
+/// Gathers each series-resistance lane's internal bias from its iterate
+/// (non-series lanes stay pinned at the canonical bias, like the scalar
+/// path, which never clamps them).
+void gatherInternalBiases(const std::vector<LoadCard>& cards, FastState& s,
+                          std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const LoadCard& c = cards[i];
+    SolveFrame& f = s.frame[i];
+    if (!c.hasSeriesR) continue;
+    double vg = f.cvgs - f.i * c.rsOhm;
+    double vd = f.cvds - f.i * (c.rsOhm + c.rdOhm);
+    f.clampG = vg < -1.0;
+    f.clampD = vd < 0.0;
+    if (f.clampG) vg = -1.0;
+    if (f.clampD) vd = 0.0;
+    s.vgsInt[i] = vg;
+    s.vdsInt[i] = vd;
+  }
+}
+
+void evaluateLoadBatchFast(const std::vector<LoadCard>& cards, FastState& s,
+                           std::span<const double> vgs,
+                           std::span<const double> vds,
+                           std::span<MosfetLoadEvaluation> out) {
+  const std::size_t n = cards.size();
+  const fastchain::CurrentIo curIo = s.currentIo();
+
+  bool anySeriesR = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    SolveFrame& f = s.frame[i];
+    f.reversed = vds[i] < 0.0;
+    f.cvgs = f.reversed ? vgs[i] - vds[i] : vgs[i];
+    f.cvds = f.reversed ? -vds[i] : vds[i];
+    f.i = 0.0;
+    f.clampG = false;
+    f.clampD = false;
+    s.vgsInt[i] = f.cvgs;
+    s.vdsInt[i] = f.cvds;
+    s.settled[i] = cards[i].hasSeriesR ? 0 : 1;
+    anySeriesR = anySeriesR || cards[i].hasSeriesR;
+  }
+
+  if (anySeriesR) {
+    // Lockstep derivative-aware Newton on i = f(internal biases), same
+    // 8-evaluation budget and convergence test as the scalar loop.  A lane
+    // that converges keeps its iterate; re-evaluating it at the unchanged
+    // bias while other lanes finish reproduces the same state, so no
+    // per-lane masking of the batch is needed.
+    gatherInternalBiases(cards, s, n);  // i = 0: clamp like scalar it 0
+    bool pending = false;
+    for (int it = 0; it < 8; ++it) {
+      fastchain::currentBatch(curIo);
+      pending = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (s.settled[i] != 0) continue;
+        const LoadCard& c = cards[i];
+        SolveFrame& f = s.frame[i];
+        const double h = s.idW[i] - f.i;
+        if (std::fabs(h) < 1e-13 + 1e-6 * std::fabs(f.i)) {
+          s.settled[i] = 1;
+          continue;
+        }
+        const double gmIt = f.clampG ? 0.0 : s.gm[i];
+        const double gdIt = f.clampD ? 0.0 : s.gd[i];
+        const double hp =
+            -(gmIt * c.rsOhm + gdIt * (c.rsOhm + c.rdOhm)) - 1.0;
+        f.i -= h / hp;
+        pending = true;
+      }
+      if (!pending) break;
+      gatherInternalBiases(cards, s, n);
+    }
+    if (pending) {
+      // Budget exhausted with updates still in flight: accept the final
+      // iterates and re-evaluate once at their biases (the scalar path's
+      // post-loop refresh; gatherInternalBiases already ran on them).
+      fastchain::currentBatch(curIo);
+    }
+  } else {
+    fastchain::currentBatch(curIo);
+  }
+
+  for (std::size_t i = 0; i < n; ++i)
+    if (!cards[i].hasSeriesR) s.frame[i].i = s.idW[i];
+
+  fastchain::chargeBatch(s.chargeIo());
+  for (std::size_t i = 0; i < n; ++i) {
+    CurrentState cur;
+    cur.vt = s.vt[i];
+    cur.vdsat = s.vdsat[i];
+    cur.dvdsatg = s.dvdsatg[i];
+    cur.dvdsatd = s.dvdsatd[i];
+    cur.fsat = s.fsat[i];
+    cur.dfsatdr = s.dfsatdr[i];
+    cur.drg = s.drg[i];
+    cur.drd = s.drd[i];
+    cur.idW = s.idW[i];
+    cur.gm = s.gm[i];
+    cur.gd = s.gd[i];
+    cur.qS = s.qS[i];
+    cur.dqSvg = s.dqSvg[i];
+    cur.dqSvd = s.dqSvd[i];
+    ChargeState chg;
+    chg.qD = s.qD[i];
+    chg.dqDvg = s.dqDvg[i];
+    chg.dqDvd = s.dqDvd[i];
+    out[i] = finishLoad(cards[i], s.frame[i], cur, chg);
+  }
+}
+
 /// Struct-of-arrays lane block of the VS device bank: one cached LoadCard
 /// per lane, refreshed on rebind, evaluated by a flat loop through the
 /// shared analytic chain.  One bank evaluation performs zero virtual calls
-/// and zero derive() work.
+/// and zero derive() work.  NumericsMode::reference runs the scalar chain
+/// per lane (bit-identical to evaluateLoad); NumericsMode::fast runs the
+/// batched SIMD pipeline above.
 class VsLoadBank final : public MosfetLoadBank {
  public:
-  explicit VsLoadBank(std::vector<BankLane> laneRefs)
-      : MosfetLoadBank(std::move(laneRefs)), cards_(laneCount()) {
+  VsLoadBank(std::vector<BankLane> laneRefs, NumericsMode mode)
+      : MosfetLoadBank(std::move(laneRefs)), mode_(mode),
+        cards_(laneCount()) {
+    if (mode_ == NumericsMode::fast) fastState_.resizeLanes(laneCount());
     for (std::size_t i = 0; i < laneCount(); ++i) refresh(i);
   }
 
@@ -536,6 +831,10 @@ class VsLoadBank final : public MosfetLoadBank {
   void evaluateLoadBatch(std::span<const double> vgs,
                          std::span<const double> vds, double /*fdStep*/,
                          std::span<MosfetLoadEvaluation> out) const override {
+    if (mode_ == NumericsMode::fast) {
+      evaluateLoadBatchFast(cards_, fastState_, vgs, vds, out);
+      return;
+    }
     for (std::size_t i = 0; i < cards_.size(); ++i)
       out[i] = evaluateLoadCard(cards_[i], vgs[i], vds[i]);
   }
@@ -546,9 +845,12 @@ class VsLoadBank final : public MosfetLoadBank {
     const auto* vs = dynamic_cast<const VsModel*>(l.card);
     require(vs != nullptr, "VsLoadBank: lane card is not a VsModel");
     cards_[i] = makeLoadCard(vs->params(), *l.geometry);
+    if (mode_ == NumericsMode::fast) fastState_.setCard(i, cards_[i]);
   }
 
+  NumericsMode mode_;
   std::vector<LoadCard> cards_;
+  mutable FastState fastState_;  ///< fast-mode SoA state (single-session)
 };
 
 }  // namespace
@@ -572,8 +874,8 @@ bool VsModel::assignFrom(const MosfetModel& other) {
 }
 
 std::unique_ptr<MosfetLoadBank> VsModel::makeLoadBank(
-    std::vector<BankLane> lanes) const {
-  return std::make_unique<VsLoadBank>(std::move(lanes));
+    std::vector<BankLane> lanes, NumericsMode mode) const {
+  return std::make_unique<VsLoadBank>(std::move(lanes), mode);
 }
 
 double VsModel::inversionCharge(const DeviceGeometry& geom, double vgs,

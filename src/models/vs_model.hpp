@@ -64,10 +64,16 @@ class VsModel final : public MosfetModel {
   /// Struct-of-arrays device bank: per-lane bias-independent evaluation
   /// cards (derived parameters, pre-divided series resistances, charge
   /// prefactors) cached once per rebind, then one flat lane loop through
-  /// the same analytic chain evaluateLoad runs.  Bit-identical to the
-  /// scalar path by construction -- both call the same chain function.
+  /// the same analytic chain evaluateLoad runs.  In NumericsMode::reference
+  /// (default) it is bit-identical to the scalar path by construction --
+  /// both call the same chain function.  NumericsMode::fast batches the
+  /// chain's exp/log1p/pow across all lanes through the vectorized kernels
+  /// of util/simd_math.hpp: tolerance-checked against reference
+  /// (tests/models/test_fast_numerics.cpp), still deterministic.
+  /// (Default for `mode` lives on the base declaration only: defaults on
+  /// virtuals bind statically, so repeating it here could drift.)
   [[nodiscard]] std::unique_ptr<MosfetLoadBank> makeLoadBank(
-      std::vector<BankLane> lanes) const override;
+      std::vector<BankLane> lanes, NumericsMode mode) const override;
 
   [[nodiscard]] std::unique_ptr<MosfetModel> clone() const override;
   [[nodiscard]] bool assignFrom(const MosfetModel& other) override;

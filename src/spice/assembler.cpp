@@ -6,7 +6,8 @@
 
 namespace vsstat::spice::detail {
 
-Assembler::Assembler(const Circuit& circuit, bool useDeviceBank)
+Assembler::Assembler(const Circuit& circuit, bool useDeviceBank,
+                     models::NumericsMode numerics)
     : circuit_(circuit),
       numNodes_(circuit.nodeCount() - 1),
       numUnknowns_(circuit.unknownCount()),
@@ -14,10 +15,13 @@ Assembler::Assembler(const Circuit& circuit, bool useDeviceBank)
       chargeNow_(static_cast<std::size_t>(circuit.chargeSlotTotal()), 0.0),
       chargePrev_(chargeNow_.size(), 0.0),
       histTerm_(chargeNow_.size(), 0.0) {
+  require(useDeviceBank || numerics == models::NumericsMode::reference,
+          "Assembler: fast numerics requires the device bank (the scalar "
+          "element loop is reference-only)");
   capturePattern();
   workspace_.dx.assign(numUnknowns_, 0.0);
   if (useDeviceBank) {
-    auto bank = std::make_unique<DeviceBankSet>(circuit_, pattern_);
+    auto bank = std::make_unique<DeviceBankSet>(circuit_, pattern_, numerics);
     if (bank->laneCount() > 0) bankSet_ = std::move(bank);
   }
 }

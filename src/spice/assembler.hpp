@@ -58,7 +58,12 @@ class Assembler {
  public:
   /// `useDeviceBank` selects batched MOSFET evaluation (bit-identical to
   /// the scalar element loop; off is the comparison/fallback path).
-  explicit Assembler(const Circuit& circuit, bool useDeviceBank = true);
+  /// `numerics` is handed to the bank's model groups: reference (default)
+  /// keeps bit-identity, fast swaps in the vectorized kernel pipeline
+  /// (requires `useDeviceBank` -- the scalar loop has no fast chain).
+  explicit Assembler(
+      const Circuit& circuit, bool useDeviceBank = true,
+      models::NumericsMode numerics = models::NumericsMode::reference);
 
   // Not copyable/movable: values_ and the workspace factorization hold
   // pointers into this object's pattern_.

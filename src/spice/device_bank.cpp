@@ -18,8 +18,9 @@ inline std::int32_t rowOf(NodeId node) noexcept {
 }  // namespace
 
 DeviceBankSet::DeviceBankSet(const Circuit& circuit,
-                             const linalg::SparsePattern& pattern)
-    : circuit_(&circuit), pattern_(&pattern) {
+                             const linalg::SparsePattern& pattern,
+                             models::NumericsMode numerics)
+    : circuit_(&circuit), pattern_(&pattern), numerics_(numerics) {
   rebuild();
 }
 
@@ -28,6 +29,14 @@ void DeviceBankSet::rebuild() {
   laneCount_ = 0;
   const auto& elements = circuit_->elements();
   elementLanes_.assign(elements.size(), BankLaneRef{});
+
+  // Reserve every per-lane SoA vector at the full MOSFET count up front:
+  // a bank rebuild then costs one allocation per vector instead of a
+  // doubling-growth series per vector (the usual case is one homogeneous
+  // group holding every device, where the bound is exact).
+  std::size_t mosfetCount = 0;
+  for (const auto& e : elements)
+    if (dynamic_cast<const MosfetElement*>(e.get()) != nullptr) ++mosfetCount;
 
   for (std::size_t idx = 0; idx < elements.size(); ++idx) {
     const auto* m = dynamic_cast<const MosfetElement*>(elements[idx].get());
@@ -44,6 +53,15 @@ void DeviceBankSet::rebuild() {
     if (g < 0) {
       g = static_cast<std::int32_t>(groups_.size());
       groups_.emplace_back(type);
+      DeviceBankGroup& fresh = groups_.back();
+      fresh.element.reserve(mosfetCount);
+      fresh.version.reserve(mosfetCount);
+      fresh.sign.reserve(mosfetCount);
+      for (std::vector<std::int32_t>* v :
+           {&fresh.rowD, &fresh.rowG, &fresh.rowS, &fresh.chargeBase,
+            &fresh.sDG, &fresh.sDD, &fresh.sDS, &fresh.sSG, &fresh.sSD,
+            &fresh.sSS, &fresh.sGG, &fresh.sGD, &fresh.sGS})
+        v->reserve(mosfetCount);
     }
     DeviceBankGroup& grp = groups_[static_cast<std::size_t>(g)];
 
@@ -91,7 +109,8 @@ void DeviceBankSet::rebuild() {
     lanes.reserve(grp.element.size());
     for (const MosfetElement* e : grp.element)
       lanes.push_back(models::BankLane{&e->model(), &e->geometry()});
-    grp.bank = grp.element.front()->model().makeLoadBank(std::move(lanes));
+    grp.bank =
+        grp.element.front()->model().makeLoadBank(std::move(lanes), numerics_);
     grp.vgs.resize(grp.element.size());
     grp.vds.resize(grp.element.size());
     grp.out.resize(grp.element.size());

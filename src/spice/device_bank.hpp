@@ -77,8 +77,11 @@ class DeviceBankSet {
  public:
   /// Captures lane state for every MosfetElement of `circuit`.  `pattern`
   /// is the assembler's captured MNA sparsity (must outlive the bank set,
-  /// as must the circuit).
-  DeviceBankSet(const Circuit& circuit, const linalg::SparsePattern& pattern);
+  /// as must the circuit).  `numerics` selects each group bank's evaluation
+  /// contract (models::NumericsMode): reference = bit-identical to the
+  /// scalar element loop, fast = vectorized kernels within tolerance.
+  DeviceBankSet(const Circuit& circuit, const linalg::SparsePattern& pattern,
+                models::NumericsMode numerics = models::NumericsMode::reference);
 
   DeviceBankSet(const DeviceBankSet&) = delete;
   DeviceBankSet& operator=(const DeviceBankSet&) = delete;
@@ -111,6 +114,7 @@ class DeviceBankSet {
  private:
   const Circuit* circuit_;
   const linalg::SparsePattern* pattern_;
+  models::NumericsMode numerics_;
   std::vector<DeviceBankGroup> groups_;
   std::vector<BankLaneRef> elementLanes_;
   std::size_t laneCount_ = 0;

@@ -29,8 +29,8 @@ class SweepSourceGuard {
 
 SimSession::SimSession(Circuit& circuit, SessionOptions options)
     : circuit_(&circuit),
-      assembler_(std::make_unique<detail::Assembler>(circuit,
-                                                     options.useDeviceBank)) {}
+      assembler_(std::make_unique<detail::Assembler>(
+          circuit, options.useDeviceBank, options.numerics)) {}
 
 SimSession::~SimSession() = default;
 

@@ -15,6 +15,13 @@
 // bit-identical metrics against the legacy rebuild-per-sample path, and it
 // keeps campaign results independent of which worker session evaluated
 // which sample.
+//
+// SessionOptions::numerics == NumericsMode::fast opts out of the
+// bit-identity half of that contract only: banked VS evaluation runs the
+// vectorized kernel pipeline, whose results differ from reference in the
+// last ulps (tolerance-tested).  Determinism is unchanged -- a fast session
+// still produces the same bits for the same inputs on every run and every
+// worker.
 #ifndef VSSTAT_SPICE_SESSION_HPP
 #define VSSTAT_SPICE_SESSION_HPP
 
@@ -23,6 +30,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "models/device.hpp"
 #include "spice/analysis.hpp"
 #include "spice/circuit.hpp"
 #include "spice/waveform.hpp"
@@ -39,6 +47,13 @@ struct SessionOptions {
   /// selects the scalar fallback (the comparison axis for benches/tests,
   /// and an escape hatch for exotic element mixes).
   bool useDeviceBank = true;
+  /// Numerics contract of the banked model evaluation
+  /// (models::NumericsMode).  `reference` (default) pins every analysis
+  /// bit-identical to the free functions; `fast` batches the VS chain's
+  /// transcendentals through the vectorized kernels of util/simd_math.hpp
+  /// -- deterministic and tolerance-checked against reference, but NOT
+  /// bit-identical to it.  Fast requires `useDeviceBank` (enforced).
+  models::NumericsMode numerics = models::NumericsMode::reference;
 };
 
 class SimSession {

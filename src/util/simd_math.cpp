@@ -1,0 +1,61 @@
+// Baseline compilation of the simd_math kernels plus the per-process
+// dispatch.  The AVX2+FMA clones live in simd_math_avx2.cpp (same kernel
+// bodies, different flags); __builtin_cpu_supports picks the path once.
+#include "util/simd_math.hpp"
+
+#include <cstddef>
+
+namespace vsstat::util::simd {
+
+namespace {
+#include "util/simd_math_kernels.inc"
+}  // namespace
+
+// AVX2+FMA clones (simd_math_avx2.cpp).  Never called unless the CPU
+// reports both features.
+namespace avx2 {
+void expArray(const double* x, double* out, std::size_t n) noexcept;
+void logArray(const double* x, double* out, std::size_t n) noexcept;
+void log1pArray(const double* x, double* out, std::size_t n) noexcept;
+void powArray(const double* base, const double* y, double* out,
+              std::size_t n) noexcept;
+}  // namespace avx2
+
+namespace {
+
+bool detectAvx2() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+const bool kUseAvx2 = detectAvx2();
+
+}  // namespace
+
+bool usingAvx2() noexcept { return kUseAvx2; }
+
+void expArray(const double* x, double* out, std::size_t n) noexcept {
+  if (kUseAvx2) return avx2::expArray(x, out, n);
+  kexpArray(x, out, n);
+}
+
+void logArray(const double* x, double* out, std::size_t n) noexcept {
+  if (kUseAvx2) return avx2::logArray(x, out, n);
+  klogArray(x, out, n);
+}
+
+void log1pArray(const double* x, double* out, std::size_t n) noexcept {
+  if (kUseAvx2) return avx2::log1pArray(x, out, n);
+  klog1pArray(x, out, n);
+}
+
+void powArray(const double* base, const double* y, double* out,
+              std::size_t n) noexcept {
+  if (kUseAvx2) return avx2::powArray(base, y, out, n);
+  kpowArray(base, y, out, n);
+}
+
+}  // namespace vsstat::util::simd

@@ -1,0 +1,77 @@
+// Vectorized transcendental kernels for the fast-numerics mode.
+//
+// The VS equation chain spends ~95% of a device evaluation in libm
+// exp/log1p/pow (BENCH_device_bank.json ceiling analysis).  These array
+// kernels replace them, in NumericsMode::fast only, with branch-free
+// Estrin-scheme polynomial implementations evaluated 4 doubles at a time
+// via GNU vector extensions (8 per unrolled block).  Two code paths are
+// compiled from one kernel body (util/simd_math_kernels.inc):
+//
+//   * a baseline path built with the project's default flags (the
+//     compiler lowers the 256-bit vectors to SSE2 pairs), and
+//   * an AVX2+FMA path (simd_math_avx2.cpp, compiled with -mavx2 -mfma),
+//
+// selected once per process by __builtin_cpu_supports -- so the same
+// binary runs on any x86-64 and uses the wide units where they exist.
+// Within one host the selected path is fixed: results are deterministic
+// per machine (fast-mode campaigns stay bit-identical across runs and
+// thread counts), but may differ across CPU generations -- which is why
+// fast mode is tolerance-checked, never golden-bit-checked.
+//
+// Algorithms (standard Cody-Waite style, tuned for latency over last-ulp
+// accuracy -- tolerance mode does not need correctly-rounded results):
+//   exp:   k = round(x/ln2); r = x - k*ln2 (hi/lo split); exp(r) by a
+//          degree-10 Taylor polynomial in Estrin form; scale by 2^k through
+//          direct IEEE-754 exponent-field construction.
+//   log:   x = 2^e * m with m in [sqrt(1/2), sqrt(2)); log(m) = 2*atanh(f),
+//          f = (m-1)/(m+1), by an even polynomial of degree 6 in f^2.
+//   log1p: log(1+x) plus the first-order correction (x - ((1+x)-1))/(1+x),
+//          which restores the bits the 1+x rounding loses (exact for
+//          tiny x: the log term is 0 and the correction is x itself).
+//   pow:   exp(y * log(x)), the classic composition; 0^y maps to 0.
+//
+// Accuracy contract (asserted by tests/util/test_simd_math.cpp sweeps over
+// the full VS argument ranges; measured worst cases carry ~2-4x headroom):
+//   expArray    relative error <= 1e-12   over [-708, 708]
+//   logArray    absolute error <= 4e-12   (=> relative <= ~1e-11 away
+//                                          from log(x) == 0 crossings)
+//   log1pArray  relative error <= 1e-11   over [0, 1e18]
+//   powArray    relative error <= 1e-9    over the VS Fsat domain
+//               (|y*ln x| <= ~70; error ~ |y*ln x| * err(log) + err(exp))
+// These are tolerance-mode kernels: NOT bit-compatible with libm, and the
+// reference numerics path must never call them.
+//
+// Domain contract (callers are the VS fast pipeline and its tests):
+//   exp:   any finite x; inputs outside [-708, 708] clamp (no inf/0/NaN
+//          handling -- the VS chain's arguments stay far inside).
+//   log:   x == 0 returns -1023*ln2 = about -709.09 (the zero bit pattern
+//          reads as exponent -1023, mantissa 1.0 -- NOT -inf); x must not
+//          be negative, NaN, inf, or subnormal.
+//   log1p: x > -0.5, finite.
+//   pow:   base == 0 or normal positive; y finite.
+#ifndef VSSTAT_UTIL_SIMD_MATH_HPP
+#define VSSTAT_UTIL_SIMD_MATH_HPP
+
+#include <cstddef>
+
+namespace vsstat::util::simd {
+
+/// Lanes per primitive vector op; the array kernels process two such
+/// blocks per unrolled iteration and a padded block for the tail, so every
+/// element takes the identical arithmetic path at any array length.
+inline constexpr std::size_t kWidth = 4;
+
+/// True when this process dispatches to the AVX2+FMA clones (telemetry
+/// for benches; decided once from __builtin_cpu_supports).
+[[nodiscard]] bool usingAvx2() noexcept;
+
+void expArray(const double* x, double* out, std::size_t n) noexcept;
+void logArray(const double* x, double* out, std::size_t n) noexcept;
+void log1pArray(const double* x, double* out, std::size_t n) noexcept;
+/// out[i] = base[i]^y[i] via exp(y*log(base)); base[i] == 0 yields exactly 0.
+void powArray(const double* base, const double* y, double* out,
+              std::size_t n) noexcept;
+
+}  // namespace vsstat::util::simd
+
+#endif  // VSSTAT_UTIL_SIMD_MATH_HPP

@@ -1,0 +1,34 @@
+// AVX2+FMA compilation of the simd_math kernels.  CMake builds exactly
+// this file with -mavx2 -mfma (see set_source_files_properties); the
+// anonymous-namespace include keeps these instantiations from ODR-merging
+// with the baseline ones in simd_math.cpp.  Only reached through the
+// runtime dispatch in simd_math.cpp, so the binary stays runnable on
+// pre-AVX2 hardware.
+#include "util/simd_math.hpp"
+
+#include <cstddef>
+
+namespace vsstat::util::simd::avx2 {
+
+namespace {
+#include "util/simd_math_kernels.inc"
+}  // namespace
+
+void expArray(const double* x, double* out, std::size_t n) noexcept {
+  kexpArray(x, out, n);
+}
+
+void logArray(const double* x, double* out, std::size_t n) noexcept {
+  klogArray(x, out, n);
+}
+
+void log1pArray(const double* x, double* out, std::size_t n) noexcept {
+  klog1pArray(x, out, n);
+}
+
+void powArray(const double* base, const double* y, double* out,
+              std::size_t n) noexcept {
+  kpowArray(base, y, out, n);
+}
+
+}  // namespace vsstat::util::simd::avx2
