@@ -5,13 +5,30 @@
 //   sram_snm -- READ SNM of the 6T butterfly via 45-point DC sweeps
 //               (the Fig. 9 Monte Carlo inner loop);
 //   inv_fo3  -- INV FO3 delay via transient analysis (the Fig. 5 inner
-//               loop).
+//               loop);
+//   grid_ir  -- worst-case IR drop of a 10x10 power-grid mesh (101 MNA
+//               unknowns, one statistically varied leakage FET per node)
+//               via supply sweeps: the post-layout-scale workload where
+//               per-solve LU costs rival device evaluation.  Session-only
+//               (the rebuild path would measure fixture construction, not
+//               the solver), so its rows carry the fresh-vs-reuse
+//               comparison.
 //
 // Both paths run the identical statistical VS sampling (same seed, same
 // draws) single-threaded, so samples/sec compares per-sample cost and the
 // metrics can be checked bit-identical.  "allocs" counts heap allocations
 // per sample in steady state (rebuilding circuit + assembler per sample is
 // hundreds; a session rebind pass is near zero for the VS provider).
+//
+// A third row per workload measures SolverMode::reusePivot on the session
+// path (reference numerics): one canonical LU pivot order amortized across
+// every solve instead of a dense re-pivot + symbolic pass per solve.
+// Reuse rows carry "speedup_vs_fresh" (vs the fresh session row),
+// "max_rel_delta" (largest per-sample metric deviation from the fresh run,
+// same seeds) and "within_tolerance" (the campaign tolerance contract's
+// 1e-8 per-sample bound) instead of rebuild bit-identity -- pivot reuse
+// changes the Newton trajectory, statistically equivalently (the fast-
+// numerics composition lives in bench_device_bank).
 //
 // Output is machine-readable JSON, one object per line on stdout:
 //   {"name": ..., "samples": N, "threads": T, "us_per_sample": ...,
@@ -28,11 +45,15 @@
 //
 // Usage: bench_campaign [--quick] [--threads N] [--scaling]
 //   --threads N   run the campaigns with N workers (default 1)
-//   --scaling     emit only the session rows (skip the rebuild-path
-//                 comparison): the mode the CI scaling smoke runs at
-//                 1/2/4 workers, comparing hashes across runs
+//   --scaling     emit only session rows, one per session-mode combination
+//                 (NumericsMode x SolverMode: _session, _session_fast,
+//                 _session_reuse, _session_fast_reuse), skipping the
+//                 rebuild-path comparison: the mode the CI scaling smoke
+//                 and the scaling-audit job run across worker counts,
+//                 comparing metrics_fnv1a per row name across runs
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +63,7 @@
 #include <vector>
 
 #include "circuits/benchmarks.hpp"
+#include "common.hpp"
 #include "mc/circuit_campaign.hpp"
 #include "mc/providers.hpp"
 #include "mc/runner.hpp"
@@ -176,6 +198,24 @@ void emit(const std::string& name, int samples, const CampaignTiming& t,
       static_cast<unsigned long long>(metricsHash(t.result)));
 }
 
+/// Pivot-reuse row: compared against the fresh session run (same seeds)
+/// through the tolerance contract, not bit-identity.
+void emitReuse(const std::string& name, int samples, const CampaignTiming& t,
+               double freshUsPerSample, double relDelta) {
+  std::printf(
+      "{\"name\": \"%s\", \"samples\": %d, \"threads\": %u, "
+      "\"us_per_sample\": %.1f, \"samples_per_sec\": %.1f, "
+      "\"allocs_per_sample\": %.1f, \"speedup_vs_fresh\": %.2f, "
+      "\"max_rel_delta\": %.2e, \"within_tolerance\": %s, "
+      "\"metrics_fnv1a\": \"0x%016llx\"}\n",
+      name.c_str(), samples, gThreads, t.usPerSample, 1e6 / t.usPerSample,
+      t.allocsPerSample, freshUsPerSample / t.usPerSample, relDelta,
+      // Same per-sample bound the campaign tolerance tests assert
+      // (tests/sim/test_reuse_pivot_campaign.cpp).
+      relDelta <= 1e-8 ? "true" : "false",
+      static_cast<unsigned long long>(metricsHash(t.result)));
+}
+
 /// --scaling row: no rebuild path ran, so the rebuild-comparison fields
 /// (speedup_vs_rebuild, bit_identical) are OMITTED rather than fabricated
 /// -- identity across thread counts is what metrics_fnv1a carries.
@@ -190,26 +230,82 @@ void emitScaling(const std::string& name, int samples,
       static_cast<unsigned long long>(metricsHash(t.result)));
 }
 
-/// One workload: measures the rebuild path, then the session path, checks
-/// bit-identity, and emits both JSONL lines.  In --scaling mode only the
-/// session path runs (cross-thread-count identity is checked by comparing
-/// metrics_fnv1a across whole runs, not in-process).
-void benchWorkload(const std::string& name, int samples,
-                   const std::function<mc::McResult(int)>& rebuild,
-                   const std::function<mc::McResult(int)>& session) {
+spice::SessionOptions reusePivotOptions() {
+  spice::SessionOptions o;
+  o.solver = linalg::SolverMode::reusePivot;
+  return o;
+}
+
+/// --scaling body shared by every workload: one row per session-mode
+/// combination (NumericsMode x SolverMode), so the scaling smoke/audit
+/// checks cross-thread-count bit-identity of every cell of the matrix.
+void runScalingCombos(
+    const std::string& name, int samples,
+    const std::function<mc::McResult(int, spice::SessionOptions)>& session) {
+  spice::SessionOptions fastOpt;
+  fastOpt.numerics = models::NumericsMode::fast;
+  spice::SessionOptions fastReuseOpt = fastOpt;
+  fastReuseOpt.solver = linalg::SolverMode::reusePivot;
+  const struct {
+    const char* suffix;
+    spice::SessionOptions options;
+  } combos[] = {{"_session", spice::SessionOptions{}},
+                {"_session_fast", fastOpt},
+                {"_session_reuse", reusePivotOptions()},
+                {"_session_fast_reuse", fastReuseOpt}};
+  for (const auto& combo : combos) {
+    const CampaignTiming s = timeCampaign(
+        samples, [&](int n) { return session(n, combo.options); });
+    emitScaling(name + combo.suffix, samples, s);
+  }
+}
+
+/// One workload: measures the rebuild path, the fresh session path, and
+/// the pivot-reuse session path; checks rebuild/session bit-identity and
+/// the reuse tolerance contract; emits one JSONL line each.  In --scaling
+/// mode every session-mode combination runs instead (cross-thread-count
+/// identity is checked by comparing metrics_fnv1a across whole runs, not
+/// in-process).
+void benchWorkload(
+    const std::string& name, int samples,
+    const std::function<mc::McResult(int)>& rebuild,
+    const std::function<mc::McResult(int, spice::SessionOptions)>& session) {
   if (gScalingOnly) {
-    const CampaignTiming s = timeCampaign(samples, session);
-    emitScaling(name + "_session", samples, s);
+    runScalingCombos(name, samples, session);
     return;
   }
   const CampaignTiming r = timeCampaign(samples, rebuild);
-  const CampaignTiming s = timeCampaign(samples, session);
+  const CampaignTiming s = timeCampaign(
+      samples, [&](int n) { return session(n, spice::SessionOptions{}); });
+  const CampaignTiming u = timeCampaign(
+      samples, [&](int n) { return session(n, reusePivotOptions()); });
   const bool identical = bitIdentical(r.result, s.result);
   emit(name + "_rebuild", samples, r, r.usPerSample, identical);
   emit(name + "_session", samples, s, r.usPerSample, identical);
+  emitReuse(name + "_session_reuse", samples, u, s.usPerSample,
+            bench::maxRelMetricDelta(u.result, s.result));
+}
+
+/// Session-only workload (grid_ir): fresh vs reuse-pivot sessions, no
+/// rebuild baseline.  Scaling mode emits the same four combos as above.
+void benchSessionWorkload(
+    const std::string& name, int samples,
+    const std::function<mc::McResult(int, spice::SessionOptions)>& session) {
+  if (gScalingOnly) {
+    runScalingCombos(name, samples, session);
+    return;
+  }
+  const CampaignTiming s = timeCampaign(
+      samples, [&](int n) { return session(n, spice::SessionOptions{}); });
+  const CampaignTiming u = timeCampaign(
+      samples, [&](int n) { return session(n, reusePivotOptions()); });
+  emitScaling(name + "_session", samples, s);
+  emitReuse(name + "_session_reuse", samples, u, s.usPerSample,
+            bench::maxRelMetricDelta(u.result, s.result));
 }
 
 constexpr int kSnmPoints = 45;
+constexpr int kGridPoints = 45;
 constexpr std::uint64_t kSeed = 901;
 
 mc::McOptions options(int samples) {
@@ -238,7 +334,7 @@ int run(int snmSamples, int invSamples) {
               out[0] = measure::measureSnm(bench, kSnmPoints).cellSnm();
             });
       },
-      [](int n) {
+      [](int n, spice::SessionOptions sessionOptions) {
         return mc::runCampaign<circuits::SramButterflyBench>(
             options(n), 1,
             [](circuits::DeviceProvider& provider) {
@@ -253,7 +349,8 @@ int run(int snmSamples, int invSamples) {
               out[0] = measure::measureSnm(session.fixture(), session.spice(),
                                            kSnmPoints)
                            .cellSnm();
-            });
+            },
+            sessionOptions);
       });
 
   benchWorkload(
@@ -268,7 +365,7 @@ int run(int snmSamples, int invSamples) {
               out[0] = measure::measureGateDelays(bench).average();
             });
       },
-      [](int n) {
+      [](int n, spice::SessionOptions sessionOptions) {
         return mc::runCampaign<circuits::GateFo3Bench>(
             options(n), 1,
             [](circuits::DeviceProvider& provider) {
@@ -282,7 +379,38 @@ int run(int snmSamples, int invSamples) {
               out[0] = measure::measureGateDelays(session.fixture(),
                                                   session.spice())
                            .average();
-            });
+            },
+            sessionOptions);
+      });
+  return 0;
+}
+
+int runGrid(int gridSamples) {
+  benchSessionWorkload(
+      "grid_ir", gridSamples,
+      [](int n, spice::SessionOptions sessionOptions) {
+        return mc::runCampaign<circuits::PowerGridBench>(
+            options(n), 1,
+            [](circuits::DeviceProvider& provider) {
+              return circuits::buildPowerGridIrDrop(provider, 10, 10, 0.9);
+            },
+            [] { return makeProvider(stats::Rng(0)); },
+            [](std::size_t,
+               sim::CampaignSession<circuits::PowerGridBench>& session,
+               stats::Rng&, std::vector<double>& out) {
+              static thread_local std::vector<double> levels;
+              static thread_local std::vector<double> farVolts;
+              circuits::PowerGridBench& fx = session.fixture();
+              if (levels.size() != static_cast<std::size_t>(kGridPoints)) {
+                levels.clear();
+                for (int i = 0; i < kGridPoints; ++i)
+                  levels.push_back(fx.supply * i / (kGridPoints - 1));
+              }
+              session.spice().dcSweepNode(fx.feedSource, levels, fx.farNode,
+                                          farVolts);
+              out[0] = fx.supply - farVolts.back();  // worst-case IR drop [V]
+            },
+            sessionOptions);
       });
   return 0;
 }
@@ -293,10 +421,12 @@ int run(int snmSamples, int invSamples) {
 int main(int argc, char** argv) {
   int snmSamples = 160;
   int invSamples = 48;
+  int gridSamples = 24;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       snmSamples = 32;
       invSamples = 12;
+      gridSamples = 8;
     } else if (std::strcmp(argv[i], "--scaling") == 0) {
       vsstat::gScalingOnly = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -314,7 +444,9 @@ int main(int argc, char** argv) {
     }
   }
   try {
-    return vsstat::run(snmSamples, invSamples);
+    const int rc = vsstat::run(snmSamples, invSamples);
+    if (rc != 0) return rc;
+    return vsstat::runGrid(gridSamples);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_campaign: %s\n", e.what());
     return 1;

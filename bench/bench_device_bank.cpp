@@ -15,7 +15,11 @@
 // fast rows verify the tolerance contract instead (max relative metric
 // deviation from the reference run, reported as "max_rel_delta" and
 // asserted under "within_tolerance").  "allocs" counts heap allocations
-// per sample/evaluation in steady state.
+// per sample/evaluation in steady state.  A fourth campaign row composes
+// the two session-mode axes -- NumericsMode::fast + SolverMode::reusePivot
+// -- with "speedup_vs_fresh" against the fast/fresh run and the same
+// tolerance accounting (the reference-numerics reuse rows live in
+// bench_campaign).
 //
 // Output is machine-readable JSON, one object per line on stdout;
 // BENCH_device_bank.json records a reference run and CI gates regressions
@@ -35,6 +39,7 @@
 #include <vector>
 
 #include "circuits/benchmarks.hpp"
+#include "common.hpp"
 #include "mc/circuit_campaign.hpp"
 #include "mc/providers.hpp"
 #include "mc/runner.hpp"
@@ -289,22 +294,6 @@ mc::McResult invCampaign(int n, spice::SessionOptions sessionOptions) {
       sessionOptions);
 }
 
-/// Largest relative per-sample metric deviation between two runs with the
-/// same seed (the fast rows' tolerance accounting).
-double maxRelDelta(const mc::McResult& a, const mc::McResult& b) {
-  if (a.failures != b.failures || a.metrics.size() != b.metrics.size())
-    return 1e30;
-  double worst = 0.0;
-  for (std::size_t m = 0; m < a.metrics.size(); ++m) {
-    if (a.metrics[m].size() != b.metrics[m].size()) return 1e30;
-    for (std::size_t k = 0; k < a.metrics[m].size(); ++k)
-      worst = std::max(worst,
-                       std::fabs(a.metrics[m][k] - b.metrics[m][k]) /
-                           (std::fabs(b.metrics[m][k]) + 1e-18));
-  }
-  return worst;
-}
-
 void benchWorkload(
     const std::string& name, int samples,
     const std::function<mc::McResult(int, spice::SessionOptions)>& campaign) {
@@ -313,6 +302,8 @@ void benchWorkload(
   spice::SessionOptions bankedOpt;
   spice::SessionOptions fastOpt;
   fastOpt.numerics = models::NumericsMode::fast;
+  spice::SessionOptions fastReuseOpt = fastOpt;
+  fastReuseOpt.solver = linalg::SolverMode::reusePivot;
 
   const CampaignTiming scalar =
       timeCampaign(samples, [&](int n) { return campaign(n, scalarOpt); });
@@ -320,8 +311,15 @@ void benchWorkload(
       timeCampaign(samples, [&](int n) { return campaign(n, bankedOpt); });
   const CampaignTiming fast =
       timeCampaign(samples, [&](int n) { return campaign(n, fastOpt); });
+  const CampaignTiming fastReuse =
+      timeCampaign(samples, [&](int n) { return campaign(n, fastReuseOpt); });
   const bool identical = bitIdentical(scalar.result, banked.result);
-  const double fastDelta = maxRelDelta(fast.result, banked.result);
+  const double fastDelta = bench::maxRelMetricDelta(fast.result, banked.result);
+  // The composed modes' tolerance is accounted against the fast/fresh run:
+  // that isolates what SolverMode::reusePivot adds on top of the already-
+  // tolerance-checked fast numerics.
+  const double fastReuseDelta =
+      bench::maxRelMetricDelta(fastReuse.result, fast.result);
   std::printf("{\"name\": \"%s_scalar_session\", \"samples\": %d, "
               "\"us_per_sample\": %.1f, \"samples_per_sec\": %.1f, "
               "\"allocs_per_sample\": %.1f}\n",
@@ -346,6 +344,18 @@ void benchWorkload(
               // Same per-sample bound the campaign tolerance tests assert
               // (tests/sim/test_fast_campaign.cpp); measured ~1e-14.
               fastDelta <= 1e-8 ? "true" : "false");
+  std::printf("{\"name\": \"%s_fast_reuse_session\", \"samples\": %d, "
+              "\"us_per_sample\": %.1f, \"samples_per_sec\": %.1f, "
+              "\"allocs_per_sample\": %.1f, \"speedup_vs_fresh\": %.2f, "
+              "\"speedup_vs_banked\": %.2f, \"max_rel_delta\": %.2e, "
+              "\"within_tolerance\": %s}\n",
+              name.c_str(), samples, fastReuse.usPerSample,
+              1e6 / fastReuse.usPerSample, fastReuse.allocsPerSample,
+              fast.usPerSample / fastReuse.usPerSample,
+              banked.usPerSample / fastReuse.usPerSample, fastReuseDelta,
+              // tests/sim/test_reuse_pivot_campaign.cpp asserts the same
+              // 1e-8 per-sample bound for the composed modes.
+              fastReuseDelta <= 1e-8 ? "true" : "false");
 }
 
 int run(int micro, int snmSamples, int invSamples) {

@@ -1,6 +1,7 @@
 #include "common.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 
@@ -86,6 +87,20 @@ DelayCampaignResult runGateDelayCampaign(bool useVs, bool nand2,
   result.leakage = r.metrics[1];
   result.failures = r.failures;
   return result;
+}
+
+double maxRelMetricDelta(const mc::McResult& a, const mc::McResult& b) {
+  if (a.failures != b.failures || a.metrics.size() != b.metrics.size())
+    return 1e30;
+  double worst = 0.0;
+  for (std::size_t m = 0; m < a.metrics.size(); ++m) {
+    if (a.metrics[m].size() != b.metrics[m].size()) return 1e30;
+    for (std::size_t k = 0; k < a.metrics[m].size(); ++k)
+      worst = std::max(worst,
+                       std::fabs(a.metrics[m][k] - b.metrics[m][k]) /
+                           (std::fabs(b.metrics[m][k]) + 1e-18));
+  }
+  return worst;
 }
 
 void printHeader(const std::string& benchName, const std::string& paperRef) {

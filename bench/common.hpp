@@ -15,6 +15,7 @@
 #include "circuits/benchmarks.hpp"
 #include "core/statistical_vs.hpp"
 #include "extract/golden_meter.hpp"
+#include "mc/runner.hpp"
 #include "stats/rng.hpp"
 
 namespace vsstat::bench {
@@ -54,6 +55,14 @@ struct DelayCampaignResult {
     bool useVs, bool nand2, const circuits::CellSizing& sizing,
     const circuits::StimulusSpec& stimulus, int samples, std::uint64_t seed,
     bool withLeakage = false, double dt = 0.3e-12);
+
+/// Largest relative per-sample metric deviation between two campaign runs
+/// with the same seed -- the tolerance accounting behind the mode-comparison
+/// bench rows (fast / reuse-pivot vs their baseline configuration).
+/// Returns 1e30 on any shape mismatch (failure count, metric or sample
+/// counts) so a structural divergence can never read as "within tolerance".
+[[nodiscard]] double maxRelMetricDelta(const mc::McResult& a,
+                                       const mc::McResult& b);
 
 }  // namespace vsstat::bench
 

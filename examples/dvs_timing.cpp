@@ -8,11 +8,15 @@
 // worker, rebound per sample, instead of rebuilding circuit + solver state
 // every sample.
 //
-// Usage: example_dvs_timing [samples] [--fast]
-//   samples   default 500; CI smoke uses a few
-//   --fast    NumericsMode::fast -- SIMD transcendental kernels in the
-//             device-bank lanes; delay metrics agree with the reference
-//             mode within solver tolerance (see README, numerics modes)
+// Usage: example_dvs_timing [samples] [--fast] [--reuse-pivot]
+//   samples        default 500; CI smoke uses a few
+//   --fast         NumericsMode::fast -- SIMD transcendental kernels in the
+//                  device-bank lanes; delay metrics agree with the
+//                  reference mode within solver tolerance (see README,
+//                  session modes)
+//   --reuse-pivot  SolverMode::reusePivot -- one canonical LU pivot order
+//                  amortized across every solve of a worker session,
+//                  breakdown-monitored; composes with --fast
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,9 +42,12 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fast") == 0) {
       sessionOptions.numerics = models::NumericsMode::fast;
+    } else if (std::strcmp(argv[i], "--reuse-pivot") == 0) {
+      sessionOptions.solver = linalg::SolverMode::reusePivot;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "example_dvs_timing: unknown flag '%s' "
-                   "(usage: example_dvs_timing [samples] [--fast])\n",
+                   "(usage: example_dvs_timing [samples] [--fast] "
+                   "[--reuse-pivot])\n",
                    argv[i]);
       return 2;
     } else {
@@ -48,8 +55,9 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("NAND2 FO3 delay under dynamic voltage scaling (%d MC runs, "
-              "statistical VS model, %s numerics)\n\n", kSamples,
-              models::toString(sessionOptions.numerics));
+              "statistical VS model, %s numerics, %s solver)\n\n", kSamples,
+              models::toString(sessionOptions.numerics),
+              linalg::toString(sessionOptions.solver));
   std::printf("%-8s %-12s %-14s %-10s %-12s %-10s\n", "Vdd [V]", "mean [ps]",
               "sigma/mean [%]", "skewness", "QQ r^2", "Gaussian?");
 

@@ -22,10 +22,15 @@
 // Monte Carlo estimate -- stratified designs buy back the budget on smooth
 // responses like SNM.
 //
-// Usage: example_sram_yield [mc_samples] [is_samples] [scheme] [--fast]
+// Usage: example_sram_yield [mc_samples] [is_samples] [scheme]
+//                           [--fast] [--reuse-pivot]
 //        (defaults 800/400 iid; scheme in {iid, lhs, halton}; --fast
 //        selects NumericsMode::fast -- SIMD kernels in the device-bank
-//        lanes, SNM/yield results within solver tolerance of reference)
+//        lanes; --reuse-pivot selects SolverMode::reusePivot -- one
+//        canonical LU pivot order amortized across every solve of a
+//        session, breakdown-monitored.  Both flags compose; either way
+//        SNM/yield results stay within solver tolerance of the
+//        reference/fresh configuration)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -151,10 +156,12 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fast") == 0) {
       sessionOptions.numerics = models::NumericsMode::fast;
+    } else if (std::strcmp(argv[i], "--reuse-pivot") == 0) {
+      sessionOptions.solver = linalg::SolverMode::reusePivot;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "example_sram_yield: unknown flag '%s' (usage: "
                    "example_sram_yield [mc_samples] [is_samples] [scheme] "
-                   "[--fast])\n", argv[i]);
+                   "[--fast] [--reuse-pivot])\n", argv[i]);
       return 2;
     } else {
       positional.push_back(argv[i]);
@@ -194,8 +201,9 @@ int main(int argc, char** argv) {
   const auto read = stats::summarize(r.metrics[0]);
   const auto hold = stats::summarize(r.metrics[1]);
   std::printf("6T SRAM (N/P 150/40 nm, pass 100 nm) at Vdd = %.2f V, %d MC "
-              "samples, %s numerics\n\n", kit.vdd(), kSamples,
-              models::toString(sessionOptions.numerics));
+              "samples, %s numerics, %s solver\n\n", kit.vdd(), kSamples,
+              models::toString(sessionOptions.numerics),
+              linalg::toString(sessionOptions.solver));
   std::printf("READ SNM: mean = %.1f mV  sigma = %.1f mV  min = %.1f mV\n",
               read.mean * 1e3, read.stddev * 1e3, read.min * 1e3);
   std::printf("HOLD SNM: mean = %.1f mV  sigma = %.1f mV  min = %.1f mV\n",

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""CI parallel-scaling smoke: bit-identity + throughput across worker counts.
+"""CI parallel-scaling audit: bit-identity + efficiency across worker counts.
 
 Input is the concatenated JSONL of several `bench_campaign --scaling
 --threads N` runs (one scaling.jsonl, uploaded as a CI artifact).  For each
@@ -7,14 +7,20 @@ workload row name the script
 
   * asserts every thread count reported the SAME metrics_fnv1a -- the
     campaign runner's cross-thread bit-identity contract, now checked on
-    every push rather than only in unit tests, and
+    every push rather than only in unit tests,
   * prints samples/sec per worker count (the ROADMAP "parallel-scaling
-    audit" record; no threshold is applied, since CI runners have too few
-    cores for a meaningful parallel-efficiency gate).
+    audit" record), and
+  * computes the parallel efficiency of every row against the workload's
+    lowest thread count: eff(T) = (sps_T / sps_base) / (T / base) * 100%.
+    Efficiency is REPORTED, and optionally gated with --min-efficiency
+    (off by default: per-push CI runners have too few cores for a
+    meaningful gate; the nightly/dispatch scaling-audit job records the
+    numbers on whatever hardware it gets).
 
 Requires at least two distinct thread counts per workload.  Markdown goes
 to --summary (point it at $GITHUB_STEP_SUMMARY).  Exit 1 on any hash
-mismatch or missing coverage.  Stdlib only.
+mismatch, missing coverage, or (when --min-efficiency is given) a row
+below the efficiency floor.  Stdlib only.
 """
 
 import argparse
@@ -27,6 +33,10 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("jsonl", help="concatenated --scaling run output")
     parser.add_argument("--summary", default=None)
+    parser.add_argument("--min-efficiency", type=float, default=None,
+                        help="fail rows whose parallel efficiency [%%] at "
+                             "the highest thread count falls below this "
+                             "(default: report only)")
     args = parser.parse_args()
 
     rows = []
@@ -48,7 +58,7 @@ def main():
         sys.exit(f"error: no rows in {args.jsonl}")
 
     failures = 0
-    table = []  # (name, threads, samples_per_sec, hash, ok)
+    table = []  # (name, threads, samples_per_sec, efficiency|None, hash, ok)
     for name, group in sorted(by_name.items()):
         group.sort(key=lambda r: r.get("threads", 0))
         threads = [r.get("threads") for r in group]
@@ -58,30 +68,47 @@ def main():
             failures += 1
         hashes = {r.get("metrics_fnv1a") for r in group}
         identical = len(hashes) == 1 and None not in hashes
+
+        base = group[0]
+        base_threads = base.get("threads") or 1
+        base_sps = base.get("samples_per_sec") or 0.0
+        for r in group:
+            t = r.get("threads") or 1
+            sps = r.get("samples_per_sec") or 0.0
+            if t == base_threads or base_sps <= 0:
+                eff = 100.0 if t == base_threads else None
+            else:
+                eff = (sps / base_sps) / (t / base_threads) * 100.0
+            row_ok = identical
+            if (args.min_efficiency is not None and eff is not None
+                    and t == max(threads) and eff < args.min_efficiency):
+                row_ok = False
+            table.append((name, t, sps, eff, r.get("metrics_fnv1a"), row_ok))
+            if identical and not row_ok:
+                failures += 1
         if not identical:
             failures += 1
-        for r in group:
-            table.append((name, r.get("threads"), r.get("samples_per_sec"),
-                          r.get("metrics_fnv1a"), identical))
 
-    print("parallel-scaling smoke (metrics must be bit-identical across "
-          "worker counts):")
-    for name, threads, sps, fnv, ok in table:
-        mark = "ok" if ok else "HASH MISMATCH"
-        print(f"  {name:<24} threads={threads:<3} {sps:>8.1f} samples/s  "
-              f"{fnv}  {mark}")
-    verdict = ("bit-identical across all worker counts" if failures == 0
-               else f"{failures} workload(s) FAILED the identity check")
+    print("parallel-scaling audit (metrics must be bit-identical across "
+          "worker counts; efficiency vs the lowest count):")
+    for name, threads, sps, eff, fnv, ok in table:
+        eff_text = f"{eff:6.1f}%" if eff is not None else "    -  "
+        mark = "ok" if ok else "FAIL"
+        print(f"  {name:<28} threads={threads:<3} {sps:>8.1f} samples/s  "
+              f"eff {eff_text}  {fnv}  {mark}")
+    verdict = ("all workloads bit-identical across worker counts" if not failures
+               else f"{failures} check(s) FAILED")
     print(f"  -> {verdict}")
 
     if args.summary:
         with open(args.summary, "a", encoding="utf-8") as fh:
-            fh.write("### Parallel-scaling smoke\n\n")
-            fh.write("| workload | threads | samples/sec | metrics hash "
-                     "| bit-identical |\n|---|---|---|---|---|\n")
-            for name, threads, sps, fnv, ok in table:
-                fh.write(f"| {name} | {threads} | {sps:.1f} | `{fnv}` "
-                         f"| {'✅' if ok else '❌'} |\n")
+            fh.write("### Parallel-scaling audit\n\n")
+            fh.write("| workload | threads | samples/sec | efficiency "
+                     "| metrics hash | ok |\n|---|---|---|---|---|---|\n")
+            for name, threads, sps, eff, fnv, ok in table:
+                eff_text = f"{eff:.1f}%" if eff is not None else "-"
+                fh.write(f"| {name} | {threads} | {sps:.1f} | {eff_text} "
+                         f"| `{fnv}` | {'✅' if ok else '❌'} |\n")
             fh.write(f"\n**{verdict}**\n\n")
 
     sys.exit(1 if failures else 0)

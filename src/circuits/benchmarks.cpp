@@ -268,4 +268,52 @@ RingOscillatorBench buildRingOscillator(DeviceProvider& provider, int stages,
   return bench;
 }
 
+PowerGridBench buildPowerGridIrDrop(DeviceProvider& provider, int rows,
+                                    int cols, double vdd, double meshOhms,
+                                    double leakWidthNm, double lengthNm) {
+  require(rows >= 2 && cols >= 2,
+          "buildPowerGridIrDrop: rows and cols must be >= 2");
+  require(meshOhms > 0.0, "buildPowerGridIrDrop: meshOhms must be positive");
+
+  PowerGridBench bench;
+  bench.supply = vdd;
+  auto& c = bench.circuit;
+
+  std::vector<NodeId> grid;
+  grid.reserve(static_cast<std::size_t>(rows) *
+               static_cast<std::size_t>(cols));
+  for (int r = 0; r < rows; ++r)
+    for (int col = 0; col < cols; ++col)
+      grid.push_back(
+          c.node("g" + std::to_string(r) + "_" + std::to_string(col)));
+  const auto at = [&](int r, int col) {
+    return grid[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) +
+                static_cast<std::size_t>(col)];
+  };
+  bench.feed = at(0, 0);
+  bench.farNode = at(rows - 1, cols - 1);
+
+  // Mesh segments between 4-neighbors.  A diode-connected leakage NMOS at
+  // every node draws its sample's current; diode connection keeps the DC
+  // transfer monotone, so the supply sweep warm-starts cleanly.
+  for (int r = 0; r < rows; ++r) {
+    for (int col = 0; col < cols; ++col) {
+      const std::string suffix =
+          std::to_string(r) + "_" + std::to_string(col);
+      if (col + 1 < cols)
+        c.addResistor("RH" + suffix, at(r, col), at(r, col + 1), meshOhms);
+      if (r + 1 < rows)
+        c.addResistor("RV" + suffix, at(r, col), at(r + 1, col), meshOhms);
+      DeviceInstance leak = provider.make(DeviceType::Nmos, "ML" + suffix,
+                                          geometryNm(leakWidthNm, lengthNm));
+      c.addMosfet("ML" + suffix, at(r, col), at(r, col), c.ground(),
+                  std::move(leak.model), leak.geometry);
+    }
+  }
+
+  c.addVoltageSource(bench.feedSource, bench.feed, c.ground(),
+                     SourceWaveform::dc(vdd));
+  return bench;
+}
+
 }  // namespace circuits

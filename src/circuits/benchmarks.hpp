@@ -158,6 +158,33 @@ struct RingOscillatorBench {
     DeviceProvider& provider, int stages, const CellSizing& sizing,
     double vdd);
 
+/// Post-layout-scale fixture: a rows x cols on-chip power-grid mesh of
+/// resistors with one diode-connected NMOS leakage load per grid node,
+/// fed at corner (0,0).  Sweeping the feed supply characterizes the
+/// worst-case IR drop (far corner) under per-device leakage variability --
+/// the many-unknown regime (hundreds of nodes, one MNA unknown each) the
+/// paper-scale cells never reach, where per-solve LU costs (dense
+/// partial-pivot + symbolic pass) rival total device evaluation and the
+/// pivot-reuse solver mode pays off.  Mesh segment conductance is kept far
+/// above any device conductance so the partial-pivot order is governed by
+/// the grid, not the sample draws.
+struct PowerGridBench {
+  spice::Circuit circuit;
+  spice::NodeId feed = 0;     ///< corner (0,0), tied to the swept source
+  spice::NodeId farNode = 0;  ///< corner (rows-1, cols-1): worst IR drop
+  std::string feedSource = "VGRID";
+  double supply = 0.9;
+};
+
+/// Device order: node (r, c) in row-major order, one NMOS "ML<r>_<c>"
+/// each.  `rows`/`cols` >= 2; `meshOhms` is the per-segment resistance.
+[[nodiscard]] PowerGridBench buildPowerGridIrDrop(DeviceProvider& provider,
+                                                  int rows, int cols,
+                                                  double vdd,
+                                                  double meshOhms = 5.0,
+                                                  double leakWidthNm = 200.0,
+                                                  double lengthNm = 40.0);
+
 }  // namespace vsstat::circuits
 
 #endif  // VSSTAT_CIRCUITS_BENCHMARKS_HPP

@@ -8,16 +8,87 @@
 namespace vsstat::linalg {
 
 void SparseLu::refactor(const SparseMatrix& m, double pivotTolerance) {
+  if (mode_ == SolverMode::reusePivot) {
+    refactorReusingPivots(m, pivotTolerance);
+    return;
+  }
   const SparsePattern& pattern = m.pattern();
   require(!pattern.empty(), "SparseLu: empty pattern");
   if (pattern_ != &pattern || n_ != pattern.size()) {
     fullFactor(m, pivotTolerance);
     return;
   }
-  if (!fastRefactor(m, pivotTolerance)) {
+  if (!fastRefactor(m, pivotTolerance, 0.0)) {
     // Pivot order went stale for the current values: re-pivot from scratch.
     fullFactor(m, pivotTolerance);
   }
+}
+
+void SparseLu::refactorReusingPivots(const SparseMatrix& m,
+                                     double pivotTolerance) {
+  const SparsePattern& pattern = m.pattern();
+  require(!pattern.empty(), "SparseLu: empty pattern");
+  if (pattern_ != &pattern || n_ != pattern.size()) {
+    fullFactor(m, pivotTolerance);
+    return;
+  }
+  if (!fastRefactor(m, pivotTolerance, growthLimit_)) {
+    // Monitor breakdown: the reused order hit a near-zero pivot or grew the
+    // factor past the growth limit for these values.  Abandon it and derive
+    // a fresh order from the values themselves; restorePivotSnapshot()
+    // brings the canonical order back at the next solve boundary.
+    ++pivotFallbacks_;
+    fullFactor(m, pivotTolerance);
+  }
+}
+
+void SparseLu::snapshotPivotOrder() {
+  require(pattern_ != nullptr, "SparseLu: snapshot before factorization");
+  snapshot_.pattern = pattern_;
+  snapshot_.n = n_;
+  snapshot_.rowPerm = rowPerm_;
+  snapshot_.permInv = permInv_;
+  snapshot_.permSign = permSign_;
+  snapshot_.lStart = lStart_;
+  snapshot_.lRows = lRows_;
+  snapshot_.uStart = uStart_;
+  snapshot_.uCols = uCols_;
+  snapshot_.uColStart = uColStart_;
+  snapshot_.uColRows = uColRows_;
+  snapshot_.zeroList = zeroList_;
+  snapshotValid_ = true;
+  divergedFromSnapshot_ = false;
+}
+
+void SparseLu::restorePivotSnapshot() noexcept {
+  if (!snapshotValid_) {
+    // No canonical order to reuse: behave like a fresh-mode solve boundary.
+    reset();
+    return;
+  }
+  if (!divergedFromSnapshot_) {
+    // Steady state: the live structure IS the snapshot; just make sure a
+    // reset() between solves (e.g. a mixed-mode caller) is undone.
+    pattern_ = snapshot_.pattern;
+    return;
+  }
+  // A breakdown re-pivot replaced the structure mid-solve; copy the
+  // canonical one back.  assign() reuses capacity -- the vectors were
+  // sized by a factorization of the same pattern, so no steady-state
+  // allocation happens here either.
+  n_ = snapshot_.n;
+  rowPerm_.assign(snapshot_.rowPerm.begin(), snapshot_.rowPerm.end());
+  permInv_.assign(snapshot_.permInv.begin(), snapshot_.permInv.end());
+  permSign_ = snapshot_.permSign;
+  lStart_.assign(snapshot_.lStart.begin(), snapshot_.lStart.end());
+  lRows_.assign(snapshot_.lRows.begin(), snapshot_.lRows.end());
+  uStart_.assign(snapshot_.uStart.begin(), snapshot_.uStart.end());
+  uCols_.assign(snapshot_.uCols.begin(), snapshot_.uCols.end());
+  uColStart_.assign(snapshot_.uColStart.begin(), snapshot_.uColStart.end());
+  uColRows_.assign(snapshot_.uColRows.begin(), snapshot_.uColRows.end());
+  zeroList_.assign(snapshot_.zeroList.begin(), snapshot_.zeroList.end());
+  pattern_ = snapshot_.pattern;
+  divergedFromSnapshot_ = false;
 }
 
 void SparseLu::fullFactor(const SparseMatrix& m, double pivotTolerance) {
@@ -25,6 +96,7 @@ void SparseLu::fullFactor(const SparseMatrix& m, double pivotTolerance) {
   const std::size_t n = pattern.size();
   n_ = n;
   pattern_ = nullptr;  // not analyzed until this factorization succeeds
+  if (snapshotValid_) divergedFromSnapshot_ = true;
 
   if (scratch_.rows() != n || scratch_.cols() != n) scratch_ = Matrix(n, n);
   scratch_.fill(0.0);
@@ -133,8 +205,8 @@ void SparseLu::buildSymbolic(const SparsePattern& pattern) {
   }
 }
 
-bool SparseLu::fastRefactor(const SparseMatrix& m,
-                            double pivotTolerance) noexcept {
+bool SparseLu::fastRefactor(const SparseMatrix& m, double pivotTolerance,
+                            double growthLimit) noexcept {
   const std::size_t n = n_;
   double* a = scratch_.data();
 
@@ -145,8 +217,19 @@ bool SparseLu::fastRefactor(const SparseMatrix& m,
   const auto& rows = pattern_->rowIndex();
   const auto& cols = pattern_->colIndex();
   const auto& values = m.values();
-  for (std::size_t s = 0; s < values.size(); ++s)
-    a[permInv_[rows[s]] * n + cols[s]] = values[s];
+  // maxA is only consumed by the growth monitor; the unmonitored (fresh-
+  // mode) scatter stays exactly the pre-reuse hot path.
+  double maxA = 0.0;
+  if (growthLimit > 0.0) {
+    for (std::size_t s = 0; s < values.size(); ++s) {
+      const double v = values[s];
+      a[permInv_[rows[s]] * n + cols[s]] = v;
+      maxA = std::max(maxA, std::fabs(v));
+    }
+  } else {
+    for (std::size_t s = 0; s < values.size(); ++s)
+      a[permInv_[rows[s]] * n + cols[s]] = values[s];
+  }
 
   // Numeric elimination along the precomputed structure.
   for (std::size_t k = 0; k < n; ++k) {
@@ -167,6 +250,19 @@ bool SparseLu::fastRefactor(const SparseMatrix& m,
       }
     }
   }
+
+  if (growthLimit > 0.0) {
+    // Element-growth monitor (pivot-reuse sessions): one O(nnz) post-pass
+    // instead of per-update tracking, so the elimination loop above stays
+    // identical to the unmonitored fresh-mode path.  Partial pivoting keeps
+    // max|LU| / max|A| near 1; a stale order gone degenerate shows up as
+    // orders-of-magnitude growth long before results silently degrade.
+    double maxLu = 0.0;
+    for (const std::size_t idx : zeroList_)
+      maxLu = std::max(maxLu, std::fabs(a[idx]));
+    if (maxLu > growthLimit * maxA) return false;
+  }
+
   ++fastRefactors_;
   return true;
 }

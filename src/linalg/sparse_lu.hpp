@@ -9,6 +9,26 @@
 // heap allocation -- just a numeric sweep over the structural nonzeros.
 // A pivot falling below tolerance during a fast refactor transparently falls
 // back to the full re-pivoting path.
+//
+// Two session-level pivot policies (SolverMode) build on this:
+//
+//   * fresh      -- the caller reset()s before every solve, so each solve
+//                   re-derives its pivot order from its own first iterate.
+//                   This is what makes a persistent workspace bit-identical
+//                   to a freshly constructed one.
+//   * reusePivot -- the caller snapshots one canonical pivot order +
+//                   symbolic fill (snapshotPivotOrder) and restores it at
+//                   every solve boundary (restorePivotSnapshot) instead of
+//                   resetting.  refactorReusingPivots() then skips the dense
+//                   partial-pivot search and the symbolic pass entirely,
+//                   monitored by a cheap element-growth / zero-pivot check
+//                   that falls back to a full re-pivot on breakdown.
+//                   Results stay deterministic (each solve depends only on
+//                   the canonical order and its own inputs, never on which
+//                   solve ran before) and correct (the Newton convergence
+//                   test still bounds the residual); only the Newton
+//                   trajectory differs from fresh mode -- statistically
+//                   equivalent, tolerance-tested at the campaign level.
 #ifndef VSSTAT_LINALG_SPARSE_LU_HPP
 #define VSSTAT_LINALG_SPARSE_LU_HPP
 
@@ -20,6 +40,15 @@
 
 namespace vsstat::linalg {
 
+/// Session pivot policy (see file comment).  Lives here -- next to the
+/// factorization that implements it -- so every layer from spice sessions
+/// to campaign runners can name it without new dependencies.
+enum class SolverMode { fresh, reusePivot };
+
+[[nodiscard]] inline const char* toString(SolverMode m) noexcept {
+  return m == SolverMode::fresh ? "fresh" : "reuse-pivot";
+}
+
 class SparseLu {
  public:
   SparseLu() = default;
@@ -28,17 +57,66 @@ class SparseLu {
   /// or a pattern change, or a pivot breakdown -- runs the full analyze +
   /// partial-pivot path; steady-state calls are allocation-free.  Throws
   /// ConvergenceError when the matrix is numerically singular.
+  /// In SolverMode::reusePivot (setSolverMode) this forwards to
+  /// refactorReusingPivots(), so generic drivers pick up the session's
+  /// pivot policy without mode checks at every call site.
   void refactor(const SparseMatrix& m, double pivotTolerance = 1e-14);
+
+  /// The pivot-reuse path: factors `m` on the previously analyzed pivot
+  /// order and symbolic fill, skipping the dense partial-pivot search and
+  /// the symbolic pass.  A cheap monitor guards the reuse: if any reused
+  /// pivot falls below `pivotTolerance` or the factor's element growth
+  /// max|LU| / max|A| exceeds the growth limit (setPivotGrowthLimit), the
+  /// stale order is abandoned and a full re-pivot runs instead (counted by
+  /// pivotFallbackCount).  With no analyzed pattern (or a different one)
+  /// it degrades to the full path.
+  void refactorReusingPivots(const SparseMatrix& m,
+                             double pivotTolerance = 1e-14);
 
   /// Forgets the analyzed pattern and pivot order so the next refactor()
   /// runs the full analyze + partial-pivot path again.  All buffers are
   /// retained at capacity, so a reset + refactor cycle on an unchanged
-  /// pattern performs no steady-state heap allocations.  Simulation
-  /// sessions call this at the start of every solve so a persistent
-  /// workspace reproduces the numerics of a freshly-constructed one
-  /// bit-for-bit (the pivot order is re-derived from the solve's own first
-  /// iterate instead of whatever sample last touched the factorization).
+  /// pattern performs no steady-state heap allocations.  Fresh-mode
+  /// simulation sessions call this at the start of every solve so a
+  /// persistent workspace reproduces the numerics of a freshly-constructed
+  /// one bit-for-bit (the pivot order is re-derived from the solve's own
+  /// first iterate instead of whatever sample last touched the
+  /// factorization).
   void reset() noexcept { pattern_ = nullptr; }
+
+  // --- pivot snapshot (SolverMode::reusePivot sessions) ----------------------
+  /// Captures the current pivot order + symbolic fill as the canonical
+  /// reuse structure.  Sessions prime it once, from a sample-independent
+  /// state (the as-built fixture), which is what keeps reuse-mode campaign
+  /// results independent of which worker session served which sample.
+  /// Requires an analyzed factorization (refactor() succeeded).
+  void snapshotPivotOrder();
+
+  /// Restores the snapshot at a solve boundary: the next
+  /// refactorReusingPivots() runs on the canonical order regardless of any
+  /// breakdown re-pivot a previous solve performed.  No-op (beyond pointer
+  /// fixup) when the structure never diverged; without a snapshot it
+  /// behaves like reset(), i.e. the solve falls back to fresh pivoting.
+  void restorePivotSnapshot() noexcept;
+
+  [[nodiscard]] bool hasPivotSnapshot() const noexcept {
+    return snapshotValid_;
+  }
+
+  /// Solver-session pivot policy; refactor() dispatches on it.  Purely a
+  /// convenience for drivers that share one call site between modes --
+  /// the explicit entry points above are mode-independent.
+  void setSolverMode(SolverMode m) noexcept { mode_ = m; }
+  [[nodiscard]] SolverMode solverMode() const noexcept { return mode_; }
+
+  /// Element-growth ceiling of the reuse monitor: a reused factorization
+  /// whose max|LU| exceeds limit * max|A| triggers a full re-pivot.
+  /// Partial pivoting keeps growth near 1 on these MNA systems, so the
+  /// default flags only genuinely degenerate reuse.
+  void setPivotGrowthLimit(double limit) noexcept { growthLimit_ = limit; }
+  [[nodiscard]] double pivotGrowthLimit() const noexcept {
+    return growthLimit_;
+  }
 
   /// Solves A x = b in place; allocation-free.
   void solveInPlace(Vector& x) const;
@@ -56,6 +134,11 @@ class SparseLu {
   [[nodiscard]] std::uint64_t fastRefactorCount() const noexcept {
     return fastRefactors_;
   }
+  /// Reuse-monitor breakdowns: refactorReusingPivots() calls that abandoned
+  /// the reused order (zero pivot or growth) and re-pivoted from scratch.
+  [[nodiscard]] std::uint64_t pivotFallbackCount() const noexcept {
+    return pivotFallbacks_;
+  }
   /// Structural nonzeros of L+U (pattern nonzeros + fill-in).
   [[nodiscard]] std::size_t factorNonZeroCount() const noexcept {
     return zeroList_.size();
@@ -63,8 +146,8 @@ class SparseLu {
 
  private:
   void fullFactor(const SparseMatrix& m, double pivotTolerance);
-  [[nodiscard]] bool fastRefactor(const SparseMatrix& m,
-                                  double pivotTolerance) noexcept;
+  [[nodiscard]] bool fastRefactor(const SparseMatrix& m, double pivotTolerance,
+                                  double growthLimit) noexcept;
   void buildSymbolic(const SparsePattern& pattern);
 
   std::size_t n_ = 0;
@@ -86,8 +169,29 @@ class SparseLu {
 
   mutable Vector work_;  ///< permuted rhs scratch for solveInPlace
 
+  // Canonical structure snapshot (reuse-pivot sessions).  Restoring swaps
+  // the saved copies back only when a breakdown re-pivot diverged the live
+  // structure, so the per-solve restore is O(1) in steady state.
+  struct PivotSnapshot {
+    const SparsePattern* pattern = nullptr;
+    std::size_t n = 0;
+    std::vector<std::size_t> rowPerm, permInv;
+    int permSign = 1;
+    std::vector<std::size_t> lStart, lRows;
+    std::vector<std::size_t> uStart, uCols;
+    std::vector<std::size_t> uColStart, uColRows;
+    std::vector<std::size_t> zeroList;
+  };
+  PivotSnapshot snapshot_;
+  bool snapshotValid_ = false;
+  bool divergedFromSnapshot_ = false;
+
+  SolverMode mode_ = SolverMode::fresh;
+  double growthLimit_ = 1e8;
+
   std::uint64_t fullFactors_ = 0;
   std::uint64_t fastRefactors_ = 0;
+  std::uint64_t pivotFallbacks_ = 0;
 };
 
 }  // namespace vsstat::linalg

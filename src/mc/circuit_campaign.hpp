@@ -7,6 +7,12 @@
 // samples dropped and counted -- and, because session rebinding is
 // draw-for-draw and solver-numerics identical to a rebuild, the metrics
 // are bit-identical to a rebuild-per-sample campaign with the same seed.
+//
+// `sessionOptions` selects the session-mode axes for every worker session:
+// NumericsMode::fast and/or SolverMode::reusePivot keep the
+// thread-count-independence guarantee (results never depend on which
+// worker served which sample) but replace rebuild bit-identity with the
+// documented tolerance contracts (README, "Session modes").
 #ifndef VSSTAT_MC_CIRCUIT_CAMPAIGN_HPP
 #define VSSTAT_MC_CIRCUIT_CAMPAIGN_HPP
 

@@ -22,6 +22,15 @@
 // bit-identical to the legacy rebuild-per-sample path -- and independent
 // of which worker session evaluates which sample (SessionPool hands
 // sessions out lease-style to the persistent util::ThreadPool workers).
+//
+// Session modes ride along unchanged: spice::SessionOptions carries the
+// NumericsMode (reference/fast) and linalg::SolverMode (fresh/reusePivot)
+// axes into every per-worker SimSession.  Both opt-in modes keep the
+// scheduling-independence half of the contract -- reuse-pivot sessions
+// prime their canonical pivot order from the as-built fixture, which
+// identically-built workers share -- they only trade away bit-identity
+// with the rebuild path (tolerance-tested instead; see
+// tests/sim/test_reuse_pivot_campaign.cpp and test_fast_campaign.cpp).
 #ifndef VSSTAT_SIM_SESSION_HPP
 #define VSSTAT_SIM_SESSION_HPP
 

@@ -7,7 +7,7 @@
 namespace vsstat::spice::detail {
 
 Assembler::Assembler(const Circuit& circuit, bool useDeviceBank,
-                     models::NumericsMode numerics)
+                     models::NumericsMode numerics, linalg::SolverMode solver)
     : circuit_(circuit),
       numNodes_(circuit.nodeCount() - 1),
       numUnknowns_(circuit.unknownCount()),
@@ -20,6 +20,7 @@ Assembler::Assembler(const Circuit& circuit, bool useDeviceBank,
           "element loop is reference-only)");
   capturePattern();
   workspace_.dx.assign(numUnknowns_, 0.0);
+  workspace_.lu.setSolverMode(solver);
   if (useDeviceBank) {
     auto bank = std::make_unique<DeviceBankSet>(circuit_, pattern_, numerics);
     if (bank->laneCount() > 0) bankSet_ = std::move(bank);

@@ -61,9 +61,14 @@ class Assembler {
   /// `numerics` is handed to the bank's model groups: reference (default)
   /// keeps bit-identity, fast swaps in the vectorized kernel pipeline
   /// (requires `useDeviceBank` -- the scalar loop has no fast chain).
+  /// `solver` is installed on the workspace factorization: fresh (default)
+  /// keeps the per-solve re-pivot semantics, reusePivot makes every
+  /// refactor() reuse the analyzed pivot order under the growth monitor
+  /// (SimSession additionally primes and restores the canonical snapshot).
   explicit Assembler(
       const Circuit& circuit, bool useDeviceBank = true,
-      models::NumericsMode numerics = models::NumericsMode::reference);
+      models::NumericsMode numerics = models::NumericsMode::reference,
+      linalg::SolverMode solver = linalg::SolverMode::fresh);
 
   // Not copyable/movable: values_ and the workspace factorization hold
   // pointers into this object's pattern_.

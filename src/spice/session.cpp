@@ -30,7 +30,10 @@ class SweepSourceGuard {
 SimSession::SimSession(Circuit& circuit, SessionOptions options)
     : circuit_(&circuit),
       assembler_(std::make_unique<detail::Assembler>(
-          circuit, options.useDeviceBank, options.numerics)) {}
+          circuit, options.useDeviceBank, options.numerics, options.solver)),
+      solverMode_(options.solver) {
+  if (solverMode_ == linalg::SolverMode::reusePivot) primePivotReuse();
+}
 
 SimSession::~SimSession() = default;
 
@@ -40,8 +43,53 @@ std::size_t SimSession::deviceBankLaneCount() const noexcept {
   return assembler_->deviceBankLaneCount();
 }
 
+SimSession::SolverTelemetry SimSession::solverTelemetry() const noexcept {
+  const linalg::SparseLu& lu = assembler_->workspace().lu;
+  return SolverTelemetry{lu.fullFactorCount(), lu.fastRefactorCount(),
+                         lu.pivotFallbackCount(), lu.hasPivotSnapshot()};
+}
+
 void SimSession::resetNumerics() noexcept {
-  assembler_->workspace().lu.reset();
+  linalg::SparseLu& lu = assembler_->workspace().lu;
+  if (solverMode_ == linalg::SolverMode::reusePivot) {
+    lu.restorePivotSnapshot();
+  } else {
+    lu.reset();
+  }
+}
+
+void SimSession::primePivotReuse() {
+  detail::Assembler& assembler = *assembler_;
+  linalg::SparseLu& lu = assembler.workspace().lu;
+  if (circuit_->unknownCount() == 0) return;  // nothing to factor, ever
+
+  // Canonical order from the as-built circuit at the zero iterate -- the
+  // exact state a fresh-mode solve's first Newton iteration would pivot on.
+  // Campaign workers build their fixtures identically (same builder, same
+  // provider seed), so every session primes the same order, which is what
+  // keeps reuse-mode campaigns independent of sample-to-session scheduling.
+  const linalg::Vector zero(circuit_->unknownCount(), 0.0);
+  assembler.setDcMode();
+  assembler.setTime(0.0);
+  assembler.setSourceScale(1.0);
+  // A zero-iterate MNA Jacobian can be singular at exact zero gmin (off
+  // pass transistors isolate nodes); retry under the homotopy ladder's
+  // first shunt before giving up -- the shunt only perturbs diagonal
+  // values, and pivot ORDER is all the snapshot keeps.
+  for (const double gmin : {0.0, 1e-2}) {
+    assembler.setGmin(gmin);
+    assembler.assemble(zero);
+    try {
+      lu.refactorReusingPivots(assembler.jacobian());
+      lu.snapshotPivotOrder();
+      break;
+    } catch (const ConvergenceError&) {
+      // Singular at this gmin: try the next, or leave the session unprimed
+      // (solves fall back to fresh per-solve pivoting, deterministically).
+    }
+  }
+  assembler.setGmin(0.0);
+  assembler.setDcMode();
 }
 
 OperatingPoint SimSession::dcOperatingPoint(const DcOptions& options) {

@@ -22,14 +22,29 @@
 // last ulps (tolerance-tested).  Determinism is unchanged -- a fast session
 // still produces the same bits for the same inputs on every run and every
 // worker.
+//
+// SessionOptions::solver == SolverMode::reusePivot opts out of the other
+// half: instead of re-pivoting per solve, the session derives ONE canonical
+// pivot order + symbolic fill from the as-built circuit at construction and
+// restores it at every solve boundary, so every solve skips the dense
+// partial-pivot search and the symbolic pass (SparseLu::
+// refactorReusingPivots, guarded by the growth/zero-pivot monitor).
+// Because the canonical order depends only on the as-built circuit -- never
+// on which sample a solve belongs to or which solve ran before -- results
+// remain deterministic and bit-identical across thread counts and session
+// assignments; only the Newton trajectory differs from fresh mode
+// (statistically equivalent, tolerance-tested like fast numerics).  The two
+// axes compose freely.
 #ifndef VSSTAT_SPICE_SESSION_HPP
 #define VSSTAT_SPICE_SESSION_HPP
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/sparse_lu.hpp"
 #include "models/device.hpp"
 #include "spice/analysis.hpp"
 #include "spice/circuit.hpp"
@@ -54,6 +69,15 @@ struct SessionOptions {
   /// -- deterministic and tolerance-checked against reference, but NOT
   /// bit-identical to it.  Fast requires `useDeviceBank` (enforced).
   models::NumericsMode numerics = models::NumericsMode::reference;
+  /// Pivot policy of the workspace factorization (linalg::SolverMode).
+  /// `fresh` (default) re-pivots per solve, pinning every analysis
+  /// bit-identical to the free functions; `reusePivot` amortizes one
+  /// canonical pivot order + symbolic fill across all of the session's
+  /// solves (breakdown-monitored), trading bit-identity with the free
+  /// functions for throughput while staying deterministic and
+  /// thread-count-independent.  Composes with `numerics` -- the two axes
+  /// gate independent halves of the bit-identity contract.
+  linalg::SolverMode solver = linalg::SolverMode::fresh;
 };
 
 class SimSession {
@@ -111,15 +135,39 @@ class SimSession {
   /// tests and benches that assert banking is actually engaged.
   [[nodiscard]] std::size_t deviceBankLaneCount() const noexcept;
 
+  /// Workspace-factorization counters: proof that a solver mode is actually
+  /// engaged (tests) and visibility into breakdown-fallback frequency
+  /// (benches).  reusePivot sessions show ~flat fullFactors after priming;
+  /// fresh sessions grow it by one per solve.
+  struct SolverTelemetry {
+    std::uint64_t fullFactors = 0;     ///< analyze + partial-pivot passes
+    std::uint64_t fastRefactors = 0;   ///< structure-reusing refactors
+    std::uint64_t pivotFallbacks = 0;  ///< reuse-monitor breakdowns
+    bool pivotSnapshotPrimed = false;  ///< canonical order captured
+  };
+  [[nodiscard]] SolverTelemetry solverTelemetry() const noexcept;
+
  private:
-  /// Resets the workspace LU pivot state so this solve re-derives its
-  /// pivot order from its own first iterate (the legacy fresh-assembler
-  /// granularity: one full pivoting pass per dcOperatingPoint / transient
-  /// call).  Buffers stay at capacity -- no steady-state allocation.
+  /// Resets the workspace LU pivot state at a solve boundary.  Fresh mode
+  /// forgets the pivot order so this solve re-derives it from its own
+  /// first iterate (the legacy fresh-assembler granularity: one full
+  /// pivoting pass per dcOperatingPoint / transient call); reuse-pivot
+  /// mode restores the canonical snapshot instead, so the solve runs on
+  /// the primed order no matter what a breakdown in an earlier solve did.
+  /// Buffers stay at capacity either way -- no steady-state allocation.
   void resetNumerics() noexcept;
+
+  /// reusePivot priming: derives the canonical pivot order from the
+  /// as-built circuit at the zero iterate (a sample-independent state, so
+  /// identically-built worker sessions all derive the same order) and
+  /// snapshots it.  A circuit whose zero-iterate Jacobian is singular even
+  /// under a gmin shunt leaves the session unprimed: solves then fall back
+  /// to fresh-style per-solve pivoting, still deterministically.
+  void primePivotReuse();
 
   Circuit* circuit_;
   std::unique_ptr<detail::Assembler> assembler_;
+  linalg::SolverMode solverMode_ = linalg::SolverMode::fresh;
   linalg::Vector sweepX_;  ///< persistent sweep iterate (dcSweepNode)
 };
 

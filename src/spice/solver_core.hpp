@@ -5,11 +5,17 @@
 // Determinism contract: given the same Assembler settings, circuit
 // parameters, and starting iterate, every function here produces
 // bit-identical results whether the assembler/workspace is freshly
-// constructed or reused -- provided the workspace factorization was reset()
-// beforehand (the SparseLu pivot order is otherwise frozen from whatever
-// solve last ran full pivoting).  SimSession relies on this to make
-// build-once/rebind-per-sample campaigns bit-identical to the legacy
-// rebuild-per-sample path.
+// constructed or reused -- provided the workspace factorization was put in
+// a solve-boundary state beforehand (the SparseLu pivot order is otherwise
+// frozen from whatever solve last ran full pivoting).  The boundary state
+// depends on the session's SolverMode: fresh sessions reset() so each
+// solve re-derives its own pivot order (bit-identical to the legacy
+// rebuild-per-sample path); reuse-pivot sessions restore the canonical
+// pivot snapshot so each solve runs on the same primed order (bit-identical
+// across solve orderings and thread counts, but on a different --
+// statistically equivalent -- Newton trajectory than fresh).  The solver
+// loops themselves are mode-blind: SparseLu::refactor() dispatches on the
+// mode installed by the Assembler.
 #ifndef VSSTAT_SPICE_SOLVER_CORE_HPP
 #define VSSTAT_SPICE_SOLVER_CORE_HPP
 

@@ -32,8 +32,8 @@ TEST(InverterCell, InstantiatesTwoDevices) {
   const NodeId vdd = c.node("vdd");
   addInverter(c, p, "X1", in, out, vdd, CellSizing{});
   EXPECT_EQ(c.elements().size(), 2u);
-  EXPECT_NO_THROW(c.mosfet("X1.MP"));
-  EXPECT_NO_THROW(c.mosfet("X1.MN"));
+  EXPECT_NO_THROW((void)c.mosfet("X1.MP"));
+  EXPECT_NO_THROW((void)c.mosfet("X1.MN"));
 }
 
 TEST(InverterCell, SizingScalesGeometry) {

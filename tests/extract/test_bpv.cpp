@@ -100,7 +100,7 @@ TEST(Bpv, SolveCinvByBpvAblation) {
 }
 
 TEST(Bpv, ThrowsOnEmptyMeasurements) {
-  EXPECT_THROW(solveBpv(models::defaultVsNmos(), {}), InvalidArgumentError);
+  EXPECT_THROW((void)solveBpv(models::defaultVsNmos(), {}), InvalidArgumentError);
 }
 
 TEST(Bpv, DegenerateRowsAreDroppedAndCounted) {

@@ -78,7 +78,7 @@ TEST(VsFit, RejectsNonPositiveVdd) {
   const BsimLite golden(models::defaultBsimNmos());
   FitOptions opt;
   opt.vdd = 0.0;
-  EXPECT_THROW(fitVsToGolden(models::defaultVsNmos(), golden,
+  EXPECT_THROW((void)fitVsToGolden(models::defaultVsNmos(), golden,
                              geometryNm(300, 40), opt),
                vsstat::InvalidArgumentError);
 }

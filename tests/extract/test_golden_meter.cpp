@@ -74,7 +74,7 @@ TEST(GoldenMeter, RejectsTinySampleCount) {
   GoldenMeterOptions opt;
   opt.samples = 4;
   EXPECT_THROW(
-      measureGoldenVariance(kit, DeviceType::Nmos, geometryNm(600, 40), opt),
+      (void)measureGoldenVariance(kit, DeviceType::Nmos, geometryNm(600, 40), opt),
       InvalidArgumentError);
 }
 

@@ -28,8 +28,8 @@ TEST(Matrix, IdentityHasOnesOnDiagonal) {
 
 TEST(Matrix, AtThrowsOutOfRange) {
   Matrix m(2, 2);
-  EXPECT_THROW(m.at(2, 0), InvalidArgumentError);
-  EXPECT_THROW(m.at(0, 2), InvalidArgumentError);
+  EXPECT_THROW((void)m.at(2, 0), InvalidArgumentError);
+  EXPECT_THROW((void)m.at(0, 2), InvalidArgumentError);
 }
 
 TEST(Matrix, TransposeRoundTrips) {
@@ -99,7 +99,7 @@ TEST(VectorOps, AddSubScale) {
 }
 
 TEST(VectorOps, SizeMismatchThrows) {
-  EXPECT_THROW(dot(Vector{1.0}, Vector{1.0, 2.0}), InvalidArgumentError);
+  EXPECT_THROW((void)dot(Vector{1.0}, Vector{1.0, 2.0}), InvalidArgumentError);
 }
 
 }  // namespace

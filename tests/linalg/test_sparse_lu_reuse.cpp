@@ -1,0 +1,238 @@
+// Pivot-reuse contract of SparseLu (SolverMode::reusePivot support):
+//
+//   * refactorReusingPivots() skips the dense partial-pivot + symbolic pass
+//     while the reused order stays healthy (fullFactorCount flat);
+//   * the breakdown monitor catches both failure modes of a stale order --
+//     a near-zero reused pivot and excessive element growth -- and falls
+//     back to a full re-pivot whose solve is still accurate;
+//   * the canonical snapshot restores the primed order after a breakdown,
+//     so solve results depend only on the solve's own inputs (the
+//     determinism proof campaign bit-identity is built on);
+//   * repeated runs of the whole scenario are bit-identical.
+#include "linalg/sparse_lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/sparse.hpp"
+#include "util/error.hpp"
+
+namespace vsstat::linalg {
+namespace {
+
+/// Dense n x n pattern (every position structural) + value setter.
+SparsePattern densePattern(std::size_t n) {
+  std::vector<std::pair<std::size_t, std::size_t>> coords;
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) coords.emplace_back(r, c);
+  return SparsePattern(n, coords);
+}
+
+void setValues(SparseMatrix& m, const std::vector<std::vector<double>>& rows) {
+  m.clear();
+  const std::size_t n = rows.size();
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c)
+      m.addAt(m.pattern().slot(r, c), rows[r][c]);
+}
+
+double maxResidual(const SparseMatrix& a, const Vector& x, const Vector& b) {
+  const std::size_t n = x.size();
+  double worst = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double ax = 0.0;
+    for (std::size_t c = 0; c < n; ++c) ax += a(r, c) * x[c];
+    worst = std::max(worst, std::fabs(ax - b[r]));
+  }
+  return worst;
+}
+
+// A0's partial pivot swaps rows (|4| > |1| in column 0); the reused order
+// therefore puts the second original row first.
+const std::vector<std::vector<double>> kA0 = {{1.0, 2.0}, {4.0, 1.0}};
+
+TEST(SparseLuReuse, ReuseSkipsRepivotAndStaysAccurate) {
+  const SparsePattern pattern = densePattern(2);
+  SparseMatrix m(pattern);
+  SparseLu lu;
+
+  setValues(m, kA0);
+  lu.refactorReusingPivots(m);  // first call: full analyze + pivot
+  EXPECT_EQ(lu.fullFactorCount(), 1u);
+  lu.snapshotPivotOrder();
+  ASSERT_TRUE(lu.hasPivotSnapshot());
+
+  const Vector b{3.0, 5.0};
+  for (int solve = 0; solve < 5; ++solve) {
+    lu.restorePivotSnapshot();
+    setValues(m, {{1.0 + 0.01 * solve, 2.0}, {4.0, 1.0 - 0.01 * solve}});
+    lu.refactorReusingPivots(m);
+    const Vector x = lu.solve(b);
+    // Per-solve residual bound: the reused-order factorization must solve
+    // the CURRENT values accurately, not just the snapshot's.
+    EXPECT_LT(maxResidual(m, x, b), 1e-12) << "solve " << solve;
+  }
+  EXPECT_EQ(lu.fullFactorCount(), 1u);  // never re-pivoted
+  EXPECT_EQ(lu.pivotFallbackCount(), 0u);
+  EXPECT_GE(lu.fastRefactorCount(), 5u);
+}
+
+TEST(SparseLuReuse, GrowthMonitorTriggersFullRepivot) {
+  const SparsePattern pattern = densePattern(2);
+  SparseMatrix m(pattern);
+  SparseLu lu;
+
+  setValues(m, kA0);
+  lu.refactorReusingPivots(m);
+  lu.snapshotPivotOrder();
+
+  // Under the reused order the pivot becomes 1e-9: far above the absolute
+  // zero-pivot tolerance (1e-14), so only the growth monitor can see that
+  // the 1e9-sized multiplier makes the reused order numerically degenerate.
+  const std::vector<std::vector<double>> grower = {{1.0, 2.0}, {1e-9, 1.0}};
+  setValues(m, grower);
+  lu.refactorReusingPivots(m);
+  EXPECT_EQ(lu.pivotFallbackCount(), 1u);
+  EXPECT_EQ(lu.fullFactorCount(), 2u);  // breakdown re-pivoted from scratch
+
+  const Vector b{1.0, 1.0};
+  const Vector x = lu.solve(b);
+  EXPECT_LT(maxResidual(m, x, b), 1e-12);
+}
+
+TEST(SparseLuReuse, ZeroPivotTriggersFullRepivot) {
+  const SparsePattern pattern = densePattern(2);
+  SparseMatrix m(pattern);
+  SparseLu lu;
+
+  setValues(m, kA0);
+  lu.refactorReusingPivots(m);
+  lu.snapshotPivotOrder();
+
+  // Exact zero where the reused order wants its first pivot.
+  setValues(m, {{1.0, 2.0}, {0.0, 1.0}});
+  lu.refactorReusingPivots(m);
+  EXPECT_EQ(lu.pivotFallbackCount(), 1u);
+
+  const Vector b{1.0, 1.0};
+  const Vector x = lu.solve(b);
+  EXPECT_LT(maxResidual(m, x, b), 1e-12);
+}
+
+TEST(SparseLuReuse, SnapshotRestoresCanonicalOrderAfterBreakdown) {
+  const SparsePattern pattern = densePattern(2);
+  const Vector b{3.0, 5.0};
+
+  // Run A: prime, benign solve.
+  SparseLu clean;
+  {
+    SparseMatrix m(pattern);
+    setValues(m, kA0);
+    clean.refactorReusingPivots(m);
+    clean.snapshotPivotOrder();
+    clean.restorePivotSnapshot();
+    setValues(m, kA0);
+    clean.refactorReusingPivots(m);
+  }
+  const Vector xClean = clean.solve(b);
+
+  // Run B: prime, breakdown solve, restore, then the SAME benign solve.
+  SparseLu bumped;
+  SparseMatrix m(pattern);
+  setValues(m, kA0);
+  bumped.refactorReusingPivots(m);
+  bumped.snapshotPivotOrder();
+  setValues(m, {{1.0, 2.0}, {1e-9, 1.0}});
+  bumped.refactorReusingPivots(m);  // growth breakdown -> re-pivot
+  ASSERT_EQ(bumped.pivotFallbackCount(), 1u);
+  bumped.restorePivotSnapshot();  // solve boundary: canonical order is back
+  setValues(m, kA0);
+  bumped.refactorReusingPivots(m);
+  const Vector xBumped = bumped.solve(b);
+
+  // The interleaved breakdown must not leak into the next solve: bitwise
+  // equality, not tolerance.
+  ASSERT_EQ(xClean.size(), xBumped.size());
+  for (std::size_t i = 0; i < xClean.size(); ++i)
+    EXPECT_EQ(xClean[i], xBumped[i]) << "component " << i;
+  // And no extra full factors beyond priming + the one breakdown.
+  EXPECT_EQ(bumped.fullFactorCount(), 2u);
+}
+
+TEST(SparseLuReuse, RepeatedRunsAreBitIdentical) {
+  const SparsePattern pattern = densePattern(3);
+  const Vector b{1.0, -2.0, 0.5};
+
+  const auto runScenario = [&]() {
+    SparseLu lu;
+    SparseMatrix m(pattern);
+    setValues(m, {{2.0, 1.0, 0.5}, {4.0, 1.0, 1.0}, {1.0, 3.0, 2.0}});
+    lu.refactorReusingPivots(m);
+    lu.snapshotPivotOrder();
+    Vector last;
+    for (int solve = 0; solve < 4; ++solve) {
+      lu.restorePivotSnapshot();
+      // Solve 2 drives the reused order near-singular (monitored fallback);
+      // the others reuse cleanly.
+      const double d = solve == 2 ? 1e-10 : 4.0 + 0.1 * solve;
+      setValues(m, {{2.0, 1.0, 0.5}, {d, 1.0, 1.0}, {1.0, 3.0, 2.0}});
+      lu.refactorReusingPivots(m);
+      last = lu.solve(b);
+    }
+    return std::pair<Vector, std::uint64_t>(last, lu.pivotFallbackCount());
+  };
+
+  const auto [xa, fallbackA] = runScenario();
+  const auto [xb, fallbackB] = runScenario();
+  EXPECT_GE(fallbackA, 1u);
+  EXPECT_EQ(fallbackA, fallbackB);
+  ASSERT_EQ(xa.size(), xb.size());
+  for (std::size_t i = 0; i < xa.size(); ++i) EXPECT_EQ(xa[i], xb[i]);
+}
+
+TEST(SparseLuReuse, SolverModeDispatchesRefactor) {
+  const SparsePattern pattern = densePattern(2);
+  SparseMatrix m(pattern);
+  SparseLu lu;
+  lu.setSolverMode(SolverMode::reusePivot);
+  EXPECT_EQ(lu.solverMode(), SolverMode::reusePivot);
+
+  setValues(m, kA0);
+  lu.refactor(m);  // dispatches to the reuse path
+  lu.snapshotPivotOrder();
+  for (int solve = 0; solve < 3; ++solve) {
+    lu.restorePivotSnapshot();
+    setValues(m, kA0);
+    lu.refactor(m);
+  }
+  EXPECT_EQ(lu.fullFactorCount(), 1u);
+
+  // Fresh mode on the same object: reset + refactor re-pivots per solve.
+  lu.setSolverMode(SolverMode::fresh);
+  for (int solve = 0; solve < 2; ++solve) {
+    lu.reset();
+    setValues(m, kA0);
+    lu.refactor(m);
+  }
+  EXPECT_EQ(lu.fullFactorCount(), 3u);
+}
+
+TEST(SparseLuReuse, SingularMatrixStillThrows) {
+  const SparsePattern pattern = densePattern(2);
+  SparseMatrix m(pattern);
+  SparseLu lu;
+  setValues(m, kA0);
+  lu.refactorReusingPivots(m);
+  lu.snapshotPivotOrder();
+
+  setValues(m, {{1.0, 2.0}, {2.0, 4.0}});  // rank 1
+  EXPECT_THROW(lu.refactorReusingPivots(m), ConvergenceError);
+  // The breakdown path detected the stale order first, then the full
+  // re-pivot found the matrix genuinely singular.
+  EXPECT_EQ(lu.pivotFallbackCount(), 1u);
+}
+
+}  // namespace
+}  // namespace vsstat::linalg

@@ -117,7 +117,7 @@ TEST(Snm, RejectsDegenerateCurves) {
   ButterflyCurves curves;
   curves.curve1 = VtcCurve{{0.0}, {1.0}};
   curves.curve2 = VtcCurve{{0.0, 1.0}, {1.0, 0.0}};
-  EXPECT_THROW(staticNoiseMargin(curves, 1.0), InvalidArgumentError);
+  EXPECT_THROW((void)staticNoiseMargin(curves, 1.0), InvalidArgumentError);
 }
 
 }  // namespace

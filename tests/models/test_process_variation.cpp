@@ -49,7 +49,7 @@ TEST(PelgromScaling, LengthWidthSigmaRatioIsLOverW) {
 }
 
 TEST(PelgromScaling, RejectsNonPositiveGeometry) {
-  EXPECT_THROW(sigmasFor(paperAlphas(), DeviceGeometry{0.0, 40e-9}),
+  EXPECT_THROW((void)sigmasFor(paperAlphas(), DeviceGeometry{0.0, 40e-9}),
                InvalidArgumentError);
 }
 

@@ -47,8 +47,8 @@ TEST(Quantile, LinearInterpolation) {
 }
 
 TEST(Quantile, RejectsBadInput) {
-  EXPECT_THROW(quantile({}, 0.5), InvalidArgumentError);
-  EXPECT_THROW(quantile({1.0}, 1.5), InvalidArgumentError);
+  EXPECT_THROW((void)quantile({}, 0.5), InvalidArgumentError);
+  EXPECT_THROW((void)quantile({1.0}, 1.5), InvalidArgumentError);
 }
 
 TEST(Summary, ComputesAllFields) {

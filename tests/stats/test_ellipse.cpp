@@ -88,9 +88,9 @@ TEST(Ellipse, CoverageMatchesChiSquareLaw) {
 }
 
 TEST(Ellipse, RejectsDegenerateInput) {
-  EXPECT_THROW(bivariateMoments({1.0}, {1.0}), InvalidArgumentError);
+  EXPECT_THROW((void)bivariateMoments({1.0}, {1.0}), InvalidArgumentError);
   Bivariate degenerate;  // zero covariance matrix
-  EXPECT_THROW(fractionInside(degenerate, 1.0, {1.0, 2.0}, {1.0, 2.0}),
+  EXPECT_THROW((void)fractionInside(degenerate, 1.0, {1.0, 2.0}, {1.0, 2.0}),
                InvalidArgumentError);
 }
 

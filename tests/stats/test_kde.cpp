@@ -62,7 +62,7 @@ TEST(Kde, SilvermanBandwidthScalesWithSpread) {
 
 TEST(Kde, RejectsDegenerateInput) {
   EXPECT_THROW(kde({1.0}, 100), InvalidArgumentError);
-  EXPECT_THROW(kdeAt({1.0}, 0.0, 0.0), InvalidArgumentError);
+  EXPECT_THROW((void)kdeAt({1.0}, 0.0, 0.0), InvalidArgumentError);
 }
 
 }  // namespace

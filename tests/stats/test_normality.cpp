@@ -36,7 +36,7 @@ TEST(JarqueBera, RejectsLognormal) {
 }
 
 TEST(JarqueBera, RejectsTinySample) {
-  EXPECT_THROW(jarqueBera({1.0, 2.0, 3.0}), InvalidArgumentError);
+  EXPECT_THROW((void)jarqueBera({1.0, 2.0, 3.0}), InvalidArgumentError);
 }
 
 TEST(KsNormal, AcceptsGaussian) {
@@ -65,7 +65,7 @@ TEST(KsNormal, CriticalValueShrinksWithN) {
 }
 
 TEST(KsNormal, RejectsZeroVariance) {
-  EXPECT_THROW(ksAgainstNormal(std::vector<double>(100, 1.0)),
+  EXPECT_THROW((void)ksAgainstNormal(std::vector<double>(100, 1.0)),
                InvalidArgumentError);
 }
 

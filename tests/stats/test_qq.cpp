@@ -24,8 +24,8 @@ TEST(NormalQuantile, InverseOfCdf) {
 }
 
 TEST(NormalQuantile, RejectsBoundaries) {
-  EXPECT_THROW(normalQuantile(0.0), InvalidArgumentError);
-  EXPECT_THROW(normalQuantile(1.0), InvalidArgumentError);
+  EXPECT_THROW((void)normalQuantile(0.0), InvalidArgumentError);
+  EXPECT_THROW((void)normalQuantile(1.0), InvalidArgumentError);
 }
 
 TEST(NormalCdf, Symmetry) {

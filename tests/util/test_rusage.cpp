@@ -36,7 +36,7 @@ TEST(RunIsolated, ChildMemoryDoesNotLeakIntoParent) {
 TEST(RunInProcess, MeasuresWallTime) {
   const CampaignUsage u = runInProcess([] {
     volatile double x = 0.0;
-    for (int i = 0; i < 100000; ++i) x += static_cast<double>(i);
+    for (int i = 0; i < 100000; ++i) x = x + static_cast<double>(i);
   });
   EXPECT_EQ(u.exitCode, 0);
   EXPECT_GE(u.wallSeconds, 0.0);
