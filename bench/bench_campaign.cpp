@@ -230,6 +230,27 @@ void emitScaling(const std::string& name, int samples,
       static_cast<unsigned long long>(metricsHash(t.result)));
 }
 
+/// Rescue-overhead row: the same campaign with the rescue ladder disabled
+/// vs enabled (the default).  A zero-failure campaign never enters the
+/// ladder -- attempt 0 runs at baseline modes and identity effort -- so
+/// the contract is ~0% overhead and bit-identical metrics; this row is the
+/// committed evidence (speedup_vs_norescue ~= 1.0, gated by CI).
+void emitRescueOverhead(const std::string& name, int samples,
+                        const CampaignTiming& rescued,
+                        double noRescueUsPerSample, bool identical) {
+  std::printf(
+      "{\"name\": \"%s\", \"samples\": %d, \"threads\": %u, "
+      "\"us_per_sample\": %.1f, \"samples_per_sec\": %.1f, "
+      "\"allocs_per_sample\": %.1f, \"speedup_vs_norescue\": %.2f, "
+      "\"failures\": %d, \"rescued\": %d, "
+      "\"bit_identical\": %s, \"metrics_fnv1a\": \"0x%016llx\"}\n",
+      name.c_str(), samples, gThreads, rescued.usPerSample,
+      1e6 / rescued.usPerSample, rescued.allocsPerSample,
+      noRescueUsPerSample / rescued.usPerSample, rescued.result.failures,
+      rescued.result.rescued, identical ? "true" : "false",
+      static_cast<unsigned long long>(metricsHash(rescued.result)));
+}
+
 spice::SessionOptions reusePivotOptions() {
   spice::SessionOptions o;
   o.solver = linalg::SolverMode::reusePivot;
@@ -352,6 +373,36 @@ int run(int snmSamples, int invSamples) {
             },
             sessionOptions);
       });
+
+  if (!gScalingOnly) {
+    const auto snmSession = [](int n, const sim::RescuePolicy& rescue) {
+      return mc::runCampaign<circuits::SramButterflyBench>(
+          options(n), 1,
+          [](circuits::DeviceProvider& provider) {
+            return circuits::buildSramButterfly(provider, 0.9,
+                                                circuits::SramMode::Read,
+                                                circuits::SramSizing{});
+          },
+          [] { return makeProvider(stats::Rng(0)); },
+          [](std::size_t,
+             sim::CampaignSession<circuits::SramButterflyBench>& session,
+             stats::Rng&, std::vector<double>& out) {
+            out[0] = measure::measureSnm(session.fixture(), session.spice(),
+                                         kSnmPoints)
+                         .cellSnm();
+          },
+          spice::SessionOptions{}, rescue);
+    };
+    sim::RescuePolicy noRescue;
+    noRescue.enabled = false;
+    const CampaignTiming off = timeCampaign(
+        snmSamples, [&](int n) { return snmSession(n, noRescue); });
+    const CampaignTiming on = timeCampaign(
+        snmSamples, [&](int n) { return snmSession(n, sim::RescuePolicy{}); });
+    emitRescueOverhead("sram_snm_rescue_overhead", snmSamples, on,
+                       off.usPerSample,
+                       bitIdentical(on.result, off.result));
+  }
 
   benchWorkload(
       "inv_fo3", invSamples,

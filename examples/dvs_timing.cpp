@@ -28,6 +28,7 @@
 #include "stats/descriptive.hpp"
 #include "stats/normality.hpp"
 #include "stats/qq.hpp"
+#include "util/error.hpp"
 
 using namespace vsstat;
 
@@ -61,6 +62,9 @@ int main(int argc, char** argv) {
   std::printf("%-8s %-12s %-14s %-10s %-12s %-10s\n", "Vdd [V]", "mean [ps]",
               "sigma/mean [%]", "skewness", "QQ r^2", "Gaussian?");
 
+  int totalSamples = 0;
+  int totalDropped = 0;
+  int totalRescued = 0;
   for (const double vdd : {0.9, 0.7, 0.55}) {
     circuits::StimulusSpec stim;
     stim.vdd = vdd;
@@ -92,7 +96,40 @@ int main(int argc, char** argv) {
     std::printf("%-8.2f %-12.2f %-14.2f %-10.3f %-12.4f %-10s\n", vdd,
                 s.mean * 1e12, 100.0 * s.stddev / s.mean, s.skewness,
                 qq.linearity, jb.rejectAt5Percent ? "no" : "yes");
+
+    totalSamples += static_cast<int>(r.sampleCount()) + r.failures;
+    totalDropped += r.failures;
+    totalRescued += r.rescued;
+    if (r.failures > 0 || r.rescued > 0) {
+      std::printf("  [Vdd %.2f: %d dropped, %d rescued", vdd, r.failures,
+                  r.rescued);
+      for (int c = 0; c < kFailureClassCount; ++c) {
+        const auto cls = static_cast<FailureClass>(c);
+        if (r.failuresOf(cls) > 0)
+          std::printf("; %s: %d", toString(cls), r.failuresOf(cls));
+      }
+      if (r.firstFailure.valid)
+        std::printf("; first: sample %zu (%s)", r.firstFailure.sampleIndex,
+                    toString(r.firstFailure.failureClass));
+      std::printf("]\n");
+    }
   }
+
+  // Error-above-threshold policy for the unattended smoke flow: a degraded
+  // campaign (more than 1% of corners dropped even after the rescue
+  // ladder) must exit non-zero, not print a biased table.
+  constexpr double kMaxDropFraction = 0.01;
+  const double dropFraction =
+      static_cast<double>(totalDropped) / static_cast<double>(totalSamples);
+  std::printf("\nfailure accounting: %d of %d samples dropped, %d rescued\n",
+              totalDropped, totalSamples, totalRescued);
+  if (dropFraction > kMaxDropFraction) {
+    std::printf("campaign health: DEGRADED (drop fraction %.2f %% > %.0f %%)\n",
+                100.0 * dropFraction, 100.0 * kMaxDropFraction);
+    return 3;
+  }
+  std::printf("campaign health: OK (drop fraction within %.0f %% budget)\n",
+              100.0 * kMaxDropFraction);
 
   std::printf("\nNo re-extraction was performed per supply: the BPV-extracted\n"
               "parameter statistics are bias-independent, so one statistical\n"

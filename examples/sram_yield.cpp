@@ -96,6 +96,26 @@ class FixedDeltaProvider final : public circuits::DeviceProvider {
 
 using ButterflyPool = sim::SessionPool<circuits::SramButterflyBench>;
 
+/// Per-class failure/rescue accounting of a campaign (mc::McResult
+/// taxonomy).  Unattended flows read this instead of diffing sample
+/// counts: every dropped corner is named, classed, and exemplified by the
+/// lowest-indexed failure.
+void printCampaignBreakdown(const char* name, const mc::McResult& r) {
+  const int total = static_cast<int>(r.sampleCount()) + r.failures;
+  std::printf("\n%s campaign: %d samples, %d dropped, %d rescued\n", name,
+              total, r.failures, r.rescued);
+  for (int c = 0; c < kFailureClassCount; ++c) {
+    const auto cls = static_cast<FailureClass>(c);
+    if (r.failuresOf(cls) > 0)
+      std::printf("  %-15s %d\n", toString(cls), r.failuresOf(cls));
+  }
+  if (r.firstFailure.valid)
+    std::printf("  first failure: sample %zu [%s] %s\n",
+                r.firstFailure.sampleIndex,
+                toString(r.firstFailure.failureClass),
+                r.firstFailure.message.c_str());
+}
+
 ButterflyPool makePool(const core::StatisticalVsKit& kit,
                        circuits::SramMode mode,
                        spice::SessionOptions sessionOptions) {
@@ -209,8 +229,24 @@ int main(int argc, char** argv) {
   std::printf("HOLD SNM: mean = %.1f mV  sigma = %.1f mV  min = %.1f mV\n",
               hold.mean * 1e3, hold.stddev * 1e3, hold.min * 1e3);
 
-  const yield::YieldEstimate moderate = yield::yieldOfSamples(
-      r.metrics[0], {kSnmFloor, std::nullopt});
+  // Yield under an EXPLICIT dropped-sample policy: dropped corners are the
+  // extreme draws, so they count as spec failures (conservative), and an
+  // unattended run aborts loudly -- exit 3 -- rather than report a number
+  // biased by a silently degraded campaign.
+  printCampaignBreakdown("SNM", r);
+  yield::DropPolicy dropPolicy;
+  dropPolicy.mode = yield::DroppedSamplePolicy::errorAboveThreshold;
+  dropPolicy.maxDropFraction = 0.01;
+  yield::YieldEstimate moderate;
+  try {
+    moderate = yield::yieldOfCampaign(r, 0, {kSnmFloor, std::nullopt},
+                                      dropPolicy);
+  } catch (const yield::DroppedSamplesError& e) {
+    std::printf("campaign health: DEGRADED -- %s\n", e.what());
+    return 3;
+  }
+  std::printf("campaign health: OK (drop fraction within %.0f %% budget)\n",
+              100.0 * dropPolicy.maxDropFraction);
   std::printf("\nRead-stability yield (SNM >= %.0f mV): %.2f %%  "
               "[95%% CI %.2f..%.2f]  (%ld/%ld failing)\n",
               kSnmFloor * 1e3, 100.0 * moderate.yield, 100.0 * moderate.lower,

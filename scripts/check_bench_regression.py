@@ -38,6 +38,7 @@ HIGHER_BETTER = (
     "speedup_vs_banked",
     "speedup_vs_rebuild",
     "speedup_vs_fresh",
+    "speedup_vs_norescue",
 )
 BOOL_MUST_HOLD = ("bit_identical", "within_tolerance")
 ALLOC_METRICS = ("allocs", "allocs_per_sample")

@@ -93,6 +93,12 @@ class SparseMatrix {
     values_[static_cast<std::size_t>(slot)] += v;
   }
 
+  /// Overwrites a known slot.  Used by the fault-injection seam to force
+  /// degenerate values (e.g. zeroing a row) after normal assembly.
+  void setAt(std::int32_t slot, double v) noexcept {
+    values_[static_cast<std::size_t>(slot)] = v;
+  }
+
   /// Value at (r, c); structural zeros read as 0.0.
   [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
     const std::int32_t s = pattern_->slot(r, c);

@@ -125,9 +125,12 @@ void SparseLu::fullFactor(const SparseMatrix& m, double pivotTolerance) {
         p = i;
       }
     }
-    if (best < pivotTolerance) {
-      throw ConvergenceError("SparseLu: matrix is singular to working precision",
-                             static_cast<int>(k));
+    if (!(best >= pivotTolerance)) {
+      // Negated comparison so a NaN column (best == NaN) is also caught here
+      // instead of silently poisoning the factors.
+      throw SingularMatrixError(
+          "SparseLu: matrix is singular to working precision",
+          static_cast<int>(k));
     }
     if (p != k) {
       permSign_ = -permSign_;
@@ -234,7 +237,8 @@ bool SparseLu::fastRefactor(const SparseMatrix& m, double pivotTolerance,
   // Numeric elimination along the precomputed structure.
   for (std::size_t k = 0; k < n; ++k) {
     const double diag = a[k * n + k];
-    if (std::fabs(diag) < pivotTolerance) return false;
+    // Negated form so a NaN diagonal reports breakdown instead of passing.
+    if (!(std::fabs(diag) >= pivotTolerance)) return false;
     const double* pivotRow = a + k * n;
     const std::size_t uBegin = uStart_[k];
     const std::size_t uEnd = uStart_[k + 1];

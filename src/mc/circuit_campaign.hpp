@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "mc/runner.hpp"
+#include "sim/rescue.hpp"
 #include "sim/session.hpp"
 
 namespace vsstat::mc {
@@ -47,20 +48,27 @@ using CircuitSampleFn = std::function<void(
 /// invoked once per worker session (not per sample); `fn` measures the
 /// rebound fixture.  Call with the fixture type explicit, e.g.
 /// `mc::runCampaign<circuits::GateFo3Bench>(...)`.
+///
+/// Failure semantics: a sample whose solve or metric throws a SampleFailure
+/// first walks the deterministic rescue ladder (sim/rescue.hpp, disable via
+/// `rescue.enabled = false`); a sample the ladder recovers counts in
+/// McResult::rescued, one it cannot is dropped under its failure class.
+/// Non-SampleFailure exceptions abort the campaign.
 template <class Fixture>
 [[nodiscard]] McResult runCampaign(
     const McOptions& options, std::size_t metricCount,
     const typename sim::CampaignSession<Fixture>::Builder& build,
     const ProviderFactory& providerFactory, const CircuitSampleFn<Fixture>& fn,
-    spice::SessionOptions sessionOptions = {}) {
+    spice::SessionOptions sessionOptions = {},
+    const sim::RescuePolicy& rescue = {}) {
   sim::SessionPool<Fixture> pool(build, providerFactory, sessionOptions);
   return runCampaign(
       options, metricCount,
-      [&](std::size_t index, stats::Rng& rng, std::vector<double>& out) {
+      SampleFnEx([&](std::size_t index, stats::Rng& rng,
+                     std::vector<double>& out, SampleContext& ctx) {
         typename sim::SessionPool<Fixture>::Lease lease = pool.acquire();
-        lease->bindSample(rng);
-        fn(index, *lease, rng, out);
-      });
+        sim::runSampleWithRescue(index, *lease, rng, out, ctx, fn, rescue);
+      }));
 }
 
 }  // namespace vsstat::mc

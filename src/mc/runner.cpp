@@ -1,9 +1,7 @@
 #include "mc/runner.hpp"
 
 #include <algorithm>
-#include <exception>
 
-#include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace vsstat::mc {
@@ -18,7 +16,7 @@ std::size_t McResult::sampleCount() const {
 }
 
 McResult runCampaign(const McOptions& options, std::size_t metricCount,
-                     const SampleFn& fn) {
+                     const SampleFnEx& fn) {
   require(options.samples > 0, "runCampaign: samples must be > 0");
   require(metricCount > 0, "runCampaign: metricCount must be > 0");
 
@@ -27,6 +25,13 @@ McResult runCampaign(const McOptions& options, std::size_t metricCount,
   // instead of one vector per sample.
   std::vector<double> flat(n * metricCount, 0.0);
   std::vector<char> ok(n, 0);
+  // Per-sample failure class (-1 = no classified failure recorded) and
+  // rescue count; the what() of each failure is kept so the index-ordered
+  // reduction below can pick the first one deterministically.  All of it
+  // is written by at most one worker per slot, then reduced single-threaded.
+  std::vector<signed char> failClass(n, -1);
+  std::vector<int> rescues(n, 0);
+  std::vector<std::string> failMessage(n);
   const stats::Rng campaign(options.seed);
 
   util::parallelFor(
@@ -48,29 +53,60 @@ McResult runCampaign(const McOptions& options, std::size_t metricCount,
           std::size_t& d;
           ~DepthGuard() { --d; }
         } guard{depth};
+        SampleContext ctx;
         try {
-          fn(i, rng, out);
+          fn(i, rng, out, ctx);
           if (out.size() < metricCount) return;  // malformed sample: dropped
           std::copy_n(out.begin(), metricCount, flat.begin() + i * metricCount);
           ok[i] = 1;
-        } catch (const std::exception&) {
-          ok[i] = 0;  // dropped sample (non-convergence / functional failure)
+          rescues[i] = ctx.rescueAttempts;
+        } catch (const SampleFailure& e) {
+          // A classified dropped corner (non-convergence, singular
+          // Jacobian, NaN seam, undefined metric).  Anything not derived
+          // from SampleFailure is a programming error, not an extreme
+          // sample, and propagates out of the sweep (util::parallelFor
+          // rethrows the first such exception on the calling thread).
+          ok[i] = 0;
+          failClass[i] = static_cast<signed char>(e.failureClass());
+          failMessage[i] = e.what();
         }
       },
       options.threads);
 
+  // Single-threaded reduction in sample-index order: metric rows, failure
+  // taxonomy, and the first-failure diagnostic are all deterministic
+  // regardless of which worker ran which sample.
   McResult result;
   result.metrics.assign(metricCount, {});
   for (auto& m : result.metrics) m.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     if (!ok[i]) {
       ++result.failures;
+      const FailureClass cls = failClass[i] < 0
+                                   ? FailureClass::unclassified
+                                   : static_cast<FailureClass>(failClass[i]);
+      ++result.failuresByClass[static_cast<std::size_t>(cls)];
+      if (!result.firstFailure.valid) {
+        result.firstFailure.valid = true;
+        result.firstFailure.sampleIndex = i;
+        result.firstFailure.failureClass = cls;
+        result.firstFailure.message = failMessage[i];
+      }
       continue;
     }
+    if (rescues[i] > 0) ++result.rescued;
     for (std::size_t m = 0; m < metricCount; ++m)
       result.metrics[m].push_back(flat[i * metricCount + m]);
   }
   return result;
+}
+
+McResult runCampaign(const McOptions& options, std::size_t metricCount,
+                     const SampleFn& fn) {
+  return runCampaign(options, metricCount,
+                     SampleFnEx([&fn](std::size_t i, stats::Rng& rng,
+                                      std::vector<double>& out,
+                                      SampleContext&) { fn(i, rng, out); }));
 }
 
 }  // namespace vsstat::mc

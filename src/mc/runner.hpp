@@ -2,17 +2,22 @@
 //
 // A campaign evaluates a user function once per sample; each sample gets a
 // decorrelated child RNG derived from (campaign seed, sample index), so
-// results are bit-identical regardless of thread count.  Samples that throw
-// (non-convergent circuits under extreme mismatch) are dropped and counted,
-// mirroring how a production MC flow flags failing corners.
+// results are bit-identical regardless of thread count.  Samples that fail
+// (non-convergent circuits under extreme mismatch) are dropped and counted
+// PER FAILURE CLASS: only exceptions deriving from vsstat::SampleFailure
+// are treated as dropped corners -- anything else is a programming error
+// and propagates out of runCampaign on the calling thread.
 #ifndef VSSTAT_MC_RUNNER_HPP
 #define VSSTAT_MC_RUNNER_HPP
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "stats/rng.hpp"
+#include "util/error.hpp"
 
 namespace vsstat::mc {
 
@@ -25,27 +30,65 @@ struct McOptions {
 struct McResult {
   /// metrics[m][k]: metric m of the k-th *successful* sample.
   ///
-  /// Failure-drop contract: a sample whose function throws (or underfills
-  /// its output) is dropped from EVERY metric row and counted once in
-  /// `failures` -- rows are filled in lockstep, so all rows always share
-  /// one length, and row index k refers to the same surviving sample in
-  /// every metric.  `sampleCount() + failures == McOptions::samples` for a
-  /// result produced by runCampaign.
+  /// Failure-drop contract: a sample whose function throws a SampleFailure
+  /// (or underfills its output) is dropped from EVERY metric row and
+  /// counted once in `failures` -- rows are filled in lockstep, so all rows
+  /// always share one length, and row index k refers to the same surviving
+  /// sample in every metric.  `sampleCount() + failures == McOptions::
+  /// samples` for a result produced by runCampaign.
   std::vector<std::vector<double>> metrics;
   int failures = 0;
+
+  /// Dropped samples per FailureClass, indexed by static_cast<int>(class).
+  /// Sums to `failures`.  Yield estimators consume this instead of
+  /// silently renormalizing over survivors (yield::yieldOfCampaign).
+  std::array<int, kFailureClassCount> failuresByClass{};
+  [[nodiscard]] int failuresOf(FailureClass c) const noexcept {
+    return failuresByClass[static_cast<std::size_t>(c)];
+  }
+
+  /// Successful samples that needed at least one rescue-ladder retry
+  /// (sim::runCampaign rescue path); 0 for plain sample functions.
+  int rescued = 0;
+
+  /// Diagnostics of the LOWEST-INDEXED failed sample -- deterministic by
+  /// construction (reduction runs in index order, never schedule order).
+  struct FirstFailure {
+    bool valid = false;
+    std::size_t sampleIndex = 0;
+    FailureClass failureClass = FailureClass::unclassified;
+    std::string message;
+  };
+  FirstFailure firstFailure;
 
   /// Number of successful samples (the shared row length).  Throws
   /// InvalidArgumentError if the rows have been tampered into raggedness.
   [[nodiscard]] std::size_t sampleCount() const;
 };
 
+/// Out-parameter a sample function may fill to report how its evaluation
+/// went (beyond success/failure).  Campaign-level wrappers (the rescue
+/// ladder) use it to flag rescued samples in the result taxonomy.
+struct SampleContext {
+  int rescueAttempts = 0;  ///< rescue-ladder retries consumed (0 = clean)
+};
+
 /// Sample function: fills `out` (size metricCount) for the given sample.
 using SampleFn =
     std::function<void(std::size_t index, stats::Rng& rng, std::vector<double>& out)>;
 
+/// Extended sample function: also reports per-sample context.
+using SampleFnEx = std::function<void(
+    std::size_t index, stats::Rng& rng, std::vector<double>& out,
+    SampleContext& ctx)>;
+
 [[nodiscard]] McResult runCampaign(const McOptions& options,
                                    std::size_t metricCount,
                                    const SampleFn& fn);
+
+[[nodiscard]] McResult runCampaign(const McOptions& options,
+                                   std::size_t metricCount,
+                                   const SampleFnEx& fn);
 
 }  // namespace vsstat::mc
 

@@ -49,20 +49,29 @@ GateDelays delaysFromWave(const circuits::GateFo3Bench& bench,
   require(inRise.has_value(), "measureGateDelays: no input rising edge");
   const auto outFall = wave.crossing(bench.out, mid, /*rising=*/false, *inRise);
   if (!outFall) {
-    throw ConvergenceError("measureGateDelays: output never fell", 0);
+    // The solve succeeded; the gate simply never switched for this draw --
+    // a failing CORNER (metric-domain), not a failing solver.
+    throw MetricDomainError("measureGateDelays: output never fell");
   }
 
   const auto inFall = wave.crossing(bench.in, mid, /*rising=*/false, *inRise);
   require(inFall.has_value(), "measureGateDelays: no input falling edge");
   const auto outRise = wave.crossing(bench.out, mid, /*rising=*/true, *inFall);
   if (!outRise) {
-    throw ConvergenceError("measureGateDelays: output never rose", 0);
+    throw MetricDomainError("measureGateDelays: output never rose");
   }
 
   GateDelays d;
   d.tphl = *outFall - *inRise;
   d.tplh = *outRise - *inFall;
-  require(d.tphl > 0.0 && d.tplh > 0.0, "measureGateDelays: negative delay");
+  if (!std::isfinite(d.tphl) || !std::isfinite(d.tplh)) {
+    throw NonFiniteError("measureGateDelays: non-finite delay");
+  }
+  if (d.tphl <= 0.0 || d.tplh <= 0.0) {
+    // A campaign must classify-and-drop this corner, so it cannot be an
+    // InvalidArgumentError (those abort the whole campaign by design).
+    throw MetricDomainError("measureGateDelays: negative delay");
+  }
   return d;
 }
 

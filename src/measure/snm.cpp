@@ -77,6 +77,18 @@ void butterflyInto(circuits::SramButterflyBench& bench,
   session.dcSweepNode(bench.sweep1, levels, bench.out1, curves.curve1.y);
   curves.curve2.y.assign(levels.begin(), levels.end());
   session.dcSweepNode(bench.sweep2, levels, bench.out2, curves.curve2.x);
+  // Seam guard: a swept response that went NaN/Inf must not feed the SNM
+  // geometry silently (segment intersection on NaN quietly yields a
+  // monostable verdict -- i.e. SNM 0 -- which would bias yield instead of
+  // being counted as a non-finite failure).
+  for (const double v : curves.curve1.y) {
+    if (!std::isfinite(v))
+      throw NonFiniteError("measureButterfly: non-finite VTC response");
+  }
+  for (const double v : curves.curve2.x) {
+    if (!std::isfinite(v))
+      throw NonFiniteError("measureButterfly: non-finite VTC response");
+  }
 }
 
 }  // namespace

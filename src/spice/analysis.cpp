@@ -60,23 +60,53 @@ namespace detail {
 /// The iteration is allocation-free: the assembler writes into its captured
 /// sparsity pattern and the per-assembler NewtonWorkspace supplies the
 /// reusable factorization and step buffer.
+///
+/// Diagnostics accumulate into the workspace SolveReport (iterations,
+/// residual, singular/non-finite flags); the report is reset by the solve
+/// entry points (dcSolveLadder / runTransient), not here, so homotopy rungs
+/// add up.  Non-finite numerics bail out immediately with x unchanged --
+/// wasting the remaining iteration budget on NaN would only corrupt the
+/// iterate the next homotopy rung starts from.  Samples whose residuals
+/// stay finite (every previously-passing sample) take the exact same
+/// floating-point path as before.
 bool newtonSolve(Assembler& assembler, linalg::Vector& x,
                  const NewtonOptions& options) {
   const std::size_t numNodes = assembler.numNodes();
   detail::NewtonWorkspace& ws = assembler.workspace();
+  SolveReport& report = ws.report;
   for (int iter = 0; iter < options.maxIterations; ++iter) {
-    assembler.assemble(x);
+    try {
+      assembler.assemble(x);
+    } catch (const NonFiniteError&) {
+      // Device evaluation produced NaN/Inf (bank seam guard): classified,
+      // recorded, and handed to the homotopy ladder / rescue ladder.
+      report.sawNonFinite = true;
+      return false;
+    }
+    ++report.iterations;
 
     double residualNorm = 0.0;
-    for (double f : assembler.residual())
+    bool residualFinite = true;
+    for (double f : assembler.residual()) {
+      // NB: NaN is invisible to a bare std::max (the comparison is false),
+      // so finiteness is tracked explicitly.
+      if (!std::isfinite(f)) residualFinite = false;
       residualNorm = std::max(residualNorm, std::fabs(f));
+    }
+    report.finalResidual = residualNorm;
+    if (!residualFinite) {
+      report.sawNonFinite = true;
+      return false;
+    }
 
     std::copy(assembler.residual().begin(), assembler.residual().end(),
               ws.dx.begin());
     try {
       ws.lu.refactor(assembler.jacobian());
     } catch (const ConvergenceError&) {
-      return false;  // singular Jacobian: let the homotopy ladder handle it
+      // Singular Jacobian: let the homotopy ladder handle it.
+      report.sawSingular = true;
+      return false;
     }
     ws.lu.solveInPlace(ws.dx);
 
@@ -84,6 +114,12 @@ bool newtonSolve(Assembler& assembler, linalg::Vector& x,
     double maxVoltageStep = 0.0;
     for (std::size_t n = 0; n < numNodes; ++n)
       maxVoltageStep = std::max(maxVoltageStep, std::fabs(ws.dx[n]));
+    if (!std::isfinite(maxVoltageStep)) {
+      // An Inf-contaminated factorization can pass the pivot checks yet
+      // produce a non-finite step; bail before poisoning x.
+      report.sawNonFinite = true;
+      return false;
+    }
 
     if (maxVoltageStep < options.voltageTolerance &&
         residualNorm < options.residualTolerance) {
@@ -96,6 +132,18 @@ bool newtonSolve(Assembler& assembler, linalg::Vector& x,
     for (std::size_t i = 0; i < x.size(); ++i) x[i] -= scaleFactor * ws.dx[i];
   }
   return false;
+}
+
+void throwSolveFailure(const SolveReport& report, const std::string& what,
+                       int iterations) {
+  switch (report.outcome) {
+    case SolveOutcome::nonFinite:
+      throw NonFiniteError(what + " (non-finite numerics)");
+    case SolveOutcome::singular:
+      throw SingularMatrixError(what, iterations);
+    default:
+      throw ConvergenceError(what, iterations);
+  }
 }
 
 OperatingPoint packSolution(const Circuit& circuit, const linalg::Vector& x) {
@@ -126,11 +174,31 @@ linalg::Vector unpackGuess(const Circuit& circuit, const OperatingPoint& op) {
 
 bool dcSolveLadder(Assembler& assembler, linalg::Vector& x,
                    const DcOptions& options) {
+  SolveReport& report = assembler.workspace().report;
+  report.reset();
+  const std::uint64_t fallbacksAtEntry =
+      assembler.workspace().lu.pivotFallbackCount();
+  const auto finish = [&](bool ok) {
+    report.pivotFallbacks =
+        assembler.workspace().lu.pivotFallbackCount() - fallbacksAtEntry;
+    if (ok) {
+      report.outcome = SolveOutcome::ok;
+    } else if (report.sawNonFinite) {
+      report.outcome = SolveOutcome::nonFinite;
+    } else if (report.sawSingular) {
+      report.outcome = SolveOutcome::singular;
+    } else {
+      report.outcome = SolveOutcome::nonConvergence;
+    }
+    return ok;
+  };
+
   assembler.setDcMode();
   assembler.setTime(0.0);
   assembler.setSourceScale(1.0);
   assembler.setGmin(0.0);
-  if (newtonSolve(assembler, x, options.newton)) return true;
+  report.homotopyRung = kRungPlainNewton;
+  if (newtonSolve(assembler, x, options.newton)) return finish(true);
 
   // Homotopies keep a gmin floor: a truly floating node (capacitor-only,
   // or isolated by off pass-transistors) leaves the exact-zero-gmin
@@ -144,6 +212,7 @@ bool dcSolveLadder(Assembler& assembler, linalg::Vector& x,
   linalg::Vector& xTrial = assembler.workspace().xHomotopy;
 
   if (options.gminStepping) {
+    report.homotopyRung = kRungGminStepping;
     xTrial.assign(x.begin(), x.end());
     bool ok = true;
     for (double gmin = 1e-2; gmin >= kGminFloor; gmin *= 0.1) {
@@ -155,11 +224,12 @@ bool dcSolveLadder(Assembler& assembler, linalg::Vector& x,
     }
     if (ok) {
       x = xTrial;
-      return true;
+      return finish(true);
     }
   }
 
   if (options.sourceStepping) {
+    report.homotopyRung = kRungSourceStepping;
     xTrial.assign(x.size(), 0.0);
     assembler.setGmin(1e-9);
     bool ok = true;
@@ -175,11 +245,11 @@ bool dcSolveLadder(Assembler& assembler, linalg::Vector& x,
       assembler.setGmin(kGminFloor);
       if (newtonSolve(assembler, xTrial, options.newton)) {
         x = xTrial;
-        return true;
+        return finish(true);
       }
     }
   }
-  return false;
+  return finish(false);
 }
 
 void runTransient(Assembler& assembler, const TransientOptions& options,
@@ -194,9 +264,10 @@ void runTransient(Assembler& assembler, const TransientOptions& options,
   // reuse never changes numerics.
   linalg::Vector& x = ws.xTransient;
   x.assign(circuit.unknownCount(), 0.0);
+  const std::uint64_t fallbacksAtEntry = ws.lu.pivotFallbackCount();
   if (!dcSolveLadder(assembler, x, options.dcOptions)) {
-    throw ConvergenceError("transient: DC operating point failed",
-                           options.dcOptions.newton.maxIterations);
+    throwSolveFailure(ws.report, "transient: DC operating point failed",
+                      options.dcOptions.newton.maxIterations);
   }
 
   // The DC solve left the assembler's charge state consistent with x;
@@ -251,11 +322,25 @@ void runTransient(Assembler& assembler, const TransientOptions& options,
       if (h < options.dtMin) break;
     }
     if (!accepted) {
-      throw ConvergenceError("transient: step failed at t = " +
-                                 std::to_string(t),
-                             options.newton.maxIterations);
+      // The step retries accumulated flags into the workspace report (the
+      // DC ladder reset it at t = 0); classify the terminal state before
+      // throwing so campaigns count this sample under the right class.
+      SolveReport& report = ws.report;
+      report.pivotFallbacks = ws.lu.pivotFallbackCount() - fallbacksAtEntry;
+      if (report.sawNonFinite) {
+        report.outcome = SolveOutcome::nonFinite;
+      } else if (report.sawSingular) {
+        report.outcome = SolveOutcome::singular;
+      } else {
+        report.outcome = SolveOutcome::nonConvergence;
+      }
+      throwSolveFailure(report,
+                        "transient: step failed at t = " + std::to_string(t),
+                        options.newton.maxIterations);
     }
   }
+  ws.report.outcome = SolveOutcome::ok;
+  ws.report.pivotFallbacks = ws.lu.pivotFallbackCount() - fallbacksAtEntry;
 }
 
 Waveform runTransient(Assembler& assembler, const TransientOptions& options) {
@@ -281,8 +366,9 @@ OperatingPoint dcOperatingPoint(const Circuit& circuit,
   detail::Assembler assembler(circuit, /*useDeviceBank=*/false);
   linalg::Vector x = detail::unpackGuess(circuit, guess);
   if (!detail::dcSolveLadder(assembler, x, options)) {
-    throw ConvergenceError("dcOperatingPoint: no convergence",
-                           options.newton.maxIterations);
+    detail::throwSolveFailure(assembler.workspace().report,
+                              "dcOperatingPoint: no convergence",
+                              options.newton.maxIterations);
   }
   return detail::packSolution(circuit, x);
 }

@@ -1,5 +1,8 @@
 #include "spice/assembler.hpp"
 
+#include <cmath>
+#include <string>
+
 #include "spice/element.hpp"
 #include "spice/elements.hpp"
 #include "util/error.hpp"
@@ -29,6 +32,34 @@ Assembler::Assembler(const Circuit& circuit, bool useDeviceBank,
 
 void Assembler::syncDeviceBank() {
   if (bankSet_ != nullptr && !bankSet_->sync()) bankSet_->rebuild();
+}
+
+void Assembler::setNumericsMode(models::NumericsMode numerics) {
+  require(bankSet_ != nullptr || numerics == models::NumericsMode::reference,
+          "Assembler: fast numerics requires the device bank (the scalar "
+          "element loop is reference-only)");
+  if (bankSet_ != nullptr) bankSet_->setNumerics(numerics);
+}
+
+void Assembler::checkBankLanesFinite() const {
+  for (std::size_t g = 0; g < bankSet_->groupCount(); ++g) {
+    const DeviceBankGroup& grp = bankSet_->group(static_cast<std::int32_t>(g));
+    for (std::size_t lane = 0; lane < grp.out.size(); ++lane) {
+      const models::MosfetLoadEvaluation& ev = grp.out[lane];
+      if (std::isfinite(ev.at.id) && std::isfinite(ev.at.qg) &&
+          std::isfinite(ev.at.qd) && std::isfinite(ev.at.qs) &&
+          std::isfinite(ev.didVgs) && std::isfinite(ev.didVds)) {
+        continue;
+      }
+      throw NonFiniteError(
+          "device bank: non-finite evaluation in " +
+          std::string(bankSet_->numerics() == models::NumericsMode::fast
+                          ? "fast"
+                          : "reference") +
+          "-numerics group " + std::to_string(g) + ", lane " +
+          std::to_string(lane));
+    }
+  }
 }
 
 void Assembler::capturePattern() {
@@ -80,6 +111,18 @@ void Assembler::assemble(const linalg::Vector& x) {
   if (bankSet_ != nullptr) {
     if (!bankSet_->sync()) bankSet_->rebuild();
     bankSet_->evaluate(x);
+    // The NaN-lane fault models a FAST kernel lane gone bad, so it only
+    // fires while the bank runs fast numerics: the rescue ladder's
+    // reference-numerics rung then genuinely heals it (and the rescued
+    // metric is bit-identical to a reference-mode campaign's).
+    if (faultArmed_ &&
+        bankSet_->numerics() == models::NumericsMode::fast &&
+        injector_->nanLaneAt(faultSample_, faultAttempt_))
+      bankSet_->poisonLaneForTest(0, 0);
+    // Seam guard: garbage must not scatter into the matrix silently.  A
+    // bad lane (fast-chain overflow, injected fault) becomes a classified
+    // NonFiniteError that the Newton driver and rescue ladder understand.
+    checkBankLanesFinite();
   }
 
   LoadContext ctx;
@@ -110,6 +153,15 @@ void Assembler::assemble(const linalg::Vector& x) {
   require(!patternMiss_,
           "Assembler: element stamped outside the captured sparsity pattern "
           "(element structure must be bias-independent)");
+
+  if (faultArmed_ && injector_->singularAt(faultSample_, faultAttempt_)) {
+    // Zero the first matrix row AFTER the gmin shunts were added, so the
+    // injected breakdown survives every homotopy rung and the factorization
+    // hits a hard singular pivot.
+    const auto& rowStart = pattern_.rowStart();
+    for (std::size_t s = rowStart[0]; s < rowStart[1]; ++s)
+      values_.setAt(static_cast<std::int32_t>(s), 0.0);
+  }
 }
 
 void Assembler::scatterBankedLane(const DeviceBankGroup& grp,

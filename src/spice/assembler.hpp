@@ -31,6 +31,8 @@
 #include "linalg/sparse_lu.hpp"
 #include "spice/circuit.hpp"
 #include "spice/device_bank.hpp"
+#include "spice/fault_injection.hpp"
+#include "spice/solve_report.hpp"
 
 namespace vsstat::spice::detail {
 
@@ -51,6 +53,9 @@ struct NewtonWorkspace {
   std::vector<double> sampleBuf;
   /// Homotopy trial iterate (detail::dcSolveLadder gmin/source stepping).
   linalg::Vector xHomotopy;
+  /// Diagnostics of the most recent solve (filled by dcSolveLadder /
+  /// runTransient, reset at each solve entry).
+  SolveReport report;
 };
 
 /// Owns the Newton assembly state and backs LoadContext.
@@ -147,6 +152,38 @@ class Assembler {
     return bankSet_ != nullptr ? bankSet_->groupCount() : 0;
   }
 
+  /// Switches the device-bank evaluation contract in place (rescue ladder's
+  /// fast -> reference fallback).  Throws when asked for fast numerics on a
+  /// bank-less assembler; a no-op when the mode is unchanged.
+  void setNumericsMode(models::NumericsMode numerics);
+  [[nodiscard]] models::NumericsMode numericsMode() const noexcept {
+    return bankSet_ != nullptr ? bankSet_->numerics()
+                               : models::NumericsMode::reference;
+  }
+
+  // --- fault-injection seam (test-only, deterministic) -----------------------
+  /// Installs the campaign's fault schedule; null disarms injection.
+  void setFaultInjector(std::shared_ptr<const FaultInjector> injector) noexcept {
+    injector_ = std::move(injector);
+    faultArmed_ = false;
+  }
+  /// Arms scheduled faults for (sampleIndex, rescue attempt).  Campaign
+  /// sessions call this per bind; outside a campaign no context is armed
+  /// and assembly behaves exactly as before.
+  void setSampleContext(std::size_t sampleIndex, int attempt) noexcept {
+    faultSample_ = sampleIndex;
+    faultAttempt_ = attempt;
+    faultArmed_ = injector_ != nullptr && !injector_->empty();
+  }
+  void clearSampleContext() noexcept {
+    faultArmed_ = false;
+    faultSample_ = 0;
+    faultAttempt_ = 0;
+  }
+  /// Rescue attempt of the armed sample context (0 outside a campaign):
+  /// lets metric code consult FaultInjector::metricThrowAt correctly.
+  [[nodiscard]] int sampleAttempt() const noexcept { return faultAttempt_; }
+
   // --- LoadContext backends ---------------------------------------------------
   [[nodiscard]] double nodeVoltage(NodeId node) const noexcept {
     return node == kGround ? 0.0
@@ -197,6 +234,9 @@ class Assembler {
  private:
   void capturePattern();
   void scatterBankedLane(const DeviceBankGroup& grp, std::size_t lane) noexcept;
+  /// NaN/Inf guard over every evaluated bank lane; throws NonFiniteError
+  /// naming the numerics mode and lane on the first bad value.
+  void checkBankLanesFinite() const;
 
   void addEntry(std::size_t row, std::size_t col, double d) noexcept {
     if (capturing_) {
@@ -231,6 +271,11 @@ class Assembler {
   double gmin_ = 0.0;
   bool capturing_ = false;
   bool patternMiss_ = false;
+  // Fault-injection state (campaign tests only; inert by default).
+  std::shared_ptr<const FaultInjector> injector_;
+  std::size_t faultSample_ = 0;
+  int faultAttempt_ = 0;
+  bool faultArmed_ = false;
 };
 
 }  // namespace vsstat::spice::detail

@@ -30,6 +30,7 @@
 #define VSSTAT_SPICE_DEVICE_BANK_HPP
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <typeindex>
 #include <vector>
@@ -94,6 +95,18 @@ class DeviceBankSet {
   /// Regroups every element from scratch (cross-family rebind fallback).
   void rebuild();
 
+  /// Switches the evaluation contract and rebuilds the group banks.  Used
+  /// by the rescue ladder's fast -> reference fallback; a no-op when the
+  /// mode is unchanged.
+  void setNumerics(models::NumericsMode numerics) {
+    if (numerics == numerics_) return;
+    numerics_ = numerics;
+    rebuild();
+  }
+  [[nodiscard]] models::NumericsMode numerics() const noexcept {
+    return numerics_;
+  }
+
   /// Gather + batch-evaluate every group at iterate `x` (node voltage of
   /// NodeId n is x[n-1], ground reads 0 -- the LoadContext::v convention).
   void evaluate(const linalg::Vector& x);
@@ -110,6 +123,16 @@ class DeviceBankSet {
     return groups_.size();
   }
   [[nodiscard]] std::size_t laneCount() const noexcept { return laneCount_; }
+
+  /// Fault-injection seam: overwrites one evaluated lane's drain current
+  /// with NaN, modeling a numerics lane gone bad.  Called by the assembler
+  /// (after evaluate(), before its finite guard) when a FaultInjector
+  /// schedules a nanBankLane fault for the current sample.
+  void poisonLaneForTest(std::size_t group, std::size_t lane) noexcept {
+    if (group < groups_.size() && lane < groups_[group].out.size())
+      groups_[group].out[lane].at.id =
+          std::numeric_limits<double>::quiet_NaN();
+  }
 
  private:
   const Circuit* circuit_;

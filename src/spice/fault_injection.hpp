@@ -1,0 +1,81 @@
+// Deterministic fault-injection seam for campaign robustness tests.
+//
+// Tail Monte Carlo samples are the ones that break solvers -- but they are
+// rare, so the rescue ladder and the failure taxonomy would be effectively
+// untested if real breakdowns were the only way to exercise them.  A
+// FaultInjector forces the three real failure shapes on demand, keyed by
+// SAMPLE INDEX (never wall clock, never thread id), so an injected-fault
+// campaign is exactly as deterministic as a clean one:
+//
+//   - singular Jacobian: the assembler zeroes row 0 of the MNA matrix after
+//     assembly, so the next refactor hits a hard singular pivot;
+//   - non-finite bank lane: the assembler poisons one device-bank output
+//     lane with NaN while the bank runs FAST numerics, modeling a fast
+//     kernel lane gone bad (the reference-numerics rescue rung heals it);
+//   - throwing metric: user metric code consults metricThrowAt() and throws,
+//     modeling measurement code that rejects a degenerate waveform.
+//
+// Each fault is either transient (attempt 0 only -- the rescue ladder's
+// retry sees a healthy solve and recovers the sample) or persistent (every
+// attempt -- the ladder exhausts and the sample fails with its class).
+// The injector is immutable after construction and shared by const pointer,
+// so concurrent queries from campaign workers are race-free by construction.
+#ifndef VSSTAT_SPICE_FAULT_INJECTION_HPP
+#define VSSTAT_SPICE_FAULT_INJECTION_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace vsstat::spice {
+
+/// Kinds of fault the injector can force.
+enum class FaultKind : int {
+  singularJacobian,  ///< zero a matrix row after assembly
+  nanBankLane,       ///< poison a device-bank output lane with NaN
+  metricThrow,       ///< advisory: metric fn should throw for this sample
+};
+
+/// One scheduled fault.
+struct FaultSite {
+  FaultKind kind = FaultKind::singularJacobian;
+  std::size_t sampleIndex = 0;
+  bool persistent = false;  ///< false: attempt 0 only (rescuable)
+};
+
+/// Immutable schedule of faults, queried by (sample, rescue attempt).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(std::vector<FaultSite> sites)
+      : sites_(std::move(sites)) {}
+
+  [[nodiscard]] bool empty() const noexcept { return sites_.empty(); }
+
+  /// True when `kind` should fire for this sample on this rescue attempt.
+  [[nodiscard]] bool firesAt(FaultKind kind, std::size_t sampleIndex,
+                             int attempt) const noexcept {
+    return std::any_of(sites_.begin(), sites_.end(), [&](const FaultSite& s) {
+      return s.kind == kind && s.sampleIndex == sampleIndex &&
+             (s.persistent || attempt == 0);
+    });
+  }
+
+  [[nodiscard]] bool singularAt(std::size_t sample, int attempt) const noexcept {
+    return firesAt(FaultKind::singularJacobian, sample, attempt);
+  }
+  [[nodiscard]] bool nanLaneAt(std::size_t sample, int attempt) const noexcept {
+    return firesAt(FaultKind::nanBankLane, sample, attempt);
+  }
+  [[nodiscard]] bool metricThrowAt(std::size_t sample,
+                                   int attempt) const noexcept {
+    return firesAt(FaultKind::metricThrow, sample, attempt);
+  }
+
+ private:
+  std::vector<FaultSite> sites_;
+};
+
+}  // namespace vsstat::spice
+
+#endif  // VSSTAT_SPICE_FAULT_INJECTION_HPP

@@ -32,6 +32,9 @@ SimSession::SimSession(Circuit& circuit, SessionOptions options)
       assembler_(std::make_unique<detail::Assembler>(
           circuit, options.useDeviceBank, options.numerics, options.solver)),
       solverMode_(options.solver) {
+  if (options.faultInjector) {
+    assembler_->setFaultInjector(std::move(options.faultInjector));
+  }
   if (solverMode_ == linalg::SolverMode::reusePivot) primePivotReuse();
 }
 
@@ -44,9 +47,59 @@ std::size_t SimSession::deviceBankLaneCount() const noexcept {
 }
 
 SimSession::SolverTelemetry SimSession::solverTelemetry() const noexcept {
-  const linalg::SparseLu& lu = assembler_->workspace().lu;
+  const detail::NewtonWorkspace& ws = assembler_->workspace();
+  const linalg::SparseLu& lu = ws.lu;
   return SolverTelemetry{lu.fullFactorCount(), lu.fastRefactorCount(),
-                         lu.pivotFallbackCount(), lu.hasPivotSnapshot()};
+                         lu.pivotFallbackCount(), lu.hasPivotSnapshot(),
+                         ws.report};
+}
+
+void SimSession::setSolverMode(linalg::SolverMode mode) {
+  if (mode == solverMode_) return;
+  solverMode_ = mode;
+  assembler_->workspace().lu.setSolverMode(mode);
+  // Returning to reusePivot after a fresh-mode rescue retry finds the
+  // canonical snapshot still in place (reset() never drops it); priming
+  // only runs for a session that was never primed at all.
+  if (mode == linalg::SolverMode::reusePivot &&
+      !assembler_->workspace().lu.hasPivotSnapshot()) {
+    primePivotReuse();
+  }
+}
+
+void SimSession::setNumericsMode(models::NumericsMode numerics) {
+  assembler_->setNumericsMode(numerics);
+}
+
+models::NumericsMode SimSession::numericsMode() const noexcept {
+  return assembler_->numericsMode();
+}
+
+void SimSession::setSampleContext(std::size_t sampleIndex,
+                                  int attempt) noexcept {
+  assembler_->setSampleContext(sampleIndex, attempt);
+}
+
+void SimSession::clearSampleContext() noexcept {
+  assembler_->clearSampleContext();
+}
+
+int SimSession::sampleAttempt() const noexcept {
+  return assembler_->sampleAttempt();
+}
+
+DcOptions SimSession::applyEffort(const DcOptions& options) const noexcept {
+  DcOptions adjusted = options;
+  adjusted.newton = applyEffort(options.newton);
+  return adjusted;
+}
+
+NewtonOptions SimSession::applyEffort(
+    const NewtonOptions& options) const noexcept {
+  NewtonOptions adjusted = options;
+  adjusted.maxIterations = options.maxIterations * effort_.iterationMultiplier;
+  adjusted.maxUpdate = options.maxUpdate * effort_.maxUpdateScale;
+  return adjusted;
 }
 
 void SimSession::resetNumerics() noexcept {
@@ -100,10 +153,12 @@ OperatingPoint SimSession::dcOperatingPoint(const DcOptions& options) {
 OperatingPoint SimSession::dcOperatingPoint(const OperatingPoint& guess,
                                             const DcOptions& options) {
   resetNumerics();
+  const DcOptions effective = applyEffort(options);
   linalg::Vector x = detail::unpackGuess(*circuit_, guess);
-  if (!detail::dcSolveLadder(*assembler_, x, options)) {
-    throw ConvergenceError("SimSession::dcOperatingPoint: no convergence",
-                           options.newton.maxIterations);
+  if (!detail::dcSolveLadder(*assembler_, x, effective)) {
+    detail::throwSolveFailure(assembler_->workspace().report,
+                              "SimSession::dcOperatingPoint: no convergence",
+                              effective.newton.maxIterations);
   }
   return detail::packSolution(*circuit_, x);
 }
@@ -141,12 +196,14 @@ void SimSession::dcSweepNode(const std::string& sourceName,
   // probed voltages -- are bit-identical to dcSweep's.
   sweepX_.resize(circuit_->unknownCount());
   std::fill(sweepX_.begin(), sweepX_.end(), 0.0);  // level 0: zero guess
+  const DcOptions effective = applyEffort(options);
   for (double level : levels) {
     src.setDcLevel(level);
     resetNumerics();
-    if (!detail::dcSolveLadder(*assembler_, sweepX_, options)) {
-      throw ConvergenceError("SimSession::dcSweepNode: no convergence",
-                             options.newton.maxIterations);
+    if (!detail::dcSolveLadder(*assembler_, sweepX_, effective)) {
+      detail::throwSolveFailure(assembler_->workspace().report,
+                                "SimSession::dcSweepNode: no convergence",
+                                effective.newton.maxIterations);
     }
     out.push_back(probeNode == kGround
                       ? 0.0
@@ -156,12 +213,18 @@ void SimSession::dcSweepNode(const std::string& sourceName,
 
 Waveform SimSession::transient(const TransientOptions& options) {
   resetNumerics();
-  return detail::runTransient(*assembler_, options);
+  TransientOptions effective = options;
+  effective.newton = applyEffort(options.newton);
+  effective.dcOptions = applyEffort(options.dcOptions);
+  return detail::runTransient(*assembler_, effective);
 }
 
 void SimSession::transient(const TransientOptions& options, Waveform& out) {
   resetNumerics();
-  detail::runTransient(*assembler_, options, out);
+  TransientOptions effective = options;
+  effective.newton = applyEffort(options.newton);
+  effective.dcOptions = applyEffort(options.dcOptions);
+  detail::runTransient(*assembler_, effective, out);
 }
 
 }  // namespace vsstat::spice

@@ -48,6 +48,8 @@
 #include "models/device.hpp"
 #include "spice/analysis.hpp"
 #include "spice/circuit.hpp"
+#include "spice/fault_injection.hpp"
+#include "spice/solve_report.hpp"
 #include "spice/waveform.hpp"
 
 namespace vsstat::spice {
@@ -78,6 +80,10 @@ struct SessionOptions {
   /// thread-count-independent.  Composes with `numerics` -- the two axes
   /// gate independent halves of the bit-identity contract.
   linalg::SolverMode solver = linalg::SolverMode::fresh;
+  /// Test-only deterministic fault schedule (spice/fault_injection.hpp),
+  /// shared across the campaign's worker sessions.  Null (default) leaves
+  /// every injection site inert.
+  std::shared_ptr<const FaultInjector> faultInjector = nullptr;
 };
 
 class SimSession {
@@ -144,8 +150,49 @@ class SimSession {
     std::uint64_t fastRefactors = 0;   ///< structure-reusing refactors
     std::uint64_t pivotFallbacks = 0;  ///< reuse-monitor breakdowns
     bool pivotSnapshotPrimed = false;  ///< canonical order captured
+    /// Structured diagnostics of the most recent solve (DC point, sweep
+    /// level, or transient), for successful and failed solves alike.
+    SolveReport lastSolve;
   };
   [[nodiscard]] SolverTelemetry solverTelemetry() const noexcept;
+
+  // --- rescue-ladder controls (sim::CampaignSession) -------------------------
+  // Everything below is deterministic state the rescue ladder flips per
+  // retry and restores afterwards; none of it is thread- or time-dependent.
+
+  /// Switches the pivot policy in place.  Fresh -> reusePivot reuses the
+  /// snapshot primed at construction (repriming only if none exists);
+  /// reusePivot -> fresh makes every solve re-derive its own order.
+  void setSolverMode(linalg::SolverMode mode);
+  [[nodiscard]] linalg::SolverMode solverMode() const noexcept {
+    return solverMode_;
+  }
+
+  /// Switches the banked evaluation contract in place (fast <-> reference).
+  /// Throws when asked for fast numerics on a bank-less session.
+  void setNumericsMode(models::NumericsMode numerics);
+  [[nodiscard]] models::NumericsMode numericsMode() const noexcept;
+
+  /// Extra Newton effort applied to every solve's options: the iteration
+  /// budget is multiplied and the update clamp scaled (a smaller clamp =
+  /// heavier damping).  The identity default changes nothing -- including
+  /// at the bit level, since scaling by exactly 1.0 is exact.
+  struct SolveEffort {
+    int iterationMultiplier = 1;
+    double maxUpdateScale = 1.0;
+  };
+  void setSolveEffort(const SolveEffort& effort) noexcept { effort_ = effort; }
+  [[nodiscard]] const SolveEffort& solveEffort() const noexcept {
+    return effort_;
+  }
+
+  /// Arms the fault injector (if any) for (sampleIndex, rescue attempt).
+  void setSampleContext(std::size_t sampleIndex, int attempt) noexcept;
+  void clearSampleContext() noexcept;
+  /// Rescue attempt of the armed sample context (0 on the first attempt
+  /// and outside campaigns) -- for metric code consulting
+  /// FaultInjector::metricThrowAt.
+  [[nodiscard]] int sampleAttempt() const noexcept;
 
  private:
   /// Resets the workspace LU pivot state at a solve boundary.  Fresh mode
@@ -165,9 +212,16 @@ class SimSession {
   /// to fresh-style per-solve pivoting, still deterministically.
   void primePivotReuse();
 
+  /// Applies the session's SolveEffort to per-call options (exact no-op at
+  /// the identity default).
+  [[nodiscard]] DcOptions applyEffort(const DcOptions& options) const noexcept;
+  [[nodiscard]] NewtonOptions applyEffort(
+      const NewtonOptions& options) const noexcept;
+
   Circuit* circuit_;
   std::unique_ptr<detail::Assembler> assembler_;
   linalg::SolverMode solverMode_ = linalg::SolverMode::fresh;
+  SolveEffort effort_;
   linalg::Vector sweepX_;  ///< persistent sweep iterate (dcSweepNode)
 };
 

@@ -1,0 +1,57 @@
+// Structured diagnostics for one nonlinear solve.
+//
+// Before this existed, the only record of how a DC/transient solve went was
+// the what() string of a thrown ConvergenceError -- useless for campaign
+// telemetry and for the rescue ladder, which must decide (deterministically)
+// whether a retry with different numerics could help.  SolveReport is filled
+// in by detail::newtonSolve / dcSolveLadder / runTransient as they run and
+// surfaced through SimSession::solverTelemetry(), for successful solves and
+// failed ones alike.
+#ifndef VSSTAT_SPICE_SOLVE_REPORT_HPP
+#define VSSTAT_SPICE_SOLVE_REPORT_HPP
+
+#include <cstdint>
+
+namespace vsstat::spice {
+
+/// Terminal state of a solve attempt.
+enum class SolveOutcome : std::uint8_t {
+  ok,              ///< converged
+  nonConvergence,  ///< iteration budget exhausted on every homotopy rung
+  singular,        ///< Jacobian singular to working precision at the end
+  nonFinite,       ///< NaN/Inf in residual, solution, or device evaluation
+};
+
+[[nodiscard]] inline const char* toString(SolveOutcome o) noexcept {
+  switch (o) {
+    case SolveOutcome::ok: return "ok";
+    case SolveOutcome::nonConvergence: return "non-convergence";
+    case SolveOutcome::singular: return "singular";
+    case SolveOutcome::nonFinite: return "non-finite";
+  }
+  return "non-convergence";
+}
+
+/// Homotopy rungs of the DC ladder, in escalation order.
+inline constexpr int kRungPlainNewton = 0;
+inline constexpr int kRungGminStepping = 1;
+inline constexpr int kRungSourceStepping = 2;
+
+/// Diagnostics accumulated across one solve (DC operating point, one sweep
+/// point, or a whole transient).  Counters are cumulative over every Newton
+/// attempt the solve made, including failed homotopy rungs.
+struct SolveReport {
+  SolveOutcome outcome = SolveOutcome::ok;
+  int iterations = 0;        ///< Newton iterations summed over all attempts
+  int homotopyRung = 0;      ///< deepest rung reached (kRung* constants)
+  double finalResidual = 0.0;  ///< residual inf-norm at the last iteration
+  std::uint64_t pivotFallbacks = 0;  ///< reuse-mode breakdown re-pivots
+  bool sawSingular = false;  ///< any refactor hit a singular matrix
+  bool sawNonFinite = false;  ///< any residual/device output went NaN/Inf
+
+  void reset() noexcept { *this = SolveReport{}; }
+};
+
+}  // namespace vsstat::spice
+
+#endif  // VSSTAT_SPICE_SOLVE_REPORT_HPP

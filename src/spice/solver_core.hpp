@@ -19,6 +19,8 @@
 #ifndef VSSTAT_SPICE_SOLVER_CORE_HPP
 #define VSSTAT_SPICE_SOLVER_CORE_HPP
 
+#include <string>
+
 #include "spice/analysis.hpp"
 #include "spice/assembler.hpp"
 
@@ -33,8 +35,18 @@ bool newtonSolve(Assembler& assembler, linalg::Vector& x,
                  const NewtonOptions& options);
 
 /// DC solve ladder: plain Newton, then gmin stepping, then source stepping.
+/// Resets and fills the workspace SolveReport (outcome, iterations, deepest
+/// homotopy rung, final residual, pivot fallbacks, singular/non-finite
+/// flags) for successful and failed solves alike.
 bool dcSolveLadder(Assembler& assembler, linalg::Vector& x,
                    const DcOptions& options);
+
+/// Throws the SampleFailure subclass matching `report.outcome`:
+/// NonFiniteError / SingularMatrixError / ConvergenceError.  Shared by the
+/// free analysis entry points and SimSession so campaign failure classes
+/// are consistent regardless of the solve surface used.
+[[noreturn]] void throwSolveFailure(const SolveReport& report,
+                                    const std::string& what, int iterations);
 
 OperatingPoint packSolution(const Circuit& circuit, const linalg::Vector& x);
 linalg::Vector unpackGuess(const Circuit& circuit, const OperatingPoint& op);

@@ -1,8 +1,11 @@
 // Exception hierarchy and precondition checks for the vsstat library.
 //
 // All library errors derive from vsstat::Error so callers can catch the
-// whole family with one handler while still distinguishing convergence
-// failures (retryable with different settings) from usage errors.
+// whole family with one handler.  Errors a Monte Carlo campaign may
+// legitimately see on an extreme-mismatch sample derive from SampleFailure
+// and carry a FailureClass, so the campaign runner can drop-and-classify
+// them (mc::McResult taxonomy) while anything else -- a programming error,
+// a violated precondition -- propagates and aborts the campaign.
 #ifndef VSSTAT_UTIL_ERROR_HPP
 #define VSSTAT_UTIL_ERROR_HPP
 
@@ -23,18 +26,88 @@ class InvalidArgumentError : public Error {
   explicit InvalidArgumentError(const std::string& what) : Error(what) {}
 };
 
+/// Why a Monte Carlo sample failed.  The campaign runner counts failures
+/// per class (mc::McResult::failuresByClass) so yield estimates can reason
+/// about WHAT was dropped instead of silently renormalizing over survivors.
+enum class FailureClass {
+  singular,        ///< Jacobian singular to working precision (SparseLu)
+  nonConvergence,  ///< iterative method exhausted its budget
+  nonFinite,       ///< NaN/Inf crossed a layer seam (bank, fast chain, measure)
+  metricDomain,    ///< solve succeeded but the metric is undefined/degenerate
+  unclassified,    ///< legacy SampleFailure with no specific class
+};
+inline constexpr int kFailureClassCount = 5;
+
+[[nodiscard]] inline const char* toString(FailureClass c) noexcept {
+  switch (c) {
+    case FailureClass::singular: return "singular";
+    case FailureClass::nonConvergence: return "non-convergence";
+    case FailureClass::nonFinite: return "non-finite";
+    case FailureClass::metricDomain: return "metric-domain";
+    case FailureClass::unclassified: return "unclassified";
+  }
+  return "unclassified";
+}
+
+/// Base of every error a campaign may count as a dropped/failed sample.
+/// mc::runCampaign catches exactly this family; everything else is a
+/// programming error and propagates out of the campaign.
+class SampleFailure : public Error {
+ public:
+  SampleFailure(const std::string& what, FailureClass failureClass)
+      : Error(what), class_(failureClass) {}
+
+  [[nodiscard]] FailureClass failureClass() const noexcept { return class_; }
+
+ private:
+  FailureClass class_;
+};
+
 /// An iterative numerical method (Newton, NNLS, LM, bisection) failed to
 /// converge within its budget.  Carries the iteration count for diagnostics.
-class ConvergenceError : public Error {
+class ConvergenceError : public SampleFailure {
  public:
   ConvergenceError(const std::string& what, int iterations)
-      : Error(what + " (after " + std::to_string(iterations) + " iterations)"),
-        iterations_(iterations) {}
+      : ConvergenceError(what, iterations, FailureClass::nonConvergence) {}
 
   [[nodiscard]] int iterations() const noexcept { return iterations_; }
 
+ protected:
+  ConvergenceError(const std::string& what, int iterations, FailureClass cls)
+      : SampleFailure(
+            what + " (after " + std::to_string(iterations) + " iterations)",
+            cls),
+        iterations_(iterations) {}
+
  private:
   int iterations_ = 0;
+};
+
+/// A matrix came out singular to working precision (near-zero pivot).
+/// Derives from ConvergenceError so every existing retry/homotopy handler
+/// that catches ConvergenceError keeps working; campaigns see the finer
+/// FailureClass::singular.
+class SingularMatrixError : public ConvergenceError {
+ public:
+  SingularMatrixError(const std::string& what, int pivotIndex)
+      : ConvergenceError(what, pivotIndex, FailureClass::singular) {}
+};
+
+/// NaN or Inf crossed a guarded layer seam: device-bank lane output, the
+/// fast-numerics chain, a Newton residual, or a measurement input.
+class NonFiniteError : public SampleFailure {
+ public:
+  explicit NonFiniteError(const std::string& what)
+      : SampleFailure(what, FailureClass::nonFinite) {}
+};
+
+/// The solve succeeded but the requested metric does not exist for this
+/// sample (output never switched, butterfly is monostable, delay came out
+/// non-physical) -- a failing CORNER, not a failing solver.
+class MetricDomainError : public SampleFailure {
+ public:
+  explicit MetricDomainError(const std::string& what)
+      : SampleFailure(what, FailureClass::metricDomain) {}
 };
 
 /// Statistical extraction (BPV / fitting) failed, e.g. the stacked system

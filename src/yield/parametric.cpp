@@ -1,6 +1,7 @@
 #include "yield/parametric.hpp"
 
 #include <cmath>
+#include <string>
 
 #include "stats/qq.hpp"
 #include "util/error.hpp"
@@ -52,6 +53,43 @@ YieldEstimate yieldOfSamples(const std::vector<double>& samples,
   long passed = 0;
   for (double v : samples) passed += spec.passes(v) ? 1 : 0;
   return yieldWithConfidence(passed, static_cast<long>(samples.size()), z);
+}
+
+YieldEstimate yieldOfCampaign(const mc::McResult& result,
+                              std::size_t metricIndex, const SpecLimit& spec,
+                              const DropPolicy& policy, double z) {
+  require(metricIndex < result.metrics.size(),
+          "yieldOfCampaign: metric index out of range");
+  const std::vector<double>& samples = result.metrics[metricIndex];
+  const long survivors = static_cast<long>(result.sampleCount());
+  const long dropped = result.failures;
+  const long total = survivors + dropped;
+  require(total > 0, "yieldOfCampaign: empty campaign");
+
+  if (policy.mode == DroppedSamplePolicy::errorAboveThreshold) {
+    const double fraction =
+        static_cast<double>(dropped) / static_cast<double>(total);
+    if (fraction > policy.maxDropFraction) {
+      throw DroppedSamplesError(
+          "yieldOfCampaign: " + std::to_string(dropped) + " of " +
+          std::to_string(total) + " samples were dropped (" +
+          std::to_string(fraction) + " > allowed " +
+          std::to_string(policy.maxDropFraction) +
+          "); first failure: " +
+          (result.firstFailure.valid ? result.firstFailure.message
+                                     : std::string("<none recorded>")));
+    }
+  }
+
+  long passed = 0;
+  for (double v : samples) passed += spec.passes(v) ? 1 : 0;
+  if (policy.mode == DroppedSamplePolicy::countAsFail) {
+    // Dropped corners count against yield: the denominator is the FULL
+    // campaign, and none of the dropped samples contribute a pass.
+    return yieldWithConfidence(passed, total, z);
+  }
+  require(survivors > 0, "yieldOfCampaign: every sample was dropped");
+  return yieldWithConfidence(passed, survivors, z);
 }
 
 }  // namespace vsstat::yield

@@ -25,7 +25,7 @@ McResult runWith(unsigned threads, std::uint64_t seed, bool withFailures) {
         const double a = rng.normal();
         const double b = rng.uniform(-1.0, 1.0);
         if (withFailures && std::fabs(a) > 1.5) {
-          throw std::runtime_error("non-convergent corner");
+          throw ConvergenceError("non-convergent corner", 80);
         }
         out[0] = a;
         out[1] = b;

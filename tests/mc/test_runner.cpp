@@ -57,11 +57,78 @@ TEST(McRunner, FailedSamplesAreDroppedAndCounted) {
   opt.samples = 50;
   const McResult r = runCampaign(
       opt, 1, [](std::size_t i, stats::Rng&, std::vector<double>& out) {
-        if (i % 5 == 0) throw std::runtime_error("non-convergent corner");
+        if (i % 5 == 0) throw ConvergenceError("non-convergent corner", 80);
         out[0] = 1.0;
       });
   EXPECT_EQ(r.failures, 10);
   EXPECT_EQ(r.sampleCount(), 40u);
+  EXPECT_EQ(r.failuresOf(FailureClass::nonConvergence), 10);
+  EXPECT_EQ(r.rescued, 0);
+}
+
+TEST(McRunner, FailuresAreClassifiedPerClassWithFirstFailureDiagnostics) {
+  McOptions opt;
+  opt.samples = 40;
+  opt.seed = 3;
+  const McResult r = runCampaign(
+      opt, 1, [](std::size_t i, stats::Rng&, std::vector<double>& out) {
+        if (i % 10 == 3) throw SingularMatrixError("pivot breakdown", 2);
+        if (i % 10 == 5) throw NonFiniteError("NaN lane");
+        if (i % 10 == 7) throw MetricDomainError("output never fell");
+        out[0] = 1.0;
+      });
+  EXPECT_EQ(r.failures, 12);
+  EXPECT_EQ(r.failuresOf(FailureClass::singular), 4);
+  EXPECT_EQ(r.failuresOf(FailureClass::nonFinite), 4);
+  EXPECT_EQ(r.failuresOf(FailureClass::metricDomain), 4);
+  EXPECT_EQ(r.failuresOf(FailureClass::nonConvergence), 0);
+  EXPECT_EQ(r.failuresOf(FailureClass::unclassified), 0);
+  // First failure is the lowest-indexed one, independent of scheduling.
+  ASSERT_TRUE(r.firstFailure.valid);
+  EXPECT_EQ(r.firstFailure.sampleIndex, 3u);
+  EXPECT_EQ(r.firstFailure.failureClass, FailureClass::singular);
+  EXPECT_NE(r.firstFailure.message.find("pivot breakdown"),
+            std::string::npos);
+}
+
+TEST(McRunner, SingularFailuresAreCaughtAsConvergenceErrors) {
+  // SingularMatrixError derives from ConvergenceError (homotopy handlers
+  // catch the base) yet carries the finer class for the taxonomy.
+  try {
+    throw SingularMatrixError("singular to working precision", 5);
+  } catch (const ConvergenceError& e) {
+    EXPECT_EQ(e.failureClass(), FailureClass::singular);
+    EXPECT_EQ(e.iterations(), 5);
+  }
+}
+
+TEST(McRunner, NonSampleFailuresPropagateOutOfTheCampaign) {
+  // A programming error must abort the campaign, never be counted as a
+  // dropped corner.
+  McOptions opt;
+  opt.samples = 8;
+  opt.threads = 2;
+  EXPECT_THROW(
+      runCampaign(opt, 1,
+                  [](std::size_t i, stats::Rng&, std::vector<double>& out) {
+                    if (i == 5) throw std::runtime_error("logic bug");
+                    out[0] = 1.0;
+                  }),
+      std::runtime_error);
+}
+
+TEST(McRunner, RescuedSamplesAreCountedViaTheSampleContext) {
+  McOptions opt;
+  opt.samples = 30;
+  const McResult r = runCampaign(
+      opt, 1,
+      SampleFnEx([](std::size_t i, stats::Rng&, std::vector<double>& out,
+                    SampleContext& ctx) {
+        out[0] = 1.0;
+        if (i % 3 == 0) ctx.rescueAttempts = 1;  // simulated ladder rescue
+      }));
+  EXPECT_EQ(r.failures, 0);
+  EXPECT_EQ(r.rescued, 10);
 }
 
 TEST(McRunner, DifferentSeedsGiveDifferentStreams) {
@@ -86,7 +153,7 @@ TEST(McRunner, SampleCountEnforcesTheSharedRowLengthContract) {
   opt.seed = 9;
   const McResult r = runCampaign(
       opt, 2, [](std::size_t i, stats::Rng&, std::vector<double>& out) {
-        if (i % 5 == 0) throw std::runtime_error("dropped corner");
+        if (i % 5 == 0) throw ConvergenceError("dropped corner", 80);
         out[0] = static_cast<double>(i);
         out[1] = -static_cast<double>(i);
       });
