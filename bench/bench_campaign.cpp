@@ -13,6 +13,14 @@
 //               (the rebuild path would measure fixture construction, not
 //               the solver), so its rows carry the fresh-vs-reuse
 //               comparison.
+//   grid_ladder_{10,32,64} -- the grid-scale fixture ladder: one row per
+//               mesh rung combining session-campaign throughput with a
+//               direct factor probe (fresh-factor us, fill ratio, marginal
+//               allocs per factor, factor memory).  Rungs up to 32x32 also
+//               time the retained dense-pivot baseline (DensePivotLu) and
+//               carry the CI-gated "speedup_vs_dense_lu"; the 64x64 rung
+//               instead records its isolated peak RSS, the near-linear-
+//               memory evidence at ~4k unknowns.
 //
 // Both paths run the identical statistical VS sampling (same seed, same
 // draws) single-threaded, so samples/sec compares per-sample cost and the
@@ -64,12 +72,16 @@
 
 #include "circuits/benchmarks.hpp"
 #include "common.hpp"
+#include "linalg/dense_pivot_lu.hpp"
+#include "linalg/sparse_lu.hpp"
 #include "mc/circuit_campaign.hpp"
 #include "mc/providers.hpp"
 #include "mc/runner.hpp"
 #include "measure/delay.hpp"
 #include "measure/snm.hpp"
 #include "models/vs_params.hpp"
+#include "spice/assembler.hpp"
+#include "util/rusage.hpp"
 
 namespace {
 
@@ -436,33 +448,200 @@ int run(int snmSamples, int invSamples) {
   return 0;
 }
 
-int runGrid(int gridSamples) {
-  benchSessionWorkload(
-      "grid_ir", gridSamples,
-      [](int n, spice::SessionOptions sessionOptions) {
-        return mc::runCampaign<circuits::PowerGridBench>(
-            options(n), 1,
-            [](circuits::DeviceProvider& provider) {
-              return circuits::buildPowerGridIrDrop(provider, 10, 10, 0.9);
-            },
-            [] { return makeProvider(stats::Rng(0)); },
-            [](std::size_t,
-               sim::CampaignSession<circuits::PowerGridBench>& session,
-               stats::Rng&, std::vector<double>& out) {
-              static thread_local std::vector<double> levels;
-              static thread_local std::vector<double> farVolts;
-              circuits::PowerGridBench& fx = session.fixture();
-              if (levels.size() != static_cast<std::size_t>(kGridPoints)) {
-                levels.clear();
-                for (int i = 0; i < kGridPoints; ++i)
-                  levels.push_back(fx.supply * i / (kGridPoints - 1));
-              }
-              session.spice().dcSweepNode(fx.feedSource, levels, fx.farNode,
-                                          farVolts);
-              out[0] = fx.supply - farVolts.back();  // worst-case IR drop [V]
-            },
-            sessionOptions);
+/// Session campaign over an edge x edge mesh rung, sweeping `points`
+/// supply levels per sample.  The 10x10 rung keeps the historical 45-point
+/// sweep (the committed grid_ir rows); bigger rungs sweep fewer levels so
+/// the ladder stays benchable -- per-solve factor cost is what the ladder
+/// rows measure, and the factor probe times it exactly anyway.
+std::function<mc::McResult(int, spice::SessionOptions)> gridSession(
+    int edge, int points) {
+  return [edge, points](int n, spice::SessionOptions sessionOptions) {
+    return mc::runCampaign<circuits::PowerGridBench>(
+        options(n), 1,
+        [edge](circuits::DeviceProvider& provider) {
+          return circuits::buildPowerGridIrDrop(provider, edge, edge, 0.9);
+        },
+        [] { return makeProvider(stats::Rng(0)); },
+        [points](std::size_t,
+                 sim::CampaignSession<circuits::PowerGridBench>& session,
+                 stats::Rng&, std::vector<double>& out) {
+          static thread_local std::vector<double> levels;
+          static thread_local std::vector<double> farVolts;
+          circuits::PowerGridBench& fx = session.fixture();
+          if (levels.size() != static_cast<std::size_t>(points)) {
+            levels.clear();
+            for (int i = 0; i < points; ++i)
+              levels.push_back(fx.supply * i / (points - 1));
+          }
+          session.spice().dcSweepNode(fx.feedSource, levels, fx.farNode,
+                                      farVolts);
+          out[0] = fx.supply - farVolts.back();  // worst-case IR drop [V]
+        },
+        sessionOptions);
+  };
+}
+
+/// Direct factorization measurements on one ladder rung's assembled MNA
+/// Jacobian -- the numbers the campaign rows can only show indirectly.
+struct FactorProbe {
+  std::size_t unknowns = 0;
+  std::size_t patternNnz = 0;
+  std::size_t factorNnz = 0;
+  double fillRatio = 0.0;
+  double orderingUs = 0.0;      ///< one-time fill-reducing ordering
+  double freshFactorUs = 0.0;   ///< steady-state fresh full factor
+  double allocsPerFactor = 0.0; ///< marginal heap allocs per fresh factor
+  double factorMemMiB = 0.0;    ///< factor storage (values + indices)
+  double denseFactorUs = -1.0;  ///< DensePivotLu baseline (-1: not run)
+};
+
+/// Builds the rung's Jacobian the way the equivalence tests do: real
+/// device stamps at a spread of node biases, homotopy-level gmin so every
+/// node diagonal is present.
+FactorProbe probeFactor(int edge, int factorReps, bool withDense) {
+  auto provider = makeProvider(stats::Rng(0));
+  circuits::PowerGridBench bench =
+      circuits::buildPowerGridIrDrop(*provider, edge, edge, 0.9);
+  spice::detail::Assembler assembler(bench.circuit);
+  const std::size_t n = bench.circuit.unknownCount();
+  linalg::Vector x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = 0.2 + 0.5 * static_cast<double>((i * 37u) % 101u) / 101.0;
+  assembler.setGmin(1e-3);
+  assembler.assemble(x);
+  const linalg::SparseMatrix& m = assembler.jacobian();
+
+  FactorProbe p;
+  p.unknowns = n;
+
+  linalg::SparseLu lu;
+  lu.refactor(m);  // pays the one-time ordering; cached across reset()
+  lu.reset();
+  lu.refactor(m);  // warm: every work array at capacity
+  const std::uint64_t allocs0 = gAllocCount.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  for (int i = 0; i < factorReps; ++i) {
+    lu.reset();
+    lu.refactor(m);
+  }
+  const auto t1 = Clock::now();
+  const std::uint64_t allocs1 = gAllocCount.load(std::memory_order_relaxed);
+  p.freshFactorUs =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+              .count()) /
+      factorReps;
+  p.allocsPerFactor =
+      static_cast<double>(allocs1 - allocs0) / static_cast<double>(factorReps);
+  p.patternNnz = lu.patternNonZeroCount();
+  p.factorNnz = lu.factorNonZeroCount();
+  p.fillRatio = lu.fillRatio();
+  p.orderingUs = static_cast<double>(lu.orderingMicros());
+  p.factorMemMiB =
+      static_cast<double>(lu.factorMemoryBytes()) / (1024.0 * 1024.0);
+
+  if (withDense) {
+    linalg::DensePivotLu dense;
+    dense.refactor(m);  // warm
+    const int denseReps = std::max(2, factorReps / 16);
+    const auto d0 = Clock::now();
+    for (int i = 0; i < denseReps; ++i) {
+      dense.reset();
+      dense.refactor(m);
+    }
+    const auto d1 = Clock::now();
+    p.denseFactorUs =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::microseconds>(d1 - d0)
+                .count()) /
+        denseReps;
+  }
+  return p;
+}
+
+/// Ladder row: session-campaign throughput + the factor probe, one JSONL
+/// object.  speedup_vs_dense_lu (CI-gated, higher-better) appears only
+/// where the dense baseline actually ran -- at 64x64 it would be ~5e10
+/// flops per factor, so that rung records the sparse side alone plus its
+/// isolated peak RSS (the near-linear-memory evidence).
+void emitLadder(const std::string& name, int samples, const CampaignTiming& t,
+                const FactorProbe& p, double peakRssMiB) {
+  std::string row;
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"name\": \"%s\", \"samples\": %d, \"threads\": %u, "
+      "\"us_per_sample\": %.1f, \"samples_per_sec\": %.1f, "
+      "\"allocs_per_sample\": %.1f, \"metrics_fnv1a\": \"0x%016llx\", "
+      "\"unknowns\": %zu, \"pattern_nnz\": %zu, \"factor_nnz\": %zu, "
+      "\"fill_ratio\": %.2f, \"ordering_us\": %.0f, "
+      "\"fresh_factor_us\": %.1f, \"allocs_per_factor\": %.1f, "
+      "\"factor_mem_mib\": %.3f",
+      name.c_str(), samples, gThreads, t.usPerSample, 1e6 / t.usPerSample,
+      t.allocsPerSample,
+      static_cast<unsigned long long>(metricsHash(t.result)), p.unknowns,
+      p.patternNnz, p.factorNnz, p.fillRatio, p.orderingUs, p.freshFactorUs,
+      p.allocsPerFactor, p.factorMemMiB);
+  row += buf;
+  if (p.denseFactorUs >= 0.0) {
+    std::snprintf(buf, sizeof buf,
+                  ", \"dense_factor_us\": %.1f, "
+                  "\"speedup_vs_dense_lu\": %.1f",
+                  p.denseFactorUs, p.denseFactorUs / p.freshFactorUs);
+    row += buf;
+  }
+  if (peakRssMiB >= 0.0) {
+    std::snprintf(buf, sizeof buf, ", \"peak_rss_mib\": %.1f", peakRssMiB);
+    row += buf;
+  }
+  row += "}\n";
+  std::fputs(row.c_str(), stdout);
+}
+
+int runGrid(int gridSamples, bool quick) {
+  benchSessionWorkload("grid_ir", gridSamples, gridSession(10, kGridPoints));
+
+  // Grid-scale fixture ladder.  Sweep points shrink as the rung grows (the
+  // campaign row is a throughput smoke; the factor probe carries the
+  // rung's precise factor cost), and the dense baseline runs only where
+  // O(n^3) is affordable.
+  struct Rung {
+    int edge;
+    int points;
+    int samples;
+    int factorReps;
+    bool dense;
+  };
+  const Rung rungs[] = {{10, kGridPoints, gridSamples, 256, true},
+                        {32, 21, quick ? 6 : 10, 48, true},
+                        {64, 11, quick ? 5 : 8, 12, false}};
+  if (gScalingOnly) {
+    // The scaling smoke/audit covers one beyond-paper-scale rung across
+    // every session-mode combination; the 10x10 grid_ir combos above
+    // already cover the small rung.
+    runScalingCombos("grid_ladder_32", quick ? 6 : 10, gridSession(32, 21));
+    return 0;
+  }
+  for (const Rung& rung : rungs) {
+    const auto session = gridSession(rung.edge, rung.points);
+    const CampaignTiming t = timeCampaign(rung.samples, [&](int n) {
+      return session(n, spice::SessionOptions{});
+    });
+    const FactorProbe p = probeFactor(rung.edge, rung.factorReps, rung.dense);
+    double peakRssMiB = -1.0;
+    if (rung.edge == 64) {
+      // Isolated peak RSS of building + factoring the biggest rung: the
+      // committed proof that factor memory stays near-linear (a dense
+      // 4k x 4k scratch alone would be ~128 MiB on top of the baseline).
+      const util::CampaignUsage usage = util::runIsolated([&] {
+        const FactorProbe child = probeFactor(rung.edge, 2, false);
+        if (child.factorNnz == 0) std::exit(9);
       });
+      if (usage.exitCode == 0) peakRssMiB = usage.maxRssMiB;
+    }
+    emitLadder("grid_ladder_" + std::to_string(rung.edge), rung.samples, t, p,
+               peakRssMiB);
+  }
   return 0;
 }
 
@@ -473,8 +652,10 @@ int main(int argc, char** argv) {
   int snmSamples = 160;
   int invSamples = 48;
   int gridSamples = 24;
+  bool quick = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
       snmSamples = 32;
       invSamples = 12;
       gridSamples = 8;
@@ -497,7 +678,7 @@ int main(int argc, char** argv) {
   try {
     const int rc = vsstat::run(snmSamples, invSamples);
     if (rc != 0) return rc;
-    return vsstat::runGrid(gridSamples);
+    return vsstat::runGrid(gridSamples, quick);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_campaign: %s\n", e.what());
     return 1;

@@ -25,6 +25,7 @@
 #include "core/statistical_vs.hpp"
 #include "measure/delay.hpp"
 #include "mc/circuit_campaign.hpp"
+#include "sim/session.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/normality.hpp"
 #include "stats/qq.hpp"
@@ -130,6 +131,26 @@ int main(int argc, char** argv) {
   }
   std::printf("campaign health: OK (drop fraction within %.0f %% budget)\n",
               100.0 * kMaxDropFraction);
+
+  // Factor-shape telemetry from a probe session on the same topology: the
+  // sparse factor's structure is sample-independent, so one DC solve shows
+  // what every campaign solve paid.
+  {
+    circuits::StimulusSpec stim;
+    sim::CampaignSession<circuits::GateFo3Bench> probe(
+        [&](circuits::DeviceProvider& provider) {
+          return circuits::buildNand2Fo3(provider, circuits::CellSizing{},
+                                         stim);
+        },
+        kit.makeProvider(stats::Rng(0)), sessionOptions);
+    (void)probe.spice().dcOperatingPoint();
+    const auto t = probe.spice().solverTelemetry();
+    std::printf("solver factor: %zu pattern nnz -> %zu factor nnz "
+                "(fill %.2fx), ordering %llu us, full factor %llu us\n",
+                t.patternNnz, t.factorNnz, t.fillRatio,
+                static_cast<unsigned long long>(t.orderingMicros),
+                static_cast<unsigned long long>(t.fullFactorMicros));
+  }
 
   std::printf("\nNo re-extraction was performed per supply: the BPV-extracted\n"
               "parameter statistics are bias-independent, so one statistical\n"

@@ -31,7 +31,8 @@ import argparse
 import json
 import sys
 
-LOWER_BETTER = ("us_per_sample", "ns_per_iter", "ns_per_device_eval")
+LOWER_BETTER = ("us_per_sample", "ns_per_iter", "ns_per_device_eval",
+                "fresh_factor_us")
 HIGHER_BETTER = (
     "samples_per_sec",
     "speedup_vs_scalar",
@@ -39,9 +40,10 @@ HIGHER_BETTER = (
     "speedup_vs_rebuild",
     "speedup_vs_fresh",
     "speedup_vs_norescue",
+    "speedup_vs_dense_lu",
 )
 BOOL_MUST_HOLD = ("bit_identical", "within_tolerance")
-ALLOC_METRICS = ("allocs", "allocs_per_sample")
+ALLOC_METRICS = ("allocs", "allocs_per_sample", "allocs_per_factor")
 
 
 def load_reference(path):

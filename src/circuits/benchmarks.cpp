@@ -316,4 +316,130 @@ PowerGridBench buildPowerGridIrDrop(DeviceProvider& provider, int rows,
   return bench;
 }
 
+HTreeClockBench buildHTreeClock(DeviceProvider& provider, int levels,
+                                double vdd, double segmentOhms,
+                                double leafWidthNm, double lengthNm) {
+  require(levels >= 1, "buildHTreeClock: levels must be >= 1");
+  require(segmentOhms > 0.0, "buildHTreeClock: segmentOhms must be positive");
+
+  HTreeClockBench bench;
+  bench.supply = vdd;
+  auto& c = bench.circuit;
+
+  // Breadth-first binary tree of nodes: level l has 2^l of them.  Segment
+  // resistance halves with depth, the usual tapered-H-tree sizing.
+  bench.root = c.node("t0_0");
+  std::vector<NodeId> frontier{bench.root};
+  double ohms = segmentOhms;
+  for (int l = 1; l <= levels; ++l) {
+    std::vector<NodeId> next;
+    next.reserve(frontier.size() * 2);
+    for (std::size_t p = 0; p < frontier.size(); ++p) {
+      for (int side = 0; side < 2; ++side) {
+        const std::string suffix = std::to_string(l) + "_" +
+                                   std::to_string(2 * p + static_cast<std::size_t>(side));
+        const NodeId child = c.node("t" + suffix);
+        c.addResistor("RT" + suffix, frontier[p], child, ohms);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+    ohms *= 0.5;
+  }
+  bench.leaves = frontier;
+
+  // One diode-connected NMOS load per leaf, same idiom as the power grid:
+  // each draws its sample's leakage and keeps the DC transfer monotone.
+  for (std::size_t k = 0; k < bench.leaves.size(); ++k) {
+    const std::string name = "ML" + std::to_string(k);
+    DeviceInstance leak = provider.make(DeviceType::Nmos, name,
+                                        geometryNm(leafWidthNm, lengthNm));
+    c.addMosfet(name, bench.leaves[k], bench.leaves[k], c.ground(),
+                std::move(leak.model), leak.geometry);
+  }
+
+  c.addVoltageSource(bench.rootSource, bench.root, c.ground(),
+                     SourceWaveform::dc(vdd));
+  return bench;
+}
+
+spice::OperatingPoint SramColumnBench::stateGuess() const {
+  spice::OperatingPoint guess;
+  guess.nodeVoltages.assign(circuit.nodeCount(), 0.0);
+  guess.nodeVoltages[static_cast<std::size_t>(vdd)] = supply;
+  guess.nodeVoltages[static_cast<std::size_t>(bl)] = supply;
+  guess.nodeVoltages[static_cast<std::size_t>(blb)] = supply;
+  for (const spice::NodeId node : q)
+    guess.nodeVoltages[static_cast<std::size_t>(node)] = supply;
+  return guess;
+}
+
+SramColumnBench buildSramColumn(DeviceProvider& provider, int cells,
+                                double vdd, const SramSizing& sizing,
+                                int selected) {
+  require(cells >= 1, "buildSramColumn: cells must be >= 1");
+  require(selected >= 0 && selected < cells,
+          "buildSramColumn: selected cell out of range");
+
+  SramColumnBench bench;
+  bench.supply = vdd;
+  bench.selected = selected;
+  auto& c = bench.circuit;
+
+  bench.vdd = c.node("vdd");
+  bench.bl = c.node("bl");
+  bench.blb = c.node("blb");
+  // Two wordline rails instead of one source per cell: the selected cell
+  // hangs off the on-rail, everyone else off the off-rail.
+  const NodeId wlOn = c.node("wl_on");
+  const NodeId wlOff = c.node("wl_off");
+
+  bench.q.reserve(static_cast<std::size_t>(cells));
+  bench.qb.reserve(static_cast<std::size_t>(cells));
+  for (int i = 0; i < cells; ++i) {
+    const std::string cell = std::to_string(i);
+    const NodeId q = c.node("q" + cell);
+    const NodeId qb = c.node("qb" + cell);
+    bench.q.push_back(q);
+    bench.qb.push_back(qb);
+    const NodeId wl = i == selected ? wlOn : wlOff;
+    const auto addHalf = [&](int half, NodeId in, NodeId out, NodeId bitline) {
+      const std::string suffix = cell + "_" + std::to_string(half);
+      {
+        DeviceInstance pu =
+            provider.make(DeviceType::Pmos, "MPU" + suffix,
+                          geometryNm(sizing.wPullUpNm, sizing.lengthNm));
+        c.addMosfet("MPU" + suffix, out, in, bench.vdd, std::move(pu.model),
+                    pu.geometry);
+      }
+      {
+        DeviceInstance pd =
+            provider.make(DeviceType::Nmos, "MPD" + suffix,
+                          geometryNm(sizing.wPullDownNm, sizing.lengthNm));
+        c.addMosfet("MPD" + suffix, out, in, c.ground(), std::move(pd.model),
+                    pd.geometry);
+      }
+      {
+        DeviceInstance pg =
+            provider.make(DeviceType::Nmos, "MPG" + suffix,
+                          geometryNm(sizing.wPassNm, sizing.lengthNm));
+        c.addMosfet("MPG" + suffix, bitline, wl, out, std::move(pg.model),
+                    pg.geometry);
+      }
+    };
+    addHalf(1, qb, q, bench.bl);
+    addHalf(2, q, qb, bench.blb);
+  }
+
+  c.addVoltageSource(bench.vddSource, bench.vdd, c.ground(),
+                     SourceWaveform::dc(vdd));
+  c.addVoltageSource("VWLON", wlOn, c.ground(), SourceWaveform::dc(vdd));
+  c.addVoltageSource("VWLOFF", wlOff, c.ground(), SourceWaveform::dc(0.0));
+  c.addVoltageSource(bench.blSource, bench.bl, c.ground(),
+                     SourceWaveform::dc(vdd));
+  c.addVoltageSource(bench.blbSource, bench.blb, c.ground(),
+                     SourceWaveform::dc(vdd));
+  return bench;
+}
+
 }  // namespace circuits

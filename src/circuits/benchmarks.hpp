@@ -185,6 +185,59 @@ struct PowerGridBench {
                                                   double leakWidthNm = 200.0,
                                                   double lengthNm = 40.0);
 
+/// Grid-ladder fixture: a binary H-tree clock distribution network.  A
+/// swept root source drives `levels` levels of resistive segments; every
+/// leaf carries a diode-connected NMOS load (one mismatch draw per leaf).
+/// Topologically the opposite extreme from the power-grid mesh: a tree
+/// eliminates with zero fill-in under a fill-reducing order, so the pair
+/// brackets the sparse factorization's behavior (mesh = 2-D fill growth,
+/// tree = none).  levels = 9 gives ~1k MNA unknowns.
+struct HTreeClockBench {
+  spice::Circuit circuit;
+  spice::NodeId root = 0;
+  std::vector<spice::NodeId> leaves;  ///< breadth-first leaf order
+  std::string rootSource = "VCLK";
+  double supply = 0.9;
+};
+
+/// Device order: leaf k = 0..2^levels-1, one NMOS "ML<k>" each.
+/// `levels` >= 1; `segmentOhms` is the per-segment resistance (halved each
+/// level down, as physical H-trees taper).
+[[nodiscard]] HTreeClockBench buildHTreeClock(DeviceProvider& provider,
+                                              int levels, double vdd,
+                                              double segmentOhms = 16.0,
+                                              double leafWidthNm = 400.0,
+                                              double lengthNm = 40.0);
+
+/// Grid-ladder fixture: a column of `cells` closed 6T SRAM cells sharing
+/// one BL/BLB bitline pair (cell `selected` has its wordline on, all others
+/// off).  The shared bitlines are high-degree hub rows in the MNA system --
+/// the adversarial case for a fill-reducing order, which must eliminate
+/// the hubs last.  Device order: cell i = 0..cells-1, each PU1, PD1, PG1,
+/// PU2, PD2, PG2 (matching buildSramCell, so draws map per-cell).
+struct SramColumnBench {
+  spice::Circuit circuit;
+  spice::NodeId bl = 0;
+  spice::NodeId blb = 0;
+  spice::NodeId vdd = 0;
+  std::vector<spice::NodeId> q;   ///< per-cell storage nodes
+  std::vector<spice::NodeId> qb;
+  int selected = 0;
+  std::string vddSource = "VDD";
+  std::string blSource = "VBL";
+  std::string blbSource = "VBLB";
+  double supply = 0.9;
+
+  /// Newton guess with every cell biased into the Q=1 / QB=0 state (the
+  /// column is bistable per cell, so DC solves must be seeded).
+  [[nodiscard]] spice::OperatingPoint stateGuess() const;
+};
+
+[[nodiscard]] SramColumnBench buildSramColumn(DeviceProvider& provider,
+                                              int cells, double vdd,
+                                              const SramSizing& sizing,
+                                              int selected = 0);
+
 }  // namespace vsstat::circuits
 
 #endif  // VSSTAT_CIRCUITS_BENCHMARKS_HPP

@@ -1,0 +1,106 @@
+#include "linalg/ordering.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace vsstat::linalg {
+
+int permutationSign(const std::vector<std::size_t>& perm) {
+  const std::size_t n = perm.size();
+  std::vector<char> seen(n, 0);
+  int sign = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (seen[i]) continue;
+    std::size_t len = 0;
+    std::size_t j = i;
+    while (!seen[j]) {
+      seen[j] = 1;
+      j = perm[j];
+      ++len;
+    }
+    if (len % 2 == 0) sign = -sign;
+  }
+  return sign;
+}
+
+FillOrder minDegreeOrder(const SparsePattern& pattern) {
+  const std::size_t n = pattern.size();
+  FillOrder out;
+  out.perm.reserve(n);
+
+  // Symmetrized adjacency of A + A^T, sorted and deduplicated per vertex.
+  std::vector<std::vector<std::size_t>> adj(n);
+  const auto& rows = pattern.rowIndex();
+  const auto& cols = pattern.colIndex();
+  for (std::size_t s = 0; s < pattern.nonZeroCount(); ++s) {
+    if (rows[s] == cols[s]) continue;
+    adj[rows[s]].push_back(cols[s]);
+    adj[cols[s]].push_back(rows[s]);
+  }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+
+  std::vector<char> eliminated(n, 0);
+  std::vector<std::size_t> merged;  // union scratch, reused across steps
+  for (std::size_t step = 0; step < n; ++step) {
+    // Lowest-index vertex of minimum degree among the survivors.  The linear
+    // scan keeps the whole ordering O(n^2 + fill) -- a once-per-pattern cost
+    // that is noise next to the factorizations it accelerates.
+    std::size_t best = n;
+    std::size_t bestDeg = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!eliminated[i]) {
+        if (adj[i].size() < bestDeg) {
+          bestDeg = adj[i].size();
+          best = i;
+        }
+      }
+    }
+    out.perm.push_back(best);
+    eliminated[best] = 1;
+
+    // Eliminating `best` turns its neighborhood into a clique: every
+    // surviving neighbor u absorbs (adj[best] \ {u}) and drops `best`.
+    const std::vector<std::size_t>& clique = adj[best];
+    for (const std::size_t u : clique) {
+      std::vector<std::size_t>& au = adj[u];
+      merged.clear();
+      std::size_t i = 0;
+      std::size_t j = 0;
+      while (i < au.size() && j < clique.size()) {
+        const std::size_t a = au[i];
+        const std::size_t b = clique[j];
+        if (a == best) {
+          ++i;
+        } else if (b == u) {
+          ++j;
+        } else if (a < b) {
+          merged.push_back(a);
+          ++i;
+        } else if (b < a) {
+          merged.push_back(b);
+          ++j;
+        } else {
+          merged.push_back(a);
+          ++i;
+          ++j;
+        }
+      }
+      for (; i < au.size(); ++i) {
+        if (au[i] != best) merged.push_back(au[i]);
+      }
+      for (; j < clique.size(); ++j) {
+        if (clique[j] != u) merged.push_back(clique[j]);
+      }
+      au.assign(merged.begin(), merged.end());
+    }
+    adj[best].clear();
+  }
+
+  out.sign = permutationSign(out.perm);
+  return out;
+}
+
+}  // namespace vsstat::linalg

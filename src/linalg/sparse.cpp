@@ -11,28 +11,30 @@ SparsePattern::SparsePattern(
     const std::vector<std::pair<std::size_t, std::size_t>>& coords)
     : n_(n) {
   require(n > 0, "SparsePattern: dimension must be positive");
-  slots_.assign(n * n, -1);
 
-  // Mark distinct positions, then lay slots out in CSR (row-major) order so
-  // a linear walk over the value array is cache-friendly.
-  constexpr std::int32_t kMarked = -2;
-  for (const auto& [r, c] : coords) {
+  // Sort one flat copy of the coordinates into CSR (row-major,
+  // ascending-column) order and deduplicate, so a linear walk over the
+  // value array is cache-friendly and slot() can binary-search.  O(nnz)
+  // memory and O(1) allocations throughout -- construction never
+  // materializes an n*n table (or n per-row buckets), so grid-scale
+  // patterns stay near-linear and the rebuild-per-sample path stays cheap.
+  std::vector<std::pair<std::size_t, std::size_t>> sorted(coords);
+  for (const auto& [r, c] : sorted) {
     require(r < n && c < n, "SparsePattern: coordinate out of range");
-    slots_[r * n + c] = kMarked;
   }
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
   rowStart_.assign(n + 1, 0);
-  std::int32_t next = 0;
-  for (std::size_t r = 0; r < n; ++r) {
-    rowStart_[r] = static_cast<std::size_t>(next);
-    for (std::size_t c = 0; c < n; ++c) {
-      if (slots_[r * n + c] == kMarked) {
-        slots_[r * n + c] = next++;
-        colIndex_.push_back(c);
-        rowIndex_.push_back(r);
-      }
-    }
+  colIndex_.reserve(sorted.size());
+  rowIndex_.reserve(sorted.size());
+  std::size_t nextRow = 0;
+  for (const auto& [r, c] : sorted) {
+    while (nextRow <= r) rowStart_[nextRow++] = colIndex_.size();
+    colIndex_.push_back(c);
+    rowIndex_.push_back(r);
   }
-  rowStart_[n] = static_cast<std::size_t>(next);
+  while (nextRow <= n) rowStart_[nextRow++] = colIndex_.size();
 }
 
 double SparsePattern::sparsity() const noexcept {

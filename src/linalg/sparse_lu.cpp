@@ -1,11 +1,25 @@
 #include "linalg/sparse_lu.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
+#include "linalg/ordering.hpp"
 #include "util/error.hpp"
 
 namespace vsstat::linalg {
+
+namespace {
+
+std::uint64_t microsSince(
+    const std::chrono::steady_clock::time_point& t0) noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
 
 void SparseLu::refactor(const SparseMatrix& m, double pivotTolerance) {
   if (mode_ == SolverMode::reusePivot) {
@@ -46,16 +60,19 @@ void SparseLu::snapshotPivotOrder() {
   require(pattern_ != nullptr, "SparseLu: snapshot before factorization");
   snapshot_.pattern = pattern_;
   snapshot_.n = n_;
+  snapshot_.patternNnz = patternNnz_;
   snapshot_.rowPerm = rowPerm_;
   snapshot_.permInv = permInv_;
   snapshot_.permSign = permSign_;
-  snapshot_.lStart = lStart_;
-  snapshot_.lRows = lRows_;
-  snapshot_.uStart = uStart_;
-  snapshot_.uCols = uCols_;
+  snapshot_.lColStart = lColStart_;
+  snapshot_.lRowIdx = lRowIdx_;
   snapshot_.uColStart = uColStart_;
-  snapshot_.uColRows = uColRows_;
-  snapshot_.zeroList = zeroList_;
+  snapshot_.uRowIdx = uRowIdx_;
+  snapshot_.colPerm = colPerm_;
+  snapshot_.colSign = colSign_;
+  snapshot_.aColStart = aColStart_;
+  snapshot_.aRowIdx = aRowIdx_;
+  snapshot_.aSlotIdx = aSlotIdx_;
   snapshotValid_ = true;
   divergedFromSnapshot_ = false;
 }
@@ -73,185 +90,321 @@ void SparseLu::restorePivotSnapshot() noexcept {
     return;
   }
   // A breakdown re-pivot replaced the structure mid-solve; copy the
-  // canonical one back.  assign() reuses capacity -- the vectors were
-  // sized by a factorization of the same pattern, so no steady-state
-  // allocation happens here either.
+  // canonical one back.  assign()/resize() reuse capacity -- the vectors
+  // were sized by a factorization of the same pattern, so no steady-state
+  // allocation happens here either.  The value arrays only need their
+  // sizes restored: the next refactor overwrites every slot.
   n_ = snapshot_.n;
+  patternNnz_ = snapshot_.patternNnz;
   rowPerm_.assign(snapshot_.rowPerm.begin(), snapshot_.rowPerm.end());
   permInv_.assign(snapshot_.permInv.begin(), snapshot_.permInv.end());
   permSign_ = snapshot_.permSign;
-  lStart_.assign(snapshot_.lStart.begin(), snapshot_.lStart.end());
-  lRows_.assign(snapshot_.lRows.begin(), snapshot_.lRows.end());
-  uStart_.assign(snapshot_.uStart.begin(), snapshot_.uStart.end());
-  uCols_.assign(snapshot_.uCols.begin(), snapshot_.uCols.end());
+  lColStart_.assign(snapshot_.lColStart.begin(), snapshot_.lColStart.end());
+  lRowIdx_.assign(snapshot_.lRowIdx.begin(), snapshot_.lRowIdx.end());
   uColStart_.assign(snapshot_.uColStart.begin(), snapshot_.uColStart.end());
-  uColRows_.assign(snapshot_.uColRows.begin(), snapshot_.uColRows.end());
-  zeroList_.assign(snapshot_.zeroList.begin(), snapshot_.zeroList.end());
+  uRowIdx_.assign(snapshot_.uRowIdx.begin(), snapshot_.uRowIdx.end());
+  lValues_.resize(lRowIdx_.size());
+  uValues_.resize(uRowIdx_.size());
+  uDiag_.resize(n_);
+  colPerm_.assign(snapshot_.colPerm.begin(), snapshot_.colPerm.end());
+  colSign_ = snapshot_.colSign;
+  aColStart_.assign(snapshot_.aColStart.begin(), snapshot_.aColStart.end());
+  aRowIdx_.assign(snapshot_.aRowIdx.begin(), snapshot_.aRowIdx.end());
+  aSlotIdx_.assign(snapshot_.aSlotIdx.begin(), snapshot_.aSlotIdx.end());
+  orderPattern_ = snapshot_.pattern;
+  orderN_ = snapshot_.n;
+  orderNnz_ = snapshot_.patternNnz;
   pattern_ = snapshot_.pattern;
   divergedFromSnapshot_ = false;
+}
+
+void SparseLu::ensureOrdering(const SparsePattern& pattern) {
+  if (orderPattern_ == &pattern && orderN_ == pattern.size() &&
+      orderNnz_ == pattern.nonZeroCount()) {
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  FillOrder order = minDegreeOrder(pattern);
+  colPerm_ = std::move(order.perm);
+  colSign_ = order.sign;
+
+  // Column-major access of the pattern slots.  The CSR pattern is sorted by
+  // (row, col), so a single ascending slot scan lands each column's entries
+  // in ascending row order.
+  const std::size_t n = pattern.size();
+  const std::size_t nnz = pattern.nonZeroCount();
+  const auto& rows = pattern.rowIndex();
+  const auto& cols = pattern.colIndex();
+  aColStart_.assign(n + 1, 0);
+  for (std::size_t s = 0; s < nnz; ++s) ++aColStart_[cols[s] + 1];
+  for (std::size_t c = 0; c < n; ++c) aColStart_[c + 1] += aColStart_[c];
+  aRowIdx_.resize(nnz);
+  aSlotIdx_.resize(nnz);
+  std::vector<std::size_t> fill(aColStart_.begin(), aColStart_.end() - 1);
+  for (std::size_t s = 0; s < nnz; ++s) {
+    const std::size_t c = cols[s];
+    aRowIdx_[fill[c]] = rows[s];
+    aSlotIdx_[fill[c]] = s;
+    ++fill[c];
+  }
+  orderPattern_ = &pattern;
+  orderN_ = n;
+  orderNnz_ = nnz;
+  orderingMicros_ += microsSince(t0);
 }
 
 void SparseLu::fullFactor(const SparseMatrix& m, double pivotTolerance) {
   const SparsePattern& pattern = m.pattern();
   const std::size_t n = pattern.size();
+  const auto t0 = std::chrono::steady_clock::now();
   n_ = n;
   pattern_ = nullptr;  // not analyzed until this factorization succeeds
   if (snapshotValid_) divergedFromSnapshot_ = true;
 
-  if (scratch_.rows() != n || scratch_.cols() != n) scratch_ = Matrix(n, n);
-  scratch_.fill(0.0);
+  ensureOrdering(pattern);
+
+  if (x_.size() != n) {
+    x_.assign(n, 0.0);
+    visited_.assign(n, 0);
+  }
+  xi_.resize(n);
+  dfsStack_.resize(n);
+  dfsPos_.resize(n);
   rowPerm_.resize(n);
-  permInv_.resize(n);
+  permInv_.assign(n, -1);
   work_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) rowPerm_[i] = i;
-  permSign_ = 1;
+  lColStart_.resize(n + 1);
+  uColStart_.resize(n + 1);
+  lColStart_[0] = 0;
+  uColStart_[0] = 0;
+  lRowIdx_.clear();
+  lValues_.clear();
+  uRowIdx_.clear();
+  uValues_.clear();
+  uDiag_.resize(n);
 
-  const auto& rows = pattern.rowIndex();
-  const auto& cols = pattern.colIndex();
   const auto& values = m.values();
-  for (std::size_t s = 0; s < values.size(); ++s)
-    scratch_(rows[s], cols[s]) = values[s];
 
-  // Dense partial-pivot factorization; the swap sequence defines the row
-  // order every later fast refactor will reuse.
-  double* a = scratch_.data();
+  // Gilbert-Peierls left-looking factorization of PAQ with row partial
+  // pivoting.  During the sweep, L's row indices are ORIGINAL rows (the
+  // final pivotal relabeling happens only after every row is pivotal);
+  // permInv_[i] >= 0 marks row i as pivotal and doubles as the "has an L
+  // column" test the DFS descends through.
   for (std::size_t k = 0; k < n; ++k) {
-    std::size_t p = k;
-    double best = std::fabs(a[k * n + k]);
-    for (std::size_t i = k + 1; i < n; ++i) {
-      const double v = std::fabs(a[i * n + k]);
-      if (v > best) {
-        best = v;
-        p = i;
+    const std::size_t j = colPerm_[k];
+
+    // --- symbolic: reach of column j's pattern through the graph of L ------
+    // xi_[top..n) receives the reach in topological order (parents before
+    // the rows that depend on them), which is the order the numeric solve
+    // below must visit.
+    std::size_t top = n;
+    for (std::size_t p = aColStart_[j]; p < aColStart_[j + 1]; ++p) {
+      const std::size_t start = aRowIdx_[p];
+      if (visited_[start]) continue;
+      // Iterative DFS; dfsStack_ holds the path, dfsPos_ the next child.
+      std::size_t head = 0;
+      dfsStack_[0] = start;
+      visited_[start] = 1;
+      dfsPos_[0] =
+          permInv_[start] >= 0 ? lColStart_[permInv_[start]] : 0;
+      while (true) {
+        const std::size_t i = dfsStack_[head];
+        const std::int32_t kk = permInv_[i];
+        bool descended = false;
+        if (kk >= 0) {
+          std::size_t q = dfsPos_[head];
+          const std::size_t qEnd = lColStart_[static_cast<std::size_t>(kk) + 1];
+          while (q < qEnd) {
+            const std::size_t child = static_cast<std::size_t>(lRowIdx_[q]);
+            ++q;
+            if (!visited_[child]) {
+              dfsPos_[head] = q;
+              ++head;
+              dfsStack_[head] = child;
+              visited_[child] = 1;
+              dfsPos_[head] =
+                  permInv_[child] >= 0 ? lColStart_[permInv_[child]] : 0;
+              descended = true;
+              break;
+            }
+          }
+          if (!descended) dfsPos_[head] = qEnd;
+        }
+        if (!descended) {
+          xi_[--top] = i;
+          if (head == 0) break;
+          --head;
+        }
       }
     }
-    if (!(best >= pivotTolerance)) {
-      // Negated comparison so a NaN column (best == NaN) is also caught here
-      // instead of silently poisoning the factors.
+
+    // --- numeric: sparse lower-triangular solve L x = A(:, j) --------------
+    for (std::size_t p = aColStart_[j]; p < aColStart_[j + 1]; ++p)
+      x_[aRowIdx_[p]] = values[aSlotIdx_[p]];
+    for (std::size_t px = top; px < n; ++px) {
+      const std::size_t i = xi_[px];
+      const std::int32_t kk = permInv_[i];
+      if (kk < 0) continue;
+      const double xk = x_[i];
+      if (xk == 0.0) continue;
+      const std::size_t qEnd = lColStart_[static_cast<std::size_t>(kk) + 1];
+      for (std::size_t q = lColStart_[static_cast<std::size_t>(kk)]; q < qEnd;
+           ++q) {
+        x_[static_cast<std::size_t>(lRowIdx_[q])] -= lValues_[q] * xk;
+      }
+    }
+
+    // --- pivot: largest magnitude among the not-yet-pivotal rows -----------
+    double best = -1.0;
+    std::size_t ipiv = n;
+    for (std::size_t px = top; px < n; ++px) {
+      const std::size_t i = xi_[px];
+      if (permInv_[i] >= 0) continue;
+      const double v = std::fabs(x_[i]);
+      if (v > best) {
+        best = v;
+        ipiv = i;
+      }
+    }
+    if (ipiv == n || !(best >= pivotTolerance)) {
+      // Negated comparison so a NaN column is also caught here instead of
+      // silently poisoning the factors.  Restore the all-zero work
+      // invariant before reporting: a later factorization must find x_ and
+      // visited_ clean.
+      for (std::size_t px = top; px < n; ++px) {
+        x_[xi_[px]] = 0.0;
+        visited_[xi_[px]] = 0;
+      }
       throw SingularMatrixError(
           "SparseLu: matrix is singular to working precision",
           static_cast<int>(k));
     }
-    if (p != k) {
-      permSign_ = -permSign_;
-      std::swap(rowPerm_[k], rowPerm_[p]);
-      for (std::size_t j = 0; j < n; ++j) std::swap(a[k * n + j], a[p * n + j]);
-    }
-    const double diag = a[k * n + k];
-    for (std::size_t i = k + 1; i < n; ++i) {
-      const double mult = a[i * n + k] / diag;
-      a[i * n + k] = mult;
-      if (mult == 0.0) continue;
-      for (std::size_t j = k + 1; j < n; ++j) a[i * n + j] -= mult * a[k * n + j];
-    }
-  }
-  for (std::size_t k = 0; k < n; ++k) permInv_[rowPerm_[k]] = k;
+    const double pivot = x_[ipiv];
+    rowPerm_[k] = ipiv;
+    permInv_[ipiv] = static_cast<std::int32_t>(k);
+    uDiag_[k] = pivot;
 
-  buildSymbolic(pattern);
+    // --- scatter-gather: partition the reach into U(:,k) and L(:,k) --------
+    for (std::size_t px = top; px < n; ++px) {
+      const std::size_t i = xi_[px];
+      if (i != ipiv) {
+        const std::int32_t kk = permInv_[i];
+        if (kk >= 0) {
+          uRowIdx_.push_back(kk);
+          uValues_.push_back(x_[i]);
+        } else {
+          lRowIdx_.push_back(static_cast<std::int32_t>(i));
+          lValues_.push_back(x_[i] / pivot);
+        }
+      }
+      x_[i] = 0.0;
+      visited_[i] = 0;
+    }
+    lColStart_[k + 1] = lRowIdx_.size();
+    uColStart_[k + 1] = uRowIdx_.size();
+  }
+
+  // Relabel L's rows into pivotal order and sort both factors' columns
+  // ascending (U's order is what the numeric refactor replays; L's is for
+  // locality).  Insertion sort on the parallel arrays: columns are short
+  // and nearly sorted, and it allocates nothing.
+  for (auto& r : lRowIdx_) r = permInv_[static_cast<std::size_t>(r)];
+  const auto sortColumn = [](std::size_t lo, std::size_t hi,
+                             std::vector<std::int32_t>& idx,
+                             std::vector<double>& val) noexcept {
+    for (std::size_t p = lo + 1; p < hi; ++p) {
+      const std::int32_t r = idx[p];
+      const double v = val[p];
+      std::size_t q = p;
+      while (q > lo && idx[q - 1] > r) {
+        idx[q] = idx[q - 1];
+        val[q] = val[q - 1];
+        --q;
+      }
+      idx[q] = r;
+      val[q] = v;
+    }
+  };
+  for (std::size_t k = 0; k < n; ++k) {
+    sortColumn(lColStart_[k], lColStart_[k + 1], lRowIdx_, lValues_);
+    sortColumn(uColStart_[k], uColStart_[k + 1], uRowIdx_, uValues_);
+  }
+  // Permutation sign by cycle decomposition, using visited_ as the cycle
+  // marker (all-zero here by the work-array invariant, re-zeroed after) so
+  // the fresh path stays allocation-free in steady state.
+  permSign_ = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (visited_[i]) continue;
+    std::size_t len = 0;
+    for (std::size_t j = i; !visited_[j]; j = rowPerm_[j]) {
+      visited_[j] = 1;
+      ++len;
+    }
+    if (len % 2 == 0) permSign_ = -permSign_;
+  }
+  std::fill(visited_.begin(), visited_.end(), 0);
+
+  patternNnz_ = pattern.nonZeroCount();
   pattern_ = &pattern;
   ++fullFactors_;
-}
-
-void SparseLu::buildSymbolic(const SparsePattern& pattern) {
-  const std::size_t n = n_;
-  // Boolean elimination of the permuted pattern: every pattern position is
-  // treated as nonzero, so the resulting L+U structure is a superset of the
-  // numeric nonzeros for *any* values on this pattern under this row order.
-  // Member scratch, not a local: sessions reset() the pivot order before
-  // every solve, so buildSymbolic reruns per solve and a local bitmap was
-  // one heap allocation per DC solve across a whole campaign.
-  std::vector<char>& b = symbolicScratch_;
-  b.assign(n * n, 0);
-  const auto& rows = pattern.rowIndex();
-  const auto& cols = pattern.colIndex();
-  for (std::size_t s = 0; s < pattern.nonZeroCount(); ++s)
-    b[permInv_[rows[s]] * n + cols[s]] = 1;
-
-  for (std::size_t k = 0; k < n; ++k) {
-    for (std::size_t i = k + 1; i < n; ++i) {
-      if (!b[i * n + k]) continue;
-      for (std::size_t j = k + 1; j < n; ++j) {
-        if (b[k * n + j]) b[i * n + j] = 1;
-      }
-    }
-  }
-
-  lStart_.assign(n + 1, 0);
-  uStart_.assign(n + 1, 0);
-  uColStart_.assign(n + 1, 0);
-  lRows_.clear();
-  uCols_.clear();
-  uColRows_.clear();
-  zeroList_.clear();
-  for (std::size_t k = 0; k < n; ++k) {
-    lStart_[k] = lRows_.size();
-    for (std::size_t i = k + 1; i < n; ++i) {
-      if (b[i * n + k]) lRows_.push_back(i);
-    }
-    uStart_[k] = uCols_.size();
-    for (std::size_t j = k + 1; j < n; ++j) {
-      if (b[k * n + j]) uCols_.push_back(j);
-    }
-    uColStart_[k] = uColRows_.size();
-    for (std::size_t i = 0; i < k; ++i) {
-      if (b[i * n + k]) uColRows_.push_back(i);
-    }
-  }
-  lStart_[n] = lRows_.size();
-  uStart_[n] = uCols_.size();
-  uColStart_[n] = uColRows_.size();
-
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (b[i * n + j]) zeroList_.push_back(i * n + j);
-    }
-  }
+  fullFactorMicros_ += microsSince(t0);
 }
 
 bool SparseLu::fastRefactor(const SparseMatrix& m, double pivotTolerance,
                             double growthLimit) noexcept {
   const std::size_t n = n_;
-  double* a = scratch_.data();
-
-  // Reset only the structural L+U positions -- everything the elimination
-  // below can read or write -- then overwrite the pattern slots with the
-  // fresh values.  No O(n^2) clear, no allocation.
-  for (const std::size_t idx : zeroList_) a[idx] = 0.0;
-  const auto& rows = pattern_->rowIndex();
-  const auto& cols = pattern_->colIndex();
   const auto& values = m.values();
+  double* x = x_.data();
   // maxA is only consumed by the growth monitor; the unmonitored (fresh-
-  // mode) scatter stays exactly the pre-reuse hot path.
+  // mode) scatter stays the lean hot path.
   double maxA = 0.0;
-  if (growthLimit > 0.0) {
-    for (std::size_t s = 0; s < values.size(); ++s) {
-      const double v = values[s];
-      a[permInv_[rows[s]] * n + cols[s]] = v;
-      maxA = std::max(maxA, std::fabs(v));
-    }
-  } else {
-    for (std::size_t s = 0; s < values.size(); ++s)
-      a[permInv_[rows[s]] * n + cols[s]] = values[s];
-  }
 
-  // Numeric elimination along the precomputed structure.
+  // Replay the numeric sweep over the fixed structure: per pivotal column k,
+  // scatter A(:, colPerm_[k]) into pivotal row positions, consume the U
+  // entries in ascending pivotal order (each one final when read, because
+  // U's columns are sorted), then divide out the pivot into L.  Every
+  // touched position is re-zeroed as it is consumed, preserving the
+  // all-zero invariant of x_ -- including on the breakdown paths.
   for (std::size_t k = 0; k < n; ++k) {
-    const double diag = a[k * n + k];
-    // Negated form so a NaN diagonal reports breakdown instead of passing.
-    if (!(std::fabs(diag) >= pivotTolerance)) return false;
-    const double* pivotRow = a + k * n;
-    const std::size_t uBegin = uStart_[k];
-    const std::size_t uEnd = uStart_[k + 1];
-    for (std::size_t li = lStart_[k]; li < lStart_[k + 1]; ++li) {
-      const std::size_t i = lRows_[li];
-      const double mult = a[i * n + k] / diag;
-      a[i * n + k] = mult;
-      if (mult == 0.0) continue;
-      double* row = a + i * n;
-      for (std::size_t ui = uBegin; ui < uEnd; ++ui) {
-        const std::size_t j = uCols_[ui];
-        row[j] -= mult * pivotRow[j];
+    const std::size_t j = colPerm_[k];
+    const std::size_t aEnd = aColStart_[j + 1];
+    if (growthLimit > 0.0) {
+      for (std::size_t p = aColStart_[j]; p < aEnd; ++p) {
+        const double v = values[aSlotIdx_[p]];
+        x[permInv_[aRowIdx_[p]]] = v;
+        maxA = std::max(maxA, std::fabs(v));
       }
+    } else {
+      for (std::size_t p = aColStart_[j]; p < aEnd; ++p)
+        x[permInv_[aRowIdx_[p]]] = values[aSlotIdx_[p]];
+    }
+
+    const std::size_t uEnd = uColStart_[k + 1];
+    for (std::size_t p = uColStart_[k]; p < uEnd; ++p) {
+      const std::size_t kk = static_cast<std::size_t>(uRowIdx_[p]);
+      const double ukj = x[kk];
+      uValues_[p] = ukj;
+      x[kk] = 0.0;
+      if (ukj == 0.0) continue;
+      const std::size_t qEnd = lColStart_[kk + 1];
+      for (std::size_t q = lColStart_[kk]; q < qEnd; ++q)
+        x[static_cast<std::size_t>(lRowIdx_[q])] -= lValues_[q] * ukj;
+    }
+
+    const double diag = x[k];
+    x[k] = 0.0;
+    const std::size_t lEnd = lColStart_[k + 1];
+    // Negated form so a NaN diagonal reports breakdown instead of passing.
+    if (!(std::fabs(diag) >= pivotTolerance)) {
+      for (std::size_t q = lColStart_[k]; q < lEnd; ++q)
+        x[static_cast<std::size_t>(lRowIdx_[q])] = 0.0;
+      return false;
+    }
+    uDiag_[k] = diag;
+    for (std::size_t q = lColStart_[k]; q < lEnd; ++q) {
+      const std::size_t i = static_cast<std::size_t>(lRowIdx_[q]);
+      lValues_[q] = x[i] / diag;
+      x[i] = 0.0;
     }
   }
 
@@ -262,8 +415,9 @@ bool SparseLu::fastRefactor(const SparseMatrix& m, double pivotTolerance,
     // max|LU| / max|A| near 1; a stale order gone degenerate shows up as
     // orders-of-magnitude growth long before results silently degrade.
     double maxLu = 0.0;
-    for (const std::size_t idx : zeroList_)
-      maxLu = std::max(maxLu, std::fabs(a[idx]));
+    for (const double v : lValues_) maxLu = std::max(maxLu, std::fabs(v));
+    for (const double v : uValues_) maxLu = std::max(maxLu, std::fabs(v));
+    for (const double v : uDiag_) maxLu = std::max(maxLu, std::fabs(v));
     if (maxLu > growthLimit * maxA) return false;
   }
 
@@ -275,7 +429,6 @@ void SparseLu::solveInPlace(Vector& x) const {
   const std::size_t n = n_;
   require(pattern_ != nullptr, "SparseLu: solve before factorization");
   require(x.size() == n, "SparseLu: rhs size mismatch");
-  const double* a = scratch_.data();
 
   // Permute the right-hand side into factorization row order.
   for (std::size_t k = 0; k < n; ++k) work_[k] = x[rowPerm_[k]];
@@ -284,22 +437,21 @@ void SparseLu::solveInPlace(Vector& x) const {
   for (std::size_t k = 0; k < n; ++k) {
     const double xk = work_[k];
     if (xk == 0.0) continue;
-    for (std::size_t li = lStart_[k]; li < lStart_[k + 1]; ++li) {
-      const std::size_t i = lRows_[li];
-      work_[i] -= a[i * n + k] * xk;
-    }
+    const std::size_t qEnd = lColStart_[k + 1];
+    for (std::size_t q = lColStart_[k]; q < qEnd; ++q)
+      work_[static_cast<std::size_t>(lRowIdx_[q])] -= lValues_[q] * xk;
   }
   // Column-sweep back substitution.
   for (std::size_t k = n; k-- > 0;) {
-    const double xk = work_[k] / a[k * n + k];
+    const double xk = work_[k] / uDiag_[k];
     work_[k] = xk;
     if (xk == 0.0) continue;
-    for (std::size_t ui = uColStart_[k]; ui < uColStart_[k + 1]; ++ui) {
-      const std::size_t i = uColRows_[ui];
-      work_[i] -= a[i * n + k] * xk;
-    }
+    const std::size_t qEnd = uColStart_[k + 1];
+    for (std::size_t q = uColStart_[k]; q < qEnd; ++q)
+      work_[static_cast<std::size_t>(uRowIdx_[q])] -= uValues_[q] * xk;
   }
-  std::copy(work_.begin(), work_.end(), x.begin());
+  // Undo the fill-reducing column permutation.
+  for (std::size_t k = 0; k < n; ++k) x[colPerm_[k]] = work_[k];
 }
 
 Vector SparseLu::solve(const Vector& b) const {
@@ -309,8 +461,8 @@ Vector SparseLu::solve(const Vector& b) const {
 }
 
 double SparseLu::determinant() const noexcept {
-  double d = permSign_;
-  for (std::size_t k = 0; k < n_; ++k) d *= scratch_(k, k);
+  double d = permSign_ * colSign_;
+  for (std::size_t k = 0; k < n_; ++k) d *= uDiag_[k];
   return d;
 }
 

@@ -49,8 +49,15 @@ std::size_t SimSession::deviceBankLaneCount() const noexcept {
 SimSession::SolverTelemetry SimSession::solverTelemetry() const noexcept {
   const detail::NewtonWorkspace& ws = assembler_->workspace();
   const linalg::SparseLu& lu = ws.lu;
-  return SolverTelemetry{lu.fullFactorCount(), lu.fastRefactorCount(),
-                         lu.pivotFallbackCount(), lu.hasPivotSnapshot(),
+  return SolverTelemetry{lu.fullFactorCount(),
+                         lu.fastRefactorCount(),
+                         lu.pivotFallbackCount(),
+                         lu.hasPivotSnapshot(),
+                         lu.patternNonZeroCount(),
+                         lu.factorNonZeroCount(),
+                         lu.fillRatio(),
+                         lu.orderingMicros(),
+                         lu.fullFactorMicros(),
                          ws.report};
 }
 

@@ -150,6 +150,15 @@ class SimSession {
     std::uint64_t fastRefactors = 0;   ///< structure-reusing refactors
     std::uint64_t pivotFallbacks = 0;  ///< reuse-monitor breakdowns
     bool pivotSnapshotPrimed = false;  ///< canonical order captured
+    // Sparse-factor shape and cost: how much fill the fill-reducing order
+    // admitted on this topology, and where the full-path time went.  The
+    // micros are cumulative wall time over the session (ordering runs once
+    // per pattern; full factors once per fresh solve plus breakdowns).
+    std::size_t patternNnz = 0;        ///< structural nonzeros of A
+    std::size_t factorNnz = 0;         ///< structural nonzeros of L+U
+    double fillRatio = 0.0;            ///< factorNnz / patternNnz
+    std::uint64_t orderingMicros = 0;
+    std::uint64_t fullFactorMicros = 0;
     /// Structured diagnostics of the most recent solve (DC point, sweep
     /// level, or transient), for successful and failed solves alike.
     SolveReport lastSolve;

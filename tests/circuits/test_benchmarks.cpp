@@ -254,6 +254,54 @@ TEST(RingOscillator, MoreStagesMeansLowerFrequency) {
   EXPECT_NEAR(f5 / f3, 3.0 / 5.0, 0.12);
 }
 
+TEST(HTreeClock, LeafCountAndNearLosslessDelivery) {
+  auto p = vsProvider();
+  HTreeClockBench b = buildHTreeClock(p, 4, kVdd);
+  EXPECT_EQ(b.leaves.size(), 16u);  // 2^levels leaves, breadth-first
+  b.circuit.voltageSource(b.rootSource).setDcLevel(kVdd);
+  const spice::OperatingPoint op = spice::dcOperatingPoint(b.circuit);
+  // Leakage loads only: every leaf sits within a few percent of the root,
+  // and deeper-but-symmetric leaves see identical topology per branch.
+  for (spice::NodeId leaf : b.leaves) {
+    EXPECT_GT(op.v(leaf), 0.9 * kVdd);
+    EXPECT_LE(op.v(leaf), kVdd + 1e-9);
+  }
+}
+
+TEST(HTreeClock, RejectsDegenerateLevels) {
+  auto p = vsProvider();
+  EXPECT_THROW((void)buildHTreeClock(p, 0, kVdd), InvalidArgumentError);
+}
+
+TEST(SramColumn, HoldsStateWithSharedBitlines) {
+  auto p = vsProvider();
+  SramColumnBench b = buildSramColumn(p, 4, kVdd, SramSizing{});
+  ASSERT_EQ(b.q.size(), 4u);
+  const spice::OperatingPoint op =
+      spice::dcOperatingPoint(b.circuit, b.stateGuess(), {});
+  for (std::size_t i = 0; i < b.q.size(); ++i) {
+    const bool selected = static_cast<int>(i) == b.selected;
+    EXPECT_GT(op.v(b.q[i]), 0.8 * kVdd) << "cell " << i;
+    // Unselected cells hold a hard 0; the selected cell's low node is
+    // read-disturbed up through its ON access device.
+    if (selected) {
+      EXPECT_GT(op.v(b.qb[i]), 0.01 * kVdd) << "cell " << i;
+    } else {
+      EXPECT_LT(op.v(b.qb[i]), 0.1 * kVdd) << "cell " << i;
+    }
+  }
+}
+
+TEST(SramColumn, DeviceOrderMatchesCellConvention) {
+  // 6 FETs per cell in PU1,PD1,PG1,PU2,PD2,PG2 order + 5 sources.
+  auto p = vsProvider();
+  SramColumnBench b = buildSramColumn(p, 3, kVdd, SramSizing{});
+  std::size_t fets = 0;
+  for (const auto& e : b.circuit.elements())
+    if (dynamic_cast<const spice::MosfetElement*>(e.get()) != nullptr) ++fets;
+  EXPECT_EQ(fets, 18u);
+}
+
 TEST(RingOscillator, FrequencyDropsWithSupply) {
   auto p1 = vsProvider();
   RingOscillatorBench hi = buildRingOscillator(p1, 3, CellSizing{}, 0.9);
