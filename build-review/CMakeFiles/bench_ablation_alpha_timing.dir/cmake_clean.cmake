@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_alpha_timing.dir/bench/bench_ablation_alpha_timing.cpp.o"
+  "CMakeFiles/bench_ablation_alpha_timing.dir/bench/bench_ablation_alpha_timing.cpp.o.d"
+  "bench_ablation_alpha_timing"
+  "bench_ablation_alpha_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_alpha_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bpv.dir/bench/bench_ablation_bpv.cpp.o"
+  "CMakeFiles/bench_ablation_bpv.dir/bench/bench_ablation_bpv.cpp.o.d"
+  "bench_ablation_bpv"
+  "bench_ablation_bpv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bpv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

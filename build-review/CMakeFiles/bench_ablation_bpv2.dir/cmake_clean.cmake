@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bpv2.dir/bench/bench_ablation_bpv2.cpp.o"
+  "CMakeFiles/bench_ablation_bpv2.dir/bench/bench_ablation_bpv2.cpp.o.d"
+  "bench_ablation_bpv2"
+  "bench_ablation_bpv2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bpv2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

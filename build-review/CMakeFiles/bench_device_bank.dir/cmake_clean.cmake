@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_device_bank.dir/bench/bench_device_bank.cpp.o"
+  "CMakeFiles/bench_device_bank.dir/bench/bench_device_bank.cpp.o.d"
+  "bench_device_bank"
+  "bench_device_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_device_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq1_interdie.dir/bench/bench_eq1_interdie.cpp.o"
+  "CMakeFiles/bench_eq1_interdie.dir/bench/bench_eq1_interdie.cpp.o.d"
+  "bench_eq1_interdie"
+  "bench_eq1_interdie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq1_interdie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

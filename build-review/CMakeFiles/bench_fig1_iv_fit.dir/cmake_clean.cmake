@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_iv_fit.dir/bench/bench_fig1_iv_fit.cpp.o"
+  "CMakeFiles/bench_fig1_iv_fit.dir/bench/bench_fig1_iv_fit.cpp.o.d"
+  "bench_fig1_iv_fit"
+  "bench_fig1_iv_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_iv_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

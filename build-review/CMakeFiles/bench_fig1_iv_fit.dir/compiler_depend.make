@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig1_iv_fit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_bpv_consistency.dir/bench/bench_fig2_bpv_consistency.cpp.o"
+  "CMakeFiles/bench_fig2_bpv_consistency.dir/bench/bench_fig2_bpv_consistency.cpp.o.d"
+  "bench_fig2_bpv_consistency"
+  "bench_fig2_bpv_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_bpv_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

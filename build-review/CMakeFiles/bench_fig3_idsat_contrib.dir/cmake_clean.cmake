@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_idsat_contrib.dir/bench/bench_fig3_idsat_contrib.cpp.o"
+  "CMakeFiles/bench_fig3_idsat_contrib.dir/bench/bench_fig3_idsat_contrib.cpp.o.d"
+  "bench_fig3_idsat_contrib"
+  "bench_fig3_idsat_contrib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_idsat_contrib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_scatter_ellipse.dir/bench/bench_fig4_scatter_ellipse.cpp.o"
+  "CMakeFiles/bench_fig4_scatter_ellipse.dir/bench/bench_fig4_scatter_ellipse.cpp.o.d"
+  "bench_fig4_scatter_ellipse"
+  "bench_fig4_scatter_ellipse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_scatter_ellipse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_inv_delay_pdf.dir/bench/bench_fig5_inv_delay_pdf.cpp.o"
+  "CMakeFiles/bench_fig5_inv_delay_pdf.dir/bench/bench_fig5_inv_delay_pdf.cpp.o.d"
+  "bench_fig5_inv_delay_pdf"
+  "bench_fig5_inv_delay_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_inv_delay_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_leakage_freq.dir/bench/bench_fig6_leakage_freq.cpp.o"
+  "CMakeFiles/bench_fig6_leakage_freq.dir/bench/bench_fig6_leakage_freq.cpp.o.d"
+  "bench_fig6_leakage_freq"
+  "bench_fig6_leakage_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_leakage_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_nand2_vdd.dir/bench/bench_fig7_nand2_vdd.cpp.o"
+  "CMakeFiles/bench_fig7_nand2_vdd.dir/bench/bench_fig7_nand2_vdd.cpp.o.d"
+  "bench_fig7_nand2_vdd"
+  "bench_fig7_nand2_vdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_nand2_vdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sram_snm.dir/bench/bench_fig9_sram_snm.cpp.o"
+  "CMakeFiles/bench_fig9_sram_snm.dir/bench/bench_fig9_sram_snm.cpp.o.d"
+  "bench_fig9_sram_snm"
+  "bench_fig9_sram_snm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sram_snm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

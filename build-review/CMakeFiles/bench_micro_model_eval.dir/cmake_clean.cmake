@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_model_eval.dir/bench/bench_micro_model_eval.cpp.o"
+  "CMakeFiles/bench_micro_model_eval.dir/bench/bench_micro_model_eval.cpp.o.d"
+  "bench_micro_model_eval"
+  "bench_micro_model_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_model_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

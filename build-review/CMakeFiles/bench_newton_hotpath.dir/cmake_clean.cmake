@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_newton_hotpath.dir/bench/bench_newton_hotpath.cpp.o"
+  "CMakeFiles/bench_newton_hotpath.dir/bench/bench_newton_hotpath.cpp.o.d"
+  "bench_newton_hotpath"
+  "bench_newton_hotpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_newton_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_alpha.dir/bench/bench_table2_alpha.cpp.o"
+  "CMakeFiles/bench_table2_alpha.dir/bench/bench_table2_alpha.cpp.o.d"
+  "bench_table2_alpha"
+  "bench_table2_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

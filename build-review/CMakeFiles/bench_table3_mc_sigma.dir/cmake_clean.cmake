@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_mc_sigma.dir/bench/bench_table3_mc_sigma.cpp.o"
+  "CMakeFiles/bench_table3_mc_sigma.dir/bench/bench_table3_mc_sigma.cpp.o.d"
+  "bench_table3_mc_sigma"
+  "bench_table3_mc_sigma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_mc_sigma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_runtime.dir/bench/bench_table4_runtime.cpp.o"
+  "CMakeFiles/bench_table4_runtime.dir/bench/bench_table4_runtime.cpp.o.d"
+  "bench_table4_runtime"
+  "bench_table4_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuits_test_benchmarks.dir/tests/circuits/test_benchmarks.cpp.o"
+  "CMakeFiles/circuits_test_benchmarks.dir/tests/circuits/test_benchmarks.cpp.o.d"
+  "circuits_test_benchmarks"
+  "circuits_test_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuits_test_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

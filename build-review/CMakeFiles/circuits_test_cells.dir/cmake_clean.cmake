@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuits_test_cells.dir/tests/circuits/test_cells.cpp.o"
+  "CMakeFiles/circuits_test_cells.dir/tests/circuits/test_cells.cpp.o.d"
+  "circuits_test_cells"
+  "circuits_test_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuits_test_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_corners.dir/tests/core/test_corners.cpp.o"
+  "CMakeFiles/core_test_corners.dir/tests/core/test_corners.cpp.o.d"
+  "core_test_corners"
+  "core_test_corners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_corners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test_statistical_vs.dir/tests/core/test_statistical_vs.cpp.o"
+  "CMakeFiles/core_test_statistical_vs.dir/tests/core/test_statistical_vs.cpp.o.d"
+  "core_test_statistical_vs"
+  "core_test_statistical_vs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test_statistical_vs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_corner_analysis.dir/examples/corner_analysis.cpp.o"
+  "CMakeFiles/example_corner_analysis.dir/examples/corner_analysis.cpp.o.d"
+  "example_corner_analysis"
+  "example_corner_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_corner_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dvs_timing.dir/examples/dvs_timing.cpp.o"
+  "CMakeFiles/example_dvs_timing.dir/examples/dvs_timing.cpp.o.d"
+  "example_dvs_timing"
+  "example_dvs_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dvs_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

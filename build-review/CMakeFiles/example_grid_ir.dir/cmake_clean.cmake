@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_grid_ir.dir/examples/grid_ir.cpp.o"
+  "CMakeFiles/example_grid_ir.dir/examples/grid_ir.cpp.o.d"
+  "example_grid_ir"
+  "example_grid_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_grid_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

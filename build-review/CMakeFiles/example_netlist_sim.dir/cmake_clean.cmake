@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_netlist_sim.dir/examples/netlist_sim.cpp.o"
+  "CMakeFiles/example_netlist_sim.dir/examples/netlist_sim.cpp.o.d"
+  "example_netlist_sim"
+  "example_netlist_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_netlist_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ring_oscillator.dir/examples/ring_oscillator.cpp.o"
+  "CMakeFiles/example_ring_oscillator.dir/examples/ring_oscillator.cpp.o.d"
+  "example_ring_oscillator"
+  "example_ring_oscillator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ring_oscillator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

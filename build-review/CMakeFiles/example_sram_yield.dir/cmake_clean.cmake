@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sram_yield.dir/examples/sram_yield.cpp.o"
+  "CMakeFiles/example_sram_yield.dir/examples/sram_yield.cpp.o.d"
+  "example_sram_yield"
+  "example_sram_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sram_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_sram_yield.
+# This may be replaced when dependencies are built.

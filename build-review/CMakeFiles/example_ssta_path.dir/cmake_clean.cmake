@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ssta_path.dir/examples/ssta_path.cpp.o"
+  "CMakeFiles/example_ssta_path.dir/examples/ssta_path.cpp.o.d"
+  "example_ssta_path"
+  "example_ssta_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ssta_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_statistical_extraction.dir/examples/statistical_extraction.cpp.o"
+  "CMakeFiles/example_statistical_extraction.dir/examples/statistical_extraction.cpp.o.d"
+  "example_statistical_extraction"
+  "example_statistical_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_statistical_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

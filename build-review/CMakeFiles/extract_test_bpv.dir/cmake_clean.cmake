@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_test_bpv.dir/tests/extract/test_bpv.cpp.o"
+  "CMakeFiles/extract_test_bpv.dir/tests/extract/test_bpv.cpp.o.d"
+  "extract_test_bpv"
+  "extract_test_bpv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_test_bpv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

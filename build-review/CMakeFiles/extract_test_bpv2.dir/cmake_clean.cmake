@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_test_bpv2.dir/tests/extract/test_bpv2.cpp.o"
+  "CMakeFiles/extract_test_bpv2.dir/tests/extract/test_bpv2.cpp.o.d"
+  "extract_test_bpv2"
+  "extract_test_bpv2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_test_bpv2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

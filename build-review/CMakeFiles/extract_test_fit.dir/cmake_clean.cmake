@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_test_fit.dir/tests/extract/test_fit.cpp.o"
+  "CMakeFiles/extract_test_fit.dir/tests/extract/test_fit.cpp.o.d"
+  "extract_test_fit"
+  "extract_test_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_test_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_test_golden_meter.dir/tests/extract/test_golden_meter.cpp.o"
+  "CMakeFiles/extract_test_golden_meter.dir/tests/extract/test_golden_meter.cpp.o.d"
+  "extract_test_golden_meter"
+  "extract_test_golden_meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_test_golden_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

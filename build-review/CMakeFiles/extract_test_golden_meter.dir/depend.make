@@ -1,0 +1,2 @@
+# Empty dependencies file for extract_test_golden_meter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_test_sensitivity.dir/tests/extract/test_sensitivity.cpp.o"
+  "CMakeFiles/extract_test_sensitivity.dir/tests/extract/test_sensitivity.cpp.o.d"
+  "extract_test_sensitivity"
+  "extract_test_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_test_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test_cholesky.dir/tests/linalg/test_cholesky.cpp.o"
+  "CMakeFiles/linalg_test_cholesky.dir/tests/linalg/test_cholesky.cpp.o.d"
+  "linalg_test_cholesky"
+  "linalg_test_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test_complex.dir/tests/linalg/test_complex.cpp.o"
+  "CMakeFiles/linalg_test_complex.dir/tests/linalg/test_complex.cpp.o.d"
+  "linalg_test_complex"
+  "linalg_test_complex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test_complex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

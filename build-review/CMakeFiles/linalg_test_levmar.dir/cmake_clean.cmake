@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test_levmar.dir/tests/linalg/test_levmar.cpp.o"
+  "CMakeFiles/linalg_test_levmar.dir/tests/linalg/test_levmar.cpp.o.d"
+  "linalg_test_levmar"
+  "linalg_test_levmar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test_levmar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test_lu.dir/tests/linalg/test_lu.cpp.o"
+  "CMakeFiles/linalg_test_lu.dir/tests/linalg/test_lu.cpp.o.d"
+  "linalg_test_lu"
+  "linalg_test_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test_matrix.dir/tests/linalg/test_matrix.cpp.o"
+  "CMakeFiles/linalg_test_matrix.dir/tests/linalg/test_matrix.cpp.o.d"
+  "linalg_test_matrix"
+  "linalg_test_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

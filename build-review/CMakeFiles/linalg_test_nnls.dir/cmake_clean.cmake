@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test_nnls.dir/tests/linalg/test_nnls.cpp.o"
+  "CMakeFiles/linalg_test_nnls.dir/tests/linalg/test_nnls.cpp.o.d"
+  "linalg_test_nnls"
+  "linalg_test_nnls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test_nnls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

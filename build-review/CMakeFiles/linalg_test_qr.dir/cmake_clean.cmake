@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test_qr.dir/tests/linalg/test_qr.cpp.o"
+  "CMakeFiles/linalg_test_qr.dir/tests/linalg/test_qr.cpp.o.d"
+  "linalg_test_qr"
+  "linalg_test_qr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test_sparse.dir/tests/linalg/test_sparse.cpp.o"
+  "CMakeFiles/linalg_test_sparse.dir/tests/linalg/test_sparse.cpp.o.d"
+  "linalg_test_sparse"
+  "linalg_test_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

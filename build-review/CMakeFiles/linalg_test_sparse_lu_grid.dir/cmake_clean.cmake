@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test_sparse_lu_grid.dir/tests/linalg/test_sparse_lu_grid.cpp.o"
+  "CMakeFiles/linalg_test_sparse_lu_grid.dir/tests/linalg/test_sparse_lu_grid.cpp.o.d"
+  "linalg_test_sparse_lu_grid"
+  "linalg_test_sparse_lu_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test_sparse_lu_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

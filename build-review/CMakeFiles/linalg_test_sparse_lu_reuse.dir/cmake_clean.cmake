@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test_sparse_lu_reuse.dir/tests/linalg/test_sparse_lu_reuse.cpp.o"
+  "CMakeFiles/linalg_test_sparse_lu_reuse.dir/tests/linalg/test_sparse_lu_reuse.cpp.o.d"
+  "linalg_test_sparse_lu_reuse"
+  "linalg_test_sparse_lu_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test_sparse_lu_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

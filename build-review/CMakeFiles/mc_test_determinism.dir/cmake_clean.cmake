@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_test_determinism.dir/tests/mc/test_determinism.cpp.o"
+  "CMakeFiles/mc_test_determinism.dir/tests/mc/test_determinism.cpp.o.d"
+  "mc_test_determinism"
+  "mc_test_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_test_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_test_providers.dir/tests/mc/test_providers.cpp.o"
+  "CMakeFiles/mc_test_providers.dir/tests/mc/test_providers.cpp.o.d"
+  "mc_test_providers"
+  "mc_test_providers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_test_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

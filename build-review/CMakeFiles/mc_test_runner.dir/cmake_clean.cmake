@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_test_runner.dir/tests/mc/test_runner.cpp.o"
+  "CMakeFiles/mc_test_runner.dir/tests/mc/test_runner.cpp.o.d"
+  "mc_test_runner"
+  "mc_test_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_test_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

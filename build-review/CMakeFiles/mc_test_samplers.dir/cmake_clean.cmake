@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_test_samplers.dir/tests/mc/test_samplers.cpp.o"
+  "CMakeFiles/mc_test_samplers.dir/tests/mc/test_samplers.cpp.o.d"
+  "mc_test_samplers"
+  "mc_test_samplers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_test_samplers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_test_delay.dir/tests/measure/test_delay.cpp.o"
+  "CMakeFiles/measure_test_delay.dir/tests/measure/test_delay.cpp.o.d"
+  "measure_test_delay"
+  "measure_test_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_test_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_test_device_metrics.dir/tests/measure/test_device_metrics.cpp.o"
+  "CMakeFiles/measure_test_device_metrics.dir/tests/measure/test_device_metrics.cpp.o.d"
+  "measure_test_device_metrics"
+  "measure_test_device_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_test_device_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

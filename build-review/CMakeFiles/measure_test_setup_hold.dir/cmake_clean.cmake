@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_test_setup_hold.dir/tests/measure/test_setup_hold.cpp.o"
+  "CMakeFiles/measure_test_setup_hold.dir/tests/measure/test_setup_hold.cpp.o.d"
+  "measure_test_setup_hold"
+  "measure_test_setup_hold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_test_setup_hold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

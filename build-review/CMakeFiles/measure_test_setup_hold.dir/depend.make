@@ -1,0 +1,2 @@
+# Empty dependencies file for measure_test_setup_hold.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_test_snm.dir/tests/measure/test_snm.cpp.o"
+  "CMakeFiles/measure_test_snm.dir/tests/measure/test_snm.cpp.o.d"
+  "measure_test_snm"
+  "measure_test_snm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_test_snm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

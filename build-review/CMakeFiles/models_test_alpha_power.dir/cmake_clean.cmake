@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_test_alpha_power.dir/tests/models/test_alpha_power.cpp.o"
+  "CMakeFiles/models_test_alpha_power.dir/tests/models/test_alpha_power.cpp.o.d"
+  "models_test_alpha_power"
+  "models_test_alpha_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_test_alpha_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

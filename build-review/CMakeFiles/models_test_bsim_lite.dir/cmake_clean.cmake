@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_test_bsim_lite.dir/tests/models/test_bsim_lite.cpp.o"
+  "CMakeFiles/models_test_bsim_lite.dir/tests/models/test_bsim_lite.cpp.o.d"
+  "models_test_bsim_lite"
+  "models_test_bsim_lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_test_bsim_lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_test_die_variation.dir/tests/models/test_die_variation.cpp.o"
+  "CMakeFiles/models_test_die_variation.dir/tests/models/test_die_variation.cpp.o.d"
+  "models_test_die_variation"
+  "models_test_die_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_test_die_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

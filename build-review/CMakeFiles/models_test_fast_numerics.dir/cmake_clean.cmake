@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_test_fast_numerics.dir/tests/models/test_fast_numerics.cpp.o"
+  "CMakeFiles/models_test_fast_numerics.dir/tests/models/test_fast_numerics.cpp.o.d"
+  "models_test_fast_numerics"
+  "models_test_fast_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_test_fast_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

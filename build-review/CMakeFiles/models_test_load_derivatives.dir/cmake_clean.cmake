@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_test_load_derivatives.dir/tests/models/test_load_derivatives.cpp.o"
+  "CMakeFiles/models_test_load_derivatives.dir/tests/models/test_load_derivatives.cpp.o.d"
+  "models_test_load_derivatives"
+  "models_test_load_derivatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_test_load_derivatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_test_model_contract.dir/tests/models/test_model_contract.cpp.o"
+  "CMakeFiles/models_test_model_contract.dir/tests/models/test_model_contract.cpp.o.d"
+  "models_test_model_contract"
+  "models_test_model_contract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_test_model_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

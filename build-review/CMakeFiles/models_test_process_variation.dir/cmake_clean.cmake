@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_test_process_variation.dir/tests/models/test_process_variation.cpp.o"
+  "CMakeFiles/models_test_process_variation.dir/tests/models/test_process_variation.cpp.o.d"
+  "models_test_process_variation"
+  "models_test_process_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_test_process_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_test_vs_model.dir/tests/models/test_vs_model.cpp.o"
+  "CMakeFiles/models_test_vs_model.dir/tests/models/test_vs_model.cpp.o.d"
+  "models_test_vs_model"
+  "models_test_vs_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_test_vs_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

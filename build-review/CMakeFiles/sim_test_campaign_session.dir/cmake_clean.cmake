@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_campaign_session.dir/tests/sim/test_campaign_session.cpp.o"
+  "CMakeFiles/sim_test_campaign_session.dir/tests/sim/test_campaign_session.cpp.o.d"
+  "sim_test_campaign_session"
+  "sim_test_campaign_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_campaign_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sim_test_campaign_session.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sim_test_fast_campaign.
+# This may be replaced when dependencies are built.

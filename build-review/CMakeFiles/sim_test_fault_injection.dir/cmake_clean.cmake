@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_fault_injection.dir/tests/sim/test_fault_injection.cpp.o"
+  "CMakeFiles/sim_test_fault_injection.dir/tests/sim/test_fault_injection.cpp.o.d"
+  "sim_test_fault_injection"
+  "sim_test_fault_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_fault_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

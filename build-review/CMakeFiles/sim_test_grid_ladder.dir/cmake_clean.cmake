@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_grid_ladder.dir/tests/sim/test_grid_ladder.cpp.o"
+  "CMakeFiles/sim_test_grid_ladder.dir/tests/sim/test_grid_ladder.cpp.o.d"
+  "sim_test_grid_ladder"
+  "sim_test_grid_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_grid_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

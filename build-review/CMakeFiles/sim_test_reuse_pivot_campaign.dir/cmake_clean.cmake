@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test_reuse_pivot_campaign.dir/tests/sim/test_reuse_pivot_campaign.cpp.o"
+  "CMakeFiles/sim_test_reuse_pivot_campaign.dir/tests/sim/test_reuse_pivot_campaign.cpp.o.d"
+  "sim_test_reuse_pivot_campaign"
+  "sim_test_reuse_pivot_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test_reuse_pivot_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sim_test_reuse_pivot_campaign.
+# This may be replaced when dependencies are built.

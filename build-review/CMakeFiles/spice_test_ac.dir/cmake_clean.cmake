@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_test_ac.dir/tests/spice/test_ac.cpp.o"
+  "CMakeFiles/spice_test_ac.dir/tests/spice/test_ac.cpp.o.d"
+  "spice_test_ac"
+  "spice_test_ac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_test_ac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_test_ac_properties.dir/tests/spice/test_ac_properties.cpp.o"
+  "CMakeFiles/spice_test_ac_properties.dir/tests/spice/test_ac_properties.cpp.o.d"
+  "spice_test_ac_properties"
+  "spice_test_ac_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_test_ac_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

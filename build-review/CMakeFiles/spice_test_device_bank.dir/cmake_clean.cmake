@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_test_device_bank.dir/tests/spice/test_device_bank.cpp.o"
+  "CMakeFiles/spice_test_device_bank.dir/tests/spice/test_device_bank.cpp.o.d"
+  "spice_test_device_bank"
+  "spice_test_device_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_test_device_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_test_linear_circuits.dir/tests/spice/test_linear_circuits.cpp.o"
+  "CMakeFiles/spice_test_linear_circuits.dir/tests/spice/test_linear_circuits.cpp.o.d"
+  "spice_test_linear_circuits"
+  "spice_test_linear_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_test_linear_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_test_netlist.dir/tests/spice/test_netlist.cpp.o"
+  "CMakeFiles/spice_test_netlist.dir/tests/spice/test_netlist.cpp.o.d"
+  "spice_test_netlist"
+  "spice_test_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_test_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_test_sources.dir/tests/spice/test_sources.cpp.o"
+  "CMakeFiles/spice_test_sources.dir/tests/spice/test_sources.cpp.o.d"
+  "spice_test_sources"
+  "spice_test_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_test_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_test_waveform.dir/tests/spice/test_waveform.cpp.o"
+  "CMakeFiles/spice_test_waveform.dir/tests/spice/test_waveform.cpp.o.d"
+  "spice_test_waveform"
+  "spice_test_waveform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_test_waveform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test_descriptive.dir/tests/stats/test_descriptive.cpp.o"
+  "CMakeFiles/stats_test_descriptive.dir/tests/stats/test_descriptive.cpp.o.d"
+  "stats_test_descriptive"
+  "stats_test_descriptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test_descriptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

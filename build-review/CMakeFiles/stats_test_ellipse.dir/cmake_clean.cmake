@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test_ellipse.dir/tests/stats/test_ellipse.cpp.o"
+  "CMakeFiles/stats_test_ellipse.dir/tests/stats/test_ellipse.cpp.o.d"
+  "stats_test_ellipse"
+  "stats_test_ellipse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test_ellipse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

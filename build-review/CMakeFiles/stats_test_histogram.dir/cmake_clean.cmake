@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test_histogram.dir/tests/stats/test_histogram.cpp.o"
+  "CMakeFiles/stats_test_histogram.dir/tests/stats/test_histogram.cpp.o.d"
+  "stats_test_histogram"
+  "stats_test_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test_kde.dir/tests/stats/test_kde.cpp.o"
+  "CMakeFiles/stats_test_kde.dir/tests/stats/test_kde.cpp.o.d"
+  "stats_test_kde"
+  "stats_test_kde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test_kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test_normality.dir/tests/stats/test_normality.cpp.o"
+  "CMakeFiles/stats_test_normality.dir/tests/stats/test_normality.cpp.o.d"
+  "stats_test_normality"
+  "stats_test_normality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test_normality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test_qq.dir/tests/stats/test_qq.cpp.o"
+  "CMakeFiles/stats_test_qq.dir/tests/stats/test_qq.cpp.o.d"
+  "stats_test_qq"
+  "stats_test_qq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test_qq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test_rng.dir/tests/stats/test_rng.cpp.o"
+  "CMakeFiles/stats_test_rng.dir/tests/stats/test_rng.cpp.o.d"
+  "stats_test_rng"
+  "stats_test_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

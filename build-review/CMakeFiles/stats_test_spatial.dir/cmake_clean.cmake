@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_test_spatial.dir/tests/stats/test_spatial.cpp.o"
+  "CMakeFiles/stats_test_spatial.dir/tests/stats/test_spatial.cpp.o.d"
+  "stats_test_spatial"
+  "stats_test_spatial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_test_spatial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_test_ssta.dir/tests/timing/test_ssta.cpp.o"
+  "CMakeFiles/timing_test_ssta.dir/tests/timing/test_ssta.cpp.o.d"
+  "timing_test_ssta"
+  "timing_test_ssta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_test_ssta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_test_statistical_cell.dir/tests/timing/test_statistical_cell.cpp.o"
+  "CMakeFiles/timing_test_statistical_cell.dir/tests/timing/test_statistical_cell.cpp.o.d"
+  "timing_test_statistical_cell"
+  "timing_test_statistical_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_test_statistical_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for timing_test_statistical_cell.
+# This may be replaced when dependencies are built.

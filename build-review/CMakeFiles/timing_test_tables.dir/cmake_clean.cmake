@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_test_tables.dir/tests/timing/test_tables.cpp.o"
+  "CMakeFiles/timing_test_tables.dir/tests/timing/test_tables.cpp.o.d"
+  "timing_test_tables"
+  "timing_test_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_test_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test_ascii_plot.dir/tests/util/test_ascii_plot.cpp.o"
+  "CMakeFiles/util_test_ascii_plot.dir/tests/util/test_ascii_plot.cpp.o.d"
+  "util_test_ascii_plot"
+  "util_test_ascii_plot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test_ascii_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test_csv.dir/tests/util/test_csv.cpp.o"
+  "CMakeFiles/util_test_csv.dir/tests/util/test_csv.cpp.o.d"
+  "util_test_csv"
+  "util_test_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

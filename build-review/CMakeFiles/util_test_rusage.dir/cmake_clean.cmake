@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test_rusage.dir/tests/util/test_rusage.cpp.o"
+  "CMakeFiles/util_test_rusage.dir/tests/util/test_rusage.cpp.o.d"
+  "util_test_rusage"
+  "util_test_rusage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test_rusage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

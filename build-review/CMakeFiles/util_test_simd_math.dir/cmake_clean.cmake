@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test_simd_math.dir/tests/util/test_simd_math.cpp.o"
+  "CMakeFiles/util_test_simd_math.dir/tests/util/test_simd_math.cpp.o.d"
+  "util_test_simd_math"
+  "util_test_simd_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test_simd_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test_table.dir/tests/util/test_table.cpp.o"
+  "CMakeFiles/util_test_table.dir/tests/util/test_table.cpp.o.d"
+  "util_test_table"
+  "util_test_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test_thread_pool.dir/tests/util/test_thread_pool.cpp.o"
+  "CMakeFiles/util_test_thread_pool.dir/tests/util/test_thread_pool.cpp.o.d"
+  "util_test_thread_pool"
+  "util_test_thread_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test_thread_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_test_units.dir/tests/util/test_units.cpp.o"
+  "CMakeFiles/util_test_units.dir/tests/util/test_units.cpp.o.d"
+  "util_test_units"
+  "util_test_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_test_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

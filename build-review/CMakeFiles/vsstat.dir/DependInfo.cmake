@@ -1,0 +1,86 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/benchmarks.cpp" "CMakeFiles/vsstat.dir/src/circuits/benchmarks.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/circuits/benchmarks.cpp.o.d"
+  "/root/repo/src/circuits/cells.cpp" "CMakeFiles/vsstat.dir/src/circuits/cells.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/circuits/cells.cpp.o.d"
+  "/root/repo/src/circuits/provider.cpp" "CMakeFiles/vsstat.dir/src/circuits/provider.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/circuits/provider.cpp.o.d"
+  "/root/repo/src/core/corners.cpp" "CMakeFiles/vsstat.dir/src/core/corners.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/core/corners.cpp.o.d"
+  "/root/repo/src/core/statistical_vs.cpp" "CMakeFiles/vsstat.dir/src/core/statistical_vs.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/core/statistical_vs.cpp.o.d"
+  "/root/repo/src/extract/bpv.cpp" "CMakeFiles/vsstat.dir/src/extract/bpv.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/extract/bpv.cpp.o.d"
+  "/root/repo/src/extract/bpv2.cpp" "CMakeFiles/vsstat.dir/src/extract/bpv2.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/extract/bpv2.cpp.o.d"
+  "/root/repo/src/extract/fit.cpp" "CMakeFiles/vsstat.dir/src/extract/fit.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/extract/fit.cpp.o.d"
+  "/root/repo/src/extract/golden_meter.cpp" "CMakeFiles/vsstat.dir/src/extract/golden_meter.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/extract/golden_meter.cpp.o.d"
+  "/root/repo/src/extract/sensitivity.cpp" "CMakeFiles/vsstat.dir/src/extract/sensitivity.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/extract/sensitivity.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "CMakeFiles/vsstat.dir/src/linalg/cholesky.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/linalg/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/complex.cpp" "CMakeFiles/vsstat.dir/src/linalg/complex.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/linalg/complex.cpp.o.d"
+  "/root/repo/src/linalg/dense_pivot_lu.cpp" "CMakeFiles/vsstat.dir/src/linalg/dense_pivot_lu.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/linalg/dense_pivot_lu.cpp.o.d"
+  "/root/repo/src/linalg/levmar.cpp" "CMakeFiles/vsstat.dir/src/linalg/levmar.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/linalg/levmar.cpp.o.d"
+  "/root/repo/src/linalg/lu.cpp" "CMakeFiles/vsstat.dir/src/linalg/lu.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/linalg/lu.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "CMakeFiles/vsstat.dir/src/linalg/matrix.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/nnls.cpp" "CMakeFiles/vsstat.dir/src/linalg/nnls.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/linalg/nnls.cpp.o.d"
+  "/root/repo/src/linalg/ordering.cpp" "CMakeFiles/vsstat.dir/src/linalg/ordering.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/linalg/ordering.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "CMakeFiles/vsstat.dir/src/linalg/qr.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/linalg/qr.cpp.o.d"
+  "/root/repo/src/linalg/sparse.cpp" "CMakeFiles/vsstat.dir/src/linalg/sparse.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/linalg/sparse.cpp.o.d"
+  "/root/repo/src/linalg/sparse_lu.cpp" "CMakeFiles/vsstat.dir/src/linalg/sparse_lu.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/linalg/sparse_lu.cpp.o.d"
+  "/root/repo/src/mc/providers.cpp" "CMakeFiles/vsstat.dir/src/mc/providers.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/mc/providers.cpp.o.d"
+  "/root/repo/src/mc/runner.cpp" "CMakeFiles/vsstat.dir/src/mc/runner.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/mc/runner.cpp.o.d"
+  "/root/repo/src/mc/samplers.cpp" "CMakeFiles/vsstat.dir/src/mc/samplers.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/mc/samplers.cpp.o.d"
+  "/root/repo/src/measure/delay.cpp" "CMakeFiles/vsstat.dir/src/measure/delay.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/measure/delay.cpp.o.d"
+  "/root/repo/src/measure/device_metrics.cpp" "CMakeFiles/vsstat.dir/src/measure/device_metrics.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/measure/device_metrics.cpp.o.d"
+  "/root/repo/src/measure/setup_hold.cpp" "CMakeFiles/vsstat.dir/src/measure/setup_hold.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/measure/setup_hold.cpp.o.d"
+  "/root/repo/src/measure/snm.cpp" "CMakeFiles/vsstat.dir/src/measure/snm.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/measure/snm.cpp.o.d"
+  "/root/repo/src/models/alpha_power.cpp" "CMakeFiles/vsstat.dir/src/models/alpha_power.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/models/alpha_power.cpp.o.d"
+  "/root/repo/src/models/bsim_lite.cpp" "CMakeFiles/vsstat.dir/src/models/bsim_lite.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/models/bsim_lite.cpp.o.d"
+  "/root/repo/src/models/bsim_params.cpp" "CMakeFiles/vsstat.dir/src/models/bsim_params.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/models/bsim_params.cpp.o.d"
+  "/root/repo/src/models/device.cpp" "CMakeFiles/vsstat.dir/src/models/device.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/models/device.cpp.o.d"
+  "/root/repo/src/models/die_variation.cpp" "CMakeFiles/vsstat.dir/src/models/die_variation.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/models/die_variation.cpp.o.d"
+  "/root/repo/src/models/process_variation.cpp" "CMakeFiles/vsstat.dir/src/models/process_variation.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/models/process_variation.cpp.o.d"
+  "/root/repo/src/models/vs_fast_chain.cpp" "CMakeFiles/vsstat.dir/src/models/vs_fast_chain.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/models/vs_fast_chain.cpp.o.d"
+  "/root/repo/src/models/vs_fast_chain_avx2.cpp" "CMakeFiles/vsstat.dir/src/models/vs_fast_chain_avx2.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/models/vs_fast_chain_avx2.cpp.o.d"
+  "/root/repo/src/models/vs_model.cpp" "CMakeFiles/vsstat.dir/src/models/vs_model.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/models/vs_model.cpp.o.d"
+  "/root/repo/src/models/vs_params.cpp" "CMakeFiles/vsstat.dir/src/models/vs_params.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/models/vs_params.cpp.o.d"
+  "/root/repo/src/spice/ac.cpp" "CMakeFiles/vsstat.dir/src/spice/ac.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/spice/ac.cpp.o.d"
+  "/root/repo/src/spice/analysis.cpp" "CMakeFiles/vsstat.dir/src/spice/analysis.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/spice/analysis.cpp.o.d"
+  "/root/repo/src/spice/assembler.cpp" "CMakeFiles/vsstat.dir/src/spice/assembler.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/spice/assembler.cpp.o.d"
+  "/root/repo/src/spice/circuit.cpp" "CMakeFiles/vsstat.dir/src/spice/circuit.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/spice/circuit.cpp.o.d"
+  "/root/repo/src/spice/device_bank.cpp" "CMakeFiles/vsstat.dir/src/spice/device_bank.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/spice/device_bank.cpp.o.d"
+  "/root/repo/src/spice/elements.cpp" "CMakeFiles/vsstat.dir/src/spice/elements.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/spice/elements.cpp.o.d"
+  "/root/repo/src/spice/netlist.cpp" "CMakeFiles/vsstat.dir/src/spice/netlist.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/spice/netlist.cpp.o.d"
+  "/root/repo/src/spice/session.cpp" "CMakeFiles/vsstat.dir/src/spice/session.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/spice/session.cpp.o.d"
+  "/root/repo/src/spice/source.cpp" "CMakeFiles/vsstat.dir/src/spice/source.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/spice/source.cpp.o.d"
+  "/root/repo/src/spice/waveform.cpp" "CMakeFiles/vsstat.dir/src/spice/waveform.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/spice/waveform.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "CMakeFiles/vsstat.dir/src/stats/descriptive.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/ellipse.cpp" "CMakeFiles/vsstat.dir/src/stats/ellipse.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/stats/ellipse.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "CMakeFiles/vsstat.dir/src/stats/histogram.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/kde.cpp" "CMakeFiles/vsstat.dir/src/stats/kde.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/stats/kde.cpp.o.d"
+  "/root/repo/src/stats/normality.cpp" "CMakeFiles/vsstat.dir/src/stats/normality.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/stats/normality.cpp.o.d"
+  "/root/repo/src/stats/qq.cpp" "CMakeFiles/vsstat.dir/src/stats/qq.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/stats/qq.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "CMakeFiles/vsstat.dir/src/stats/rng.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/stats/rng.cpp.o.d"
+  "/root/repo/src/stats/spatial.cpp" "CMakeFiles/vsstat.dir/src/stats/spatial.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/stats/spatial.cpp.o.d"
+  "/root/repo/src/timing/ssta.cpp" "CMakeFiles/vsstat.dir/src/timing/ssta.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/timing/ssta.cpp.o.d"
+  "/root/repo/src/timing/statistical_cell.cpp" "CMakeFiles/vsstat.dir/src/timing/statistical_cell.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/timing/statistical_cell.cpp.o.d"
+  "/root/repo/src/timing/tables.cpp" "CMakeFiles/vsstat.dir/src/timing/tables.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/timing/tables.cpp.o.d"
+  "/root/repo/src/util/ascii_plot.cpp" "CMakeFiles/vsstat.dir/src/util/ascii_plot.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/util/ascii_plot.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/vsstat.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/rusage.cpp" "CMakeFiles/vsstat.dir/src/util/rusage.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/util/rusage.cpp.o.d"
+  "/root/repo/src/util/simd_math.cpp" "CMakeFiles/vsstat.dir/src/util/simd_math.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/util/simd_math.cpp.o.d"
+  "/root/repo/src/util/simd_math_avx2.cpp" "CMakeFiles/vsstat.dir/src/util/simd_math_avx2.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/util/simd_math_avx2.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/vsstat.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/vsstat.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/util/thread_pool.cpp.o.d"
+  "/root/repo/src/yield/importance.cpp" "CMakeFiles/vsstat.dir/src/yield/importance.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/yield/importance.cpp.o.d"
+  "/root/repo/src/yield/parametric.cpp" "CMakeFiles/vsstat.dir/src/yield/parametric.cpp.o" "gcc" "CMakeFiles/vsstat.dir/src/yield/parametric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsstat_bench_common.dir/bench/common.cpp.o"
+  "CMakeFiles/vsstat_bench_common.dir/bench/common.cpp.o.d"
+  "libvsstat_bench_common.a"
+  "libvsstat_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsstat_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvsstat_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yield_test_importance.dir/tests/yield/test_importance.cpp.o"
+  "CMakeFiles/yield_test_importance.dir/tests/yield/test_importance.cpp.o.d"
+  "yield_test_importance"
+  "yield_test_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yield_test_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

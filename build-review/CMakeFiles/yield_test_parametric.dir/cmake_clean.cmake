@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yield_test_parametric.dir/tests/yield/test_parametric.cpp.o"
+  "CMakeFiles/yield_test_parametric.dir/tests/yield/test_parametric.cpp.o.d"
+  "yield_test_parametric"
+  "yield_test_parametric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yield_test_parametric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for yield_test_parametric.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yield_test_yield_properties.dir/tests/yield/test_yield_properties.cpp.o"
+  "CMakeFiles/yield_test_yield_properties.dir/tests/yield/test_yield_properties.cpp.o.d"
+  "yield_test_yield_properties"
+  "yield_test_yield_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yield_test_yield_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

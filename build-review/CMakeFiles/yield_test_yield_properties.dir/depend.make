@@ -1,0 +1,2 @@
+# Empty dependencies file for yield_test_yield_properties.
+# This may be replaced when dependencies are built.

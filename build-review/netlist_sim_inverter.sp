@@ -1,0 +1,12 @@
+* CMOS inverter, VS model cards
+.title netlist-driven inverter
+VDD vdd 0 0.9
+VIN in 0 PULSE(0 0.9 10p 12p 12p 80p)
+MP  out in vdd pch W=600n L=40n
+MN  out in 0   nch W=300n L=40n
+* load: three copies of the same gate, as gate capacitance
+CL  out 0 2f
+.model nch vs_nmos
+.model pch vs_pmos vt0=0.38
+.tran 0.3p 180p
+.end
