@@ -81,6 +81,7 @@
 #include "measure/snm.hpp"
 #include "models/vs_params.hpp"
 #include "spice/assembler.hpp"
+#include "stats/descriptive.hpp"
 #include "util/rusage.hpp"
 
 namespace {
@@ -269,6 +270,66 @@ spice::SessionOptions reusePivotOptions() {
   return o;
 }
 
+/// The "current best" per-sample throughput configuration: SIMD device
+/// kernels + amortized pivot order.  The statistical tier is benchmarked on
+/// top of exactly this baseline.
+spice::SessionOptions fastReuseOptions() {
+  spice::SessionOptions o;
+  o.numerics = models::NumericsMode::fast;
+  o.solver = linalg::SolverMode::reusePivot;
+  return o;
+}
+
+spice::SessionOptions statisticalOptions() {
+  spice::SessionOptions o = fastReuseOptions();
+  o.tier = spice::ToleranceTier::statistical;
+  return o;
+}
+
+/// Largest estimator shift between the statistical-tier run and its
+/// per-sample baseline, in units of the baseline's Monte Carlo standard
+/// error: max over metrics of |mean_s - mean_b| / (sigma_b / sqrt(n)) and
+/// |sigma_s - sigma_b| / (sigma_b / sqrt(2n)).  The tier's accuracy
+/// contract is estimator-level, so this -- not per-sample deltas -- is the
+/// number the CI gate holds.
+double maxSigmaDelta(const mc::McResult& stat, const mc::McResult& base) {
+  double worst = 0.0;
+  for (std::size_t m = 0; m < base.metrics.size(); ++m) {
+    const auto b = stats::summarize(base.metrics[m]);
+    const auto s = stats::summarize(stat.metrics[m]);
+    const double n = static_cast<double>(base.metrics[m].size());
+    if (b.stddev <= 0.0 || n < 2.0) continue;
+    const double meanSe = b.stddev / std::sqrt(n);
+    const double sigmaSe = b.stddev / std::sqrt(2.0 * n);
+    worst = std::max(worst, std::fabs(s.mean - b.mean) / meanSe);
+    worst = std::max(worst, std::fabs(s.stddev - b.stddev) / sigmaSe);
+  }
+  return worst;
+}
+
+/// Statistical-tier row: fast+reuse+statistical vs the fast+reuse
+/// per-sample baseline (same seeds).  speedup_vs_per_sample is the
+/// issue's headline number; within_sigma_contract holds the estimator
+/// agreement at 3 baseline standard errors.
+void emitStatisticalTier(const std::string& name, int samples,
+                         const CampaignTiming& stat,
+                         const CampaignTiming& base) {
+  const double sigmaDelta = maxSigmaDelta(stat.result, base.result);
+  std::printf(
+      "{\"name\": \"%s\", \"samples\": %d, \"threads\": %u, "
+      "\"us_per_sample\": %.1f, \"samples_per_sec\": %.1f, "
+      "\"allocs_per_sample\": %.1f, \"speedup_vs_per_sample\": %.2f, "
+      "\"mean_iters_per_sample\": %.1f, \"warm_start_hit_rate\": %.2f, "
+      "\"estimator_max_sigma_delta\": %.3f, \"within_sigma_contract\": %s, "
+      "\"metrics_fnv1a\": \"0x%016llx\"}\n",
+      name.c_str(), samples, gThreads, stat.usPerSample,
+      1e6 / stat.usPerSample, stat.allocsPerSample,
+      base.usPerSample / stat.usPerSample,
+      stat.result.meanIterationsPerSample(), stat.result.warmStartHitRate(),
+      sigmaDelta, sigmaDelta <= 3.0 ? "true" : "false",
+      static_cast<unsigned long long>(metricsHash(stat.result)));
+}
+
 /// --scaling body shared by every workload: one row per session-mode
 /// combination (NumericsMode x SolverMode), so the scaling smoke/audit
 /// checks cross-thread-count bit-identity of every cell of the matrix.
@@ -285,7 +346,12 @@ void runScalingCombos(
   } combos[] = {{"_session", spice::SessionOptions{}},
                 {"_session_fast", fastOpt},
                 {"_session_reuse", reusePivotOptions()},
-                {"_session_fast_reuse", fastReuseOpt}};
+                {"_session_fast_reuse", fastReuseOpt},
+                // Statistical tier on the fast+reuse baseline: block
+                // geometry depends only on McOptions::sampleBlock, so the
+                // warm-chain results must hash identically across 1/2/4
+                // workers like every other combo.
+                {"_session_statistical", statisticalOptions()}};
   for (const auto& combo : combos) {
     const CampaignTiming s = timeCampaign(
         samples, [&](int n) { return session(n, combo.options); });
@@ -317,6 +383,11 @@ void benchWorkload(
   emit(name + "_session", samples, s, r.usPerSample, identical);
   emitReuse(name + "_session_reuse", samples, u, s.usPerSample,
             bench::maxRelMetricDelta(u.result, s.result));
+  const CampaignTiming b = timeCampaign(
+      samples, [&](int n) { return session(n, fastReuseOptions()); });
+  const CampaignTiming st = timeCampaign(
+      samples, [&](int n) { return session(n, statisticalOptions()); });
+  emitStatisticalTier(name + "_statistical_tier", samples, st, b);
 }
 
 /// Session-only workload (grid_ir): fresh vs reuse-pivot sessions, no
@@ -335,6 +406,11 @@ void benchSessionWorkload(
   emitScaling(name + "_session", samples, s);
   emitReuse(name + "_session_reuse", samples, u, s.usPerSample,
             bench::maxRelMetricDelta(u.result, s.result));
+  const CampaignTiming b = timeCampaign(
+      samples, [&](int n) { return session(n, fastReuseOptions()); });
+  const CampaignTiming st = timeCampaign(
+      samples, [&](int n) { return session(n, statisticalOptions()); });
+  emitStatisticalTier(name + "_statistical_tier", samples, st, b);
 }
 
 constexpr int kSnmPoints = 45;

@@ -9,6 +9,7 @@
 // every sample.
 //
 // Usage: example_dvs_timing [samples] [--fast] [--reuse-pivot]
+//                           [--statistical]
 //   samples        default 500; CI smoke uses a few
 //   --fast         NumericsMode::fast -- SIMD transcendental kernels in the
 //                  device-bank lanes; delay metrics agree with the
@@ -17,6 +18,11 @@
 //   --reuse-pivot  SolverMode::reusePivot -- one canonical LU pivot order
 //                  amortized across every solve of a worker session,
 //                  breakdown-monitored; composes with --fast
+//   --statistical  ToleranceTier::statistical -- warm-chain blocks seed
+//                  each sample's transient DC + predictor steps from the
+//                  previous sample; accuracy contract moves to the delay
+//                  ESTIMATORS (mean/sigma within MC error), not the sample
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,10 +52,12 @@ int main(int argc, char** argv) {
       sessionOptions.numerics = models::NumericsMode::fast;
     } else if (std::strcmp(argv[i], "--reuse-pivot") == 0) {
       sessionOptions.solver = linalg::SolverMode::reusePivot;
+    } else if (std::strcmp(argv[i], "--statistical") == 0) {
+      sessionOptions.tier = spice::ToleranceTier::statistical;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "example_dvs_timing: unknown flag '%s' "
                    "(usage: example_dvs_timing [samples] [--fast] "
-                   "[--reuse-pivot])\n",
+                   "[--reuse-pivot] [--statistical])\n",
                    argv[i]);
       return 2;
     } else {
@@ -57,15 +65,20 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("NAND2 FO3 delay under dynamic voltage scaling (%d MC runs, "
-              "statistical VS model, %s numerics, %s solver)\n\n", kSamples,
-              models::toString(sessionOptions.numerics),
-              linalg::toString(sessionOptions.solver));
+              "statistical VS model, %s numerics, %s solver, %s tier)\n\n",
+              kSamples, models::toString(sessionOptions.numerics),
+              linalg::toString(sessionOptions.solver),
+              spice::toString(sessionOptions.tier));
   std::printf("%-8s %-12s %-14s %-10s %-12s %-10s\n", "Vdd [V]", "mean [ps]",
               "sigma/mean [%]", "skewness", "QQ r^2", "Gaussian?");
 
   int totalSamples = 0;
   int totalDropped = 0;
   int totalRescued = 0;
+  std::uint64_t totalIters = 0;
+  std::uint64_t totalHits = 0;
+  std::uint64_t totalOpportunities = 0;
+  std::size_t totalSucceeded = 0;
   for (const double vdd : {0.9, 0.7, 0.55}) {
     circuits::StimulusSpec stim;
     stim.vdd = vdd;
@@ -101,6 +114,10 @@ int main(int argc, char** argv) {
     totalSamples += static_cast<int>(r.sampleCount()) + r.failures;
     totalDropped += r.failures;
     totalRescued += r.rescued;
+    totalIters += r.newtonIterations;
+    totalHits += r.warmStartHits;
+    totalOpportunities += r.warmStartOpportunities;
+    totalSucceeded += r.sampleCount();
     if (r.failures > 0 || r.rescued > 0) {
       std::printf("  [Vdd %.2f: %d dropped, %d rescued", vdd, r.failures,
                   r.rescued);
@@ -131,6 +148,17 @@ int main(int argc, char** argv) {
   }
   std::printf("campaign health: OK (drop fraction within %.0f %% budget)\n",
               100.0 * kMaxDropFraction);
+  if (totalSucceeded > 0) {
+    std::printf("newton: %.1f iterations/sample, warm-start hit rate %.0f %% "
+                "(%s tier)\n",
+                static_cast<double>(totalIters) /
+                    static_cast<double>(totalSucceeded),
+                totalOpportunities == 0
+                    ? 0.0
+                    : 100.0 * static_cast<double>(totalHits) /
+                          static_cast<double>(totalOpportunities),
+                spice::toString(sessionOptions.tier));
+  }
 
   // Factor-shape telemetry from a probe session on the same topology: the
   // sparse factor's structure is sample-independent, so one DC solve shows

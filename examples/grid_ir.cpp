@@ -11,25 +11,56 @@
 // fact instead of a claim.
 //
 // Usage: example_grid_ir [samples] [mesh_edge] [--fast] [--reuse-pivot]
+//                        [--statistical]
 //   samples        default 60; CI smoke uses a few
 //   mesh_edge      mesh is edge x edge; default 32 (~1k MNA unknowns);
 //                  10 and 64 are the other ladder rungs
 //   --fast         NumericsMode::fast (SIMD device-bank kernels)
 //   --reuse-pivot  SolverMode::reusePivot (canonical pivot order amortized
 //                  across every solve of a worker session)
+//   --statistical  ToleranceTier::statistical (warm-chain blocks: sweep
+//                  levels extrapolate, sample k seeds from sample k-1;
+//                  accuracy contract moves to the IR-drop estimators)
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <vector>
 
 #include "circuits/benchmarks.hpp"
 #include "core/statistical_vs.hpp"
+#include "mc/circuit_campaign.hpp"
 #include "mc/runner.hpp"
+#include "sim/rescue.hpp"
 #include "sim/session.hpp"
 #include "stats/descriptive.hpp"
 #include "util/error.hpp"
 
 using namespace vsstat;
+
+namespace {
+
+using GridSession = sim::CampaignSession<circuits::PowerGridBench>;
+
+// Warm-chain block lease (statistical tier): one session serves a whole
+// contiguous sample block, published through a thread-local so the sample
+// function below finds it; blocks start cold per the determinism contract.
+thread_local GridSession* tlsBlockSession = nullptr;
+
+struct BlockLease {
+  sim::SessionPool<circuits::PowerGridBench>::Lease lease;
+  explicit BlockLease(sim::SessionPool<circuits::PowerGridBench>::Lease l)
+      : lease(std::move(l)) {
+    lease->coldStart();
+    tlsBlockSession = &*lease;
+  }
+  ~BlockLease() { tlsBlockSession = nullptr; }
+  BlockLease(const BlockLease&) = delete;
+  BlockLease& operator=(const BlockLease&) = delete;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   int samples = 60;
@@ -41,10 +72,12 @@ int main(int argc, char** argv) {
       sessionOptions.numerics = models::NumericsMode::fast;
     } else if (std::strcmp(argv[i], "--reuse-pivot") == 0) {
       sessionOptions.solver = linalg::SolverMode::reusePivot;
+    } else if (std::strcmp(argv[i], "--statistical") == 0) {
+      sessionOptions.tier = spice::ToleranceTier::statistical;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "example_grid_ir: unknown flag '%s' (usage: "
                    "example_grid_ir [samples] [mesh_edge] [--fast] "
-                   "[--reuse-pivot])\n", argv[i]);
+                   "[--reuse-pivot] [--statistical])\n", argv[i]);
       return 2;
     } else if (positional == 0) {
       samples = std::max(std::atoi(argv[i]), 4);
@@ -72,27 +105,51 @@ int main(int argc, char** argv) {
   mc::McOptions mcOpt;
   mcOpt.samples = samples;
   mcOpt.seed = 77;
-  const mc::McResult r = mc::runCampaign(
-      mcOpt, 1, [&](std::size_t, stats::Rng& rng, std::vector<double>& out) {
-        auto lease = pool.acquire();
-        lease->bindSample(rng);
-        circuits::PowerGridBench& fx = lease->fixture();
+  if (sessionOptions.tier == spice::ToleranceTier::statistical)
+    mcOpt.sampleBlock = mc::kStatisticalSampleBlock;
+
+  // Measurement body (session arrives rebound by the rescue wrapper): sweep
+  // the feed supply, report the far-corner IR drop at full rail.
+  const mc::CircuitSampleFn<circuits::PowerGridBench> measure =
+      [&](std::size_t, GridSession& session, stats::Rng&,
+          std::vector<double>& out) {
+        circuits::PowerGridBench& fx = session.fixture();
         std::vector<double> levels;
         levels.reserve(kLevels);
         for (int i = 0; i < kLevels; ++i)
           levels.push_back(fx.supply * i / (kLevels - 1));
         std::vector<double> farVolts;
-        lease->spice().dcSweepNode(fx.feedSource, levels, fx.farNode,
-                                   farVolts);
+        session.spice().dcSweepNode(fx.feedSource, levels, fx.farNode,
+                                    farVolts);
         out[0] = fx.supply - farVolts.back();
-      });
+      };
+
+  mc::BlockResourceFn blockFn;
+  if (mcOpt.sampleBlock > 0)
+    blockFn = [&pool](std::size_t) -> std::shared_ptr<void> {
+      return std::make_shared<BlockLease>(pool.acquire());
+    };
+  const mc::McResult r = mc::runCampaign(
+      mcOpt, 1,
+      mc::SampleFnEx([&](std::size_t index, stats::Rng& rng,
+                         std::vector<double>& out, mc::SampleContext& ctx) {
+        if (tlsBlockSession != nullptr) {
+          sim::runSampleWithRescue(index, *tlsBlockSession, rng, out, ctx,
+                                   measure);
+          return;
+        }
+        auto lease = pool.acquire();
+        sim::runSampleWithRescue(index, *lease, rng, out, ctx, measure);
+      }),
+      blockFn);
 
   const auto s = stats::summarize(r.metrics[0]);
   std::printf("%dx%d power-grid IR drop (%d MC samples, %zu leakage FETs, "
-              "%s numerics, %s solver)\n\n", edge, edge, samples,
+              "%s numerics, %s solver, %s tier)\n\n", edge, edge, samples,
               static_cast<std::size_t>(edge) * static_cast<std::size_t>(edge),
               models::toString(sessionOptions.numerics),
-              linalg::toString(sessionOptions.solver));
+              linalg::toString(sessionOptions.solver),
+              spice::toString(sessionOptions.tier));
   std::printf("worst-case IR drop: mean = %.3f mV  sigma = %.3f mV  "
               "max = %.3f mV\n", s.mean * 1e3, s.stddev * 1e3, s.max * 1e3);
 
@@ -116,6 +173,12 @@ int main(int argc, char** argv) {
   }
   std::printf("campaign health: OK (drop fraction within %.0f %% budget)\n",
               100.0 * kMaxDropFraction);
+  if (r.sampleCount() > 0) {
+    std::printf("newton: %.1f iterations/sample, warm-start hit rate %.0f %% "
+                "(%s tier)\n",
+                r.meanIterationsPerSample(), 100.0 * r.warmStartHitRate(),
+                spice::toString(sessionOptions.tier));
+  }
 
   // Sparse-factor telemetry from one of the campaign's own workers.
   {

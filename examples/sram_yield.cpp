@@ -15,22 +15,26 @@
 // parallel importance sampler (yield::importanceSample now fans out over
 // the shared persistent thread pool).
 //
-// An optional variance-reduction stage demonstrates the mc/samplers.hpp
-// designs: with scheme `lhs` (Latin hypercube) or `halton` (randomized
-// low-discrepancy), the READ-SNM yield is re-estimated at HALF the sample
-// budget through the chosen generator and checked against the brute-force
-// Monte Carlo estimate -- stratified designs buy back the budget on smooth
-// responses like SNM.
+// An optional variance-reduction stage demonstrates the first-class
+// mc::SamplingPlan schemes: with `lhs` (Latin hypercube), `halton`, or
+// `sobol` (randomized low-discrepancy), the READ-SNM yield is re-estimated
+// at HALF the sample budget through the plan-driven campaign path and
+// checked against the brute-force Monte Carlo estimate -- stratified
+// designs buy back the budget on smooth responses like SNM.  With `sobol`
+// the deep-tail stage also drives the importance sampler's base points
+// from the Sobol generator.
 //
 // Usage: example_sram_yield [mc_samples] [is_samples] [scheme]
-//                           [--fast] [--reuse-pivot]
-//        (defaults 800/400 iid; scheme in {iid, lhs, halton}; --fast
-//        selects NumericsMode::fast -- SIMD kernels in the device-bank
-//        lanes; --reuse-pivot selects SolverMode::reusePivot -- one
-//        canonical LU pivot order amortized across every solve of a
-//        session, breakdown-monitored.  Both flags compose; either way
-//        SNM/yield results stay within solver tolerance of the
-//        reference/fresh configuration)
+//                           [--fast] [--reuse-pivot] [--statistical]
+//        (defaults 800/400 iid; scheme in {iid, lhs, halton, sobol};
+//        --fast selects NumericsMode::fast -- SIMD kernels in the
+//        device-bank lanes; --reuse-pivot selects SolverMode::reusePivot
+//        -- one canonical LU pivot order amortized across every solve of
+//        a session, breakdown-monitored; --statistical selects
+//        ToleranceTier::statistical -- warm-started solves in fixed-size
+//        sample blocks under the estimator-level accuracy contract.  All
+//        flags compose; SNM/yield results stay within the documented
+//        contract of the reference/fresh/per-sample configuration)
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +46,8 @@
 #include "circuits/benchmarks.hpp"
 #include "core/statistical_vs.hpp"
 #include "measure/snm.hpp"
+#include "mc/circuit_campaign.hpp"
+#include "mc/providers.hpp"
 #include "mc/runner.hpp"
 #include "mc/samplers.hpp"
 #include "models/process_variation.hpp"
@@ -57,44 +63,45 @@ using namespace vsstat;
 
 namespace {
 
-/// Provider that realizes a FIXED standardized mismatch vector: entry
-/// 5*i+j of z scales parameter j of the i-th requested transistor by its
-/// Pelgrom sigma.  This is the bridge between the importance sampler's
-/// z-space and circuit instances; setZ() rearms it for the next rebind
-/// pass of a campaign session.
-class FixedDeltaProvider final : public circuits::DeviceProvider {
- public:
-  explicit FixedDeltaProvider(const core::StatisticalVsKit& kit) : kit_(kit) {}
-
-  void setZ(const std::vector<double>& z) {
-    z_ = z;
-    cursor_ = 0;
-  }
-
-  [[nodiscard]] circuits::DeviceInstance make(
-      models::DeviceType type, const std::string&,
-      const models::DeviceGeometry& nominal) override {
-    const models::ParameterSigmas s = kit_.sigmas(type, nominal);
-    models::VariationDelta d;
-    d.dVt0 = next() * s.sVt0;
-    d.dLeff = next() * s.sLeff;
-    d.dWeff = next() * s.sWeff;
-    d.dMu = next() * s.sMu;
-    d.dCinv = next() * s.sCinv;
-    return {std::make_unique<models::VsModel>(
-                models::applyToVs(kit_.nominal(type), d)),
-            models::applyGeometry(nominal, d)};
-  }
-
- private:
-  double next() { return cursor_ < z_.size() ? z_[cursor_++] : 0.0; }
-
-  const core::StatisticalVsKit& kit_;
-  std::vector<double> z_;
-  std::size_t cursor_ = 0;
-};
+/// Fixed-z provider over the kit's cards and Pelgrom alphas: entry 5*i+j
+/// of the armed z-vector scales parameter j of the i-th requested
+/// transistor by its sigma (circuits::FixedZProvider contract).  This is
+/// the bridge between the importance sampler's / sampling plans' z-space
+/// and circuit instances.
+std::unique_ptr<circuits::DeviceProvider> makeFixedZProvider(
+    const core::StatisticalVsKit& kit) {
+  return std::make_unique<mc::VsFixedZProvider>(
+      kit.nominal(models::DeviceType::Nmos),
+      kit.nominal(models::DeviceType::Pmos),
+      kit.alphas(models::DeviceType::Nmos),
+      kit.alphas(models::DeviceType::Pmos));
+}
 
 using ButterflyPool = sim::SessionPool<circuits::SramButterflyBench>;
+using ButterflySession = sim::CampaignSession<circuits::SramButterflyBench>;
+
+/// One warm-chain block's READ + HOLD leases (statistical tier): published
+/// through a thread-local so the block's samples reuse the same pair of
+/// sessions, which is what makes sample-to-sample warm starts reproducible
+/// across worker counts.
+struct StagePair {
+  ButterflyPool::Lease read;
+  ButterflyPool::Lease hold;
+  StagePair(ButterflyPool::Lease r, ButterflyPool::Lease h)
+      : read(std::move(r)), hold(std::move(h)) {}
+};
+
+thread_local StagePair* tlsStagePair = nullptr;
+
+struct BlockPair : StagePair {
+  BlockPair(ButterflyPool::Lease r, ButterflyPool::Lease h)
+      : StagePair(std::move(r), std::move(h)) {
+    read->coldStart();
+    hold->coldStart();
+    tlsStagePair = this;
+  }
+  ~BlockPair() { tlsStagePair = nullptr; }
+};
 
 /// Per-class failure/rescue accounting of a campaign (mc::McResult
 /// taxonomy).  Unattended flows read this instead of diffing sample
@@ -131,35 +138,33 @@ ButterflyPool makePool(const core::StatisticalVsKit& kit,
 
 namespace {
 
-/// READ-SNM yield driven by a mc::SampleGenerator design: sample k realizes
-/// the generator's k-th standardized z-vector through a FixedDeltaProvider
-/// and a leased READ session.  Deterministic in (generator, k) -- the
-/// campaign's own RNG stream is ignored on purpose.
+/// READ-SNM yield driven by a first-class mc::SamplingPlan: the campaign
+/// evaluates the plan's generator at each sample index and arms the
+/// session's fixed-z provider before the rebind -- deterministic in
+/// (plan, index), with the rescue ladder and (under --statistical) the
+/// warm-chain blocks of the standard circuit-campaign path.
 yield::YieldEstimate generatorYield(const core::StatisticalVsKit& kit,
-                                    const mc::SampleGenerator& gen,
-                                    double snmFloor,
+                                    const mc::SamplingPlan& plan,
+                                    std::size_t budget, double snmFloor,
                                     spice::SessionOptions sessionOptions) {
-  ButterflyPool pool(
+  mc::McOptions opt;
+  opt.samples = static_cast<int>(budget);
+  opt.seed = 7;
+  const mc::McResult r = mc::runCampaign<circuits::SramButterflyBench>(
+      opt, 1,
       [&kit](circuits::DeviceProvider& provider) {
         return circuits::buildSramButterfly(provider, kit.vdd(),
                                             circuits::SramMode::Read,
                                             circuits::SramSizing{});
       },
-      [&kit] { return std::make_unique<FixedDeltaProvider>(kit); },
-      sessionOptions);
-
-  mc::McOptions opt;
-  opt.samples = static_cast<int>(gen.samples());
-  opt.seed = 7;
-  const mc::McResult r = mc::runCampaign(
-      opt, 1, [&](std::size_t index, stats::Rng&, std::vector<double>& out) {
-        auto lease = pool.acquire();
-        static_cast<FixedDeltaProvider&>(lease->provider())
-            .setZ(gen.standardNormals(index));
-        lease->rebind();
-        out[0] = measure::measureSnm(lease->fixture(), lease->spice(), 45)
-                     .cellSnm();
-      });
+      [&kit] { return makeFixedZProvider(kit); },
+      [](std::size_t, ButterflySession& session, stats::Rng&,
+         std::vector<double>& out) {
+        out[0] =
+            measure::measureSnm(session.fixture(), session.spice(), 45)
+                .cellSnm();
+      },
+      sessionOptions, sim::RescuePolicy{}, plan);
   return yield::yieldOfSamples(r.metrics[0], {snmFloor, std::nullopt});
 }
 
@@ -178,10 +183,12 @@ int main(int argc, char** argv) {
       sessionOptions.numerics = models::NumericsMode::fast;
     } else if (std::strcmp(argv[i], "--reuse-pivot") == 0) {
       sessionOptions.solver = linalg::SolverMode::reusePivot;
+    } else if (std::strcmp(argv[i], "--statistical") == 0) {
+      sessionOptions.tier = spice::ToleranceTier::statistical;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "example_sram_yield: unknown flag '%s' (usage: "
                    "example_sram_yield [mc_samples] [is_samples] [scheme] "
-                   "[--fast] [--reuse-pivot])\n", argv[i]);
+                   "[--fast] [--reuse-pivot] [--statistical])\n", argv[i]);
       return 2;
     } else {
       positional.push_back(argv[i]);
@@ -192,8 +199,11 @@ int main(int argc, char** argv) {
   const int kIsSamples =
       positional.size() > 1 ? std::max(std::atoi(positional[1]), 20) : 400;
   const std::string scheme = positional.size() > 2 ? positional[2] : "iid";
-  require(scheme == "iid" || scheme == "lhs" || scheme == "halton",
-          "scheme must be one of: iid, lhs, halton");
+  require(scheme == "iid" || scheme == "lhs" || scheme == "halton" ||
+              scheme == "sobol",
+          "scheme must be one of: iid, lhs, halton, sobol");
+  const bool statistical =
+      sessionOptions.tier == spice::ToleranceTier::statistical;
   constexpr double kSnmFloor = 0.04;  // V; stability criterion
 
   // Stage 1: READ and HOLD SNM of the same dies, via leased sessions.
@@ -205,25 +215,66 @@ int main(int argc, char** argv) {
   mc::McOptions mcOpt;
   mcOpt.samples = kSamples;
   mcOpt.seed = 2026;
+  // Per-sample Newton telemetry: diffed around both sessions' measurements
+  // so the health footer can report iters/sample and warm-start hit rate.
+  const auto measurePair = [&](ButterflySession& readSession,
+                               ButterflySession& holdSession, stats::Rng& rng,
+                               std::vector<double>& out,
+                               mc::SampleContext& ctx) {
+    const auto r0 = readSession.spice().iterationTelemetry();
+    const auto h0 = holdSession.spice().iterationTelemetry();
+    readSession.bindSample(rng);
+    out[0] = measure::measureSnm(readSession.fixture(), readSession.spice(),
+                                 45)
+                 .cellSnm();
+    // Same dies, HOLD mode rebinds identical draws from a forked stream:
+    holdSession.bindSample(rng.fork(1));
+    out[1] = measure::measureSnm(holdSession.fixture(), holdSession.spice(),
+                                 45)
+                 .cellSnm();
+    const auto r1 = readSession.spice().iterationTelemetry();
+    const auto h1 = holdSession.spice().iterationTelemetry();
+    ctx.newtonIterations = (r1.newtonIterations - r0.newtonIterations) +
+                           (h1.newtonIterations - h0.newtonIterations);
+    ctx.warmStartHits = (r1.warmStartHits - r0.warmStartHits) +
+                        (h1.warmStartHits - h0.warmStartHits);
+    ctx.warmStartOpportunities =
+        (r1.warmStartOpportunities - r0.warmStartOpportunities) +
+        (h1.warmStartOpportunities - h0.warmStartOpportunities);
+  };
+  mc::BlockResourceFn blockFn;
+  if (statistical) {
+    // Warm-chain blocks: one READ + one HOLD lease span each fixed-size
+    // block (cold-started at its head), so sample k's solves seed from
+    // sample k-1's converged states deterministically -- the block
+    // geometry, and with it every result bit, is independent of the
+    // worker count.
+    mcOpt.sampleBlock = mc::kStatisticalSampleBlock;
+    blockFn = [&](std::size_t) -> std::shared_ptr<void> {
+      return std::make_shared<BlockPair>(readPool.acquire(),
+                                         holdPool.acquire());
+    };
+  }
   const mc::McResult r = mc::runCampaign(
-      mcOpt, 2, [&](std::size_t, stats::Rng& rng, std::vector<double>& out) {
-        auto read = readPool.acquire();
-        read->bindSample(rng);
-        out[0] = measure::measureSnm(read->fixture(), read->spice(), 45)
-                     .cellSnm();
-        // Same dies, HOLD mode rebinds identical draws from a forked stream:
-        auto hold = holdPool.acquire();
-        hold->bindSample(rng.fork(1));
-        out[1] = measure::measureSnm(hold->fixture(), hold->spice(), 45)
-                     .cellSnm();
-      });
+      mcOpt, 2,
+      mc::SampleFnEx([&](std::size_t, stats::Rng& rng,
+                         std::vector<double>& out, mc::SampleContext& ctx) {
+        if (StagePair* block = tlsStagePair) {
+          measurePair(*block->read, *block->hold, rng, out, ctx);
+          return;
+        }
+        StagePair pair(readPool.acquire(), holdPool.acquire());
+        measurePair(*pair.read, *pair.hold, rng, out, ctx);
+      }),
+      blockFn);
 
   const auto read = stats::summarize(r.metrics[0]);
   const auto hold = stats::summarize(r.metrics[1]);
   std::printf("6T SRAM (N/P 150/40 nm, pass 100 nm) at Vdd = %.2f V, %d MC "
-              "samples, %s numerics, %s solver\n\n", kit.vdd(), kSamples,
-              models::toString(sessionOptions.numerics),
-              linalg::toString(sessionOptions.solver));
+              "samples, %s numerics, %s solver, %s tier\n\n", kit.vdd(),
+              kSamples, models::toString(sessionOptions.numerics),
+              linalg::toString(sessionOptions.solver),
+              spice::toString(sessionOptions.tier));
   std::printf("READ SNM: mean = %.1f mV  sigma = %.1f mV  min = %.1f mV\n",
               read.mean * 1e3, read.stddev * 1e3, read.min * 1e3);
   std::printf("HOLD SNM: mean = %.1f mV  sigma = %.1f mV  min = %.1f mV\n",
@@ -247,6 +298,10 @@ int main(int argc, char** argv) {
   }
   std::printf("campaign health: OK (drop fraction within %.0f %% budget)\n",
               100.0 * dropPolicy.maxDropFraction);
+  std::printf("newton: %.1f iterations/sample, warm-start hit rate %.0f %% "
+              "(%s tier)\n",
+              r.meanIterationsPerSample(), 100.0 * r.warmStartHitRate(),
+              spice::toString(sessionOptions.tier));
 
   // Factor telemetry from one of the campaign's own worker sessions: shape
   // (pattern vs fill) is topology-fixed, counters accumulate that worker's
@@ -273,28 +328,25 @@ int main(int argc, char** argv) {
   std::printf("HOLD SNM QQ linearity r^2 = %.4f (slightly non-Gaussian, as "
               "in the paper's Fig. 9f)\n", qq.linearity);
 
-  // --- Optional: variance-reduced yield via LHS / Halton designs ----------
+  // --- Optional: variance-reduced yield via LHS / Halton / Sobol plans ----
   if (scheme != "iid") {
     const std::size_t dims = 6 * 5;  // transistors x VS parameters
     const std::size_t budget =
         static_cast<std::size_t>(std::max(kSamples / 2, 20));
-    std::unique_ptr<mc::SampleGenerator> gen;
-    if (scheme == "lhs") {
-      gen = std::make_unique<mc::LatinHypercubeSampler>(dims, budget, 314);
-    } else {
-      gen = std::make_unique<mc::HaltonSampler>(dims, budget, 314);
-    }
+    mc::SamplingPlan plan;
+    plan.scheme = mc::parseScheme(scheme);
+    plan.dimension = dims;
+    plan.seed = 314;
     const yield::YieldEstimate stratified =
-        generatorYield(kit, *gen, kSnmFloor, sessionOptions);
+        generatorYield(kit, plan, budget, kSnmFloor, sessionOptions);
     std::printf("\n%s read-stability yield at HALF budget (%zu samples): "
-                "%.2f %%  [95%% CI %.2f..%.2f]\n",
-                scheme == "lhs" ? "Latin-hypercube" : "Randomized-Halton",
-                budget, 100.0 * stratified.yield, 100.0 * stratified.lower,
+                "%.2f %%  [95%% CI %.2f..%.2f]\n", scheme.c_str(), budget,
+                100.0 * stratified.yield, 100.0 * stratified.lower,
                 100.0 * stratified.upper);
     // Smoke contract: the stratified design must agree with brute-force MC
     // within a generous tolerance even at the reduced-count smoke budget
-    // (both estimate the same smooth-response yield; LHS only shrinks the
-    // estimator variance).
+    // (both estimate the same smooth-response yield; the design only
+    // shrinks the estimator variance).
     const double gap = std::fabs(stratified.yield - moderate.yield);
     std::printf("  |yield(%s) - yield(mc)| = %.3f\n", scheme.c_str(), gap);
     require(gap <= 0.15,
@@ -305,22 +357,27 @@ int main(int argc, char** argv) {
   constexpr double kTailFloor = 0.015;  // V; plain MC sees ~no failures here
   constexpr std::size_t kDims = 6 * 5;  // transistors x VS parameters
 
-  // Session-backed indicator: lease a READ fixture, point its
-  // FixedDeltaProvider at z, rebind, measure.  Thread-safe (one session
-  // per concurrent evaluation), so the parallel sampler can hammer it.
+  // Session-backed indicator: lease a READ fixture, arm its fixed-z
+  // provider, rebind, measure.  Thread-safe (one session per concurrent
+  // evaluation), so the parallel sampler can hammer it.  The indicator
+  // path pins ToleranceTier::perSample regardless of --statistical: its
+  // leases are per-EVALUATION, so a warm chain here would depend on which
+  // session served which z -- schedule-dependent, breaking the sampler's
+  // bit-identity across thread counts.
+  spice::SessionOptions tailOptions = sessionOptions;
+  tailOptions.tier = spice::ToleranceTier::perSample;
   ButterflyPool tailPool(
       [&kit](circuits::DeviceProvider& provider) {
         return circuits::buildSramButterfly(provider, kit.vdd(),
                                             circuits::SramMode::Read,
                                             circuits::SramSizing{});
       },
-      [&kit] { return std::make_unique<FixedDeltaProvider>(kit); },
-      sessionOptions);
+      [&kit] { return makeFixedZProvider(kit); }, tailOptions);
 
   const yield::FailureIndicator cellFails =
       [&](const std::vector<double>& z) {
         auto lease = tailPool.acquire();
-        static_cast<FixedDeltaProvider&>(lease->provider()).setZ(z);
+        static_cast<circuits::FixedZProvider&>(lease->provider()).setZ(z);
         lease->rebind();
         return measure::measureSnm(lease->fixture(), lease->spice(), 45)
                    .cellSnm() < kTailFloor;
@@ -345,6 +402,16 @@ int main(int argc, char** argv) {
   yield::ImportanceOptions isOpt;
   isOpt.samples = kIsSamples;
   isOpt.seed = 99;
+  // With the sobol scheme, the importance sampler's base points come from
+  // the randomized Sobol generator instead of iid draws -- variance
+  // reduction composed with the mean shift.
+  std::unique_ptr<mc::SampleGenerator> isGen;
+  if (scheme == "sobol") {
+    isGen = std::make_unique<mc::SobolSampler>(
+        kDims, static_cast<std::size_t>(kIsSamples), 424);
+    isOpt.generator = isGen.get();
+    std::printf("  base points: randomized Sobol (%zu dims)\n", kDims);
+  }
   const yield::ImportanceResult is =
       yield::importanceSample(cellFails, shift, isOpt);
   const yield::ImportanceResult bf =

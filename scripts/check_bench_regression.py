@@ -16,6 +16,10 @@ is matched by "name" against the committed reference and judged per metric:
     reference by more than --alloc-slack (default 0.5/sample; campaign
     bookkeeping amortizes differently at --quick sample counts, so
     reference rows may override the ceiling with "ci_max_<metric>": N).
+  * contract ceilings -- estimator_max_sigma_delta -- must stay below a
+    fixed bound (3 sigma by default; "ci_max_<metric>" overrides), so the
+    statistical tier's accuracy contract gates independently of the
+    throughput bands.
   * "ci_skip": ["metric", ...] in a reference row skips named metrics.
 
 Every reference row must be present in the current output (a vanished row
@@ -32,7 +36,7 @@ import json
 import sys
 
 LOWER_BETTER = ("us_per_sample", "ns_per_iter", "ns_per_device_eval",
-                "fresh_factor_us")
+                "fresh_factor_us", "mean_iters_per_sample")
 HIGHER_BETTER = (
     "samples_per_sec",
     "speedup_vs_scalar",
@@ -41,9 +45,18 @@ HIGHER_BETTER = (
     "speedup_vs_fresh",
     "speedup_vs_norescue",
     "speedup_vs_dense_lu",
+    "speedup_vs_per_sample",
+    "warm_start_hit_rate",
 )
-BOOL_MUST_HOLD = ("bit_identical", "within_tolerance")
+BOOL_MUST_HOLD = ("bit_identical", "within_tolerance",
+                  "within_sigma_contract")
 ALLOC_METRICS = ("allocs", "allocs_per_sample", "allocs_per_factor")
+# Hard contract ceilings: fail when the current value exceeds the bound
+# (overridable per row with "ci_max_<metric>").  estimator_max_sigma_delta
+# is the statistical tier's accuracy contract -- the worst estimator shift
+# in units of its Monte Carlo standard error must stay within 3 sigma
+# regardless of how the throughput rows move.
+BOUNDED_METRICS = {"estimator_max_sigma_delta": 3.0}
 
 
 def load_reference(path):
@@ -123,6 +136,14 @@ def check_row(ref, cur, tolerance, alloc_slack):
         c = float(cur[metric])
         ok = c <= ceiling
         yield metric, float(ref[metric]), c, f"cap {ceiling:.2f}", ok, "no new allocations"
+
+    for metric, default_cap in BOUNDED_METRICS.items():
+        if metric in skip or metric not in ref or metric not in cur:
+            continue
+        ceiling = float(ref.get(f"ci_max_{metric}", default_cap))
+        c = float(cur[metric])
+        ok = c <= ceiling
+        yield metric, float(ref[metric]), c, f"cap {ceiling:.2f}", ok, "contract ceiling"
 
 
 def main():

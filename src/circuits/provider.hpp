@@ -95,6 +95,38 @@ class NominalProvider final : public DeviceProvider {
   std::unique_ptr<models::MosfetModel> pmos_;
 };
 
+/// Base for providers that realize mismatch from an externally supplied
+/// vector of STANDARDIZED normal coordinates instead of an internal RNG:
+/// variance-reduction designs (Latin hypercube, Halton/Sobol, importance
+/// sampling) compute the z-vector up front and the provider scales it by
+/// the process sigmas.  Consumption contract: derived make()/resample()
+/// pull coordinates via nextZ() in the build's device order; setZ() arms
+/// the vector for the next sample and rewinds the cursor; reseed() ONLY
+/// rewinds the cursor (there is no random stream), which is exactly what
+/// lets rescue-ladder replays re-run the same z-vector bit-for-bit.
+class FixedZProvider : public DeviceProvider {
+ public:
+  /// Arms the provider with one sample's standardized coordinates.
+  void setZ(std::vector<double> z) {
+    z_ = std::move(z);
+    cursor_ = 0;
+  }
+
+  /// Rewinds the cursor; the armed z-vector replays from the start.
+  void reseed(const stats::Rng& /*rng*/) override { cursor_ = 0; }
+
+ protected:
+  /// Next standardized coordinate; 0.0 (the nominal point) past the end,
+  /// so shorter-than-needed vectors perturb only the leading devices.
+  [[nodiscard]] double nextZ() noexcept {
+    return cursor_ < z_.size() ? z_[cursor_++] : 0.0;
+  }
+
+ private:
+  std::vector<double> z_;
+  std::size_t cursor_ = 0;
+};
+
 /// Pass-through wrapper that records every make() call during a one-time
 /// fixture build.  sim::CampaignSession wraps the worker's provider in one
 /// of these while the builder runs, then resolves the records to the built

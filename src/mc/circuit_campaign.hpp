@@ -13,18 +13,41 @@
 // thread-count-independence guarantee (results never depend on which
 // worker served which sample) but replace rebuild bit-identity with the
 // documented tolerance contracts (README, "Session modes").
+//
+// ToleranceTier::statistical adds the third axis: samples are dispatched
+// in fixed-size warm-chain blocks (kStatisticalSampleBlock unless
+// McOptions::sampleBlock overrides it).  One session lease spans each
+// block; within it sample k's analyses seed Newton from sample k-1's
+// converged states and blocks start cold, so the warm-start pattern is a
+// pure function of the sample index -- statistical campaigns remain
+// bit-identical across 1/2/4/... workers, they only trade per-sample
+// bit-identity with perSample runs for the estimator-level contract.
+//
+// A SamplingPlan with a generator scheme (iid/lhs/halton/sobol) replaces
+// the provider's internal RNG with externally computed standardized
+// coordinates: the plan's generator is evaluated at each sample index and
+// armed on the session's circuits::FixedZProvider before the rebind.
 #ifndef VSSTAT_MC_CIRCUIT_CAMPAIGN_HPP
 #define VSSTAT_MC_CIRCUIT_CAMPAIGN_HPP
 
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "mc/runner.hpp"
+#include "mc/samplers.hpp"
 #include "sim/rescue.hpp"
 #include "sim/session.hpp"
 
 namespace vsstat::mc {
+
+/// Default warm-chain block length of statistical-tier campaigns.  Long
+/// enough that the per-block cold start is amortized away, short enough
+/// that blocks still load-balance across workers for quick-bench sample
+/// counts.  Part of the determinism contract: results depend on this
+/// value, never on the thread count.
+inline constexpr int kStatisticalSampleBlock = 32;
 
 /// Factory for per-worker device providers.  Each session owns one; its
 /// initial RNG state is irrelevant (bindSample reseeds before every rebind
@@ -44,6 +67,38 @@ using CircuitSampleFn = std::function<void(
     std::size_t index, sim::CampaignSession<Fixture>& session,
     stats::Rng& rng, std::vector<double>& out)>;
 
+namespace detail {
+
+/// Thread-local slot naming the session whose lease the currently running
+/// warm-chain block holds.  Save/restore semantics (BlockHold) keep nested
+/// same-fixture campaigns from clobbering their caller's block.
+template <class Fixture>
+[[nodiscard]] inline sim::CampaignSession<Fixture>*&
+blockSessionSlot() noexcept {
+  static thread_local sim::CampaignSession<Fixture>* slot = nullptr;
+  return slot;
+}
+
+/// Block-scoped lease holder: acquired on the worker that runs the block,
+/// cold-started (warm chains never cross block boundaries), published via
+/// the thread-local slot, released when the block's last sample finished.
+template <class Fixture>
+struct BlockHold {
+  typename sim::SessionPool<Fixture>::Lease lease;
+  sim::CampaignSession<Fixture>* prev;
+
+  explicit BlockHold(typename sim::SessionPool<Fixture>::Lease l)
+      : lease(std::move(l)), prev(blockSessionSlot<Fixture>()) {
+    lease->coldStart();
+    blockSessionSlot<Fixture>() = &*lease;
+  }
+  ~BlockHold() { blockSessionSlot<Fixture>() = prev; }
+  BlockHold(const BlockHold&) = delete;
+  BlockHold& operator=(const BlockHold&) = delete;
+};
+
+}  // namespace detail
+
 /// Runs a Monte Carlo campaign over one circuit topology.  `build` is
 /// invoked once per worker session (not per sample); `fn` measures the
 /// rebound fixture.  Call with the fixture type explicit, e.g.
@@ -53,22 +108,61 @@ using CircuitSampleFn = std::function<void(
 /// first walks the deterministic rescue ladder (sim/rescue.hpp, disable via
 /// `rescue.enabled = false`); a sample the ladder recovers counts in
 /// McResult::rescued, one it cannot is dropped under its failure class.
-/// Non-SampleFailure exceptions abort the campaign.
+/// Non-SampleFailure exceptions abort the campaign.  A failed or rescued
+/// sample also voids the statistical tier's warm chain, so the drop/rescue
+/// taxonomy stays a pure function of the sample index.
 template <class Fixture>
 [[nodiscard]] McResult runCampaign(
     const McOptions& options, std::size_t metricCount,
     const typename sim::CampaignSession<Fixture>::Builder& build,
     const ProviderFactory& providerFactory, const CircuitSampleFn<Fixture>& fn,
     spice::SessionOptions sessionOptions = {},
-    const sim::RescuePolicy& rescue = {}) {
+    const sim::RescuePolicy& rescue = {}, const SamplingPlan& plan = {}) {
+  McOptions effective = options;
+  if (sessionOptions.tier == spice::ToleranceTier::statistical &&
+      effective.sampleBlock == 0)
+    effective.sampleBlock = kStatisticalSampleBlock;
+
+  const std::unique_ptr<SampleGenerator> generator = makeSampleGenerator(
+      plan, static_cast<std::size_t>(effective.samples), effective.seed);
+
   sim::SessionPool<Fixture> pool(build, providerFactory, sessionOptions);
-  return runCampaign(
-      options, metricCount,
-      SampleFnEx([&](std::size_t index, stats::Rng& rng,
-                     std::vector<double>& out, SampleContext& ctx) {
-        typename sim::SessionPool<Fixture>::Lease lease = pool.acquire();
-        sim::runSampleWithRescue(index, *lease, rng, out, ctx, fn, rescue);
-      }));
+
+  // Arms the plan's z-vector for this sample.  FixedZProvider::reseed only
+  // rewinds the cursor, so rescue-ladder replays (bindSample per attempt)
+  // re-run the same coordinates bit-for-bit.
+  const auto armGenerator = [&](sim::CampaignSession<Fixture>& session,
+                                std::size_t index) {
+    if (generator == nullptr) return;
+    auto* fixed =
+        dynamic_cast<circuits::FixedZProvider*>(&session.provider());
+    require(fixed != nullptr,
+            "runCampaign: SamplingPlan generator schemes require the "
+            "provider factory to produce circuits::FixedZProvider sessions");
+    fixed->setZ(generator->standardNormals(index));
+  };
+
+  const auto runSample = [&](std::size_t index, stats::Rng& rng,
+                             std::vector<double>& out, SampleContext& ctx) {
+    if (sim::CampaignSession<Fixture>* block =
+            detail::blockSessionSlot<Fixture>()) {
+      armGenerator(*block, index);
+      sim::runSampleWithRescue(index, *block, rng, out, ctx, fn, rescue);
+      return;
+    }
+    typename sim::SessionPool<Fixture>::Lease lease = pool.acquire();
+    armGenerator(*lease, index);
+    sim::runSampleWithRescue(index, *lease, rng, out, ctx, fn, rescue);
+  };
+
+  BlockResourceFn blockResource;
+  if (effective.sampleBlock > 0)
+    blockResource = [&pool](std::size_t) -> std::shared_ptr<void> {
+      return std::make_shared<detail::BlockHold<Fixture>>(pool.acquire());
+    };
+
+  return runCampaign(effective, metricCount, SampleFnEx(runSample),
+                     blockResource);
 }
 
 }  // namespace vsstat::mc

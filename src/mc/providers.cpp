@@ -49,6 +49,55 @@ void VsStatisticalProvider::resample(models::DeviceType type,
   element.rebind(varied, models::applyGeometry(nominal, delta));
 }
 
+VsFixedZProvider::VsFixedZProvider(models::VsParams nmos,
+                                   models::VsParams pmos,
+                                   models::PelgromAlphas nmosAlphas,
+                                   models::PelgromAlphas pmosAlphas)
+    : nmos_(nmos), pmos_(pmos), nmosAlphas_(nmosAlphas),
+      pmosAlphas_(pmosAlphas) {}
+
+models::VariationDelta VsFixedZProvider::draw(
+    models::DeviceType type, const models::DeviceGeometry& nominal) {
+  const bool isN = type == models::DeviceType::Nmos;
+  const models::PelgromAlphas& alphas = isN ? nmosAlphas_ : pmosAlphas_;
+  const models::ParameterSigmas sigmas = models::sigmasFor(alphas, nominal);
+  // Same parameter order as models::sampleDelta, so a z-vector of iid
+  // normals reproduces the RNG provider's distribution exactly.
+  models::VariationDelta d;
+  d.dVt0 = sigmas.sVt0 * nextZ();
+  d.dLeff = sigmas.sLeff * nextZ();
+  d.dWeff = sigmas.sWeff * nextZ();
+  d.dMu = sigmas.sMu * nextZ();
+  d.dCinv = sigmas.sCinv * nextZ();
+  return d;
+}
+
+circuits::DeviceInstance VsFixedZProvider::make(
+    models::DeviceType type, const std::string& /*instanceName*/,
+    const models::DeviceGeometry& nominal) {
+  const bool isN = type == models::DeviceType::Nmos;
+  const models::VsParams& card = isN ? nmos_ : pmos_;
+  const models::VariationDelta delta = draw(type, nominal);
+
+  circuits::DeviceInstance inst;
+  inst.model =
+      std::make_unique<models::VsModel>(models::applyToVs(card, delta));
+  inst.geometry = models::applyGeometry(nominal, delta);
+  return inst;
+}
+
+void VsFixedZProvider::resample(models::DeviceType type,
+                                const std::string& /*instanceName*/,
+                                const models::DeviceGeometry& nominal,
+                                spice::MosfetElement& element) {
+  const bool isN = type == models::DeviceType::Nmos;
+  const models::VsParams& card = isN ? nmos_ : pmos_;
+  const models::VariationDelta delta = draw(type, nominal);
+
+  const models::VsModel varied(models::applyToVs(card, delta));
+  element.rebind(varied, models::applyGeometry(nominal, delta));
+}
+
 BsimStatisticalProvider::BsimStatisticalProvider(
     models::BsimParams nmos, models::BsimParams pmos,
     models::BsimMismatch nmosMismatch, models::BsimMismatch pmosMismatch,

@@ -44,6 +44,40 @@ class VsStatisticalProvider final : public circuits::DeviceProvider {
   stats::Rng rng_;
 };
 
+/// VS-kit provider over an externally supplied standardized z-vector
+/// (circuits::FixedZProvider): every transistor consumes FIVE coordinates
+/// in the sampleDelta order (Vt0, Leff, Weff, Mu, Cinv), scaled by the
+/// same Pelgrom sigmas VsStatisticalProvider uses.  This is the seam that
+/// lets mc::SamplingPlan generators (LHS/Halton/Sobol) and the yield
+/// importance sampler drive the standard campaign machinery.
+class VsFixedZProvider final : public circuits::FixedZProvider {
+ public:
+  VsFixedZProvider(models::VsParams nmos, models::VsParams pmos,
+                   models::PelgromAlphas nmosAlphas,
+                   models::PelgromAlphas pmosAlphas);
+
+  /// Coordinates consumed per transistor instance.
+  static constexpr std::size_t kDimsPerDevice = 5;
+
+  [[nodiscard]] circuits::DeviceInstance make(
+      models::DeviceType type, const std::string& instanceName,
+      const models::DeviceGeometry& nominal) override;
+
+  /// Allocation-free rebind (see VsStatisticalProvider::resample).
+  void resample(models::DeviceType type, const std::string& instanceName,
+                const models::DeviceGeometry& nominal,
+                spice::MosfetElement& element) override;
+
+ private:
+  [[nodiscard]] models::VariationDelta draw(
+      models::DeviceType type, const models::DeviceGeometry& nominal);
+
+  models::VsParams nmos_;
+  models::VsParams pmos_;
+  models::PelgromAlphas nmosAlphas_;
+  models::PelgromAlphas pmosAlphas_;
+};
+
 /// Statistical golden-kit provider (the paper's "golden" BSIM reference).
 class BsimStatisticalProvider final : public circuits::DeviceProvider {
  public:

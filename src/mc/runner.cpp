@@ -16,7 +16,8 @@ std::size_t McResult::sampleCount() const {
 }
 
 McResult runCampaign(const McOptions& options, std::size_t metricCount,
-                     const SampleFnEx& fn) {
+                     const SampleFnEx& fn,
+                     const BlockResourceFn& blockResource) {
   require(options.samples > 0, "runCampaign: samples must be > 0");
   require(metricCount > 0, "runCampaign: metricCount must be > 0");
 
@@ -31,47 +32,66 @@ McResult runCampaign(const McOptions& options, std::size_t metricCount,
   // is written by at most one worker per slot, then reduced single-threaded.
   std::vector<signed char> failClass(n, -1);
   std::vector<int> rescues(n, 0);
+  std::vector<SampleContext> contexts(n);
   std::vector<std::string> failMessage(n);
   const stats::Rng campaign(options.seed);
 
-  util::parallelFor(
-      n,
-      [&](std::size_t i) {
-        stats::Rng rng = campaign.fork(i);
-        // Per-worker scratch, reused across every sample this thread runs
-        // (and across campaigns -- pool workers are persistent).  assign()
-        // keeps the capacity, so steady-state samples allocate nothing
-        // here.  One scratch per nesting depth keeps a sample fn that runs
-        // an inner campaign from clobbering its caller's buffer.
-        thread_local std::vector<std::vector<double>> scratchStack;
-        thread_local std::size_t depth = 0;
-        if (scratchStack.size() <= depth) scratchStack.resize(depth + 1);
-        std::vector<double>& out = scratchStack[depth];
-        out.assign(metricCount, 0.0);
-        ++depth;
-        struct DepthGuard {
-          std::size_t& d;
-          ~DepthGuard() { --d; }
-        } guard{depth};
-        SampleContext ctx;
-        try {
-          fn(i, rng, out, ctx);
-          if (out.size() < metricCount) return;  // malformed sample: dropped
-          std::copy_n(out.begin(), metricCount, flat.begin() + i * metricCount);
-          ok[i] = 1;
-          rescues[i] = ctx.rescueAttempts;
-        } catch (const SampleFailure& e) {
-          // A classified dropped corner (non-convergence, singular
-          // Jacobian, NaN seam, undefined metric).  Anything not derived
-          // from SampleFailure is a programming error, not an extreme
-          // sample, and propagates out of the sweep (util::parallelFor
-          // rethrows the first such exception on the calling thread).
-          ok[i] = 0;
-          failClass[i] = static_cast<signed char>(e.failureClass());
-          failMessage[i] = e.what();
-        }
-      },
-      options.threads);
+  const auto runOne = [&](std::size_t i) {
+    stats::Rng rng = campaign.fork(i);
+    // Per-worker scratch, reused across every sample this thread runs
+    // (and across campaigns -- pool workers are persistent).  assign()
+    // keeps the capacity, so steady-state samples allocate nothing
+    // here.  One scratch per nesting depth keeps a sample fn that runs
+    // an inner campaign from clobbering its caller's buffer.
+    thread_local std::vector<std::vector<double>> scratchStack;
+    thread_local std::size_t depth = 0;
+    if (scratchStack.size() <= depth) scratchStack.resize(depth + 1);
+    std::vector<double>& out = scratchStack[depth];
+    out.assign(metricCount, 0.0);
+    ++depth;
+    struct DepthGuard {
+      std::size_t& d;
+      ~DepthGuard() { --d; }
+    } guard{depth};
+    SampleContext ctx;
+    try {
+      fn(i, rng, out, ctx);
+      if (out.size() < metricCount) return;  // malformed sample: dropped
+      std::copy_n(out.begin(), metricCount, flat.begin() + i * metricCount);
+      ok[i] = 1;
+      rescues[i] = ctx.rescueAttempts;
+      contexts[i] = ctx;
+    } catch (const SampleFailure& e) {
+      // A classified dropped corner (non-convergence, singular
+      // Jacobian, NaN seam, undefined metric).  Anything not derived
+      // from SampleFailure is a programming error, not an extreme
+      // sample, and propagates out of the sweep (util::parallelFor
+      // rethrows the first such exception on the calling thread).
+      ok[i] = 0;
+      failClass[i] = static_cast<signed char>(e.failureClass());
+      failMessage[i] = e.what();
+    }
+  };
+
+  if (options.sampleBlock > 0) {
+    // Blocked dispatch: work items are fixed-size contiguous index blocks
+    // run serially in order.  Block geometry depends only on sampleBlock,
+    // so results stay bit-identical across thread counts; the dynamic
+    // claiming of whole blocks keeps workers load-balanced.
+    const auto block = static_cast<std::size_t>(options.sampleBlock);
+    const std::size_t blocks = (n + block - 1) / block;
+    util::parallelFor(
+        blocks,
+        [&](std::size_t b) {
+          const std::shared_ptr<void> resource =
+              blockResource ? blockResource(b) : nullptr;
+          const std::size_t end = std::min(n, (b + 1) * block);
+          for (std::size_t i = b * block; i < end; ++i) runOne(i);
+        },
+        options.threads);
+  } else {
+    util::parallelFor(n, runOne, options.threads);
+  }
 
   // Single-threaded reduction in sample-index order: metric rows, failure
   // taxonomy, and the first-failure diagnostic are all deterministic
@@ -95,10 +115,18 @@ McResult runCampaign(const McOptions& options, std::size_t metricCount,
       continue;
     }
     if (rescues[i] > 0) ++result.rescued;
+    result.newtonIterations += contexts[i].newtonIterations;
+    result.warmStartHits += contexts[i].warmStartHits;
+    result.warmStartOpportunities += contexts[i].warmStartOpportunities;
     for (std::size_t m = 0; m < metricCount; ++m)
       result.metrics[m].push_back(flat[i * metricCount + m]);
   }
   return result;
+}
+
+McResult runCampaign(const McOptions& options, std::size_t metricCount,
+                     const SampleFnEx& fn) {
+  return runCampaign(options, metricCount, fn, BlockResourceFn{});
 }
 
 McResult runCampaign(const McOptions& options, std::size_t metricCount,

@@ -13,6 +13,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,14 @@ struct McOptions {
   int samples = 1000;
   std::uint64_t seed = 42;
   unsigned threads = 0;  ///< 0 == hardware concurrency
+  /// When > 0, samples are dispatched to workers as contiguous fixed-size
+  /// index blocks, each processed serially in index order on one worker
+  /// (the statistical-tier warm-chain unit: sample k seeds from sample
+  /// k-1 within a block, and blocks start cold).  Because the block
+  /// geometry depends only on this value -- never on the thread count or
+  /// the schedule -- blocked campaigns stay bit-identical across 1/2/4/...
+  /// workers, exactly like the default per-sample dispatch (0).
+  int sampleBlock = 0;
 };
 
 struct McResult {
@@ -51,6 +60,27 @@ struct McResult {
   /// (sim::runCampaign rescue path); 0 for plain sample functions.
   int rescued = 0;
 
+  /// Newton-iteration telemetry summed over SUCCESSFUL samples (filled by
+  /// sample functions that report it through SampleContext -- the circuit
+  /// campaign's rescue wrapper does; plain functions leave it 0).  Makes
+  /// statistical-tier iteration savings observable: mean iters/sample and
+  /// the fraction of warm-start opportunities that actually seeded.
+  std::uint64_t newtonIterations = 0;
+  std::uint64_t warmStartHits = 0;
+  std::uint64_t warmStartOpportunities = 0;
+  [[nodiscard]] double meanIterationsPerSample() const {
+    const std::size_t n = sampleCount();
+    return n == 0 ? 0.0
+                  : static_cast<double>(newtonIterations) /
+                        static_cast<double>(n);
+  }
+  [[nodiscard]] double warmStartHitRate() const noexcept {
+    return warmStartOpportunities == 0
+               ? 0.0
+               : static_cast<double>(warmStartHits) /
+                     static_cast<double>(warmStartOpportunities);
+  }
+
   /// Diagnostics of the LOWEST-INDEXED failed sample -- deterministic by
   /// construction (reduction runs in index order, never schedule order).
   struct FirstFailure {
@@ -71,6 +101,12 @@ struct McResult {
 /// ladder) use it to flag rescued samples in the result taxonomy.
 struct SampleContext {
   int rescueAttempts = 0;  ///< rescue-ladder retries consumed (0 = clean)
+  // Per-sample Newton telemetry (sim::runSampleWithRescue fills these by
+  // diffing SimSession::iterationTelemetry around the sample; reduced into
+  // the McResult aggregates in index order).
+  std::uint64_t newtonIterations = 0;
+  std::uint64_t warmStartHits = 0;
+  std::uint64_t warmStartOpportunities = 0;
 };
 
 /// Sample function: fills `out` (size metricCount) for the given sample.
@@ -82,6 +118,14 @@ using SampleFnEx = std::function<void(
     std::size_t index, stats::Rng& rng, std::vector<double>& out,
     SampleContext& ctx)>;
 
+/// Block-scoped resource hook for blocked campaigns (McOptions::
+/// sampleBlock > 0): invoked on the executing worker before a block's
+/// first sample; the returned owner lives until the block's last sample
+/// finished.  The circuit campaign uses it to hold ONE session lease
+/// across the whole warm chain.  May be null.
+using BlockResourceFn =
+    std::function<std::shared_ptr<void>(std::size_t blockIndex)>;
+
 [[nodiscard]] McResult runCampaign(const McOptions& options,
                                    std::size_t metricCount,
                                    const SampleFn& fn);
@@ -89,6 +133,11 @@ using SampleFnEx = std::function<void(
 [[nodiscard]] McResult runCampaign(const McOptions& options,
                                    std::size_t metricCount,
                                    const SampleFnEx& fn);
+
+[[nodiscard]] McResult runCampaign(const McOptions& options,
+                                   std::size_t metricCount,
+                                   const SampleFnEx& fn,
+                                   const BlockResourceFn& blockResource);
 
 }  // namespace vsstat::mc
 

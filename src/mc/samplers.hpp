@@ -13,6 +13,8 @@
 #define VSSTAT_MC_SAMPLERS_HPP
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "stats/rng.hpp"
@@ -93,6 +95,57 @@ class HaltonSampler final : public SampleGenerator {
   std::vector<std::uint32_t> bases_;
   std::vector<double> shifts_;
 };
+
+/// Randomized Sobol low-discrepancy sequence (Joe-Kuo direction numbers,
+/// Gray-code point construction), with the same Cranley-Patterson rotation
+/// as HaltonSampler.  Better high-dimension equidistribution than Halton
+/// for the 30-dimensional mismatch spaces of the SRAM yield flow.
+class SobolSampler final : public SampleGenerator {
+ public:
+  /// Supports up to 32 dimensions (embedded direction-number table).
+  SobolSampler(std::size_t dim, std::size_t samples, std::uint64_t seed);
+
+  [[nodiscard]] std::vector<double> standardNormals(
+      std::size_t sampleIndex) const override;
+
+  /// Raw [0,1) coordinate of (sampleIndex, dimension) before the rotation
+  /// (exposed for tests: equidistribution checks).
+  [[nodiscard]] double coordinate(std::size_t sampleIndex,
+                                  std::size_t dimension) const;
+
+ private:
+  std::vector<std::uint32_t> directions_;  ///< [dim * kSobolBits] v_k
+  std::vector<double> shifts_;
+};
+
+/// First-class campaign sampling plan: which generator realizes the
+/// standardized mismatch space of a circuit campaign.  `providerRng`
+/// (default) keeps the historical behavior -- the DeviceProvider draws
+/// from the sample's decorrelated child RNG.  Generator schemes require
+/// the campaign's providers to accept externally-supplied z-vectors
+/// (circuits::FixedZProvider) and make the variance-reduction designs of
+/// this header a mc::runCampaign mode instead of an examples-only loop.
+struct SamplingPlan {
+  enum class Scheme : std::uint8_t { providerRng, iid, lhs, halton, sobol };
+  Scheme scheme = Scheme::providerRng;
+  /// Standardized-space dimensionality (entries consumed per sample);
+  /// required for generator schemes.
+  std::size_t dimension = 0;
+  /// Generator seed; 0 derives one from the campaign seed.
+  std::uint64_t seed = 0;
+};
+
+[[nodiscard]] const char* toString(SamplingPlan::Scheme scheme) noexcept;
+
+/// Parses a CLI scheme name ("iid", "lhs", "halton", "sobol", "rng");
+/// throws InvalidArgumentError on anything else.
+[[nodiscard]] SamplingPlan::Scheme parseScheme(const std::string& name);
+
+/// Instantiates the plan's generator for a campaign of `samples` samples,
+/// or nullptr for Scheme::providerRng.  A zero plan seed falls back to
+/// `fallbackSeed` (the campaign seed), keeping runs reproducible.
+[[nodiscard]] std::unique_ptr<SampleGenerator> makeSampleGenerator(
+    const SamplingPlan& plan, std::size_t samples, std::uint64_t fallbackSeed);
 
 }  // namespace vsstat::mc
 

@@ -86,11 +86,13 @@ class SessionModeGuard {
   explicit SessionModeGuard(spice::SimSession& session)
       : session_(session),
         numerics_(session.numericsMode()),
-        solver_(session.solverMode()) {}
+        solver_(session.solverMode()),
+        tier_(session.toleranceTier()) {}
   ~SessionModeGuard() {
     session_.setSolveEffort(spice::SimSession::SolveEffort{});
     session_.setNumericsMode(numerics_);
     session_.setSolverMode(solver_);
+    session_.setToleranceTier(tier_);
     session_.clearSampleContext();
   }
   SessionModeGuard(const SessionModeGuard&) = delete;
@@ -100,6 +102,7 @@ class SessionModeGuard {
   spice::SimSession& session_;
   models::NumericsMode numerics_;
   linalg::SolverMode solver_;
+  spice::ToleranceTier tier_;
 };
 
 }  // namespace detail
@@ -118,6 +121,19 @@ void runSampleWithRescue(std::size_t index, CampaignSession<Fixture>& session,
   const detail::SessionModeGuard restoreModes(solver);
   const models::NumericsMode baseNumerics = solver.numericsMode();
   const linalg::SolverMode baseSolver = solver.solverMode();
+  // Per-sample iteration telemetry: diffed across every attempt the sample
+  // consumed (failed rungs included -- that is the sample's true cost), and
+  // aggregated into McResult by mc::runCampaign.
+  const spice::SimSession::IterationTelemetry itersAtEntry =
+      solver.iterationTelemetry();
+  const auto captureTelemetry = [&]() {
+    const spice::SimSession::IterationTelemetry& now =
+        solver.iterationTelemetry();
+    ctx.newtonIterations = now.newtonIterations - itersAtEntry.newtonIterations;
+    ctx.warmStartHits = now.warmStartHits - itersAtEntry.warmStartHits;
+    ctx.warmStartOpportunities =
+        now.warmStartOpportunities - itersAtEntry.warmStartOpportunities;
+  };
 
   solver.setSampleContext(index, /*attempt=*/0);
   std::exception_ptr lastFailure;
@@ -125,12 +141,20 @@ void runSampleWithRescue(std::size_t index, CampaignSession<Fixture>& session,
     stats::Rng rng = rngStart;
     session.bindSample(rng);
     fn(index, session, rng, out);
+    captureTelemetry();
     return;  // clean sample: zero mode changes, zero extra work
   } catch (const SampleFailure&) {
+    // Statistical-tier state is sample-scoped: a failure voids the warm
+    // chain (the next sample on this session cold-starts, deterministically
+    // -- the rule depends only on the sample index sequence), and every
+    // retry below runs the perSample contract so the ladder's escalations
+    // behave identically in either tier.
+    solver.clearWarmStarts();
     if (!policy.enabled) throw;
     lastFailure = std::current_exception();
   }
 
+  solver.setToleranceTier(spice::ToleranceTier::perSample);
   const std::vector<detail::RescueRung> ladder =
       detail::buildLadder(baseNumerics, baseSolver);
   for (std::size_t r = 0; r < ladder.size(); ++r) {
@@ -152,6 +176,7 @@ void runSampleWithRescue(std::size_t index, CampaignSession<Fixture>& session,
       session.bindSample(rng);
       fn(index, session, rng, out);
       ctx.rescueAttempts = attempt;
+      captureTelemetry();
       return;
     } catch (const SampleFailure&) {
       lastFailure = std::current_exception();

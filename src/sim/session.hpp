@@ -95,7 +95,15 @@ class CampaignSession {
       provider_->resample(b.record.type, b.record.instanceName,
                           b.record.nominal, *b.element);
     session_->syncDeviceBank();
+    // Statistical tier: a rebind marks the start of a sample's analysis
+    // sequence, so rewind the warm-slot cursor (inert under perSample).
+    session_->beginSampleWarmStart();
   }
+
+  /// Statistical-tier cold-start rule: invalidates every warm slot so the
+  /// next sample starts its warm chain from scratch.  Blocked campaigns
+  /// call this at block boundaries; inert under perSample.
+  void coldStart() noexcept { session_->clearWarmStarts(); }
 
   [[nodiscard]] Fixture& fixture() noexcept { return *fixture_; }
   [[nodiscard]] spice::SimSession& spice() noexcept { return *session_; }

@@ -253,7 +253,7 @@ bool dcSolveLadder(Assembler& assembler, linalg::Vector& x,
 }
 
 void runTransient(Assembler& assembler, const TransientOptions& options,
-                  Waveform& wave) {
+                  Waveform& wave, const TransientControls& controls) {
   require(options.tStop > 0.0 && options.dt > 0.0,
           "transient: tStop and dt must be positive");
   const Circuit& circuit = assembler.circuit();
@@ -263,12 +263,18 @@ void runTransient(Assembler& assembler, const TransientOptions& options,
   // re-initialized to the exact values a fresh run would construct, so
   // reuse never changes numerics.
   linalg::Vector& x = ws.xTransient;
-  x.assign(circuit.unknownCount(), 0.0);
+  if (controls.dcWarmStart != nullptr &&
+      controls.dcWarmStart->size() == circuit.unknownCount()) {
+    x = *controls.dcWarmStart;
+  } else {
+    x.assign(circuit.unknownCount(), 0.0);
+  }
   const std::uint64_t fallbacksAtEntry = ws.lu.pivotFallbackCount();
   if (!dcSolveLadder(assembler, x, options.dcOptions)) {
     throwSolveFailure(ws.report, "transient: DC operating point failed",
                       options.dcOptions.newton.maxIterations);
   }
+  if (controls.dcSolutionOut != nullptr) *controls.dcSolutionOut = x;
 
   // The DC solve left the assembler's charge state consistent with x;
   // commit it as the t = 0 history.
@@ -291,6 +297,38 @@ void runTransient(Assembler& assembler, const TransientOptions& options,
   bool firstStep = true;
   linalg::Vector& xTrial = ws.xTrial;  // hoisted: reused across steps
   xTrial.assign(x.size(), 0.0);
+  // Statistical-tier step predictor state: the previous ACCEPTED state and
+  // step size, for the linear extrapolation of the next trial iterate.
+  linalg::Vector& xPrev = ws.xPrevStep;
+  double hPrev = 0.0;
+  bool havePrev = false;
+  if (controls.predictiveSteps) xPrev.assign(x.size(), 0.0);
+
+  // Sample-to-sample trajectory warm start: the previous sample's accepted
+  // waveform, interpolated at any query time.  Fixed-dt runs align
+  // step-for-step; halving retries only shift the interpolation weights.
+  const TransientTrajectory* traj = controls.trajectoryIn;
+  if (traj != nullptr && !traj->usableFor(x.size())) traj = nullptr;
+  const auto trajSegment = [traj](double tq, std::size_t& j, double& alpha) {
+    const std::vector<double>& ts = traj->times;
+    if (tq <= ts.front()) {
+      j = 0;
+      alpha = 0.0;
+    } else if (tq >= ts.back()) {
+      j = ts.size() - 2;
+      alpha = 1.0;
+    } else {
+      j = static_cast<std::size_t>(
+              std::upper_bound(ts.begin(), ts.end(), tq) - ts.begin()) -
+          1;
+      j = std::min(j, ts.size() - 2);
+      alpha = (tq - ts[j]) / (ts[j + 1] - ts[j]);
+    }
+  };
+  if (controls.trajectoryOut != nullptr) {
+    controls.trajectoryOut->beginRecording();
+    controls.trajectoryOut->append(0.0, x);
+  }
   while (t < options.tStop - 1e-18) {
     double h = std::min(options.dt, options.tStop - t);
 
@@ -305,8 +343,38 @@ void runTransient(Assembler& assembler, const TransientOptions& options,
       } else {
         assembler.setTrapezoidal(h, slotCurrents);
       }
-      xTrial = x;
+      if (traj != nullptr && attempt == 0) {
+        // Reference-waveform predictor: previous sample's state at tNext
+        // plus this sample's current offset from that reference.
+        std::size_t j0, j1;
+        double a0, a1;
+        trajSegment(t, j0, a0);
+        trajSegment(tNext, j1, a1);
+        const linalg::Vector& lo0 = traj->states[j0];
+        const linalg::Vector& hi0 = traj->states[j0 + 1];
+        const linalg::Vector& lo1 = traj->states[j1];
+        const linalg::Vector& hi1 = traj->states[j1 + 1];
+        for (std::size_t i = 0; i < x.size(); ++i) {
+          const double ref0 = lo0[i] + a0 * (hi0[i] - lo0[i]);
+          const double ref1 = lo1[i] + a1 * (hi1[i] - lo1[i]);
+          xTrial[i] = ref1 + (x[i] - ref0);
+        }
+      } else if (controls.predictiveSteps && havePrev && !firstStep &&
+                 attempt == 0) {
+        // First iterate from the linear history extrapolation; the Newton
+        // clamp and the constant-predictor retries bound a bad guess.
+        const double ratio = hPrev > 0.0 ? std::min(h / hPrev, 2.0) : 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i)
+          xTrial[i] = x[i] + ratio * (x[i] - xPrev[i]);
+      } else {
+        xTrial = x;
+      }
       if (newtonSolve(assembler, xTrial, options.newton)) {
+        if (controls.predictiveSteps) {
+          xPrev = x;
+          hPrev = h;
+          havePrev = true;
+        }
         x = xTrial;
         // newtonSolve left the assembler's charge state consistent with x,
         // so the converged-iterate assembly is reused directly.
@@ -314,6 +382,8 @@ void runTransient(Assembler& assembler, const TransientOptions& options,
         assembler.commitCharges();
         t = tNext;
         record(t);
+        if (controls.trajectoryOut != nullptr)
+          controls.trajectoryOut->append(t, x);
         accepted = true;
         firstStep = false;
         break;

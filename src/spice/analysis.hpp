@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "linalg/matrix.hpp"
 #include "spice/circuit.hpp"
 #include "spice/waveform.hpp"
 
@@ -62,6 +63,38 @@ struct TransientOptions {
   double dtMin = 1e-16;    ///< recovery floor for step halving [s]
   NewtonOptions newton;
   DcOptions dcOptions;     ///< for the t=0 operating point
+};
+
+/// Accepted-step trajectory of one transient run: the full unknown vector
+/// at every accepted time point (t = 0 DC state included).  The
+/// statistical tier's sample-to-sample transient warm start records the
+/// previous sample's trajectory and seeds each step's Newton from it (the
+/// reference waveform plus the current sample's running offset).
+struct TransientTrajectory {
+  /// times.size() is the logical length; states may retain MORE entries
+  /// than that (beginRecording keeps previously grown state buffers so a
+  /// steady-state campaign records allocation-free).
+  std::vector<double> times;
+  std::vector<linalg::Vector> states;
+
+  /// Resets the logical length to zero, retaining every state buffer.
+  void beginRecording() noexcept { times.clear(); }
+  void append(double t, const linalg::Vector& x) {
+    if (times.size() < states.size()) {
+      states[times.size()] = x;  // reuses the retained buffer's capacity
+    } else {
+      states.push_back(x);
+    }
+    times.push_back(t);
+  }
+  [[nodiscard]] bool usableFor(std::size_t unknowns) const noexcept {
+    return times.size() >= 2 && states.size() >= times.size() &&
+           states.front().size() == unknowns;
+  }
+  void swap(TransientTrajectory& other) noexcept {
+    times.swap(other.times);
+    states.swap(other.states);
+  }
 };
 
 /// Runs a transient analysis; returns node-voltage waveforms (all nodes).

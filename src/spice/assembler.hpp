@@ -49,6 +49,8 @@ struct NewtonWorkspace {
   // reuse capacity across Monte Carlo samples instead of reallocating.
   linalg::Vector xTransient;
   linalg::Vector xTrial;
+  /// Previous accepted transient state (statistical-tier step predictor).
+  linalg::Vector xPrevStep;
   std::vector<double> slotCurrents;
   std::vector<double> sampleBuf;
   /// Homotopy trial iterate (detail::dcSolveLadder gmin/source stepping).

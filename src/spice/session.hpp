@@ -58,6 +58,31 @@ namespace detail {
 class Assembler;
 }
 
+/// Third orthogonal campaign axis (alongside models::NumericsMode and
+/// linalg::SolverMode): which accuracy contract the session's solves honor.
+enum class ToleranceTier : std::uint8_t {
+  /// Default: the per-sample contract.  Every analysis starts from the
+  /// documented cold state (zero guess + homotopy ladder), so results are
+  /// bit-identical (reference/fresh) or 1e-8-tolerance-contracted
+  /// (fast/reusePivot) against the free functions, sample by sample.
+  perSample,
+  /// Campaign-estimator contract: analyses may warm-start from previous
+  /// samples' converged states (SimSession warm slots), sweep levels seed
+  /// Newton from a linear extrapolation of earlier levels, transient steps
+  /// use a linear step predictor, and Newton tolerances relax 10x.  Every
+  /// per-sample value remains deterministic -- a fixed warm-start chain
+  /// produces the same bits on every run and every worker -- but is no
+  /// longer individually comparable to a cold solve; the accuracy contract
+  /// moves to the ESTIMATOR (mean/sigma/quantile/yield within N Monte
+  /// Carlo standard errors of a perSample run; see README "Session
+  /// modes").  Not for debugging or bit-identity comparisons.
+  statistical,
+};
+
+[[nodiscard]] inline const char* toString(ToleranceTier tier) noexcept {
+  return tier == ToleranceTier::statistical ? "statistical" : "per-sample";
+}
+
 struct SessionOptions {
   /// Batched struct-of-arrays MOSFET evaluation (spice/device_bank.hpp).
   /// Bit-identical to the scalar element loop by contract; turning it off
@@ -80,6 +105,11 @@ struct SessionOptions {
   /// thread-count-independent.  Composes with `numerics` -- the two axes
   /// gate independent halves of the bit-identity contract.
   linalg::SolverMode solver = linalg::SolverMode::fresh;
+  /// Accuracy tier of the session's solves (ToleranceTier).  `perSample`
+  /// (default) keeps the cold-start per-sample contract; `statistical`
+  /// enables warm-started, relaxed-tolerance solves under the
+  /// estimator-level contract.  Orthogonal to `numerics` and `solver`.
+  ToleranceTier tier = ToleranceTier::perSample;
   /// Test-only deterministic fault schedule (spice/fault_injection.hpp),
   /// shared across the campaign's worker sessions.  Null (default) leaves
   /// every injection site inert.
@@ -195,6 +225,41 @@ class SimSession {
     return effort_;
   }
 
+  /// Switches the accuracy tier in place (rescue rungs force `perSample`
+  /// for their retries and restore the baseline afterwards).  Warm slots
+  /// are kept -- only consumption/production is gated -- so restoring the
+  /// statistical tier resumes the warm chain deterministically.
+  void setToleranceTier(ToleranceTier tier) noexcept { tier_ = tier; }
+  [[nodiscard]] ToleranceTier toleranceTier() const noexcept { return tier_; }
+
+  // --- statistical-tier warm starts ------------------------------------------
+  // Under ToleranceTier::statistical every top-level analysis entry
+  // (dcOperatingPoint from zero, dcSweepNode, transient) consumes one warm
+  // SLOT in call order: slot i seeds analysis i from the converged state
+  // the PREVIOUS sample's analysis i stored there.  Campaign samples run a
+  // fixed analysis sequence, so the cursor-aligned slots always pair like
+  // with like.  Under perSample the slots are inert.
+
+  /// Marks the start of a sample's analysis sequence: rewinds the warm
+  /// cursor to slot 0.  sim::CampaignSession calls this from every rebind.
+  void beginSampleWarmStart() noexcept { warmCursor_ = 0; }
+  /// Invalidates every warm slot (deterministic cold-start rule: block
+  /// boundaries of a blocked campaign, and rescue-ladder engagement).
+  void clearWarmStarts() noexcept;
+
+  /// Cumulative Newton-iteration counters over the session's lifetime.
+  /// Campaign wrappers diff them around a sample to aggregate per-campaign
+  /// mean iterations/sample and the warm-start hit rate (mc::McResult).
+  struct IterationTelemetry {
+    std::uint64_t newtonIterations = 0;  ///< summed SolveReport::iterations
+    std::uint64_t solves = 0;            ///< top-level + sweep-level solves
+    std::uint64_t warmStartHits = 0;     ///< solves seeded from a warm slot
+    std::uint64_t warmStartOpportunities = 0;  ///< statistical-tier entries
+  };
+  [[nodiscard]] const IterationTelemetry& iterationTelemetry() const noexcept {
+    return iterTelemetry_;
+  }
+
   /// Arms the fault injector (if any) for (sampleIndex, rescue attempt).
   void setSampleContext(std::size_t sampleIndex, int attempt) noexcept;
   void clearSampleContext() noexcept;
@@ -222,16 +287,38 @@ class SimSession {
   void primePivotReuse();
 
   /// Applies the session's SolveEffort to per-call options (exact no-op at
-  /// the identity default).
+  /// the identity default).  Under the statistical tier the Newton
+  /// tolerances additionally relax 10x -- far below the Monte Carlo
+  /// standard error the tier's estimator contract is stated against.
   [[nodiscard]] DcOptions applyEffort(const DcOptions& options) const noexcept;
   [[nodiscard]] NewtonOptions applyEffort(
       const NewtonOptions& options) const noexcept;
 
+  /// One sample-to-sample warm-start slot (see beginSampleWarmStart).
+  struct WarmSlot {
+    linalg::Vector x;
+    /// Transient slots also carry the previous sample's accepted-step
+    /// trajectory (the reference waveform for the step predictor).
+    TransientTrajectory traj;
+    bool valid = false;
+  };
+  /// Next slot in analysis-call order, or nullptr under perSample.
+  [[nodiscard]] WarmSlot* nextWarmSlot();
+  /// Accumulates one top-level solve into the iteration telemetry.
+  void noteSolve(int iterations, bool warmSeeded, bool opportunity) noexcept;
+
   Circuit* circuit_;
   std::unique_ptr<detail::Assembler> assembler_;
   linalg::SolverMode solverMode_ = linalg::SolverMode::fresh;
+  ToleranceTier tier_ = ToleranceTier::perSample;
   SolveEffort effort_;
   linalg::Vector sweepX_;  ///< persistent sweep iterate (dcSweepNode)
+  linalg::Vector sweepPrevX_;   ///< previous converged level (extrapolation)
+  linalg::Vector sweepPrev2X_;  ///< two-back converged level (quadratic)
+  TransientTrajectory trajScratch_;  ///< in-flight transient recording
+  std::vector<WarmSlot> warmSlots_;
+  std::size_t warmCursor_ = 0;
+  IterationTelemetry iterTelemetry_;
 };
 
 }  // namespace vsstat::spice

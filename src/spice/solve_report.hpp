@@ -48,6 +48,10 @@ struct SolveReport {
   std::uint64_t pivotFallbacks = 0;  ///< reuse-mode breakdown re-pivots
   bool sawSingular = false;  ///< any refactor hit a singular matrix
   bool sawNonFinite = false;  ///< any residual/device output went NaN/Inf
+  /// The solve's first iterate came from a statistical-tier warm-start
+  /// predictor (a previous sample's converged state) instead of the zero
+  /// guess.  Always false under ToleranceTier::perSample.
+  bool warmStarted = false;
 
   void reset() noexcept { *this = SolveReport{}; }
 };

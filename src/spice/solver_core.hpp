@@ -51,12 +51,38 @@ bool dcSolveLadder(Assembler& assembler, linalg::Vector& x,
 OperatingPoint packSolution(const Circuit& circuit, const linalg::Vector& x);
 linalg::Vector unpackGuess(const Circuit& circuit, const OperatingPoint& op);
 
+/// Statistical-tier warm-start seam of the transient driver.  The default
+/// state is inert: a zero-initialized TransientControls reproduces the
+/// historical code path bit for bit.
+struct TransientControls {
+  /// Seed for the t = 0 DC ladder (previous sample's DC solution); null or
+  /// size-mismatched falls back to the zero guess.
+  const linalg::Vector* dcWarmStart = nullptr;
+  /// Receives the converged t = 0 DC solution (the state worth handing to
+  /// the NEXT sample as dcWarmStart); null skips the copy.
+  linalg::Vector* dcSolutionOut = nullptr;
+  /// Linear step predictor: seed each trapezoidal step's Newton from
+  /// x + (x - xPrev) * h/hPrev instead of the constant x.  Halving retries
+  /// always fall back to the constant predictor.
+  bool predictiveSteps = false;
+  /// Previous sample's accepted-step trajectory: when usable, each step's
+  /// first iterate becomes ref(tNext) + (x - ref(t)) -- the reference
+  /// waveform carried to the new time plus the current sample's running
+  /// offset from it.  Beats the local extrapolation because the reference
+  /// already contains the waveform's shape; only the (slowly varying)
+  /// mismatch offset is predicted constant.  Null disables.
+  const TransientTrajectory* trajectoryIn = nullptr;
+  /// Receives this run's accepted trajectory (cleared first; t = 0 DC state
+  /// included) -- the reference for the NEXT sample.  Null skips recording.
+  TransientTrajectory* trajectoryOut = nullptr;
+};
+
 /// Full transient run on an existing assembler (t = 0 DC solve included),
 /// recorded into `out` (reset first; capacity reused).  Scratch vectors
 /// live in the assembler's workspace, so a warm session transient performs
 /// no per-run allocations beyond waveform growth past prior capacity.
 void runTransient(Assembler& assembler, const TransientOptions& options,
-                  Waveform& out);
+                  Waveform& out, const TransientControls& controls = {});
 
 /// By-value convenience wrapper around the overload above.
 Waveform runTransient(Assembler& assembler, const TransientOptions& options);

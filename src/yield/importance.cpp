@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "mc/samplers.hpp"
 #include "stats/rng.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -24,6 +25,13 @@ ImportanceResult importanceSample(const FailureIndicator& fails,
   require(static_cast<bool>(fails), "importanceSample: empty indicator");
   require(!shift.empty(), "importanceSample: empty shift vector");
   require(options.samples > 1, "importanceSample: need > 1 samples");
+  if (options.generator != nullptr) {
+    require(options.generator->dimension() == shift.size(),
+            "importanceSample: generator dimension != shift dimension");
+    require(options.generator->samples() >=
+                static_cast<std::size_t>(options.samples),
+            "importanceSample: generator holds fewer points than samples");
+  }
 
   const double shiftNormSq = dot(shift, shift);
   const stats::Rng campaign(options.seed);
@@ -38,13 +46,21 @@ ImportanceResult importanceSample(const FailureIndicator& fails,
   util::parallelFor(
       n,
       [&](std::size_t s) {
-        stats::Rng rng = campaign.fork(s);
         // Per-call buffer: an indicator may itself run a nested campaign
         // on this thread (nested parallelFor degrades to serial), so a
         // thread_local scratch would be overwritten under the caller.
-        std::vector<double> z(shift.size());
-        for (std::size_t i = 0; i < z.size(); ++i)
-          z[i] = shift[i] + rng.normal();
+        // Either source of base points is a deterministic function of the
+        // sample index, preserving the thread-count independence below.
+        std::vector<double> z;
+        if (options.generator != nullptr) {
+          z = options.generator->standardNormals(s);
+          for (std::size_t i = 0; i < z.size(); ++i) z[i] += shift[i];
+        } else {
+          stats::Rng rng = campaign.fork(s);
+          z.resize(shift.size());
+          for (std::size_t i = 0; i < z.size(); ++i)
+            z[i] = shift[i] + rng.normal();
+        }
         if (!fails(z)) return;
         failed[s] = 1;
         // Likelihood ratio phi(z)/phi(z - shift).

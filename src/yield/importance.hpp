@@ -16,6 +16,10 @@
 
 #include "stats/rng.hpp"
 
+namespace vsstat::mc {
+class SampleGenerator;
+}
+
 namespace vsstat::yield {
 
 /// Failure indicator over the standardized Gaussian space: z has one entry
@@ -31,6 +35,12 @@ struct ImportanceOptions {
   int samples = 2000;
   std::uint64_t seed = 1;
   unsigned threads = 0;  ///< 0 == hardware concurrency
+  /// Optional standardized-normal generator for the base draws (mc::
+  /// samplers -- LHS/Halton/Sobol variance reduction COMPOSED with the
+  /// mean shift: z = shift + generator point).  Must be sized for
+  /// >= samples points of the shift's dimension; not owned, must outlive
+  /// the call.  nullptr keeps the iid child-stream draws.
+  const mc::SampleGenerator* generator = nullptr;
 };
 
 struct ImportanceResult {

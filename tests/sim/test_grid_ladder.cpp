@@ -85,12 +85,14 @@ void expectBitIdentical(const mc::McResult& lhs, const mc::McResult& rhs,
 
 /// The four session-mode combinations of the bit-identity acceptance check.
 const spice::SessionOptions kModeCombos[] = {
-    {true, models::NumericsMode::reference, linalg::SolverMode::fresh, nullptr},
-    {true, models::NumericsMode::fast, linalg::SolverMode::fresh, nullptr},
-    {true, models::NumericsMode::reference, linalg::SolverMode::reusePivot,
-     nullptr},
-    {true, models::NumericsMode::fast, linalg::SolverMode::reusePivot,
-     nullptr},
+    {.numerics = models::NumericsMode::reference,
+     .solver = linalg::SolverMode::fresh},
+    {.numerics = models::NumericsMode::fast,
+     .solver = linalg::SolverMode::fresh},
+    {.numerics = models::NumericsMode::reference,
+     .solver = linalg::SolverMode::reusePivot},
+    {.numerics = models::NumericsMode::fast,
+     .solver = linalg::SolverMode::reusePivot},
 };
 
 const char* comboName(const spice::SessionOptions& o) {

@@ -1,0 +1,378 @@
+// ToleranceTier::statistical contracts:
+//
+//   (a) estimator-level accuracy: a statistical-tier campaign's mean,
+//       sigma, and yield agree with the perSample run (same seeds) within
+//       a few Monte Carlo standard errors, on all three workload shapes
+//       (SRAM SNM sweeps, INV FO3 transients, power-grid supply sweeps)
+//       and in ALL FOUR NumericsMode x SolverMode combinations;
+//   (b) the tier actually engages: fewer Newton iterations than the
+//       perSample run and a high warm-start hit rate, from the McResult
+//       telemetry;
+//   (c) worker-count reproducibility: statistical campaigns are
+//       bit-identical across 1/2/4 workers (the warm-chain block geometry
+//       depends only on McOptions::sampleBlock, never on the schedule);
+//   (d) rescue composition: an injected fault under the statistical tier
+//       walks the perSample-rung rescue ladder, heals transient faults,
+//       drops persistent ones, and stays bit-identical across workers;
+//   (e) the first-class sampling plans (SamplingPlan / SobolSampler) are
+//       deterministic and stratified.
+#include "sim/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "circuits/benchmarks.hpp"
+#include "mc/circuit_campaign.hpp"
+#include "mc/providers.hpp"
+#include "mc/runner.hpp"
+#include "mc/samplers.hpp"
+#include "measure/delay.hpp"
+#include "measure/snm.hpp"
+#include "models/vs_params.hpp"
+#include "spice/fault_injection.hpp"
+#include "stats/descriptive.hpp"
+
+namespace vsstat::sim {
+namespace {
+
+using spice::FaultInjector;
+using spice::FaultKind;
+using spice::FaultSite;
+using spice::ToleranceTier;
+
+models::PelgromAlphas someAlphas() {
+  models::PelgromAlphas a;
+  a.aVt0 = 2.3;
+  a.aLeff = 3.7;
+  a.aWeff = 3.7;
+  a.aMu = 900.0;
+  a.aCinv = 0.3;
+  return a;
+}
+
+std::unique_ptr<circuits::DeviceProvider> makeProvider() {
+  return std::make_unique<mc::VsStatisticalProvider>(
+      models::defaultVsNmos(), models::defaultVsPmos(), someAlphas(),
+      someAlphas(), stats::Rng(0));
+}
+
+std::uint64_t metricsFnv1a(const mc::McResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const auto& metric : r.metrics) {
+    for (const double d : metric) {
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &d, sizeof bits);
+      mix(bits);
+    }
+  }
+  mix(static_cast<std::uint64_t>(r.failures));
+  return h;
+}
+
+void expectBitIdentical(const mc::McResult& lhs, const mc::McResult& rhs,
+                        const char* what) {
+  EXPECT_EQ(metricsFnv1a(lhs), metricsFnv1a(rhs)) << what;
+  ASSERT_EQ(lhs.metrics.size(), rhs.metrics.size()) << what;
+  for (std::size_t m = 0; m < lhs.metrics.size(); ++m)
+    EXPECT_EQ(lhs.metrics[m], rhs.metrics[m]) << what << " metric " << m;
+  EXPECT_EQ(lhs.failures, rhs.failures) << what;
+  EXPECT_EQ(lhs.rescued, rhs.rescued) << what;
+}
+
+const spice::SessionOptions kModeCombos[] = {
+    {.numerics = models::NumericsMode::reference,
+     .solver = linalg::SolverMode::fresh},
+    {.numerics = models::NumericsMode::fast,
+     .solver = linalg::SolverMode::fresh},
+    {.numerics = models::NumericsMode::reference,
+     .solver = linalg::SolverMode::reusePivot},
+    {.numerics = models::NumericsMode::fast,
+     .solver = linalg::SolverMode::reusePivot},
+};
+
+const char* comboName(const spice::SessionOptions& o) {
+  const bool fast = o.numerics == models::NumericsMode::fast;
+  const bool reuse = o.solver == linalg::SolverMode::reusePivot;
+  return fast ? (reuse ? "fast+reuse" : "fast+fresh")
+              : (reuse ? "ref+reuse" : "ref+fresh");
+}
+
+constexpr int kSamples = 24;
+// Small explicit block so multi-worker runs actually split the campaign
+// into several warm chains (at the default 32 every sample would land in
+// one block and the cross-worker check would be vacuous).
+constexpr int kBlock = 8;
+
+mc::McOptions mcOptions(unsigned threads, std::uint64_t seed,
+                        int samples = kSamples) {
+  mc::McOptions opt;
+  opt.samples = samples;
+  opt.seed = seed;
+  opt.threads = threads;
+  opt.sampleBlock = kBlock;
+  return opt;
+}
+
+/// READ SNM of the 6T butterfly (paper Fig. 9 inner loop), 15-point sweeps.
+mc::McResult snmCampaign(unsigned threads, spice::SessionOptions options,
+                         int samples = kSamples) {
+  return mc::runCampaign<circuits::SramButterflyBench>(
+      mcOptions(threads, 4100, samples), 1,
+      [](circuits::DeviceProvider& provider) {
+        return circuits::buildSramButterfly(provider, 0.9,
+                                            circuits::SramMode::Read,
+                                            circuits::SramSizing{});
+      },
+      makeProvider,
+      [](std::size_t, CampaignSession<circuits::SramButterflyBench>& session,
+         stats::Rng&, std::vector<double>& out) {
+        out[0] =
+            measure::measureSnm(session.fixture(), session.spice(), 15)
+                .cellSnm();
+      },
+      options);
+}
+
+/// INV FO3 average delay via transient (paper Fig. 5 inner loop).
+mc::McResult delayCampaign(unsigned threads, spice::SessionOptions options,
+                           int samples = 10) {
+  return mc::runCampaign<circuits::GateFo3Bench>(
+      mcOptions(threads, 4200, samples), 1,
+      [](circuits::DeviceProvider& provider) {
+        return circuits::buildInvFo3(provider, circuits::CellSizing{},
+                                     circuits::StimulusSpec{});
+      },
+      makeProvider,
+      [](std::size_t, CampaignSession<circuits::GateFo3Bench>& session,
+         stats::Rng&, std::vector<double>& out) {
+        out[0] =
+            measure::measureGateDelays(session.fixture(), session.spice())
+                .average();
+      },
+      options);
+}
+
+/// Far-corner IR drop of a 10x10 power-grid mesh via supply sweeps.
+mc::McResult gridCampaign(unsigned threads, spice::SessionOptions options,
+                          std::shared_ptr<const FaultInjector> injector =
+                              nullptr,
+                          int samples = kSamples) {
+  options.faultInjector = std::move(injector);
+  return mc::runCampaign<circuits::PowerGridBench>(
+      mcOptions(threads, 4300, samples), 1,
+      [](circuits::DeviceProvider& provider) {
+        return circuits::buildPowerGridIrDrop(provider, 10, 10, 0.9);
+      },
+      makeProvider,
+      [](std::size_t, CampaignSession<circuits::PowerGridBench>& session,
+         stats::Rng&, std::vector<double>& out) {
+        circuits::PowerGridBench& fx = session.fixture();
+        std::vector<double> levels;
+        for (int i = 0; i < 9; ++i) levels.push_back(fx.supply * i / 8.0);
+        std::vector<double> farVolts;
+        session.spice().dcSweepNode(fx.feedSource, levels, fx.farNode,
+                                    farVolts);
+        out[0] = fx.supply - farVolts.back();
+      },
+      options);
+}
+
+double yieldAbove(const std::vector<double>& xs, double floor) {
+  const auto above = std::count_if(xs.begin(), xs.end(),
+                                   [&](double v) { return v >= floor; });
+  return static_cast<double>(above) / static_cast<double>(xs.size());
+}
+
+/// Estimator contract: statistical-tier mean/sigma/yield within a few MC
+/// standard errors of the perSample run, plus the telemetry evidence that
+/// the tier actually engaged.
+void expectEstimatorContract(const mc::McResult& per, const mc::McResult& st,
+                             const char* what) {
+  ASSERT_EQ(per.failures, 0) << what;
+  ASSERT_EQ(st.failures, 0) << what;
+  const auto& xs = per.metrics[0];
+  const auto& ys = st.metrics[0];
+  ASSERT_EQ(xs.size(), ys.size()) << what;
+  const auto p = stats::summarize(xs);
+  const auto s = stats::summarize(ys);
+  const double n = static_cast<double>(xs.size());
+  ASSERT_GT(p.stddev, 0.0) << what;
+  const double meanSe = p.stddev / std::sqrt(n);
+  const double sigmaSe = p.stddev / std::sqrt(2.0 * n);
+  EXPECT_LE(std::fabs(s.mean - p.mean), 3.0 * meanSe) << what;
+  EXPECT_LE(std::fabs(s.stddev - p.stddev), 3.0 * sigmaSe) << what;
+
+  // Yield at the perSample run's 1-sigma-below-mean floor: agreement
+  // within 3 binomial standard errors (floored at one sample's worth).
+  const double floor = p.mean - p.stddev;
+  const double yp = yieldAbove(xs, floor);
+  const double ys2 = yieldAbove(ys, floor);
+  const double yieldSe =
+      std::max(std::sqrt(std::max(yp * (1.0 - yp), 0.0) / n), 1.0 / n);
+  EXPECT_LE(std::fabs(ys2 - yp), 3.0 * yieldSe) << what;
+
+  // Tier engagement: the warm starts must have fired and paid.
+  EXPECT_EQ(per.warmStartOpportunities, 0u) << what;
+  EXPECT_GT(st.warmStartOpportunities, 0u) << what;
+  EXPECT_GT(st.warmStartHitRate(), 0.5) << what;
+  EXPECT_LT(st.newtonIterations, per.newtonIterations) << what;
+}
+
+TEST(StatisticalTier, SnmEstimatorsAgreeInAllModeCombos) {
+  for (const spice::SessionOptions& combo : kModeCombos) {
+    spice::SessionOptions statistical = combo;
+    statistical.tier = ToleranceTier::statistical;
+    expectEstimatorContract(snmCampaign(1, combo),
+                            snmCampaign(1, statistical), comboName(combo));
+  }
+}
+
+TEST(StatisticalTier, DelayEstimatorsAgreeInAllModeCombos) {
+  for (const spice::SessionOptions& combo : kModeCombos) {
+    spice::SessionOptions statistical = combo;
+    statistical.tier = ToleranceTier::statistical;
+    expectEstimatorContract(delayCampaign(1, combo),
+                            delayCampaign(1, statistical), comboName(combo));
+  }
+}
+
+TEST(StatisticalTier, GridEstimatorsAgreeInAllModeCombos) {
+  for (const spice::SessionOptions& combo : kModeCombos) {
+    spice::SessionOptions statistical = combo;
+    statistical.tier = ToleranceTier::statistical;
+    expectEstimatorContract(gridCampaign(1, combo),
+                            gridCampaign(1, statistical), comboName(combo));
+  }
+}
+
+TEST(StatisticalTier, BitIdenticalAcrossWorkersInAllModeCombos) {
+  for (const spice::SessionOptions& combo : kModeCombos) {
+    spice::SessionOptions statistical = combo;
+    statistical.tier = ToleranceTier::statistical;
+    const mc::McResult t1 = snmCampaign(1, statistical);
+    const mc::McResult t2 = snmCampaign(2, statistical);
+    const mc::McResult t4 = snmCampaign(4, statistical);
+    EXPECT_EQ(t1.failures, 0) << comboName(combo);
+    expectBitIdentical(t1, t2, comboName(combo));
+    expectBitIdentical(t1, t4, comboName(combo));
+  }
+}
+
+TEST(StatisticalTier, TransientCampaignBitIdenticalAcrossWorkers) {
+  spice::SessionOptions statistical;
+  statistical.numerics = models::NumericsMode::fast;
+  statistical.solver = linalg::SolverMode::reusePivot;
+  statistical.tier = ToleranceTier::statistical;
+  const mc::McResult t1 = delayCampaign(1, statistical, 16);
+  const mc::McResult t4 = delayCampaign(4, statistical, 16);
+  EXPECT_EQ(t1.failures, 0);
+  expectBitIdentical(t1, t4, "inv_fo3 statistical");
+}
+
+TEST(StatisticalTier, GridCampaignBitIdenticalAcrossWorkers) {
+  spice::SessionOptions statistical;
+  statistical.numerics = models::NumericsMode::fast;
+  statistical.solver = linalg::SolverMode::reusePivot;
+  statistical.tier = ToleranceTier::statistical;
+  const mc::McResult t1 = gridCampaign(1, statistical);
+  const mc::McResult t4 = gridCampaign(4, statistical);
+  EXPECT_EQ(t1.failures, 0);
+  expectBitIdentical(t1, t4, "grid statistical");
+}
+
+TEST(StatisticalTier, InjectedFaultHealsThroughPerSampleRescueRungs) {
+  // Transient singular row at sample 2 (attempt 0 only): under the
+  // statistical tier the rescue ladder retries the sample on perSample
+  // rungs and recovers it; the warm chain restarts cold afterwards, so
+  // the whole injected campaign is still a pure function of the sample
+  // index -- bit-identical across worker counts.  The persistent fault at
+  // sample 5 exhausts the ladder and drops under its class.
+  spice::SessionOptions statistical;
+  statistical.tier = ToleranceTier::statistical;
+  const auto healing = std::make_shared<FaultInjector>(std::vector<FaultSite>{
+      {FaultKind::singularJacobian, 2, /*persistent=*/false}});
+  const mc::McResult healed = gridCampaign(1, statistical, healing);
+  EXPECT_EQ(healed.rescued, 1);
+  EXPECT_EQ(healed.failures, 0);
+  EXPECT_EQ(healed.sampleCount(), static_cast<std::size_t>(kSamples));
+  expectBitIdentical(healed, gridCampaign(4, statistical, healing),
+                     "healed statistical");
+
+  // The healed sample went through perSample reference rungs, so its
+  // metric must agree with the plain perSample campaign to the rescue
+  // tolerance -- evidence the reference rung, not a relaxed one, healed it.
+  const mc::McResult per = gridCampaign(1, spice::SessionOptions{});
+  ASSERT_EQ(per.failures, 0);
+  EXPECT_NEAR(healed.metrics[0][2], per.metrics[0][2],
+              1e-8 * std::fabs(per.metrics[0][2]));
+
+  const auto persistent =
+      std::make_shared<FaultInjector>(std::vector<FaultSite>{
+          {FaultKind::singularJacobian, 5, /*persistent=*/true}});
+  const mc::McResult dropped = gridCampaign(1, statistical, persistent);
+  EXPECT_EQ(dropped.failures, 1);
+  EXPECT_EQ(dropped.failuresOf(FailureClass::singular), 1);
+  ASSERT_TRUE(dropped.firstFailure.valid);
+  EXPECT_EQ(dropped.firstFailure.sampleIndex, 5u);
+}
+
+TEST(StatisticalTier, SobolSamplerIsDeterministicAndStratified) {
+  constexpr std::size_t kDims = 10;
+  constexpr std::size_t kPoints = 16;
+  const mc::SobolSampler a(kDims, kPoints, 99);
+  const mc::SobolSampler b(kDims, kPoints, 99);
+  for (std::size_t d = 0; d < kDims; ++d) {
+    // A 2^m-point prefix of any Sobol dimension is a (0,m,1)-net: exactly
+    // one point per dyadic interval of width 1/16.
+    std::vector<int> bins(kPoints, 0);
+    for (std::size_t i = 0; i < kPoints; ++i) {
+      const double u = a.coordinate(i, d);
+      EXPECT_EQ(u, b.coordinate(i, d)) << "dim " << d << " point " << i;
+      ASSERT_GE(u, 0.0);
+      ASSERT_LT(u, 1.0);
+      ++bins[static_cast<std::size_t>(u * kPoints)];
+    }
+    for (std::size_t bin = 0; bin < kPoints; ++bin)
+      EXPECT_EQ(bins[bin], 1) << "dim " << d << " bin " << bin;
+  }
+  // Different seeds rotate the standardized draws (Cranley-Patterson).
+  const mc::SobolSampler c(kDims, kPoints, 100);
+  EXPECT_NE(a.standardNormals(0), c.standardNormals(0));
+}
+
+TEST(StatisticalTier, SamplingPlanParsesAndValidates) {
+  EXPECT_EQ(mc::parseScheme("sobol"), mc::SamplingPlan::Scheme::sobol);
+  EXPECT_EQ(mc::parseScheme("lhs"), mc::SamplingPlan::Scheme::lhs);
+  EXPECT_EQ(mc::parseScheme("halton"), mc::SamplingPlan::Scheme::halton);
+  EXPECT_EQ(mc::parseScheme("iid"), mc::SamplingPlan::Scheme::iid);
+  EXPECT_EQ(mc::parseScheme("rng"), mc::SamplingPlan::Scheme::providerRng);
+  EXPECT_THROW((void)mc::parseScheme("bogus"), InvalidArgumentError);
+
+  mc::SamplingPlan plan;
+  plan.scheme = mc::SamplingPlan::Scheme::sobol;
+  plan.dimension = 0;  // invalid: generator schemes need a dimension
+  EXPECT_THROW(mc::makeSampleGenerator(plan, 8, 1), Error);
+  EXPECT_EQ(mc::makeSampleGenerator({}, 8, 1), nullptr);
+
+  plan.dimension = 6;
+  plan.seed = 7;
+  const auto gen = mc::makeSampleGenerator(plan, 8, 1);
+  ASSERT_NE(gen, nullptr);
+  EXPECT_EQ(gen->dimension(), 6u);
+  EXPECT_GE(gen->samples(), 8u);
+}
+
+}  // namespace
+}  // namespace vsstat::sim
