@@ -82,6 +82,7 @@
 #include "models/vs_params.hpp"
 #include "spice/assembler.hpp"
 #include "stats/descriptive.hpp"
+#include "util/fnv1a.hpp"
 #include "util/rusage.hpp"
 
 namespace {
@@ -174,25 +175,17 @@ bool bitIdentical(const mc::McResult& a, const mc::McResult& b) {
 }
 
 /// FNV-1a over every metric double's bit pattern plus the failure count:
-/// equal hashes across runs mean bit-identical campaign results.
+/// equal hashes across runs mean bit-identical campaign results.  Uses the
+/// shared util::Fnv1a accumulator (same byte order as before), so these
+/// hashes stay comparable with historical BENCH_campaign.json rows.
 std::uint64_t metricsHash(const mc::McResult& r) {
-  std::uint64_t h = 1469598103934665603ULL;
-  const auto mix = [&h](std::uint64_t v) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (v >> (8 * byte)) & 0xFF;
-      h *= 1099511628211ULL;
-    }
-  };
-  mix(static_cast<std::uint64_t>(r.failures));
+  util::Fnv1a h;
+  h.mix(static_cast<std::uint64_t>(r.failures));
   for (const std::vector<double>& row : r.metrics) {
-    mix(row.size());
-    for (double v : row) {
-      std::uint64_t bits;
-      std::memcpy(&bits, &v, sizeof bits);
-      mix(bits);
-    }
+    h.mix(row.size());
+    for (double v : row) h.mixDouble(v);
   }
-  return h;
+  return h.value();
 }
 
 unsigned gThreads = 1;

@@ -1,0 +1,387 @@
+// Multi-fit extraction benchmark: the banked campaign engine
+// (extract::FitCampaign) vs the legacy one-die scalar extraction shape on
+// a production-volume batch of VS-card re-extractions.
+//
+//   extract_fit_scalar        -- serial baseline, one die at a time the way
+//                                extract::fit does it: a fresh VsModel per
+//                                residual evaluation, the allocating
+//                                free-function LM, per-point evaluateLoad.
+//   extract_campaign_banked   -- FitCampaign, reference numerics: lanes
+//                                scheduled over the thread pool, per-worker
+//                                allocation-free LM workspace, the whole
+//                                bias grid evaluated through one device
+//                                bank per fit iteration.  Bit-identical
+//                                fits to the scalar baseline (same seeds,
+//                                same datasets) -- checked in-process and
+//                                emitted as "bit_identical".
+//   extract_campaign_banked_fast -- same campaign under NumericsMode::fast
+//                                (SIMD transcendental kernels): the
+//                                throughput mode extraction's fit-tolerance
+//                                contract legitimizes; carries the headline
+//                                speedup_vs_scalar_fit.
+//
+// Every lane synthesizes a noisy I-V/Cgg dataset from a vt0-perturbed
+// golden truth card and re-extracts it, so rows also report recovery
+// quality: converged_fraction and the mean/max relative card-parameter
+// error vs the known per-lane truth (CI-gated as bounded metrics).
+//
+// Output is JSONL (one object per line); BENCH_extract.json records a
+// reference run that scripts/check_bench_regression.py gates in CI.
+// "metrics_fnv1a" is FitCampaignResult::paramsFnv1a() -- equal hashes mean
+// bit-identical campaigns; the CI parallel-scaling smoke compares it
+// across 1/2/4 workers (--scaling mode, scripts/check_scaling.py).
+//
+// Usage: bench_extract [--quick] [--threads N] [--scaling]
+//   --threads N   worker count for the banked campaign rows (default 8)
+//   --scaling     emit only extract_campaign{,_fast} rows at the given
+//                 worker count, skipping the scalar baseline
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "extract/fit_campaign.hpp"
+#include "models/vs_model.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> gAllocCount{0};
+
+}  // namespace
+
+// Global allocation hooks (same scheme as bench_campaign): count every heap
+// allocation so the marginal allocs/fit metric is exact.
+void* operator new(std::size_t size) {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace vsstat {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using extract::FitCampaign;
+using extract::FitCampaignResult;
+using extract::FitDataset;
+using extract::FitOutcome;
+using extract::MeasurementGrid;
+
+constexpr std::uint64_t kSeed = 2013;
+constexpr double kVtSigma = 0.015;   ///< per-die truth vt0 spread [V]
+constexpr double kNoiseRel = 0.004;  ///< multiplicative measurement noise
+constexpr double kLoadFdStep = 1e-3;
+
+unsigned gThreads = 8;
+bool gScalingOnly = false;
+
+/// Per-lane dataset: vt0-perturbed truth card, synthesized on the campaign
+/// grid with measurement noise.  The first normal draw of the lane's fork
+/// is the truth perturbation, so truthVt0() can regenerate it exactly.
+FitCampaign::DatasetFn population(const FitCampaign& campaign,
+                                  const models::VsParams& seed) {
+  return [&campaign, seed](std::size_t, stats::Rng& rng, FitDataset& d) {
+    models::VsParams t = seed;
+    t.vt0 += kVtSigma * rng.normal();
+    const models::VsModel m(t);
+    campaign.synthesizeDataset(m, kNoiseRel, rng, d);
+  };
+}
+
+double truthVt0(const models::VsParams& seed, std::uint64_t campaignSeed,
+                std::size_t lane) {
+  stats::Rng rng = stats::Rng(campaignSeed).fork(lane);
+  return seed.vt0 + kVtSigma * rng.normal();
+}
+
+struct FitTiming {
+  FitCampaignResult result;
+  double usPerFit = 0.0;
+  double allocsPerFit = 0.0;
+};
+
+/// Times a fit batch with the same marginal-allocation differencing as
+/// bench_campaign: a small warm batch is measured first and its fixed cost
+/// (result arrays, per-worker engines) differenced out, leaving the
+/// steady-state allocation cost of adding one more fit.
+constexpr int kWarmFits = 8;
+
+FitTiming timeFits(int fits,
+                   const std::function<FitCampaignResult(int)>& run) {
+  (void)run(kWarmFits);  // warmup: thread pool + allocator to steady state
+  const std::uint64_t base0 = gAllocCount.load(std::memory_order_relaxed);
+  (void)run(kWarmFits);
+  const std::uint64_t base1 = gAllocCount.load(std::memory_order_relaxed);
+
+  const std::uint64_t allocs0 = gAllocCount.load(std::memory_order_relaxed);
+  const auto t0 = Clock::now();
+  FitTiming t;
+  t.result = run(fits);
+  const auto t1 = Clock::now();
+  const std::uint64_t allocs1 = gAllocCount.load(std::memory_order_relaxed);
+
+  const double us = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count());
+  t.usPerFit = us / fits;
+  t.allocsPerFit = (static_cast<double>(allocs1 - allocs0) -
+                    static_cast<double>(base1 - base0)) /
+                   static_cast<double>(fits - kWarmFits);
+  return t;
+}
+
+/// Mean/max relative error of every successful lane's fitted parameters vs
+/// its known truth card (only vt0 varies per lane; the rest sit at the
+/// seed values).
+struct CardError {
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+CardError cardError(const FitCampaignResult& r, const models::VsParams& seed,
+                    std::uint64_t campaignSeed) {
+  const double truthRest[7] = {0.0,     seed.delta0, seed.n0,  seed.vxo,
+                               seed.mu, seed.beta,   seed.cinv};
+  CardError e;
+  double sum = 0.0;
+  std::size_t terms = 0;
+  for (std::size_t lane = 0; lane < r.laneCount; ++lane) {
+    if (r.outcomes[lane] != FitOutcome::converged &&
+        r.outcomes[lane] != FitOutcome::boundPinned)
+      continue;
+    const auto x = r.lane(lane);
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      const double truth =
+          (j == 0) ? truthVt0(seed, campaignSeed, lane) : truthRest[j];
+      const double rel = std::fabs(x[j] - truth) / std::fabs(truth);
+      sum += rel;
+      ++terms;
+      e.max = std::max(e.max, rel);
+    }
+  }
+  if (terms > 0) e.mean = sum / static_cast<double>(terms);
+  return e;
+}
+
+/// The legacy one-die extraction shape, run serially over the same lanes:
+/// free-function LM (allocates its workspace per fit), a fresh VsModel
+/// constructed per residual evaluation, scalar evaluateLoad per bias
+/// point.  Same grid, bounds, datasets and iteration budget as the
+/// campaign, so its results are bit-identical to the banked reference run
+/// -- what it measures is the cost of the legacy layout.
+FitCampaignResult scalarFitBatch(const FitCampaign& campaign,
+                                 const models::VsParams& seed, int fits,
+                                 std::uint64_t campaignSeed) {
+  const MeasurementGrid& g = campaign.grid();
+  const models::DeviceGeometry geom{80e-9, 40e-9};
+  const std::size_t pointCount = g.points.size();
+  const std::size_t n = 7;
+  linalg::LevMarOptions opt;
+  opt.maxIterations = campaign.options().maxIterations;
+  opt.lowerBounds = {0.15, 0.04, 1.22, 0.4e5, 0.6e-2, 1.2, 1.0e-2};
+  opt.upperBounds = {0.65, 0.25, 1.90, 2.5e5, 5.0e-2, 2.8, 2.6e-2};
+  const linalg::Vector x0 = {seed.vt0, seed.delta0, seed.n0, seed.vxo,
+                             seed.mu,  seed.beta,   seed.cinv};
+
+  FitCampaignResult res;
+  res.laneCount = static_cast<std::size_t>(fits);
+  res.paramCount = n;
+  res.params.resize(res.laneCount * n);
+  res.outcomes.assign(res.laneCount, FitOutcome::converged);
+  res.cost.assign(res.laneCount, 0.0);
+  res.iterations.assign(res.laneCount, 0);
+  res.boundMask.assign(res.laneCount, 0);
+
+  const stats::Rng root(campaignSeed);
+  const auto makeDataset = population(campaign, seed);
+  FitDataset d;
+  for (std::size_t lane = 0; lane < res.laneCount; ++lane) {
+    stats::Rng rng = root.fork(lane);
+    d.cgg = 0.0;
+    makeDataset(lane, rng, d);
+
+    const linalg::ResidualFn fn = [&](const linalg::Vector& x,
+                                      linalg::Vector& r) {
+      models::VsParams p = seed;
+      p.vt0 = x[0];
+      p.delta0 = x[1];
+      p.n0 = x[2];
+      p.vxo = x[3];
+      p.mu = x[4];
+      p.beta = x[5];
+      p.cinv = x[6];
+      const models::VsModel m(p);  // fresh card per evaluation: legacy cost
+      for (std::size_t i = 0; i < pointCount; ++i) {
+        const models::MosfetLoadEvaluation ev = m.evaluateLoad(
+            geom, g.points[i].vgs, g.points[i].vds, kLoadFdStep);
+        r[i] = g.points[i].logSpace
+                   ? g.logWeight * std::log(std::max(ev.at.id, 1e-18) / d.id[i])
+                   : g.relWeight * (ev.at.id / d.id[i] - 1.0);
+      }
+      const models::MosfetLoadEvaluation anchor =
+          m.evaluateLoad(geom, g.vdd, g.vdd, kLoadFdStep);
+      r[pointCount] = g.cggWeight * (anchor.dqgVgs / d.cgg - 1.0);
+    };
+
+    double* out = res.params.data() + lane * n;
+    try {
+      const linalg::LevMarResult lm =
+          linalg::levenbergMarquardt(fn, x0, pointCount + 1, opt);
+      std::copy(lm.x.begin(), lm.x.end(), out);
+      res.cost[lane] = lm.cost;
+      res.iterations[lane] = lm.iterations;
+      res.boundMask[lane] = lm.activeBounds;
+      if (lm.activeBounds != 0)
+        res.outcomes[lane] = FitOutcome::boundPinned;
+      else if (!lm.converged || lm.stalled)
+        res.outcomes[lane] = FitOutcome::stalled;
+      else
+        res.outcomes[lane] = FitOutcome::converged;
+    } catch (const SampleFailure& e) {
+      res.outcomes[lane] = e.failureClass() == FailureClass::singular
+                               ? FitOutcome::singularJtJ
+                               : FitOutcome::nonFinite;
+      res.cost[lane] = std::numeric_limits<double>::quiet_NaN();
+      std::copy(x0.begin(), x0.end(), out);
+    }
+  }
+  for (std::size_t lane = 0; lane < res.laneCount; ++lane) {
+    ++res.outcomeCounts[static_cast<int>(res.outcomes[lane])];
+    res.totalLmIterations += static_cast<std::uint64_t>(res.iterations[lane]);
+  }
+  return res;
+}
+
+void emitRow(const std::string& name, int fits, unsigned threads,
+             const FitTiming& t, double scalarUsPerFit, bool bitIdentical,
+             const CardError& err) {
+  std::printf(
+      "{\"name\": \"%s\", \"fits\": %d, \"threads\": %u, "
+      "\"us_per_fit\": %.1f, \"fits_per_sec\": %.1f, "
+      "\"speedup_vs_scalar_fit\": %.2f, \"mean_lm_iters_per_fit\": %.1f, "
+      "\"allocs_per_fit\": %.2f, \"converged_fraction\": %.3f, "
+      "\"mean_card_param_rel_error\": %.4f, "
+      "\"max_card_param_rel_error\": %.4f, \"bit_identical\": %s, "
+      "\"metrics_fnv1a\": \"0x%016llx\"}\n",
+      name.c_str(), fits, threads, t.usPerFit, 1e6 / t.usPerFit,
+      scalarUsPerFit / t.usPerFit, t.result.meanIterationsPerFit(),
+      t.allocsPerFit, t.result.convergedFraction(), err.mean, err.max,
+      bitIdentical ? "true" : "false",
+      static_cast<unsigned long long>(t.result.paramsFnv1a()));
+}
+
+/// --scaling row: no scalar baseline ran, so the comparison fields are
+/// omitted -- cross-worker-count identity is what metrics_fnv1a carries.
+/// "samples_per_sec" duplicates fits_per_sec under the key
+/// scripts/check_scaling.py uses for its efficiency table.
+void emitScaling(const std::string& name, int fits, const FitTiming& t) {
+  std::printf(
+      "{\"name\": \"%s\", \"fits\": %d, \"threads\": %u, "
+      "\"us_per_fit\": %.1f, \"fits_per_sec\": %.1f, "
+      "\"samples_per_sec\": %.1f, \"allocs_per_fit\": %.2f, "
+      "\"converged_fraction\": %.3f, \"metrics_fnv1a\": \"0x%016llx\"}\n",
+      name.c_str(), fits, gThreads, t.usPerFit, 1e6 / t.usPerFit,
+      1e6 / t.usPerFit, t.allocsPerFit, t.result.convergedFraction(),
+      static_cast<unsigned long long>(t.result.paramsFnv1a()));
+}
+
+int run(int fits) {
+  const models::VsParams seed;
+  const models::DeviceGeometry geom{80e-9, 40e-9};
+
+  extract::FitCampaignOptions banked;
+  banked.threads = gThreads;
+  const FitCampaign campaignRef(seed, geom, extract::vsMeasurementGrid(),
+                                banked);
+
+  extract::FitCampaignOptions fast = banked;
+  fast.numerics = models::NumericsMode::fast;
+  const FitCampaign campaignFast(seed, geom, extract::vsMeasurementGrid(),
+                                 fast);
+
+  if (gScalingOnly) {
+    const FitTiming ref = timeFits(fits, [&](int n) {
+      return campaignRef.run(static_cast<std::size_t>(n), kSeed,
+                             population(campaignRef, seed));
+    });
+    emitScaling("extract_campaign", fits, ref);
+    const FitTiming fst = timeFits(fits, [&](int n) {
+      return campaignFast.run(static_cast<std::size_t>(n), kSeed,
+                              population(campaignFast, seed));
+    });
+    emitScaling("extract_campaign_fast", fits, fst);
+    return 0;
+  }
+
+  const FitTiming scalar = timeFits(fits, [&](int n) {
+    return scalarFitBatch(campaignRef, seed, n, kSeed);
+  });
+  const FitTiming ref = timeFits(fits, [&](int n) {
+    return campaignRef.run(static_cast<std::size_t>(n), kSeed,
+                           population(campaignRef, seed));
+  });
+  const FitTiming fst = timeFits(fits, [&](int n) {
+    return campaignFast.run(static_cast<std::size_t>(n), kSeed,
+                            population(campaignFast, seed));
+  });
+
+  // Same seeds, same datasets, reference numerics: the banked campaign must
+  // reproduce the scalar baseline bit-for-bit (bank + workspace contracts).
+  const bool identical =
+      scalar.result.paramsFnv1a() == ref.result.paramsFnv1a();
+
+  emitRow("extract_fit_scalar", fits, 1, scalar, scalar.usPerFit, identical,
+          cardError(scalar.result, seed, kSeed));
+  emitRow("extract_campaign_banked", fits, gThreads, ref, scalar.usPerFit,
+          identical, cardError(ref.result, seed, kSeed));
+  emitRow("extract_campaign_banked_fast", fits, gThreads, fst,
+          scalar.usPerFit, /*bitIdentical=*/false,
+          cardError(fst.result, seed, kSeed));
+  return 0;
+}
+
+}  // namespace
+}  // namespace vsstat
+
+int main(int argc, char** argv) {
+  int fits = 1000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      fits = 120;
+    } else if (std::strcmp(argv[i], "--scaling") == 0) {
+      vsstat::gScalingOnly = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const int t = std::atoi(argv[++i]);
+      if (t < 1) {
+        std::fprintf(stderr, "bench_extract: --threads wants >= 1\n");
+        return 2;
+      }
+      vsstat::gThreads = static_cast<unsigned>(t);
+    } else {
+      std::fprintf(stderr,
+                   "bench_extract: unknown argument '%s' (usage: "
+                   "bench_extract [--quick] [--threads N] [--scaling])\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  try {
+    return vsstat::run(fits);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_extract: %s\n", e.what());
+    return 1;
+  }
+}

@@ -36,10 +36,13 @@ import json
 import sys
 
 LOWER_BETTER = ("us_per_sample", "ns_per_iter", "ns_per_device_eval",
-                "fresh_factor_us", "mean_iters_per_sample")
+                "fresh_factor_us", "mean_iters_per_sample", "us_per_fit",
+                "mean_lm_iters_per_fit")
 HIGHER_BETTER = (
     "samples_per_sec",
+    "fits_per_sec",
     "speedup_vs_scalar",
+    "speedup_vs_scalar_fit",
     "speedup_vs_banked",
     "speedup_vs_rebuild",
     "speedup_vs_fresh",
@@ -47,16 +50,22 @@ HIGHER_BETTER = (
     "speedup_vs_dense_lu",
     "speedup_vs_per_sample",
     "warm_start_hit_rate",
+    "converged_fraction",
 )
 BOOL_MUST_HOLD = ("bit_identical", "within_tolerance",
                   "within_sigma_contract")
-ALLOC_METRICS = ("allocs", "allocs_per_sample", "allocs_per_factor")
+ALLOC_METRICS = ("allocs", "allocs_per_sample", "allocs_per_factor",
+                 "allocs_per_fit")
 # Hard contract ceilings: fail when the current value exceeds the bound
 # (overridable per row with "ci_max_<metric>").  estimator_max_sigma_delta
 # is the statistical tier's accuracy contract -- the worst estimator shift
 # in units of its Monte Carlo standard error must stay within 3 sigma
-# regardless of how the throughput rows move.
-BOUNDED_METRICS = {"estimator_max_sigma_delta": 3.0}
+# regardless of how the throughput rows move.  The card-parameter error
+# caps are the extraction tier's recovery contract: fitted cards must land
+# near their per-lane truth regardless of fit throughput.
+BOUNDED_METRICS = {"estimator_max_sigma_delta": 3.0,
+                   "mean_card_param_rel_error": 0.05,
+                   "max_card_param_rel_error": 0.25}
 
 
 def load_reference(path):

@@ -10,6 +10,14 @@ bool MosfetLoadBank::rebindLane(std::size_t laneIndex, const MosfetModel& card,
   return true;
 }
 
+bool MosfetLoadBank::rebindUniform(const MosfetModel& card,
+                                   const DeviceGeometry& geometry) {
+  for (std::size_t i = 0; i < laneCount(); ++i) {
+    if (!rebindLane(i, card, geometry)) return false;
+  }
+  return true;
+}
+
 namespace {
 
 /// Default bank: one scalar evaluateLoad per lane.  No per-lane cached
@@ -39,6 +47,13 @@ class GenericLoadBank final : public MosfetLoadBank {
 std::unique_ptr<MosfetLoadBank> MosfetModel::makeLoadBank(
     std::vector<BankLane> lanes, NumericsMode /*mode*/) const {
   return std::make_unique<GenericLoadBank>(std::move(lanes));
+}
+
+std::unique_ptr<MosfetLoadBank> makeUniformLoadBank(
+    const MosfetModel& card, const DeviceGeometry& geometry,
+    std::size_t laneCount, NumericsMode mode) {
+  std::vector<BankLane> lanes(laneCount, BankLane{&card, &geometry});
+  return card.makeLoadBank(std::move(lanes), mode);
 }
 
 double MosfetModel::drainCurrent(const DeviceGeometry& geom, double vgs,

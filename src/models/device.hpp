@@ -128,6 +128,17 @@ class MosfetLoadBank {
                                         const MosfetModel& card,
                                         const DeviceGeometry& geometry);
 
+  /// Re-points EVERY lane at one shared card/geometry and re-derives the
+  /// cached state -- the multi-fit extraction engine's between-iterations
+  /// pass, where the lanes are bias points of a single device under fit.
+  /// Returns false (bank untouched) when the card type is incompatible.
+  /// The default loops rebindLane; banks with per-lane derived caches
+  /// override it to derive ONCE and broadcast, which is bit-identical
+  /// because every lane's cached values are a pure function of the shared
+  /// (card, geometry).
+  [[nodiscard]] virtual bool rebindUniform(const MosfetModel& card,
+                                           const DeviceGeometry& geometry);
+
   /// Batched Newton load: out[i] = scalar evaluateLoad of lane i at
   /// (vgs[i], vds[i]).  All spans have laneCount() entries.
   virtual void evaluateLoadBatch(std::span<const double> vgs,
@@ -213,6 +224,15 @@ class MosfetModel {
     return false;
   }
 };
+
+/// Bank whose every lane references the same card and geometry -- the
+/// multi-fit extraction engine's layout, where the "lanes" are the bias
+/// points of ONE device under fit and the shared card is rewritten (then
+/// lane-rebound) between optimizer iterations.  Lane count is the caller's
+/// bias-grid size.
+[[nodiscard]] std::unique_ptr<MosfetLoadBank> makeUniformLoadBank(
+    const MosfetModel& card, const DeviceGeometry& geometry,
+    std::size_t laneCount, NumericsMode mode = NumericsMode::reference);
 
 /// Total gate capacitance Cgg = dQg/dVgs at the bias point, by central
 /// finite difference on the model's gate charge.

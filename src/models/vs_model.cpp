@@ -828,6 +828,22 @@ class VsLoadBank final : public MosfetLoadBank {
     return true;
   }
 
+  [[nodiscard]] bool rebindUniform(const MosfetModel& card,
+                                   const DeviceGeometry& geometry) override {
+    const auto* vs = dynamic_cast<const VsModel*>(&card);
+    if (vs == nullptr) return false;
+    // Every lane shares one (card, geometry): derive once and broadcast.
+    // Bit-identical to the rebindLane loop because the derived LoadCard is
+    // a pure function of (params, geometry).
+    const LoadCard derived = makeLoadCard(vs->params(), geometry);
+    for (std::size_t i = 0; i < laneCount(); ++i) {
+      (void)MosfetLoadBank::rebindLane(i, card, geometry);
+      cards_[i] = derived;
+      if (mode_ == NumericsMode::fast) fastState_.setCard(i, derived);
+    }
+    return true;
+  }
+
   void evaluateLoadBatch(std::span<const double> vgs,
                          std::span<const double> vds, double /*fdStep*/,
                          std::span<MosfetLoadEvaluation> out) const override {

@@ -1,0 +1,42 @@
+// 64-bit FNV-1a accumulator -- the library's cross-run determinism
+// fingerprint.
+//
+// The CI scaling smoke compares campaign results across 1/2/4 workers by
+// hashing every metric double's bit pattern: equal hashes mean bit-identical
+// runs.  The benches and the multi-fit extraction engine share this one
+// accumulator so every "metrics_fnv1a"-style field mixes bytes in exactly
+// the same order (low byte first per 64-bit word).
+#ifndef VSSTAT_UTIL_FNV1A_HPP
+#define VSSTAT_UTIL_FNV1A_HPP
+
+#include <cstdint>
+#include <cstring>
+
+namespace vsstat::util {
+
+class Fnv1a {
+ public:
+  /// Mixes one 64-bit word, low byte first.
+  void mix(std::uint64_t v) noexcept {
+    for (int byte = 0; byte < 8; ++byte) {
+      h_ ^= (v >> (8 * byte)) & 0xFF;
+      h_ *= 1099511628211ULL;
+    }
+  }
+
+  /// Mixes a double's bit pattern (NaNs hash by representation).
+  void mixDouble(double v) noexcept {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    mix(bits);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ULL;  // FNV offset basis
+};
+
+}  // namespace vsstat::util
+
+#endif  // VSSTAT_UTIL_FNV1A_HPP

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -67,6 +68,129 @@ TEST(LevMar, RejectsBadShapes) {
   LevMarOptions opt;
   opt.lowerBounds = {0.0, 0.0, 0.0};
   EXPECT_THROW(levenbergMarquardt(fn, {1.0}, 2, opt), InvalidArgumentError);
+}
+
+TEST(LevMar, SingularNormalEquationsAtEveryDampingThrow) {
+  // Exactly collinear parameter columns: J^T J is rank 1.  With lambda
+  // pinned at zero (lambdaUp = 1), every damping attempt solves the same
+  // singular system; the solver must classify that instead of reporting a
+  // bogus converged result (the pre-fix behaviour).
+  const ResidualFn fn = [](const Vector& x, Vector& r) {
+    r[0] = x[0] + x[1] - 1.0;
+    r[1] = 2.0 * (x[0] + x[1]) - 2.0 + 3.0;  // keeps the gradient nonzero
+  };
+  LevMarOptions opt;
+  opt.initialLambda = 0.0;
+  opt.lambdaUp = 1.0;
+  // Start at x0 == x1 so the two forward-difference columns are bit-for-bit
+  // identical and elimination meets an exactly-zero pivot.
+  try {
+    (void)levenbergMarquardt(fn, {1.0, 1.0}, 2, opt);
+    FAIL() << "expected SingularMatrixError";
+  } catch (const SingularMatrixError& e) {
+    EXPECT_EQ(e.failureClass(), FailureClass::singular);
+  }
+}
+
+TEST(LevMar, MarquardtDampingRegularizesCollinearColumns) {
+  // The same rank-1 system converges fine once lambda is allowed to grow:
+  // singular-JtJ is only thrown when damping cannot help.
+  const ResidualFn fn = [](const Vector& x, Vector& r) {
+    r[0] = x[0] + x[1] - 1.0;
+    r[1] = x[0] + x[1] - 1.0;
+  };
+  const LevMarResult res = levenbergMarquardt(fn, {0.0, 3.0}, 2);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x[0] + res.x[1], 1.0, 1e-8);
+}
+
+TEST(LevMar, NonFiniteResidualAtStartThrows) {
+  const ResidualFn fn = [](const Vector& x, Vector& r) {
+    r[0] = std::log(x[0]);  // x0 = -1 -> NaN
+    r[1] = x[0];
+  };
+  try {
+    (void)levenbergMarquardt(fn, {-1.0}, 2);
+    FAIL() << "expected NonFiniteError";
+  } catch (const NonFiniteError& e) {
+    EXPECT_EQ(e.failureClass(), FailureClass::nonFinite);
+  }
+}
+
+TEST(LevMar, NonFiniteJacobianThrows) {
+  // Finite residual exactly at the start, NaN at any perturbed point: the
+  // forward-difference Jacobian goes non-finite on iteration 0.
+  const ResidualFn fn = [](const Vector& x, Vector& r) {
+    const double bad = std::numeric_limits<double>::quiet_NaN();
+    r[0] = (x[0] == 1.0) ? 0.5 : bad;
+    r[1] = x[0];
+  };
+  EXPECT_THROW((void)levenbergMarquardt(fn, {1.0}, 2), NonFiniteError);
+}
+
+TEST(LevMar, NonFiniteTrialPointIsRejectedNotFatal) {
+  // Model blows up for x > 2.2 but the constrained optimum (x = 2) is
+  // reachable: trial steps into the blow-up region must shrink, not abort.
+  const ResidualFn fn = [](const Vector& x, Vector& r) {
+    r[0] = (x[0] > 2.2) ? std::numeric_limits<double>::quiet_NaN()
+                        : x[0] - 2.0;
+    r[1] = 0.0;
+  };
+  const LevMarResult res = levenbergMarquardt(fn, {0.5}, 2);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x[0], 2.0, 1e-6);
+}
+
+TEST(LevMar, ReportsActiveBoundMask) {
+  // Unconstrained minimum at (3, 0.5); x0 is clamped to its bound, x1 stays
+  // interior.
+  const ResidualFn fn = [](const Vector& x, Vector& r) {
+    r[0] = x[0] - 3.0;
+    r[1] = x[1] - 0.5;
+  };
+  LevMarOptions opt;
+  opt.lowerBounds = {0.0, 0.0};
+  opt.upperBounds = {2.0, 1.0};
+  const LevMarResult res = levenbergMarquardt(fn, {1.0, 0.1}, 2, opt);
+  EXPECT_NEAR(res.x[0], 2.0, 1e-10);
+  EXPECT_NEAR(res.x[1], 0.5, 1e-8);
+  EXPECT_EQ(res.activeBounds, 1u);
+}
+
+TEST(LevMar, WorkspaceFormMatchesFreeFunctionBitwise) {
+  std::vector<double> t, y;
+  for (int i = 0; i < 20; ++i) {
+    t.push_back(0.2 * i);
+    y.push_back(2.0 * std::exp(-0.5 * 0.2 * i));
+  }
+  const ResidualFn fn = [&](const Vector& x, Vector& r) {
+    for (std::size_t i = 0; i < t.size(); ++i)
+      r[i] = x[0] * std::exp(-x[1] * t[i]) - y[i];
+  };
+  const LevMarResult free = levenbergMarquardt(fn, {1.0, 1.0}, t.size());
+
+  LevMarWorkspace ws;
+  LevMarResult wsRes;
+  levenbergMarquardt(fn, {1.0, 1.0}, t.size(), LevMarOptions{}, ws, wsRes);
+  ASSERT_EQ(wsRes.x.size(), free.x.size());
+  EXPECT_EQ(wsRes.x[0], free.x[0]);
+  EXPECT_EQ(wsRes.x[1], free.x[1]);
+  EXPECT_EQ(wsRes.cost, free.cost);
+  EXPECT_EQ(wsRes.iterations, free.iterations);
+
+  // Re-running on the warm workspace must give the same bits again.
+  LevMarResult again;
+  levenbergMarquardt(fn, {1.0, 1.0}, t.size(), LevMarOptions{}, ws, again);
+  EXPECT_EQ(again.x[0], free.x[0]);
+  EXPECT_EQ(again.cost, free.cost);
+}
+
+TEST(LevMar, RejectsMoreParametersThanBoundMaskWidth) {
+  const ResidualFn fn = [](const Vector& x, Vector& r) {
+    for (std::size_t i = 0; i < x.size(); ++i) r[i] = x[i];
+  };
+  const Vector x0(33, 1.0);
+  EXPECT_THROW((void)levenbergMarquardt(fn, x0, 33), InvalidArgumentError);
 }
 
 }  // namespace
