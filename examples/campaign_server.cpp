@@ -1,0 +1,225 @@
+// Campaign server: the netlist-in, statistics-out daemon end to end.
+//
+// Daemon mode (default) binds a unix-domain socket (or 127.0.0.1 TCP with
+// --tcp) and serves line-delimited JSON campaign requests until killed:
+//
+//   ./example_campaign_server --unix /tmp/vsstat.sock
+//   echo '{"deck":"...", "measure":{"probes":["q"]}}' | nc -U /tmp/vsstat.sock
+//
+// Self-test mode (--self-test [samples], the CI smoke) starts the daemon
+// in-process on a private socket, connects a real client, and runs the
+// same SRAM read-disturb campaign twice -- cold, then warm from the
+// session cache -- checking that each run streams at least three progress
+// frames before its final frame and that the two final frames carry
+// bit-identical statistics (same seed => same metrics_fnv1a, warm or
+// cold).  The half-cell deck is monostable by construction (access NMOS
+// pulls the internal node toward the precharged bitline, driver NMOS
+// fights it), so DC convergence is unambiguous and the read-disturb
+// voltage V(q) yields against a 0.25*VDD spec window.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hpp"
+
+using namespace vsstat;
+
+namespace {
+
+constexpr const char* kDeck = R"(* SRAM read-disturb half cell
+.title read disturb proxy
+VDD vdd 0 0.9
+VWL wl 0 0.9
+VBL bl 0 0.9
+VQB qb 0 0.9
+* driver NMOS holds q low; access NMOS pulls it toward the bitline
+MDRV q qb 0 nfet W=300n L=40n
+MACC bl wl q nfet W=150n L=40n
+* load PMOS is off (gate held high) -- leakage path only
+MLD q qb vdd pfet W=150n L=40n
+.model nfet vs_nmos
+.model pfet vs_pmos
+.end
+)";
+
+std::string buildRequest(const std::string& id, int samples) {
+  std::string req = "{\"id\":";
+  serve::appendJsonString(req, id);
+  req += ",\"deck\":";
+  serve::appendJsonString(req, kDeck);
+  req += ",\"samples\":" + std::to_string(samples);
+  req += ",\"seed\":7,\"threads\":2";
+  req += ",\"mode\":{\"tier\":\"statistical\"}";
+  req += ",\"stream_every\":24";
+  req += ",\"measure\":{\"analysis\":\"op\",\"probes\":[\"q\"],"
+         "\"spec\":{\"max\":0.225}}}";
+  return req;
+}
+
+/// Sends one request line and collects response frames until the final or
+/// error frame arrives.
+std::vector<std::string> roundTrip(int fd, const std::string& request) {
+  const std::string line = request + "\n";
+  size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(fd, line.data() + sent, line.size() - sent, 0);
+    if (n <= 0) return {};
+    sent += static_cast<size_t>(n);
+  }
+  std::vector<std::string> frames;
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const size_t newline = buffer.find('\n');
+    if (newline != std::string::npos) {
+      frames.push_back(buffer.substr(0, newline));
+      buffer.erase(0, newline + 1);
+      const std::string& frame = frames.back();
+      if (frame.find("\"type\":\"final\"") != std::string::npos ||
+          frame.find("\"type\":\"error\"") != std::string::npos)
+        return frames;
+      continue;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return frames;
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+std::string stringField(const serve::JsonValue& obj, const char* key) {
+  const serve::JsonValue* v = obj.find(key);
+  return v != nullptr && v->kind == serve::JsonValue::Kind::string ? v->string
+                                                                   : "";
+}
+
+int selfTest(int samples) {
+  const std::string socketPath =
+      "/tmp/vsstat_campaign_server_" + std::to_string(::getpid()) + ".sock";
+  serve::CampaignServer server;
+  server.listenUnix(socketPath);
+  std::thread serverThread([&server] { server.serve(); });
+
+  int exitCode = 0;
+  std::string coldHash;
+  std::string coldHealth;
+  for (const char* label : {"cold", "warm"}) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (fd < 0 ||
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      std::printf("self-test: connect failed\n");
+      exitCode = 2;
+      break;
+    }
+
+    const std::vector<std::string> frames =
+        roundTrip(fd, buildRequest(label, samples));
+    ::close(fd);
+
+    int progress = 0;
+    std::string finalFrame;
+    for (const std::string& frame : frames) {
+      if (frame.find("\"type\":\"progress\"") != std::string::npos)
+        ++progress;
+      if (frame.find("\"type\":\"final\"") != std::string::npos)
+        finalFrame = frame;
+    }
+    if (finalFrame.empty()) {
+      std::printf("%s request: no final frame (%zu frames)\n", label,
+                  frames.size());
+      if (!frames.empty())
+        std::printf("  last frame: %s\n", frames.back().c_str());
+      exitCode = 2;
+      break;
+    }
+
+    const serve::JsonValue parsed = serve::parseJson(finalFrame);
+    const std::string cache = stringField(parsed, "cache");
+    const std::string health = stringField(parsed, "health");
+    const std::string hash = stringField(parsed, "metrics_fnv1a");
+    std::printf("%s request: %d progress frames, cache=%s, health=%s,\n"
+                "  metrics_fnv1a=%s\n",
+                label, progress, cache.c_str(), health.c_str(), hash.c_str());
+
+    if (progress < 3) {
+      std::printf("  FAIL: expected >= 3 progress frames before final\n");
+      exitCode = 3;
+    }
+    if (cache != label) {
+      std::printf("  FAIL: expected cache=%s\n", label);
+      exitCode = 3;
+    }
+    if (std::string(label) == "cold") {
+      coldHash = hash;
+      coldHealth = health;
+    } else if (hash != coldHash) {
+      std::printf("  FAIL: warm metrics_fnv1a differs from cold (same seed "
+                  "must be bit-identical)\n");
+      exitCode = 3;
+    }
+    if (health != "OK") exitCode = 3;
+  }
+
+  server.stop();
+  serverThread.join();
+  ::unlink(socketPath.c_str());
+
+  const sim::SessionPoolCache<serve::DeckFixture>::Stats stats =
+      server.cache().stats();
+  std::printf("session cache: %zu hits, %zu misses, %zu evictions\n",
+              stats.hits, stats.misses, stats.evictions);
+  std::printf("campaign health: %s\n",
+              exitCode == 0 && coldHealth == "OK" ? "OK" : "DEGRADED");
+  return exitCode;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unixPath = "/tmp/vsstat_campaign.sock";
+  int tcpPort = -1;
+  bool runSelfTest = false;
+  int samples = 96;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      runSelfTest = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') samples = std::atoi(argv[++i]);
+    } else if (arg == "--unix" && i + 1 < argc) {
+      unixPath = argv[++i];
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      tcpPort = std::atoi(argv[++i]);
+    } else {
+      std::printf(
+          "usage: %s [--self-test [samples]] [--unix PATH] [--tcp PORT]\n",
+          argv[0]);
+      return 1;
+    }
+  }
+
+  if (runSelfTest) return selfTest(samples);
+
+  serve::CampaignServer server;
+  if (tcpPort >= 0) {
+    const int port = server.listenTcp(tcpPort);
+    std::printf("campaign server listening on 127.0.0.1:%d\n", port);
+  } else {
+    server.listenUnix(unixPath);
+    std::printf("campaign server listening on %s\n", unixPath.c_str());
+    std::printf("try: echo '{\"deck\":\"...\",\"measure\":{\"probes\":[\"out\"]"
+                "}}' | nc -U %s\n",
+                unixPath.c_str());
+  }
+  server.serve();
+  return 0;
+}

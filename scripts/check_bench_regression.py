@@ -37,7 +37,7 @@ import sys
 
 LOWER_BETTER = ("us_per_sample", "ns_per_iter", "ns_per_device_eval",
                 "fresh_factor_us", "mean_iters_per_sample", "us_per_fit",
-                "mean_lm_iters_per_fit")
+                "mean_lm_iters_per_fit", "ttfs_ms", "p99_ttfs_ms")
 HIGHER_BETTER = (
     "samples_per_sec",
     "fits_per_sec",
@@ -51,6 +51,8 @@ HIGHER_BETTER = (
     "speedup_vs_per_sample",
     "warm_start_hit_rate",
     "converged_fraction",
+    "requests_per_sec",
+    "warm_vs_cold_ttfs",
 )
 BOOL_MUST_HOLD = ("bit_identical", "within_tolerance",
                   "within_sigma_contract")

@@ -15,9 +15,10 @@ std::size_t McResult::sampleCount() const {
   return n;
 }
 
-McResult runCampaign(const McOptions& options, std::size_t metricCount,
-                     const SampleFnEx& fn,
-                     const BlockResourceFn& blockResource) {
+McResult runCampaignChunked(const McOptions& options, std::size_t metricCount,
+                            const SampleFnEx& fn,
+                            const BlockResourceFn& blockResource,
+                            int chunkSamples, const ChunkFn& onChunk) {
   require(options.samples > 0, "runCampaign: samples must be > 0");
   require(metricCount > 0, "runCampaign: metricCount must be > 0");
 
@@ -73,24 +74,57 @@ McResult runCampaign(const McOptions& options, std::size_t metricCount,
     }
   };
 
+  // Chunk geometry: a chunk is a contiguous index range dispatched as one
+  // thread-pool sweep.  Rounded up to a whole number of sampleBlock blocks
+  // so a statistical-tier warm chain is never split across two sweeps --
+  // which keeps chunked results bit-identical to the monolithic dispatch
+  // (chunking changes WHEN samples run, never what any sample computes).
+  std::size_t chunk = chunkSamples > 0 ? static_cast<std::size_t>(chunkSamples)
+                                       : n;
   if (options.sampleBlock > 0) {
-    // Blocked dispatch: work items are fixed-size contiguous index blocks
-    // run serially in order.  Block geometry depends only on sampleBlock,
-    // so results stay bit-identical across thread counts; the dynamic
-    // claiming of whole blocks keeps workers load-balanced.
     const auto block = static_cast<std::size_t>(options.sampleBlock);
-    const std::size_t blocks = (n + block - 1) / block;
-    util::parallelFor(
-        blocks,
-        [&](std::size_t b) {
-          const std::shared_ptr<void> resource =
-              blockResource ? blockResource(b) : nullptr;
-          const std::size_t end = std::min(n, (b + 1) * block);
-          for (std::size_t i = b * block; i < end; ++i) runOne(i);
-        },
-        options.threads);
-  } else {
-    util::parallelFor(n, runOne, options.threads);
+    chunk = (chunk + block - 1) / block * block;
+  }
+
+  for (std::size_t start = 0; start < n; start += chunk) {
+    const std::size_t end = std::min(n, start + chunk);
+    if (options.sampleBlock > 0) {
+      // Blocked dispatch: work items are fixed-size contiguous index blocks
+      // run serially in order.  Block geometry depends only on sampleBlock,
+      // so results stay bit-identical across thread counts; the dynamic
+      // claiming of whole blocks keeps workers load-balanced.  Block
+      // indices are GLOBAL (start / block is exact: chunks are whole
+      // blocks), so block resources see the same indices chunked or not.
+      const auto block = static_cast<std::size_t>(options.sampleBlock);
+      const std::size_t firstBlock = start / block;
+      const std::size_t blocks = (end - start + block - 1) / block;
+      util::parallelFor(
+          blocks,
+          [&](std::size_t bi) {
+            const std::size_t b = firstBlock + bi;
+            const std::shared_ptr<void> resource =
+                blockResource ? blockResource(b) : nullptr;
+            const std::size_t blockEnd = std::min(end, (b + 1) * block);
+            for (std::size_t i = b * block; i < blockEnd; ++i) runOne(i);
+          },
+          options.threads);
+    } else {
+      util::parallelFor(
+          end - start, [&](std::size_t k) { runOne(start + k); },
+          options.threads);
+    }
+    if (onChunk) {
+      McChunkView view;
+      view.first = start;
+      view.end = end;
+      view.total = n;
+      view.metricCount = metricCount;
+      view.metrics = flat.data() + start * metricCount;
+      view.ok = ok.data() + start;
+      view.failureClass = failClass.data() + start;
+      view.rescues = rescues.data() + start;
+      onChunk(view);
+    }
   }
 
   // Single-threaded reduction in sample-index order: metric rows, failure
@@ -122,6 +156,13 @@ McResult runCampaign(const McOptions& options, std::size_t metricCount,
       result.metrics[m].push_back(flat[i * metricCount + m]);
   }
   return result;
+}
+
+McResult runCampaign(const McOptions& options, std::size_t metricCount,
+                     const SampleFnEx& fn,
+                     const BlockResourceFn& blockResource) {
+  return runCampaignChunked(options, metricCount, fn, blockResource,
+                            /*chunkSamples=*/0, ChunkFn{});
 }
 
 McResult runCampaign(const McOptions& options, std::size_t metricCount,

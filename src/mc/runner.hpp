@@ -126,6 +126,48 @@ using SampleFnEx = std::function<void(
 using BlockResourceFn =
     std::function<std::shared_ptr<void>(std::size_t blockIndex)>;
 
+/// Read-only view of one completed chunk of a chunked campaign: the
+/// per-sample storage for sample indices [first, end), in index order.
+/// Pointers are borrowed from the runner's flat buffers and are valid only
+/// for the duration of the callback.
+struct McChunkView {
+  std::size_t first = 0;  ///< chunk's first sample index
+  std::size_t end = 0;    ///< one past the chunk's last sample index
+  std::size_t total = 0;  ///< campaign sample budget
+  std::size_t metricCount = 0;
+  /// Sample-major metric rows: metrics[(i - first) * metricCount + m] is
+  /// metric m of sample i -- meaningful only where ok[i - first] != 0.
+  const double* metrics = nullptr;
+  const char* ok = nullptr;
+  /// Failure class per sample (-1 = none recorded); see FailureClass.
+  const signed char* failureClass = nullptr;
+  const int* rescues = nullptr;  ///< rescue-ladder retries per sample
+};
+
+/// Invoked on the CALLING thread after each chunk's workers drain, in chunk
+/// order.  Streaming estimators (serve/stream.hpp) fold each view into
+/// running statistics so long campaigns report progress incrementally.
+using ChunkFn = std::function<void(const McChunkView&)>;
+
+/// Chunked submission: samples are dispatched to the persistent thread pool
+/// in contiguous index chunks of ~`chunkSamples` (rounded up to a whole
+/// number of McOptions::sampleBlock blocks so statistical-tier warm chains
+/// never straddle a chunk), with `onChunk` invoked between chunks.
+///
+/// Because util::ThreadPool runs one index sweep at a time, a monolithic
+/// campaign holds the pool until its last sample; chunking bounds each
+/// hold to one chunk, so concurrent campaigns (the campaign server's
+/// simultaneous requests) interleave at chunk granularity instead of
+/// serializing end-to-end.  Results are bit-identical to the monolithic
+/// path: chunk geometry affects scheduling only, never RNG streams, warm
+/// chains, or reduction order.  chunkSamples <= 0 means one chunk.
+[[nodiscard]] McResult runCampaignChunked(const McOptions& options,
+                                          std::size_t metricCount,
+                                          const SampleFnEx& fn,
+                                          const BlockResourceFn& blockResource,
+                                          int chunkSamples,
+                                          const ChunkFn& onChunk);
+
 [[nodiscard]] McResult runCampaign(const McOptions& options,
                                    std::size_t metricCount,
                                    const SampleFn& fn);

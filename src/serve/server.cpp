@@ -1,0 +1,182 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "spice/netlist.hpp"
+
+namespace vsstat::serve {
+
+namespace {
+
+/// Writes the whole buffer, retrying on partial writes and EINTR.  Returns
+/// false when the peer is gone (the campaign keeps running; its frames are
+/// simply dropped -- a disconnect must not abort shared-pool work).
+bool writeAll(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, data, size, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+CampaignServer::CampaignServer() : CampaignServer(Options{}) {}
+
+CampaignServer::CampaignServer(Options options)
+    : cache_(options.cacheCapacity) {}
+
+CampaignServer::~CampaignServer() {
+  stop();
+  if (listenFd_ >= 0) ::close(listenFd_);
+}
+
+void CampaignServer::handleLine(const std::string& line,
+                                const FrameSink& emit) {
+  if (line.find_first_not_of(" \t\r") == std::string::npos) return;
+  std::string id;
+  try {
+    const JsonValue doc = parseJson(line);
+    // Best-effort id echo for error frames emitted after this point.
+    if (const JsonValue* idValue = doc.find("id");
+        idValue != nullptr && idValue->kind == JsonValue::Kind::string)
+      id = idValue->string;
+    CampaignRequest request = parseCampaignRequest(doc);
+    // Warm path: the deck-plan cache skips the validation parse, the pool
+    // cache skips the session builds -- a repeat topology goes straight
+    // to its first chunk.
+    std::shared_ptr<const DeckPlan> deck = cache_.deckPlan(request.deck);
+    const CampaignPlan plan(std::move(request), std::move(deck));
+    const SessionCache::Acquired acquired = cache_.acquire(plan);
+    (void)plan.run(*acquired.pool, emit, acquired.warm);
+  } catch (const JsonParseError& e) {
+    emit(errorFrame(id, RequestError::badJson, e.what()));
+  } catch (const spice::NetlistParseError& e) {
+    emit(errorFrame(id, RequestError::deckError, e.message(), e.line()));
+  } catch (const RequestValidationError& e) {
+    emit(errorFrame(id, e.code(), e.what()));
+  } catch (const std::exception& e) {
+    emit(errorFrame(id, RequestError::campaignError, e.what()));
+  }
+}
+
+void CampaignServer::listenUnix(const std::string& path) {
+  require(listenFd_ < 0, "CampaignServer: already listening");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  require(path.size() < sizeof(addr.sun_path),
+          "CampaignServer: socket path too long");
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  require(fd >= 0, "CampaignServer: socket() failed");
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    require(false, "CampaignServer: bind/listen on '" + path + "' failed");
+  }
+  listenFd_ = fd;
+}
+
+int CampaignServer::listenTcp(int port) {
+  require(listenFd_ < 0, "CampaignServer: already listening");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  require(fd >= 0, "CampaignServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    require(false, "CampaignServer: bind/listen on 127.0.0.1:" +
+                       std::to_string(port) + " failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  listenFd_ = fd;
+  return static_cast<int>(ntohs(bound.sin_port));
+}
+
+void CampaignServer::serve() {
+  require(listenFd_ >= 0, "CampaignServer: listen before serve");
+  running_.store(true);
+  while (running_.load()) {
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket shut down by stop()
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    connections_.push_back(fd);
+    threads_.emplace_back([this, fd] { handleConnection(fd); });
+  }
+  // Drain handler threads so serve() returns with everything quiesced.
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+void CampaignServer::stop() {
+  if (!running_.exchange(false)) return;
+  if (listenFd_ >= 0) ::shutdown(listenFd_, SHUT_RDWR);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const int fd : connections_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void CampaignServer::handleConnection(int fd) {
+  const FrameSink emit = [fd](const std::string& frame) {
+    const std::string line = frame + "\n";
+    writeAll(fd, line.data(), line.size());
+  };
+
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      handleLine(line, emit);
+    }
+  }
+  ::close(fd);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  connections_.erase(
+      std::remove(connections_.begin(), connections_.end(), fd),
+      connections_.end());
+}
+
+}  // namespace vsstat::serve

@@ -22,8 +22,7 @@ using ModelCard = std::variant<models::VsParams, models::BsimParams,
                                models::AlphaPowerParams>;
 
 [[noreturn]] void fail(int line, const std::string& message) {
-  throw InvalidArgumentError("netlist line " + std::to_string(line) + ": " +
-                             message);
+  throw NetlistParseError(line, message);
 }
 
 std::string lowered(std::string s) {
@@ -156,7 +155,9 @@ void applyVsOverride(models::VsParams& p, const std::string& key,
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : lines_(tokenize(text)) {}
+  explicit Parser(const std::string& text,
+                  circuits::DeviceProvider* provider = nullptr)
+      : lines_(tokenize(text)), provider_(provider) {}
 
   ParsedNetlist run() {
     // Models first: device lines may reference a .model defined later,
@@ -165,7 +166,16 @@ class Parser {
       if (ll.tokens[0] == ".model") parseModel(ll);
     }
     for (const LogicalLine& ll : lines_) {
-      dispatch(ll);
+      try {
+        dispatch(ll);
+      } catch (const NetlistParseError&) {
+        throw;  // already line-classified
+      } catch (const InvalidArgumentError& e) {
+        // Circuit-level rejections (duplicate element name, ...) become
+        // line-classified parse errors too: a service front end needs a
+        // line-accurate diagnostic for every malformed deck.
+        fail(ll.number, e.what());
+      }
     }
     return std::move(result_);
   }
@@ -297,6 +307,24 @@ class Parser {
     if (w <= 0.0 || l <= 0.0) {
       fail(ll.number, "MOSFET needs positive W= and L=");
     }
+    const models::DeviceGeometry nominal{w, l};
+
+    const auto polarity = vsPolarity_.find(modelName);
+    if (polarity != vsPolarity_.end()) {
+      ++result_.vsMosfets;
+      if (provider_ != nullptr) {
+        // Statistical build: the provider supplies the instance card (and
+        // possibly a perturbed geometry); the deck card only selected the
+        // polarity.  Instances are requested in deck order, which is the
+        // draw order a CampaignSession later replays per sample.
+        circuits::DeviceInstance inst =
+            provider_->make(polarity->second, tok(ll, 0), nominal);
+        result_.circuit.addMosfet(tok(ll, 0), node(ll, 1), node(ll, 2),
+                                  node(ll, 3), std::move(inst.model),
+                                  inst.geometry);
+        return;
+      }
+    }
 
     std::unique_ptr<models::MosfetModel> model = std::visit(
         [](const auto& card) -> std::unique_ptr<models::MosfetModel> {
@@ -311,8 +339,7 @@ class Parser {
         },
         it->second);
     result_.circuit.addMosfet(tok(ll, 0), node(ll, 1), node(ll, 2),
-                              node(ll, 3), std::move(model),
-                              models::DeviceGeometry{w, l});
+                              node(ll, 3), std::move(model), nominal);
   }
 
   void parseModel(const LogicalLine& ll) {
@@ -324,10 +351,13 @@ class Parser {
     const std::string& family = tok(ll, 2);
 
     ModelCard card;
+    std::optional<models::DeviceType> vsType;
     if (family == "vs_nmos") {
       card = models::defaultVsNmos();
+      vsType = models::DeviceType::Nmos;
     } else if (family == "vs_pmos") {
       card = models::defaultVsPmos();
+      vsType = models::DeviceType::Pmos;
     } else if (family == "bsim_nmos") {
       card = models::defaultBsimNmos();
     } else if (family == "bsim_pmos") {
@@ -352,19 +382,36 @@ class Parser {
              "parameter overrides are only supported for vs_* families");
       }
     }
+    if (vsType) {
+      const auto& vs = std::get<models::VsParams>(card);
+      vsPolarity_.emplace(name, *vsType);
+      // First card per polarity becomes the deck's nominal for statistical
+      // front ends (ParsedNetlist::vsNmos / vsPmos).
+      auto& slot = *vsType == models::DeviceType::Nmos ? result_.vsNmos
+                                                       : result_.vsPmos;
+      if (!slot) slot = vs;
+    }
     models_.emplace(name, std::move(card));
   }
 
   std::vector<LogicalLine> lines_;
+  circuits::DeviceProvider* provider_ = nullptr;
   std::unordered_map<std::string, ModelCard> models_;
+  std::unordered_map<std::string, models::DeviceType> vsPolarity_;
   ParsedNetlist result_;
 };
 
 }  // namespace
 
 ParsedNetlist parseNetlist(const std::string& text) {
-  require(!text.empty(), "parseNetlist: empty netlist");
+  if (text.empty()) throw NetlistParseError(0, "empty netlist");
   return Parser(text).run();
+}
+
+ParsedNetlist parseNetlist(const std::string& text,
+                           circuits::DeviceProvider& provider) {
+  if (text.empty()) throw NetlistParseError(0, "empty netlist");
+  return Parser(text, &provider).run();
 }
 
 ParsedNetlist parseNetlistFile(const std::string& path) {

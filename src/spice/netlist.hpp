@@ -16,27 +16,83 @@
 // notation; node "0" and "gnd" are ground.  MOSFETs are three-terminal in
 // this engine (no bulk), matching spice::MosfetElement.
 //
-// All errors throw InvalidArgumentError with the offending line number.
+// All parse failures throw NetlistParseError, a classified
+// InvalidArgumentError carrying the offending 1-based source line -- a
+// service front end (serve/) rejects a malformed deck with a line-accurate
+// diagnostic instead of aborting.
+//
+// Statistical builds: the provider overload routes every vs_* MOSFET
+// through a circuits::DeviceProvider (deck order = provider draw order),
+// which is what lets a parsed deck serve as a sim::CampaignSession fixture
+// -- the session replays the same order per sample to rebind mismatch
+// draws in place.  bsim_* / alpha_* instances always use their literal
+// deck cards.
 #ifndef VSSTAT_SPICE_NETLIST_HPP
 #define VSSTAT_SPICE_NETLIST_HPP
 
+#include <cstddef>
 #include <optional>
 #include <string>
 
+#include "circuits/provider.hpp"
+#include "models/vs_params.hpp"
 #include "spice/analysis.hpp"
 #include "spice/circuit.hpp"
+#include "util/error.hpp"
 
 namespace vsstat::spice {
+
+/// Classified netlist parse failure.  `line()` is the 1-based source line
+/// of the offending statement (continuation lines report the continuation,
+/// not the statement head); 0 flags whole-netlist problems (empty input).
+/// Derives from InvalidArgumentError so pre-existing catch sites keep
+/// working unchanged.
+class NetlistParseError : public InvalidArgumentError {
+ public:
+  NetlistParseError(int line, const std::string& message)
+      : InvalidArgumentError(line > 0 ? "netlist line " +
+                                            std::to_string(line) + ": " +
+                                            message
+                                      : "netlist: " + message),
+        line_(line),
+        message_(message) {}
+
+  [[nodiscard]] int line() const noexcept { return line_; }
+  /// Diagnostic without the "netlist line N:" prefix.
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+
+ private:
+  int line_;
+  std::string message_;
+};
 
 struct ParsedNetlist {
   Circuit circuit;
   std::string title;
   /// From a .tran card, if present: {dt, tstop}.
   std::optional<std::pair<double, double>> tran;
+  /// First vs_nmos / vs_pmos .model card (overrides applied), when the deck
+  /// declares one.  A statistical front end uses these as the per-polarity
+  /// nominal cards of its mismatch provider.
+  std::optional<models::VsParams> vsNmos;
+  std::optional<models::VsParams> vsPmos;
+  /// Number of MOSFET instances referencing a vs_* model, in deck order --
+  /// the devices a provider-routed build draws mismatch for (z-vector
+  /// dimension = vsMosfets * VsFixedZProvider::kDimsPerDevice).
+  std::size_t vsMosfets = 0;
 };
 
 /// Parses a complete netlist from text.
 [[nodiscard]] ParsedNetlist parseNetlist(const std::string& text);
+
+/// Parses a netlist, instantiating every vs_* MOSFET through `provider`
+/// (deck order).  The deck's vs_* cards select the device polarity only;
+/// the instance cards come from the provider -- hand it a NominalProvider
+/// built from ParsedNetlist::vsNmos/vsPmos to reproduce the plain parse.
+[[nodiscard]] ParsedNetlist parseNetlist(const std::string& text,
+                                         circuits::DeviceProvider& provider);
 
 /// Parses a netlist file from disk.
 [[nodiscard]] ParsedNetlist parseNetlistFile(const std::string& path);

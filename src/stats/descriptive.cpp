@@ -50,6 +50,84 @@ double MomentAccumulator::excessKurtosis() const noexcept {
   return n * m4_ / (m2_ * m2_) - 3.0;
 }
 
+StreamingQuantile::StreamingQuantile(double q) : q_(q) {
+  require(q > 0.0 && q < 1.0, "StreamingQuantile: q must be in (0, 1)");
+  increments_[0] = 0.0;
+  increments_[1] = q / 2.0;
+  increments_[2] = q;
+  increments_[3] = (1.0 + q) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void StreamingQuantile::add(double x) {
+  if (n_ < 5) {
+    heights_[n_] = x;
+    ++n_;
+    if (n_ == 5) {
+      std::sort(heights_, heights_ + 5);
+      for (int i = 0; i < 5; ++i) {
+        positions_[i] = static_cast<double>(i + 1);
+        desired_[i] = 1.0 + 4.0 * increments_[i];
+      }
+    }
+    return;
+  }
+
+  // Locate the cell containing x; clamp the extreme markers to the stream's
+  // running min/max.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++n_;
+
+  // Nudge the three interior markers toward their desired positions with
+  // the piecewise-parabolic (P^2) height update, falling back to linear
+  // interpolation when the parabola would break marker monotonicity.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double s = d >= 0 ? 1.0 : -1.0;
+      const double span = positions_[i + 1] - positions_[i - 1];
+      const double parabolic =
+          heights_[i] +
+          s / span *
+              ((below + s) * (heights_[i + 1] - heights_[i]) / above +
+               (above - s) * (heights_[i] - heights_[i - 1]) / below);
+      if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+        heights_[i] = parabolic;
+      } else {
+        const int j = i + static_cast<int>(s);
+        heights_[i] += s * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] += s;
+    }
+  }
+}
+
+double StreamingQuantile::value() const {
+  require(n_ > 0, "StreamingQuantile: no observations");
+  if (n_ < 5) {
+    std::vector<double> sorted(heights_, heights_ + n_);
+    std::sort(sorted.begin(), sorted.end());
+    return quantileSorted(sorted, q_);
+  }
+  return heights_[2];
+}
+
 Summary summarize(const std::vector<double>& samples) {
   Summary s;
   if (samples.empty()) return s;

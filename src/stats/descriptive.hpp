@@ -34,6 +34,34 @@ class MomentAccumulator {
   double max_ = 0.0;
 };
 
+/// Streaming quantile estimator (Jain & Chlamtac's P-squared algorithm):
+/// tracks one quantile of an unbounded stream in O(1) memory by keeping
+/// five markers whose heights are nudged toward their ideal positions with
+/// piecewise-parabolic interpolation.  The campaign server's progress
+/// frames use one of these per reported quantile -- exact quantiles over
+/// the full sample set would cost a sort per frame.  Approximation only:
+/// final frames recompute quantiles exactly from the full sample buffer.
+class StreamingQuantile {
+ public:
+  /// q in (0, 1); throws InvalidArgumentError outside that open interval.
+  explicit StreamingQuantile(double q);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  /// Current estimate.  Before five observations arrive this falls back to
+  /// the exact quantile of the values seen so far.
+  [[nodiscard]] double value() const;
+
+ private:
+  double q_;
+  std::size_t n_ = 0;
+  double heights_[5] = {};     ///< marker heights (sorted)
+  double positions_[5] = {};   ///< actual marker positions (1-based)
+  double desired_[5] = {};     ///< desired marker positions
+  double increments_[5] = {};  ///< desired-position increment per sample
+};
+
 /// One-stop summary of a sample.
 struct Summary {
   std::size_t count = 0;

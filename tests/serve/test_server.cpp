@@ -1,0 +1,288 @@
+// Campaign-server integration (serve/server.hpp): the protocol core end to
+// end -- classified error frames, streamed campaigns whose final statistics
+// are BIT-equal to a same-seed in-process mc::runCampaign at 1/2/4
+// workers, warm session-cache reuse, and two campaigns interleaving
+// through the shared thread pool.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "mc/circuit_campaign.hpp"
+#include "mc/providers.hpp"
+#include "spice/netlist.hpp"
+#include "stats/descriptive.hpp"
+
+namespace vsstat::serve {
+namespace {
+
+constexpr const char* kInverterDeck =
+    "VDD vdd 0 0.9\n"
+    "VIN in 0 0.45\n"
+    "MP out in vdd pch W=600n L=40n\n"
+    "MN out in 0 nch W=300n L=40n\n"
+    ".model nch vs_nmos\n"
+    ".model pch vs_pmos\n"
+    ".end\n";
+
+constexpr const char* kDividerDeck =
+    "VDD vdd 0 0.9\n"
+    "MN1 mid vdd 0 nch W=300n L=40n\n"
+    "MN2 vdd vdd mid nch W=300n L=40n\n"
+    ".model nch vs_nmos\n"
+    ".end\n";
+
+std::string makeRequest(const std::string& id, const char* deck, int samples,
+                        unsigned threads, int streamEvery) {
+  std::string req = "{\"id\":";
+  appendJsonString(req, id);
+  req += ",\"deck\":";
+  appendJsonString(req, deck);
+  req += ",\"samples\":" + std::to_string(samples);
+  req += ",\"seed\":11,\"threads\":" + std::to_string(threads);
+  req += ",\"stream_every\":" + std::to_string(streamEvery);
+  req += ",\"measure\":{\"probes\":[\"" +
+         std::string(deck == kDividerDeck ? "mid" : "out") + "\"]}}";
+  return req;
+}
+
+std::vector<std::string> runLine(CampaignServer& server,
+                                 const std::string& line) {
+  std::vector<std::string> frames;
+  server.handleLine(line,
+                    [&frames](const std::string& f) { frames.push_back(f); });
+  return frames;
+}
+
+JsonValue finalFrameOf(const std::vector<std::string>& frames) {
+  for (const std::string& f : frames) {
+    const JsonValue frame = parseJson(f);
+    const std::string type = frame.find("type")->string;
+    if (type == "final" || type == "error") return frame;
+  }
+  ADD_FAILURE() << "no terminal frame";
+  return JsonValue{};
+}
+
+int countProgress(const std::vector<std::string>& frames) {
+  int n = 0;
+  for (const std::string& f : frames)
+    if (f.find("\"type\":\"progress\"") != std::string::npos) ++n;
+  return n;
+}
+
+// --- error paths -----------------------------------------------------------
+
+TEST(CampaignServer, BadJsonGetsAnErrorFrame) {
+  CampaignServer server;
+  const std::vector<std::string> frames = runLine(server, "{nope");
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(finalFrameOf(frames).find("code")->string, "bad_json");
+}
+
+TEST(CampaignServer, SchemaViolationGetsBadRequestWithIdEcho) {
+  CampaignServer server;
+  const std::vector<std::string> frames =
+      runLine(server, R"({"id": "r9", "deck": "x"})");
+  ASSERT_EQ(frames.size(), 1u);
+  const JsonValue frame = finalFrameOf(frames);
+  EXPECT_EQ(frame.find("code")->string, "bad_request");
+  EXPECT_EQ(frame.find("id")->string, "r9");
+}
+
+TEST(CampaignServer, MalformedDeckGetsLineClassifiedDeckError) {
+  CampaignServer server;
+  std::string req = R"({"deck": )";
+  appendJsonString(req, "V1 a 0 1.0\nR1 a 0 bogus\n");
+  req += R"(, "measure": {"probes": ["a"]}})";
+  const std::vector<std::string> frames = runLine(server, req);
+  ASSERT_EQ(frames.size(), 1u);
+  const JsonValue frame = finalFrameOf(frames);
+  EXPECT_EQ(frame.find("code")->string, "deck_error");
+  EXPECT_DOUBLE_EQ(frame.find("line")->number, 2.0);
+  EXPECT_NE(frame.find("message")->string.find("bogus"), std::string::npos);
+}
+
+TEST(CampaignServer, UnknownProbeGetsBadRequest) {
+  CampaignServer server;
+  std::string req = R"({"deck": )";
+  appendJsonString(req, kInverterDeck);
+  req += R"(, "measure": {"probes": ["nonexistent"]}})";
+  const JsonValue frame = finalFrameOf(runLine(server, req));
+  EXPECT_EQ(frame.find("code")->string, "bad_request");
+  EXPECT_NE(frame.find("message")->string.find("nonexistent"),
+            std::string::npos);
+}
+
+TEST(CampaignServer, BlankLinesAreIgnored) {
+  CampaignServer server;
+  EXPECT_TRUE(runLine(server, "").empty());
+  EXPECT_TRUE(runLine(server, "  \t").empty());
+}
+
+// --- streamed statistics vs in-process campaigns ---------------------------
+
+constexpr int kSamples = 48;
+
+/// The reference: the same campaign through the public in-process API
+/// (mc::runCampaign over a deck-built fixture), same seed and axes.
+mc::McResult inProcessCampaign(unsigned threads) {
+  spice::ParsedNetlist parsed = spice::parseNetlist(kInverterDeck);
+  const spice::NodeId out = parsed.circuit.node("out");
+  const models::VsParams nmos = *parsed.vsNmos;
+  const models::VsParams pmos = *parsed.vsPmos;
+
+  mc::McOptions opt;
+  opt.samples = kSamples;
+  opt.seed = 11;
+  opt.threads = threads;
+  return mc::runCampaign<DeckFixture>(
+      opt, 1,
+      [](circuits::DeviceProvider& p) {
+        return DeckFixture{
+            std::move(spice::parseNetlist(kInverterDeck, p).circuit)};
+      },
+      [nmos, pmos] {
+        return std::make_unique<mc::VsStatisticalProvider>(
+            nmos, pmos, defaultAlphas(), defaultAlphas(), stats::Rng(1));
+      },
+      [out](std::size_t, sim::CampaignSession<DeckFixture>& session,
+            stats::Rng&, std::vector<double>& metrics) {
+        metrics[0] = session.spice().dcOperatingPoint().v(out);
+      });
+}
+
+TEST(CampaignServer, StreamedFinalStatsBitEqualInProcessCampaign) {
+  const mc::McResult reference = inProcessCampaign(1);
+  ASSERT_EQ(reference.sampleCount(), static_cast<std::size_t>(kSamples));
+  const stats::Summary summary = stats::summarize(reference.metrics[0]);
+  char refHash[32];
+  std::snprintf(refHash, sizeof refHash, "0x%016" PRIx64,
+                metricsFingerprint(reference));
+
+  // The worker-count sweep doubles as the scheduling-independence check:
+  // in-process campaigns are bit-identical across 1/2/4 workers, so one
+  // reference serves all three server runs.
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    const mc::McResult parallel = inProcessCampaign(threads);
+    EXPECT_EQ(parallel.metrics[0], reference.metrics[0])
+        << threads << " workers";
+
+    CampaignServer server;
+    const std::vector<std::string> frames = runLine(
+        server, makeRequest("bits", kInverterDeck, kSamples, threads, 16));
+    EXPECT_GE(countProgress(frames), 3) << threads << " workers";
+
+    const JsonValue frame = finalFrameOf(frames);
+    ASSERT_EQ(frame.find("type")->string, "final") << threads << " workers";
+    // %.17g serialization round-trips exactly: parsed values must be
+    // BIT-equal to the in-process statistics.
+    EXPECT_EQ(frame.find("mean")->number, summary.mean);
+    EXPECT_EQ(frame.find("sigma")->number, summary.stddev);
+    EXPECT_EQ(frame.find("median")->number, summary.median);
+    EXPECT_EQ(frame.find("metrics_fnv1a")->string, refHash);
+    EXPECT_DOUBLE_EQ(frame.find("ok")->number,
+                     static_cast<double>(kSamples));
+  }
+}
+
+TEST(CampaignServer, RepeatRequestGoesWarmWithIdenticalBits) {
+  CampaignServer server;
+  const std::string request =
+      makeRequest("warmth", kInverterDeck, kSamples, 2, 16);
+
+  const JsonValue cold = finalFrameOf(runLine(server, request));
+  ASSERT_EQ(cold.find("type")->string, "final");
+  EXPECT_EQ(cold.find("cache")->string, "cold");
+
+  const JsonValue warm = finalFrameOf(runLine(server, request));
+  ASSERT_EQ(warm.find("type")->string, "final");
+  EXPECT_EQ(warm.find("cache")->string, "warm");
+  EXPECT_EQ(warm.find("metrics_fnv1a")->string,
+            cold.find("metrics_fnv1a")->string);
+
+  const auto stats = server.cache().stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(CampaignServer, InterleavedCampaignsMatchTheirSoloRuns) {
+  // Solo baselines, one per topology.
+  std::string soloInvHash;
+  std::string soloDivHash;
+  {
+    CampaignServer solo;
+    soloInvHash = finalFrameOf(runLine(solo, makeRequest("a", kInverterDeck,
+                                                         kSamples, 2, 12)))
+                      .find("metrics_fnv1a")
+                      ->string;
+    soloDivHash = finalFrameOf(runLine(solo, makeRequest("b", kDividerDeck,
+                                                         kSamples, 2, 12)))
+                      .find("metrics_fnv1a")
+                      ->string;
+  }
+
+  // Two concurrent connections, two topologies: campaigns interleave at
+  // chunk granularity on the shared worker pool and session cache.
+  CampaignServer server;
+  std::vector<std::string> invFrames;
+  std::vector<std::string> divFrames;
+  std::thread invThread([&] {
+    invFrames =
+        runLine(server, makeRequest("a", kInverterDeck, kSamples, 2, 12));
+  });
+  std::thread divThread([&] {
+    divFrames =
+        runLine(server, makeRequest("b", kDividerDeck, kSamples, 2, 12));
+  });
+  invThread.join();
+  divThread.join();
+
+  EXPECT_GE(countProgress(invFrames), 3);
+  EXPECT_GE(countProgress(divFrames), 3);
+  const JsonValue invFinal = finalFrameOf(invFrames);
+  const JsonValue divFinal = finalFrameOf(divFrames);
+  ASSERT_EQ(invFinal.find("type")->string, "final");
+  ASSERT_EQ(divFinal.find("type")->string, "final");
+  EXPECT_EQ(invFinal.find("id")->string, "a");
+  EXPECT_EQ(divFinal.find("id")->string, "b");
+  // Concurrency must not leak into results: same bits as the solo runs.
+  EXPECT_EQ(invFinal.find("metrics_fnv1a")->string, soloInvHash);
+  EXPECT_EQ(divFinal.find("metrics_fnv1a")->string, soloDivHash);
+}
+
+// --- statistical tier over the wire ----------------------------------------
+
+TEST(CampaignServer, StatisticalTierStreamsBlockedChunks) {
+  CampaignServer server;
+  std::string req = "{\"id\":\"st\",\"deck\":";
+  appendJsonString(req, kInverterDeck);
+  req += ",\"samples\":96,\"seed\":3,\"threads\":2"
+         ",\"mode\":{\"tier\":\"statistical\",\"solver\":\"reusePivot\"}"
+         ",\"stream_every\":24,\"kde_every\":48,\"kde_points\":16"
+         ",\"measure\":{\"probes\":[\"out\"],\"spec\":{\"min\":0.2}}}";
+  const std::vector<std::string> frames = runLine(server, req);
+
+  // stream_every=24 rounds up to the 32-sample warm-chain block: 3 chunks.
+  EXPECT_EQ(countProgress(frames), 3);
+  int kdeFrames = 0;
+  for (const std::string& f : frames)
+    if (f.find("\"type\":\"kde\"") != std::string::npos) ++kdeFrames;
+  EXPECT_GE(kdeFrames, 1);
+
+  const JsonValue frame = finalFrameOf(frames);
+  ASSERT_EQ(frame.find("type")->string, "final");
+  EXPECT_EQ(frame.find("health")->string, "OK");
+  ASSERT_NE(frame.find("yield"), nullptr);
+  EXPECT_FALSE(frame.find("yield")->isNull());
+}
+
+}  // namespace
+}  // namespace vsstat::serve
